@@ -1,0 +1,19 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper artefact (figure panel or ablation)
+and asserts its qualitative claims; the timed quantity is the
+regeneration itself, and the interesting numbers are attached to
+``benchmark.extra_info`` so they appear in the report.
+"""
+
+import sys
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: regenerates a paper figure")

@@ -1,0 +1,62 @@
+"""Fig. 2 regeneration: inter-node PingPong latency and throughput.
+
+Scheduler setup in the paper: ``-L "node=2" -mpi "max-proc-per-node=1"``
+— two ranks on two nodes.  Both binding profiles (MPI.jl, IMB-C) run the
+same simulated exchange; asserted shape:
+
+  * MPI.jl slower below ~2 KiB (binding overhead);
+  * MPI.jl *faster* in the 16-64 KiB window (no cache avoidance, warm L1);
+  * identical beyond the rendezvous threshold;
+  * peak throughputs within 1% (the paper's headline number);
+  * peak near the 6.8 GB/s TofuD link rate.
+"""
+
+import pytest
+
+from repro.core import fig2_pingpong, render_sweep
+
+SIZES = [0] + [2**k for k in range(0, 23)]
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return fig2_pingpong(sizes=SIZES, repetitions=20)
+
+
+@pytest.mark.figure
+def test_fig2_latency(benchmark, panels):
+    run = benchmark(fig2_pingpong, [0, 1024, 65536], 5)  # timed mini-run
+    lat = panels["latency"]
+    jl, imb = lat["MPI.jl"], lat["IMB-C"]
+
+    # small-message binding overhead
+    assert jl.at(1) > imb.at(1) * 1.15
+    assert jl.at(1024) > imb.at(1024)
+    # warm-buffer advantage up to the L1 size
+    for size in (16384, 32768, 65536):
+        assert jl.at(size) < imb.at(size)
+    # convergence past the rendezvous threshold
+    assert jl.at(2**20) == pytest.approx(imb.at(2**20), rel=0.01)
+
+    benchmark.extra_info["latency_0B_us"] = dict(
+        mpi_jl=round(jl.at(0), 3), imb=round(imb.at(0), 3)
+    )
+    print()
+    print(render_sweep(lat))
+
+
+@pytest.mark.figure
+def test_fig2_throughput(benchmark, panels):
+    benchmark(fig2_pingpong, [65536, 2**22], 5)
+    thr = panels["throughput"]
+    peak_jl = thr["MPI.jl"].peak()
+    peak_imb = thr["IMB-C"].peak()
+    # "peak throughput ... within 1% of that reported by R-CCS"
+    assert abs(peak_jl - peak_imb) / peak_imb < 0.01
+    # near the TofuD link bandwidth
+    assert peak_imb > 0.8 * 6800
+    benchmark.extra_info["peak_MBps"] = dict(
+        mpi_jl=round(peak_jl), imb=round(peak_imb)
+    )
+    print()
+    print(render_sweep(thr))

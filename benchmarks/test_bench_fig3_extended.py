@@ -1,0 +1,53 @@
+"""Extended IMB panels at paper scale: Bcast and Allgather at 1536 ranks.
+
+The paper shows three collectives (Fig. 3); MPIBenchmarks.jl and IMB
+measure more.  These two run at the same 384-node torus scale and obey
+the same overhead story, rounding out the suite:
+
+* Bcast: binomial tree — log2(p) depth, latencies between Reduce's and
+  Allreduce's;
+* Allgather (Bruck): log2(p) rounds with doubling payloads — time grows
+  ~linearly in total gathered bytes.
+"""
+
+import pytest
+
+from repro.mpi import AllgatherBench, BcastBench
+from repro.mpi.bindings import IMB_C, MPI_JL
+
+KW = dict(nranks=1536, ranks_per_node=4, shape=(4, 6, 16), repetitions=1)
+SIZES = [4, 1024, 65536]
+
+
+@pytest.mark.figure
+def test_fig3ext_bcast(benchmark):
+    bench = BcastBench(**KW)
+
+    def run():
+        return {b.name: bench.run(b, sizes=SIZES) for b in (MPI_JL, IMB_C)}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    jl, imb = results["MPI.jl"], results["IMB-C"]
+    assert jl.at_size(4) > imb.at_size(4)  # binding overhead
+    assert imb.at_size(65536) > imb.at_size(4)  # grows with size
+    benchmark.extra_info["bcast_us"] = {
+        s: round(l, 1) for s, l in zip(imb.sizes, imb.latency_us)
+    }
+
+
+@pytest.mark.figure
+def test_fig3ext_allgather(benchmark):
+    bench = AllgatherBench(**KW)
+
+    def run():
+        return {b.name: bench.run(b, sizes=SIZES) for b in (MPI_JL, IMB_C)}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    jl, imb = results["MPI.jl"], results["IMB-C"]
+    assert jl.at_size(4) > imb.at_size(4)
+    # Bruck's final rounds carry ~p/2 blocks: far heavier than Bcast.
+    bcast = BcastBench(**KW).run(IMB_C, sizes=[65536])
+    assert imb.at_size(65536) > 5 * bcast.at_size(65536)
+    benchmark.extra_info["allgather_us"] = {
+        s: round(l, 1) for s, l in zip(imb.sizes, imb.latency_us)
+    }

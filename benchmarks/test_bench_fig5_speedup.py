@@ -1,0 +1,63 @@
+"""Fig. 5 regeneration: low-precision speedups vs problem size.
+
+The paper's curves (speedup over Float64, x = problem size): Float16
+with compensated integration approaches 4x for large problems
+(3000x1500), plain Float16 sits ~5% above it, the Float16/32 mixed
+variant clearly below, and Float32 at 2x "over a much wider range of
+problem sizes".
+
+Asserted: the asymptotes, the ordering, the ~5% compensation overhead,
+and the early Float32 plateau.
+"""
+
+import pytest
+
+from repro.core import fig5_speedup, render_sweep
+
+NXS = [32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2048, 3000, 4096, 6000]
+
+
+@pytest.mark.figure
+def test_fig5_speedup_curves(benchmark):
+    panel = benchmark(fig5_speedup, NXS)
+
+    f16 = panel["Float16"]
+    f16_plain = panel["Float16 (no compensation)"]
+    mixed = panel["Float16/32 mixed"]
+    f32 = panel["Float32"]
+
+    # Asymptotes at the paper's 3000x1500 point and beyond.
+    assert 3.4 < f16.at(3000) < 4.0
+    assert 1.9 < f32.at(3000) < 2.1
+    # Ordering everywhere in the resolved regime.
+    for nx in (1024, 2048, 3000, 6000):
+        assert f16_plain.at(nx) > f16.at(nx) > mixed.at(nx) > f32.at(nx) > 1.0
+
+    # Compensation overhead ~5%.
+    overhead = f16_plain.at(3000) / f16.at(3000) - 1.0
+    assert 0.02 < overhead < 0.10
+
+    # Float32 reaches >=90% of its asymptote earlier than Float16 does
+    # ("2x faster ... over a much wider range of problem sizes").
+    def settle_nx(series, frac=0.9):
+        target = frac * series.at(6000)
+        for nx in NXS:
+            if series.at(nx) >= target:
+                return nx
+        return NXS[-1]
+
+    assert settle_nx(f32) <= settle_nx(f16)
+
+    benchmark.extra_info["speedup_at_3000"] = {
+        label: round(panel[label].at(3000), 2) for label in panel.labels()
+    }
+    print()
+    print(render_sweep(panel))
+
+
+@pytest.mark.figure
+def test_fig5_small_problems_overhead_bound(benchmark):
+    panel = benchmark(fig5_speedup, [32, 64, 3000])
+    for label in panel.labels():
+        assert panel[label].at(32) < panel[label].at(3000)
+    assert panel["Float16"].at(32) < 2.0

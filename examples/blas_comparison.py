@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fig. 1 reproduction: axpy across five BLAS implementations.
+
+Sweeps vector sizes at Float16/Float32/Float64 for the Julia generic
+kernel and the four binary libraries, prints the GFLOPS tables the
+figure plots, and demonstrates libblastrampoline-style backend
+switching.
+
+Run:  python examples/blas_comparison.py [--full]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.blas import ALL_LIBRARIES, Trampoline
+from repro.core import fig1_axpy, render_sweep
+from repro.ftypes import FLOAT16, FLOAT32, FLOAT64
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument(
+        "--full", action="store_true",
+        help="full 2^2..2^22 sweep (default: a coarse grid)",
+    )
+    args = ap.parse_args()
+
+    sizes = (
+        [2**k for k in range(2, 23)]
+        if args.full
+        else [2**k for k in range(4, 23, 2)]
+    )
+
+    panels = fig1_axpy(sizes=sizes)
+    for name in ("Float16", "Float32", "Float64"):
+        print(render_sweep(panels[name]))
+        peak = {lbl: s.peak() for lbl, s in panels[name].series.items()}
+        best = max(peak, key=peak.get)
+        print(f"peak: {best} at {peak[best]:.1f} GFLOPS\n")
+
+    print("Float16 panel has only Julia — no binary library ships a "
+          "half-precision axpy (paper §III-A).\n")
+
+    # ------------------------------------------------------------------
+    print("=== libblastrampoline-style backend switching ===")
+    lbt = Trampoline("julia")
+    x = np.linspace(0, 1, 10_000, dtype=np.float64)
+    for backend in ("julia", "fujitsublas", "blis", "openblas", "armpl"):
+        lbt.set_backend(backend)
+        y = np.ones_like(x)
+        timing = lbt.axpy(3.0, x, y)
+        print(f"  {backend:>12}: {timing.gflops:6.2f} GFLOPS "
+              f"(same numerical result: y[0]={y[0]})")
+    print(f"\ncalls routed: {len(lbt.call_log)} "
+          f"through {len(set(b for b, _ in lbt.call_log))} backends")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""§IV-A in numbers: JIT latency on A64FX, system images, and
+performance portability across compiler generations.
+
+Run:  python examples/compilation_and_portability.py
+"""
+
+from repro.core import (
+    GENERATIONS,
+    performance_portability,
+    portability_table,
+    render_table,
+)
+from repro.machine import (
+    A64FX,
+    XEON_CASCADE_LAKE,
+    CompilationModel,
+    JITSession,
+    MethodSpec,
+    SystemImage,
+    amortization_calls,
+    time_to_first_result,
+)
+
+
+def main() -> None:
+    print("=== JIT compilation latency (§IV-A) ===")
+    kernel = MethodSpec("shallow_water_rhs", complexity=40.0)
+    for chip in (A64FX, XEON_CASCADE_LAKE):
+        t = CompilationModel.for_chip(chip).compile_time(kernel)
+        print(f"  compile the model RHS on {chip.name:>18}: {t*1e3:7.0f} ms")
+
+    methods = [MethodSpec(f"method_{i}", 8.0) for i in range(25)]
+    runtime = 2.0  # a short-running analysis task
+    print(f"\nshort task ({runtime:.0f}s of real compute, 25 fresh methods):")
+    for chip in (A64FX, XEON_CASCADE_LAKE):
+        ttfr = time_to_first_result(methods, runtime, chip=chip)
+        print(f"  time-to-first-result on {chip.name:>18}: {ttfr:6.1f} s")
+
+    cm = CompilationModel.for_chip(A64FX)
+    img = SystemImage.build(methods, cm)
+    ttfr_img = time_to_first_result(methods, runtime, chip=A64FX, image=img)
+    print(f"  with a PackageCompiler-style system image:  {ttfr_img:6.1f} s "
+          f"(image built once in {img.build_seconds:.0f} s, e.g. on the "
+          f"x86 login node)")
+
+    n = amortization_calls(MethodSpec("step", 8.0), 0.05, chip=A64FX)
+    print(f"\ncalls to amortise one method's JIT below 5% on A64FX: {n}")
+
+    # ------------------------------------------------------------------
+    print("\n=== performance portability (ref. [20] style) ===")
+    for use_flag, label in ((False, "no LLVM flags"), (True, "with -aarch64-sve-vector-bits-min=512")):
+        table = portability_table(use_flag=use_flag)
+        rows = []
+        for kernel_name, chips in table.items():
+            for chip_name, gens in chips.items():
+                rows.append(
+                    [kernel_name, chip_name]
+                    + [f"{gens[g.name]:.2f}" for g in GENERATIONS]
+                )
+        print(f"\n-- fraction of platform best ({label}) --")
+        print(render_table(
+            ["kernel", "platform"] + [g.name for g in GENERATIONS], rows
+        ))
+        pp = {
+            g.name: performance_portability(table, g.name)["triad"]
+            for g in GENERATIONS
+        }
+        print("triad PP (harmonic mean):",
+              ", ".join(f"{k} {v:.2f}" for k, v in pp.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Distributed ShallowWaters on the simulated Fugaku network.
+
+The capstone demo: the type-flexible solver (Figs. 4-5) decomposed over
+MPI ranks exchanging wide halos through the TofuD discrete-event
+simulator (Figs. 2-3).  The distributed result is **bit-identical** to
+the serial run — at Float64 and at Float16 — and the engine reports how
+much virtual time went to communication as the rank count grows.
+
+Run:  python examples/distributed_shallow_water.py [--nx 128] [--steps 60]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.shallowwaters import (
+    DistributedShallowWater,
+    ShallowWaterModel,
+    ShallowWaterParams,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--nx", type=int, default=128)
+    ap.add_argument("--steps", type=int, default=60)
+    args = ap.parse_args()
+
+    p = ShallowWaterParams(nx=args.nx, ny=args.nx // 2)
+    print(f"grid {p.nx}x{p.ny}, {args.steps} steps\n")
+
+    serial = ShallowWaterModel(p).run(args.steps)
+    ref_u = np.asarray(serial.state.u)
+
+    print(f"{'ranks':>6} {'bit-exact':>10} {'messages':>9} {'halo MB':>8} "
+          f"{'virt time':>10} {'comm %':>7}")
+    for nranks in (1, 2, 4, 8):
+        if p.nx % nranks or p.nx // nranks < 8:
+            continue
+        dist = DistributedShallowWater(p, nranks=nranks).run(args.steps)
+        exact = np.array_equal(np.asarray(dist.state.u), ref_u)
+        print(f"{nranks:>6} {str(exact):>10} {dist.messages:>9} "
+              f"{dist.bytes_sent/1e6:>8.2f} {dist.sim_seconds*1e3:>8.2f}ms "
+              f"{100*dist.comm_fraction:>6.1f}%")
+
+    # the same decomposition at Float16
+    print("\nFloat16 (scaled), 4 ranks:")
+    p16 = p.with_dtype("float16", scaling=1024.0, integration="standard")
+    serial16 = ShallowWaterModel(p16).run(args.steps)
+    dist16 = DistributedShallowWater(p16, nranks=4).run(args.steps)
+    exact = np.array_equal(
+        np.asarray(dist16.state.u), np.asarray(serial16.state.u)
+    )
+    print(f"bit-exact vs serial Float16: {exact}")
+    print(f"halo traffic: {dist16.bytes_sent/1e6:.2f} MB "
+          f"(half of Float32's — the Fig. 5 bandwidth saving applies to "
+          f"communication too)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Wind-driven double gyre in a zonal channel — the bounded-domain
+configuration ShallowWaters.jl is built around.
+
+Spins the channel up from rest under a sinusoidal wind stress on a
+beta-plane, at Float64 and at Float16 (scaled + compensated), and shows
+that the type-flexible solver handles walls exactly as well as the
+periodic torus of Fig. 4.
+
+Run:  python examples/double_gyre.py [--nx 96] [--steps 1200]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.shallowwaters import (
+    ShallowWaterModel,
+    ShallowWaterParams,
+    pattern_correlation,
+)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--nx", type=int, default=96)
+    ap.add_argument("--steps", type=int, default=1200)
+    args = ap.parse_args()
+
+    base = ShallowWaterParams(
+        nx=args.nx,
+        ny=args.nx // 2,
+        boundary="channel",
+        beta=2e-11,            # mid-latitude beta-plane
+        wind_amplitude=3e-6,   # sinusoidal zonal wind stress
+        drag=3e-6,             # Stommel-style bottom drag
+        init_velocity=0.0,
+    )
+    print(f"channel {base.nx}x{base.ny}, beta={base.beta:g}, "
+          f"dt={base.dt:.0f}s, spinning up {args.steps} steps "
+          f"({args.steps * base.dt / 86400:.1f} model days)\n")
+
+    res64 = ShallowWaterModel(base).run(args.steps, kind="rest", diag_every=args.steps // 4)
+    for h in res64.history:
+        print(f"  step {int(h['step']):5d}: u_rms={h['u_rms']:.4f} m/s  "
+              f"KE={h['ke']:.1f} J/m2")
+
+    u = np.asarray(res64.state.u, dtype=np.float64)
+    ny = u.shape[0]
+    print(f"\nmean zonal flow, south half: {u[: ny // 2].mean():+.4f} m/s")
+    print(f"mean zonal flow, north half: {u[ny // 2:].mean():+.4f} m/s")
+    print("(opposite signs = the two gyres / counter-flowing jets)")
+
+    print("\nFloat16 (scaled, compensated) in the same channel:")
+    p16 = base.with_dtype("float16", scaling=1024.0, integration="compensated")
+    res16 = ShallowWaterModel(p16).run(args.steps, kind="rest")
+    corr = pattern_correlation(res16.vorticity, res64.vorticity)
+    print(f"vorticity correlation vs Float64: {corr:.5f}")
+    wall_v = np.abs(np.asarray(res16.state.v)[-1, :]).max()
+    print(f"max |v| on the wall: {wall_v} (exactly zero: no leak)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""The compiler pipeline, stage by stage (§II, §III-A, §IV-C).
+
+Takes the generic ``axpy!`` through every pass this repository
+implements — SVE vectorisation, Float16 software widening, FMA fusion,
+dead-code elimination — printing the IR and the modelled cycles/element
+after each stage, and verifying at the end that all variants compute
+the same ``y`` (bit-exactly, where the semantics say they must).
+
+Run:  python examples/ir_pipeline.py
+"""
+
+import numpy as np
+
+from repro.ir import (
+    HALF,
+    CostModel,
+    DeadCodeEliminationPass,
+    FuseMulAddPass,
+    Interpreter,
+    SoftFloatWideningPass,
+    VectorizePass,
+    build_axpy,
+    print_function,
+    verify_function,
+)
+
+
+def show(title: str, fn, cm: CostModel) -> None:
+    verify_function(fn)
+    cost = cm.cost(fn)
+    print(f"--- {title} "
+          f"[{cost.cycles_per_element:.4f} cycles/elem, "
+          f"{cost.lanes} lanes/iter] " + "-" * max(0, 30 - len(title)))
+    print(print_function(fn))
+    print()
+
+
+def main() -> None:
+    cm = CostModel()
+    interp = Interpreter(vscale=4)
+
+    print("=" * 72)
+    print("stage 0: the generic axpy!, as Julia's front end hands it to LLVM")
+    print("=" * 72)
+    scalar = build_axpy(HALF)
+    show("scalar Float16", scalar, cm)
+
+    print("=" * 72)
+    print("stage 1: SVE vectorisation (LLVM 14 / Julia 1.9: llvm.vscale)")
+    print("=" * 72)
+    vectorised = VectorizePass(vector_bits=512, scalable=True).run(scalar)
+    show("vectorised", vectorised, cm)
+
+    print("=" * 72)
+    print("stage 2: suppose the target has NO FP16 hardware (x86):")
+    print("the §IV-C widening pass inserts fpext/fptrunc around every op")
+    print("=" * 72)
+    widened = SoftFloatWideningPass(mode="round_each_op").run(vectorised)
+    show("software-widened", widened, cm)
+    penalty = cm.software_float16_penalty(vectorised, widened)
+    print(f">>> software-Float16 penalty: {penalty:.2f}x "
+          f"(the multi-versioning motivation of §IV-C)\n")
+
+    print("=" * 72)
+    print("stage 3: FMA contraction + DCE on the widened code")
+    print("=" * 72)
+    fused = DeadCodeEliminationPass().run(FuseMulAddPass().run(widened))
+    show("fused + DCE", fused, cm)
+
+    # ------------------------------------------------------------------
+    print("=" * 72)
+    print("semantics check")
+    print("=" * 72)
+    rng = np.random.default_rng(0)
+    n = 100
+    x = rng.standard_normal(n).astype(np.float16)
+    y0 = rng.standard_normal(n).astype(np.float16)
+    a = np.float16(1.5)
+
+    results = {}
+    for label, fn in [("scalar", scalar), ("vectorised", vectorised),
+                      ("widened", widened), ("fused", fused)]:
+        y = y0.copy()
+        interp.run(fn, a, x, y, n)
+        results[label] = y
+
+    # numpy's fp16 axpy computes mul-then-add with per-op rounding —
+    # the reference for the software lowering.
+    y_numpy = (a * x).astype(np.float16) + y0
+
+    print("scalar == vectorised (bit-exact):",
+          np.array_equal(results["scalar"], results["vectorised"]))
+    print("widened == numpy per-op-rounded axpy (the §II law):",
+          np.array_equal(results["widened"], y_numpy))
+    diff_fma = int((results["scalar"] != results["widened"]).sum())
+    print(f"scalar(FMA) vs widened(split): {diff_fma}/{n} elements differ "
+          f"— llvm.fmuladd permits fused OR split evaluation, which is "
+          f"exactly why Julia documents muladd as platform-dependent "
+          f"and inserts explicit roundings when consistency matters")
+    diff_fuse = int((results["widened"] != results["fused"]).sum())
+    print(f"widened vs re-fused: {diff_fuse}/{n} elements differ — the "
+          f"fptrunc/fpext pairs are contraction *barriers*: once the "
+          f"roundings are explicit, no pass can silently fuse across "
+          f"them (the safety property of the §IV-C lowering)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Custom number formats through one generic kernel.
+
+§III-B claims "any custom number format can be defined by implementing a
+standard set of arithmetic operations".  This example runs the *same*
+dot-product kernel at seven formats — three hardware floats, BFloat16,
+two 8-bit deep-learning formats (the paper's ref. [6] territory), and
+stochastically-rounded Float16 — and compares accuracy, range behaviour
+and the accumulation pathology each one exhibits.
+
+Run:  python examples/quantized_formats.py
+"""
+
+import numpy as np
+
+from repro.core import TypeFlexKernel
+from repro.core.report import render_table
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    StochasticFloatOps,
+    lookup_format,
+)
+
+dot = TypeFlexKernel("dot")
+
+
+@dot.define
+def _dot(ctx, x, y):
+    """Sequential dot product, every op rounded in the working format."""
+    acc = ctx.const(0.0)
+    prods = ctx.ops.mul(x, y)
+    for i in range(np.asarray(prods).shape[0]):
+        acc = ctx.ops.add(acc, np.asarray(prods)[i])
+    return acc
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    n = 1024
+    x = rng.uniform(0.0, 1.0, n)
+    y = rng.uniform(0.0, 1.0, n)
+    exact = float(np.dot(x, y))
+
+    rows = []
+    for fmt in (FLOAT64, FLOAT32, FLOAT16, BFLOAT16, FLOAT8_E4M3, FLOAT8_E5M2):
+        ctx = dot.context(fmt)
+        xq, yq = ctx.array(x), ctx.array(y)
+        got = float(np.asarray(dot(fmt, xq, yq)))
+        rel = abs(got - exact) / exact
+        rows.append([
+            fmt.name,
+            f"{fmt.bits}",
+            f"{fmt.eps:.1e}",
+            f"{fmt.decades:.1f}",
+            f"{got:.4g}",
+            f"{100*rel:.3g}%",
+        ])
+
+    # stochastically rounded Float16 (custom arithmetic, same kernel shape)
+    sr_ops = StochasticFloatOps(FLOAT16, seed=4)
+    ctx16 = dot.context(FLOAT16)
+    xq, yq = ctx16.array(x), ctx16.array(y)
+    acc = 0.0
+    prods = sr_ops.mul(xq.astype(np.float64), yq.astype(np.float64))
+    for i in range(n):
+        acc = float(sr_ops.add(acc, float(np.asarray(prods)[i])))
+    rel = abs(acc - exact) / exact
+    rows.append(
+        ["Float16+SR", "16", f"{FLOAT16.eps:.1e}", f"{FLOAT16.decades:.1f}",
+         f"{acc:.4g}", f"{100*rel:.3g}%"]
+    )
+
+    print(f"dot product of {n} uniform(0,1) pairs; exact = {exact:.6g}\n")
+    print(render_table(
+        ["format", "bits", "eps", "decades", "result", "rel err"], rows
+    ))
+    print(
+        "\nNote the two failure modes: Float16 *saturates* (the running\n"
+        "sum outgrows the increment's resolution — the §III-B motivation\n"
+        "for compensated time integration), while the 8-bit formats lose\n"
+        "precision immediately but E5M2 keeps more range than E4M3.\n"
+        "Stochastic rounding rescues the Float16 accumulation without\n"
+        "any extra state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Quickstart: a tour of the library in ~60 seconds.
+
+Covers the paper's three threads end to end:
+  1. number formats and Julia-style multiple dispatch (§II);
+  2. the type-generic axpy on the A64FX machine model (§III-A, Fig. 1);
+  3. the Float16 software-lowering story (§IV-C listings).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.blas import JULIA_GENERIC, FUJITSU_BLAS, UnsupportedRoutineError
+from repro.core import typeflexible
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT64,
+    cbrt,
+    kind_of,
+    lookup_format,
+)
+from repro.ir import (
+    HALF,
+    Interpreter,
+    SoftFloatWideningPass,
+    build_muladd,
+    print_function,
+)
+from repro.machine import A64FX
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    section("1. Number formats & dispatch (paper §II)")
+    for name in ("Float16", "Float32", "Float64", "BFloat16"):
+        f = lookup_format(name)
+        print(
+            f"{f.name:>9}: {f.bits:>2} bits, eps={f.eps:.2e}, "
+            f"normal range [{f.min_normal:.2e}, {f.max_value:.5g}] "
+            f"({f.decades:.1f} decades)"
+        )
+    print("\nFloat16 spans <10 decades -> ShallowWaters needs a scaling s.")
+
+    # cbrt dispatches to the most specific method, like Julia.
+    print("\ncbrt methods:", cbrt)
+    for x in (np.float16(8.0), np.float32(27.0), np.float64(-64.0)):
+        print(f"  cbrt({x!r}) = {cbrt(x)!r}   [kind: {kind_of(x)}]")
+
+    # ------------------------------------------------------------------
+    section("2. Type-generic axpy on A64FX (Fig. 1)")
+    print(f"A64FX: {A64FX.cores} cores @ {A64FX.clock_hz/1e9} GHz, "
+          f"{A64FX.vector_bits}-bit SVE")
+    for fmt in ("Float64", "Float32", "Float16"):
+        f = lookup_format(fmt)
+        print(f"  peak {f.name}: {A64FX.peak_flops_core(f)/1e9:.1f} GF/s/core "
+              f"({A64FX.lanes(f)} lanes)")
+
+    n = 4096
+    x = np.linspace(0, 1, n, dtype=np.float16)
+    y = np.ones(n, dtype=np.float16)
+    timing = JULIA_GENERIC.axpy(2.0, x, y)
+    print(f"\nJulia generic Float16 axpy(n={n}): {timing.gflops:.1f} GFLOPS "
+          f"(modelled, {timing.bound}-bound in {timing.level_name})")
+    try:
+        FUJITSU_BLAS.timing("axpy", lookup_format("float16"), n)
+    except UnsupportedRoutineError as e:
+        print(f"Fujitsu BLAS: {e}")
+
+    # A custom format with no numpy dtype still works (the §III-B claim
+    # that any format goes once its arithmetic is defined):
+    axpy = typeflexible("axpy")(
+        lambda ctx, a, xs, ys: ctx.ops.muladd(ctx.const(a), xs, ys)
+    )
+    ctx = axpy.context(BFLOAT16)
+    rb = axpy(BFLOAT16, 2.0, ctx.array([0.1, 0.2]), ctx.array([1.0, 1.0]))
+    print(f"BFloat16 axpy via TypeFlexKernel: {rb}")
+
+    # ------------------------------------------------------------------
+    section("3. Float16 lowering (§IV-C)")
+    fn = build_muladd(HALF)
+    print(print_function(fn))
+    print("\nafter SoftFloatWideningPass (software Float16):\n")
+    widened = SoftFloatWideningPass(mode="round_each_op").run(fn)
+    print(print_function(widened))
+
+    interp = Interpreter()
+    args = tuple(np.float16(v) for v in (1.2, 3.4, 5.6))
+    print(f"\nnative  muladd{args} = {interp.run(fn, *args)!r}")
+    print(f"widened muladd{args} = {interp.run(widened, *args)!r}  (bit-identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""BLAS Level-1 substrate and the Fig. 1 library comparison.
+
+* reference:  type-generic numpy routines (the Julia ``axpy!`` analogue)
+* kernels:    flop/traffic signatures + SVE-chunked executable kernels
+* libraries:  Julia / FujitsuBLAS / BLIS / OpenBLAS / ARMPL models
+* trampoline: libblastrampoline-style runtime backend switching
+"""
+
+from .reference import (
+    asum,
+    axpby,
+    axpy,
+    copy,
+    dot,
+    iamax,
+    nrm2,
+    rot,
+    scal,
+    swap,
+)
+from .kernels import KERNELS, axpy_chunked, dot_chunked, kernel_traffic
+from .libraries import (
+    ALL_LIBRARIES,
+    ARMPL,
+    BLIS,
+    FUJITSU_BLAS,
+    JULIA_GENERIC,
+    OPENBLAS,
+    BLASLibrary,
+    UnsupportedRoutineError,
+    get_library,
+)
+from .trampoline import Trampoline, default_trampoline
+from .stream import STREAM_SCALAR, StreamBenchmark, StreamResult
+
+__all__ = [
+    "axpy",
+    "axpby",
+    "scal",
+    "dot",
+    "nrm2",
+    "asum",
+    "iamax",
+    "copy",
+    "swap",
+    "rot",
+    "KERNELS",
+    "kernel_traffic",
+    "axpy_chunked",
+    "dot_chunked",
+    "BLASLibrary",
+    "UnsupportedRoutineError",
+    "JULIA_GENERIC",
+    "FUJITSU_BLAS",
+    "BLIS",
+    "OPENBLAS",
+    "ARMPL",
+    "ALL_LIBRARIES",
+    "get_library",
+    "Trampoline",
+    "default_trampoline",
+    "StreamBenchmark",
+    "StreamResult",
+    "STREAM_SCALAR",
+]

@@ -1,0 +1,89 @@
+"""Kernel descriptors: the flop/traffic signatures of Level-1 routines.
+
+The Fig. 1 performance model needs, for each routine, how many flops it
+does and how many elements it moves per output element — the
+:class:`~repro.machine.roofline.KernelTraffic` of the machine model.
+This module is the single source of truth for those signatures, plus
+SVE-chunked executable versions of ``axpy``/``dot`` used to tie the
+analytical model to real data movement in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..machine.roofline import KernelTraffic
+from ..machine.vector import SVEVectorUnit, VectorExecutionStats
+
+__all__ = [
+    "KERNELS",
+    "kernel_traffic",
+    "axpy_chunked",
+    "dot_chunked",
+]
+
+#: Flop and element-traffic signatures per Level-1 routine.
+#: ``loads``/``stores`` are elements touched per loop element.
+KERNELS: Dict[str, KernelTraffic] = {
+    # y[i] = a*x[i] + y[i]: 1 FMA (2 flops), read x and y, write y.
+    "axpy": KernelTraffic("axpy", flops=2, loads=2, stores=1),
+    # y[i] = a*x[i] + b*y[i]
+    "axpby": KernelTraffic("axpby", flops=3, loads=2, stores=1),
+    # x[i] = a*x[i]
+    "scal": KernelTraffic("scal", flops=1, loads=1, stores=1),
+    # acc += x[i]*y[i]
+    "dot": KernelTraffic("dot", flops=2, loads=2, stores=0),
+    # acc += x[i]*x[i] (+ sqrt at the end, amortised away)
+    "nrm2": KernelTraffic("nrm2", flops=2, loads=1, stores=0),
+    # acc += |x[i]|
+    "asum": KernelTraffic("asum", flops=1, loads=1, stores=0),
+    # y[i] = x[i]
+    "copy": KernelTraffic("copy", flops=0, loads=1, stores=1),
+    "swap": KernelTraffic("swap", flops=0, loads=2, stores=2),
+    "rot": KernelTraffic("rot", flops=6, loads=2, stores=2),
+}
+
+
+def kernel_traffic(name: str) -> KernelTraffic:
+    """Look up a routine's traffic signature."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown BLAS L1 kernel {name!r}") from None
+
+
+def axpy_chunked(
+    unit: SVEVectorUnit, a: float, x: np.ndarray, y: np.ndarray
+) -> VectorExecutionStats:
+    """``y <- a*x + y`` executed vector-by-vector through the SVE unit."""
+    return unit.axpy(a, x, y)
+
+
+def dot_chunked(
+    unit: SVEVectorUnit, x: np.ndarray, y: np.ndarray
+) -> tuple[np.floating, VectorExecutionStats]:
+    """Dot product executed vector-by-vector with in-format accumulation.
+
+    Each chunk is multiplied and lane-reduced in the working dtype, then
+    accumulated — the same reduction order an SVE ``fadda`` loop gives.
+    """
+    if x.shape != y.shape:
+        raise ValueError("dot requires equally-shaped vectors")
+    if x.dtype != y.dtype:
+        raise TypeError("dot is type-uniform")
+    stats = VectorExecutionStats()
+    acc = x.dtype.type(0)
+    lanes = unit.lanes(x.dtype)
+    n = x.shape[0]
+    for sl, active in unit.iter_chunks(n, x.dtype):
+        prod = x[sl] * y[sl]
+        acc = x.dtype.type(acc + np.add.reduce(prod, dtype=x.dtype))
+        stats.vector_instructions += 2  # fmul + reducing fadd
+        if active < lanes:
+            stats.predicated_instructions += 1
+        stats.elements_processed += active
+    bodies = int(np.ceil(n / lanes)) if n else 0
+    stats.cycles = bodies * 2.0 / unit.chip.fma_pipes
+    return acc, stats

@@ -1,0 +1,140 @@
+"""Type-generic BLAS Level-1 routines — the Julia ``axpy!`` of §III-A.
+
+The paper's point is productivity: *one* generic implementation::
+
+    function axpy!(a::T, x::Vector{T}, y::Vector{T}) where {T<:Number}
+        @simd for i in eachindex(x, y)
+            @inbounds y[i] = muladd(a, x[i], y[i])
+        end
+        return y
+    end
+
+serves every number format, including ``Float16`` for which no binary
+BLAS ships an implementation.  These Python versions have the same
+contract: dtype-uniform arguments of *any* float dtype, in-place
+semantics for the routines BLAS defines in-place, values computed in the
+array's own format (numpy's float16 arithmetic rounds per-op exactly
+like FP16 hardware).
+
+The numpy expressions are the ``@simd`` analogue — the vectorised
+formulation the guides recommend (in-place ops, no copies).  Chunked
+SVE-style execution with cycle accounting lives in
+:mod:`repro.blas.kernels`/:mod:`repro.machine.vector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "axpy",
+    "axpby",
+    "scal",
+    "dot",
+    "nrm2",
+    "asum",
+    "iamax",
+    "copy",
+    "swap",
+    "rot",
+]
+
+
+def _check_pair(x: np.ndarray, y: np.ndarray) -> None:
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.dtype != y.dtype:
+        raise TypeError(
+            f"type-uniform routine: dtypes differ ({x.dtype} vs {y.dtype})"
+        )
+
+
+def axpy(a: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y <- a*x + y`` in place, in the arrays' own dtype (any float)."""
+    _check_pair(x, y)
+    a_t = y.dtype.type(a)
+    # In-place muladd: product in the working dtype, accumulate into y.
+    y += a_t * x
+    return y
+
+
+def axpby(a: float, x: np.ndarray, b: float, y: np.ndarray) -> np.ndarray:
+    """``y <- a*x + b*y`` in place (extended Level-1 routine)."""
+    _check_pair(x, y)
+    t = y.dtype.type
+    y *= t(b)
+    y += t(a) * x
+    return y
+
+
+def scal(a: float, x: np.ndarray) -> np.ndarray:
+    """``x <- a*x`` in place."""
+    x *= x.dtype.type(a)
+    return x
+
+
+def dot(x: np.ndarray, y: np.ndarray) -> np.floating:
+    """Dot product, accumulated in the working dtype.
+
+    Like the reference BLAS, accumulation happens in the element type —
+    which is exactly why naive Float16 dot products lose accuracy and
+    compensated techniques (``repro.ftypes.compensated``) matter.
+    """
+    _check_pair(x, y)
+    return np.add.reduce(x * y, dtype=x.dtype)
+
+
+def nrm2(x: np.ndarray) -> np.floating:
+    """Euclidean norm with overflow-safe scaling (the LAPACK trick).
+
+    Scaling by the max element keeps squares inside the normal range —
+    essential for Float16 where ``x**2`` overflows beyond ~256.
+    """
+    t = x.dtype.type
+    if x.size == 0:
+        return t(0)
+    m = np.max(np.abs(x))
+    if m == 0 or not np.isfinite(float(m)):
+        return t(abs(float(m)) * 0 if m == 0 else float(m))
+    scaled = x / m
+    return t(m * np.sqrt(np.add.reduce(scaled * scaled, dtype=x.dtype)))
+
+
+def asum(x: np.ndarray) -> np.floating:
+    """Sum of absolute values in the working dtype."""
+    return np.add.reduce(np.abs(x), dtype=x.dtype)
+
+
+def iamax(x: np.ndarray) -> int:
+    """Index of the first element with maximum absolute value."""
+    if x.size == 0:
+        raise ValueError("iamax of empty vector")
+    return int(np.argmax(np.abs(x)))
+
+
+def copy(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y <- x`` in place."""
+    _check_pair(x, y)
+    np.copyto(y, x)
+    return y
+
+
+def swap(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Exchange ``x`` and ``y`` element-wise, in place."""
+    _check_pair(x, y)
+    tmp = x.copy()
+    np.copyto(x, y)
+    np.copyto(y, tmp)
+    return x, y
+
+
+def rot(x: np.ndarray, y: np.ndarray, c: float, s: float) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a Givens rotation: ``(x, y) <- (c*x + s*y, c*y - s*x)``."""
+    _check_pair(x, y)
+    t = x.dtype.type
+    c_t, s_t = t(c), t(s)
+    new_x = c_t * x + s_t * y
+    new_y = c_t * y - s_t * x
+    np.copyto(x, new_x)
+    np.copyto(y, new_y)
+    return x, y

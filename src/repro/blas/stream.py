@@ -1,0 +1,170 @@
+"""Executable BabelStream-style benchmark (the ref. [20] kernel set).
+
+§IV-A cites Lin & McIntosh-Smith's performance-portability study, whose
+workhorse is BabelStream: copy / mul / add / triad / dot over large
+arrays.  :class:`StreamBenchmark` runs those kernels *for real* (numpy,
+any float dtype, in-place and allocation-free — the idioms the guides
+prescribe) and, in parallel, reports the modelled A64FX bandwidth from
+:class:`~repro.machine.kernelmodel.StreamKernelModel`, so measured-vs-
+modelled comparisons are one call away.
+
+The dot kernel accumulates in the working dtype (as BabelStream does),
+so its Float16 result visibly degrades with size — a free demonstration
+of why the paper's compensated techniques exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.benchmark import measure_seconds
+from ..ftypes.formats import FloatFormat, format_from_dtype
+from ..machine.kernelmodel import ImplementationProfile, StreamKernelModel
+from ..machine.roofline import KernelTraffic
+from ..machine.specs import A64FX, ChipSpec
+
+__all__ = ["StreamResult", "StreamBenchmark", "STREAM_SCALAR"]
+
+#: BabelStream's scalar constant.
+STREAM_SCALAR = 0.4
+
+#: flop/traffic signatures for the machine model.
+_MODEL_TRAFFIC: Dict[str, KernelTraffic] = {
+    "copy": KernelTraffic("copy", 0, 1, 1),
+    "mul": KernelTraffic("mul", 1, 1, 1),
+    "add": KernelTraffic("add", 1, 2, 1),
+    "triad": KernelTraffic("triad", 2, 2, 1),
+    "dot": KernelTraffic("dot", 2, 2, 0),
+}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One kernel's measured and modelled rates."""
+
+    kernel: str
+    dtype: str
+    n: int
+    measured_seconds: float
+    measured_gbps: float
+    modelled_gbps: float
+    check_value: float  # correctness witness (e.g. final element / dot)
+
+
+class StreamBenchmark:
+    """copy/mul/add/triad/dot over three arrays of ``n`` elements."""
+
+    def __init__(
+        self,
+        n: int = 1 << 20,
+        dtype: np.dtype | type = np.float64,
+        chip: ChipSpec = A64FX,
+        profile: Optional[ImplementationProfile] = None,
+    ):
+        if n < 2:
+            raise ValueError("need at least 2 elements")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.chip = chip
+        self.profile = profile or ImplementationProfile("stream")
+        t = self.dtype.type
+        self.a = np.full(n, t(0.1))
+        self.b = np.full(n, t(0.2))
+        self.c = np.full(n, t(0.0))
+        self.scalar = t(STREAM_SCALAR)
+
+    # -- the five kernels (in place, no temporaries) ---------------------
+    def copy(self) -> None:
+        np.copyto(self.c, self.a)
+
+    def mul(self) -> None:
+        np.multiply(self.c, self.scalar, out=self.b)
+
+    def add(self) -> None:
+        np.add(self.a, self.b, out=self.c)
+
+    def triad(self) -> None:
+        # a = b + scalar * c without a temporary:
+        np.multiply(self.c, self.scalar, out=self.a)
+        np.add(self.a, self.b, out=self.a)
+
+    def dot(self) -> float:
+        return float(np.add.reduce(self.a * self.b, dtype=self.dtype))
+
+    _TRAFFIC = {
+        # name -> (bytes moved per element, in units of dtype itemsize)
+        "copy": 2,
+        "mul": 2,
+        "add": 3,
+        "triad": 3,
+        "dot": 2,
+    }
+
+    # ------------------------------------------------------------------
+    def run_kernel(self, name: str, repeat: int = 3) -> StreamResult:
+        """Measure one kernel; returns measured + modelled rates."""
+        func = getattr(self, name, None)
+        if name not in self._TRAFFIC or func is None:
+            raise KeyError(f"unknown stream kernel {name!r}")
+        check = [0.0]
+
+        def body():
+            r = func()
+            if r is not None:
+                check[0] = r
+
+        seconds = measure_seconds(body, repeat=repeat, warmup=1)
+        itemsize = self.dtype.itemsize
+        bytes_moved = self._TRAFFIC[name] * itemsize * self.n
+        measured_gbps = bytes_moved / seconds / 1e9
+
+        fmt = format_from_dtype(self.dtype)
+        model = StreamKernelModel(self.chip)
+        kt = _MODEL_TRAFFIC[name]
+        timing = model.kernel_time(kt, fmt, self.n, self.profile)
+        model_bytes = (kt.loads + kt.stores) * fmt.bytes * self.n
+        modelled_gbps = model_bytes / timing.seconds / 1e9
+
+        if name == "copy":
+            check[0] = float(self.c[-1])
+        elif name == "triad":
+            check[0] = float(self.a[-1])
+        return StreamResult(
+            kernel=name,
+            dtype=self.dtype.name,
+            n=self.n,
+            measured_seconds=seconds,
+            measured_gbps=measured_gbps,
+            modelled_gbps=modelled_gbps,
+            check_value=check[0],
+        )
+
+    def run_all(self, repeat: int = 3) -> Dict[str, StreamResult]:
+        """The full BabelStream rotation in its canonical order."""
+        return {
+            name: self.run_kernel(name, repeat=repeat)
+            for name in ("copy", "mul", "add", "triad", "dot")
+        }
+
+    # ------------------------------------------------------------------
+    def verify(self) -> Tuple[bool, str]:
+        """BabelStream-style solution check after a run_all rotation.
+
+        Replays the rotation's arithmetic in float64 from the initial
+        values and compares within a dtype-scaled tolerance.
+        """
+        a, b, c = 0.1, 0.2, 0.0
+        c = a  # copy
+        b = c * STREAM_SCALAR  # mul
+        c = a + b  # add
+        a = b + STREAM_SCALAR * c  # triad
+        eps = float(np.finfo(self.dtype).eps)
+        tol = 50 * eps
+        for arr, want, label in ((self.a, a, "a"), (self.b, b, "b"), (self.c, c, "c")):
+            got = float(arr[self.n // 2])
+            if abs(got - want) > tol * max(1.0, abs(want)):
+                return False, f"array {label}: got {got}, want {want}"
+        return True, "ok"

@@ -1,0 +1,80 @@
+"""libblastrampoline equivalent: runtime-switchable BLAS forwarding.
+
+The paper benchmarks four binary BLAS libraries from one Julia session
+using libblastrampoline, "a library which uses PLT trampolines to
+forward BLAS calls to a chosen library at runtime with near-zero
+overhead ... without having to recompile an application".
+
+:class:`Trampoline` provides that indirection for our library objects:
+application code calls ``lbt.axpy(...)`` while the *backend* is swapped
+with :meth:`set_backend` — exactly how the Fig. 1 sweep iterates over
+implementations.  Forwarding is one dictionary lookup (the analogue of
+the PLT jump), and the class records per-backend call counts so tests
+can verify routing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .libraries import ALL_LIBRARIES, BLASLibrary, get_library
+
+__all__ = ["Trampoline", "default_trampoline"]
+
+_FORWARDED = ("axpy", "dot", "scal", "nrm2", "asum")
+
+
+class Trampoline:
+    """Runtime-forwarding table over :class:`BLASLibrary` backends."""
+
+    def __init__(self, backend: "BLASLibrary | str | None" = None):
+        self._registry: Dict[str, BLASLibrary] = {
+            lib.name.lower(): lib for lib in ALL_LIBRARIES
+        }
+        self._backend: Optional[BLASLibrary] = None
+        self.call_log: List[tuple[str, str]] = []  # (backend, routine)
+        if backend is not None:
+            self.set_backend(backend)
+
+    # ------------------------------------------------------------------
+    def register(self, lib: BLASLibrary) -> None:
+        """Make a custom backend available for forwarding."""
+        self._registry[lib.name.lower()] = lib
+
+    def set_backend(self, backend: "BLASLibrary | str") -> BLASLibrary:
+        """Switch the active backend (the ``lbt_forward`` call)."""
+        if isinstance(backend, str):
+            try:
+                backend = self._registry[backend.lower()]
+            except KeyError:
+                backend = get_library(backend)
+        self._backend = backend
+        return backend
+
+    @property
+    def backend(self) -> BLASLibrary:
+        if self._backend is None:
+            raise RuntimeError("no BLAS backend selected (call set_backend)")
+        return self._backend
+
+    def available(self) -> list[str]:
+        return sorted(self._registry)
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, routine: str) -> Any:
+        # One indirection — the PLT-jump analogue.  Only BLAS routine
+        # names are forwarded; everything else is a normal miss.
+        if routine in _FORWARDED:
+            backend = self.backend
+
+            def _forward(*args: Any, **kwargs: Any) -> Any:
+                self.call_log.append((backend.name, routine))
+                return getattr(backend, routine)(*args, **kwargs)
+
+            return _forward
+        raise AttributeError(routine)
+
+
+def default_trampoline() -> Trampoline:
+    """A trampoline pre-pointed at the Julia generic implementation."""
+    return Trampoline("julia")

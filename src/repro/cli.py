@@ -1,0 +1,104 @@
+"""Command-line interface: run registered experiments from the shell.
+
+Usage::
+
+    python -m repro list                      # show registered experiments
+    python -m repro run fig1 --scale ci       # run one, print the report
+    python -m repro run all --scale ci        # run everything
+    python -m repro claims fig5               # show the checked claims
+
+Exit status is non-zero if any claim fails, so the CLI doubles as a
+reproduction gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.experiments import REGISTRY, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser."""
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Productivity meets Performance: Julia on "
+        "A64FX' (CLUSTER 2022)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run an experiment and check claims")
+    run_p.add_argument("key", help="experiment key (fig1..fig5, lst1) or 'all'")
+    run_p.add_argument(
+        "--scale", default="ci", choices=["ci", "paper"],
+        help="problem scale (default: ci)",
+    )
+    run_p.add_argument(
+        "--quiet", action="store_true", help="suppress the rendered report"
+    )
+
+    claims_p = sub.add_parser("claims", help="show an experiment's claims")
+    claims_p.add_argument("key")
+
+    return ap
+
+
+def _cmd_list() -> int:
+    width = max(len(k) for k in REGISTRY)
+    for key, exp in REGISTRY.items():
+        print(f"{key:<{width}}  {exp.artefact:<16} {exp.description}")
+    return 0
+
+
+def _cmd_claims(key: str) -> int:
+    try:
+        exp = REGISTRY[key]
+    except KeyError:
+        print(f"unknown experiment {key!r}", file=sys.stderr)
+        return 2
+    for c in exp.claims:
+        print(f"- {c.text}")
+    return 0
+
+
+def _cmd_run(key: str, scale: str, quiet: bool) -> int:
+    keys = list(REGISTRY) if key == "all" else [key]
+    if key != "all" and key not in REGISTRY:
+        print(f"unknown experiment {key!r}", file=sys.stderr)
+        return 2
+    failures = 0
+    for k in keys:
+        outcome = run_experiment(k, scale=scale)
+        status = "PASS" if outcome.passed else "FAIL"
+        print(f"[{status}] {k} ({REGISTRY[k].artefact})")
+        for text, ok in outcome.claim_results:
+            print(f"    {'ok  ' if ok else 'FAIL'} {text}")
+        if not quiet:
+            print()
+            print(outcome.report)
+            print()
+        if not outcome.passed:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "claims":
+        return _cmd_claims(args.key)
+    if args.command == "run":
+        return _cmd_run(args.key, args.scale, args.quiet)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

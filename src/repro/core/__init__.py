@@ -1,0 +1,78 @@
+"""Core layer: type-flexible kernels, benchmark harness, figure generators.
+
+* typeflex:  :class:`TypeFlexKernel` — write once, run at any format
+* benchmark: timers, GFLOPS, :class:`Series`/:class:`SweepResult`
+* figures:   ``fig1_axpy`` ... ``fig5_speedup``, ``listing_muladd``
+* report:    ASCII rendering of sweep results
+"""
+
+from .typeflex import FormatContext, TypeFlexKernel, typeflexible
+from .benchmark import Series, SweepResult, measure_gflops, measure_seconds
+from .figures import (
+    Fig4Result,
+    fig1_axpy,
+    fig2_pingpong,
+    fig3_collectives,
+    fig4_turbulence,
+    fig5_speedup,
+    listing_muladd,
+)
+from .report import format_si, render_sweep, render_table
+from .calibration import CALIBRATIONS, Calibrated, validate_calibration
+from .experiments import (
+    REGISTRY,
+    Claim,
+    Experiment,
+    Outcome,
+    paper_artefacts,
+    run_experiment,
+)
+from .portability import (
+    C_VENDOR,
+    GENERATIONS,
+    JULIA_1_6,
+    JULIA_1_7,
+    JULIA_1_9,
+    STREAM_KERNELS,
+    CompilerGeneration,
+    performance_portability,
+    portability_table,
+)
+
+__all__ = [
+    "FormatContext",
+    "TypeFlexKernel",
+    "typeflexible",
+    "Series",
+    "SweepResult",
+    "measure_seconds",
+    "measure_gflops",
+    "fig1_axpy",
+    "fig2_pingpong",
+    "fig3_collectives",
+    "fig4_turbulence",
+    "fig5_speedup",
+    "listing_muladd",
+    "Fig4Result",
+    "render_table",
+    "render_sweep",
+    "format_si",
+    "CompilerGeneration",
+    "JULIA_1_6",
+    "JULIA_1_7",
+    "JULIA_1_9",
+    "C_VENDOR",
+    "GENERATIONS",
+    "STREAM_KERNELS",
+    "portability_table",
+    "performance_portability",
+    "Calibrated",
+    "CALIBRATIONS",
+    "validate_calibration",
+    "Experiment",
+    "Claim",
+    "Outcome",
+    "REGISTRY",
+    "run_experiment",
+    "paper_artefacts",
+]

@@ -1,0 +1,118 @@
+"""Benchmark harness: timers, GFLOPS accounting, sweeps, result tables.
+
+The measurement conventions follow the paper's benchmarks:
+
+* GFLOPS = floating-point operations / elapsed seconds / 1e9 (Fig. 1);
+* latency in microseconds, throughput in MB/s (Figs. 2-3, IMB rules);
+* every sweep records (parameter, value) pairs into a :class:`Series`
+  that the report layer renders and the pytest benchmarks assert on.
+
+Wall-clock measurement uses ``time.perf_counter`` with warmup and
+best-of-k repetition (the "make it reliable, then measure" workflow of
+the optimisation guides).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["measure_seconds", "measure_gflops", "Series", "SweepResult"]
+
+
+def measure_seconds(
+    func: Callable[[], Any],
+    repeat: int = 5,
+    warmup: int = 1,
+    min_time: float = 0.0,
+) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``func()``.
+
+    ``min_time`` re-runs the body in a loop until at least that much
+    time accumulates (for very fast bodies), dividing by iterations.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    for _ in range(warmup):
+        func()
+    best = math.inf
+    for _ in range(repeat):
+        iters = 0
+        t0 = time.perf_counter()
+        while True:
+            func()
+            iters += 1
+            elapsed = time.perf_counter() - t0
+            if elapsed >= min_time or min_time == 0.0:
+                break
+        best = min(best, elapsed / iters)
+    return best
+
+
+def measure_gflops(
+    func: Callable[[], Any],
+    flops: float,
+    repeat: int = 5,
+    warmup: int = 1,
+) -> float:
+    """GFLOPS of ``func()`` performing ``flops`` float operations."""
+    seconds = measure_seconds(func, repeat=repeat, warmup=warmup)
+    return flops / seconds / 1e9 if seconds > 0 else math.inf
+
+
+@dataclass
+class Series:
+    """One labelled curve: (x, y) pairs plus free-form metadata."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def peak(self) -> float:
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        return max(self.y)
+
+    def at(self, x: float) -> float:
+        """y value at the exact x (raises if absent)."""
+        try:
+            return self.y[self.x.index(float(x))]
+        except ValueError:
+            raise KeyError(f"x={x} not in series {self.label!r}") from None
+
+    def ratio_to(self, other: "Series") -> List[float]:
+        """Pointwise self/other (x grids must match)."""
+        if self.x != other.x:
+            raise ValueError("series x grids differ")
+        return [a / b if b else math.inf for a, b in zip(self.y, other.y)]
+
+
+@dataclass
+class SweepResult:
+    """A family of series over a shared x grid (one figure panel)."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def add(self, series: Series) -> None:
+        self.series[series.label] = series
+
+    def new_series(self, label: str, **meta: Any) -> Series:
+        s = Series(label=label, meta=meta)
+        self.add(s)
+        return s
+
+    def labels(self) -> List[str]:
+        return list(self.series)
+
+    def __getitem__(self, label: str) -> Series:
+        return self.series[label]

@@ -1,0 +1,167 @@
+"""Performance portability across architectures — the §IV-A discussion.
+
+§IV-A cites Lin & McIntosh-Smith (paper ref. [20]) comparing Julia
+against C/C++ programming models across architectures including A64FX,
+and notes Julia's performance "improved sensibly when moving from Julia
+v1.6 (LLVM 11) to v1.7 (LLVM 12)", with v1.9/LLVM 14 vectorising SVE by
+default.
+
+This module makes those comparisons runnable:
+
+* :class:`CompilerGeneration` — what a compiler generation can do with
+  the hardware (effective vector width without flags, efficiency);
+  ``JULIA_1_6`` (LLVM 11: no SVE unless flagged), ``JULIA_1_7`` (LLVM
+  12: SVE with the ``-aarch64-sve-vector-bits-min=512`` flag),
+  ``JULIA_1_9`` (LLVM 14: SVE by default) and a ``C_VENDOR`` reference;
+* :func:`portability_table` — BabelStream-style kernels (copy, mul,
+  add, triad, dot) evaluated on A64FX and the x86 reference for each
+  generation, as fractions of the best implementation per platform;
+* :func:`performance_portability` — Pennycook's harmonic-mean PP metric
+  over the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ftypes.formats import FLOAT64, FloatFormat
+from ..machine.kernelmodel import ImplementationProfile, StreamKernelModel
+from ..machine.roofline import KernelTraffic
+from ..machine.specs import A64FX, XEON_CASCADE_LAKE, ChipSpec
+
+__all__ = [
+    "CompilerGeneration",
+    "JULIA_1_6",
+    "JULIA_1_7",
+    "JULIA_1_9",
+    "C_VENDOR",
+    "GENERATIONS",
+    "STREAM_KERNELS",
+    "portability_table",
+    "performance_portability",
+]
+
+
+@dataclass(frozen=True)
+class CompilerGeneration:
+    """How a toolchain generation maps generic code onto a chip."""
+
+    name: str
+    #: effective vector width on A64FX *without* special flags.
+    sve_default_bits: int
+    #: width with the JULIA_LLVM_ARGS vector-bits flag set (§III-A).
+    sve_flagged_bits: int
+    #: inner-loop code quality (fraction of the width-scaled roof).
+    efficiency: float
+    #: whether the user must set a flag to get the flagged width.
+    needs_flag: bool
+
+    def profile(self, use_flag: bool, chip: ChipSpec) -> ImplementationProfile:
+        if chip.name == "A64FX":
+            flag_active = use_flag or not self.needs_flag
+            bits = self.sve_flagged_bits if flag_active else self.sve_default_bits
+        else:
+            bits = chip.vector_bits  # x86 autovectorises AVX-512 everywhere
+        bits = min(bits, chip.vector_bits)
+        # On A64FX, NEON-width code cannot keep enough memory requests in
+        # flight to saturate HBM2 (no SVE gather/prefetch streams) — the
+        # mechanism behind both the OpenBLAS Fig. 1 tail and the ref.
+        # [20] Julia-1.6 portability gap.
+        stream_eff = min(1.0, self.efficiency + 0.05)
+        if chip.name == "A64FX" and bits < chip.vector_bits:
+            stream_eff *= 0.55
+        return ImplementationProfile(
+            name=self.name,
+            vector_bits=bits,
+            compute_efficiency=self.efficiency,
+            stream_efficiency=stream_eff,
+            startup_cycles=80.0,
+        )
+
+
+#: Julia v1.6 / LLVM 11: NEON-width codegen on A64FX, flag unreliable.
+JULIA_1_6 = CompilerGeneration("Julia-1.6", 128, 128, 0.80, needs_flag=True)
+#: Julia v1.7 / LLVM 12: SVE via the vector-bits flag (the paper's setup).
+JULIA_1_7 = CompilerGeneration("Julia-1.7", 128, 512, 0.95, needs_flag=True)
+#: Julia v1.9-dev / LLVM 14: scalable SVE by default (llvm.vscale).
+JULIA_1_9 = CompilerGeneration("Julia-1.9", 512, 512, 0.97, needs_flag=False)
+#: Vendor C compiler with platform-tuned flags (the portability baseline).
+C_VENDOR = CompilerGeneration("C-vendor", 512, 512, 1.0, needs_flag=False)
+
+GENERATIONS: Tuple[CompilerGeneration, ...] = (
+    JULIA_1_6,
+    JULIA_1_7,
+    JULIA_1_9,
+    C_VENDOR,
+)
+
+#: BabelStream's five kernels (flops, loads, stores per element).
+STREAM_KERNELS: Dict[str, KernelTraffic] = {
+    "copy": KernelTraffic("copy", 0, 1, 1),
+    "mul": KernelTraffic("mul", 1, 1, 1),
+    "add": KernelTraffic("add", 1, 2, 1),
+    "triad": KernelTraffic("triad", 2, 2, 1),
+    "dot": KernelTraffic("dot", 2, 2, 0),
+}
+
+
+def _throughput(
+    gen: CompilerGeneration,
+    kernel: KernelTraffic,
+    chip: ChipSpec,
+    n: int,
+    fmt: FloatFormat,
+    use_flag: bool,
+) -> float:
+    model = StreamKernelModel(chip)
+    prof = gen.profile(use_flag, chip)
+    timing = model.kernel_time(kernel, fmt, n, prof)
+    if kernel.flops == 0:  # copy: report bandwidth-equivalent "GB/s"
+        return (kernel.loads + kernel.stores) * fmt.bytes * n / timing.seconds / 1e9
+    return timing.gflops
+
+
+def portability_table(
+    n: int = 1 << 22,
+    fmt: FloatFormat = FLOAT64,
+    chips: Sequence[ChipSpec] = (A64FX, XEON_CASCADE_LAKE),
+    use_flag: bool = True,
+    kernels: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """``table[kernel][chip][generation] -> fraction of platform best``.
+
+    The ref. [20] presentation: each cell is an implementation's
+    throughput relative to the best implementation on that platform.
+    """
+    names = list(kernels if kernels is not None else STREAM_KERNELS)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for kname in names:
+        kernel = STREAM_KERNELS[kname]
+        out[kname] = {}
+        for chip in chips:
+            absvals = {
+                g.name: _throughput(g, kernel, chip, n, fmt, use_flag)
+                for g in GENERATIONS
+            }
+            best = max(absvals.values())
+            out[kname][chip.name] = {
+                g: v / best for g, v in absvals.items()
+            }
+    return out
+
+
+def performance_portability(
+    table: Dict[str, Dict[str, Dict[str, float]]],
+    generation: str,
+) -> Dict[str, float]:
+    """Pennycook's PP (harmonic mean of per-platform efficiency) per
+    kernel, for one implementation generation."""
+    out: Dict[str, float] = {}
+    for kname, chips in table.items():
+        fracs = [chips[c][generation] for c in chips]
+        if any(f == 0 for f in fracs):
+            out[kname] = 0.0
+        else:
+            out[kname] = len(fracs) / sum(1.0 / f for f in fracs)
+    return out

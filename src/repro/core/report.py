@@ -1,0 +1,68 @@
+"""Plain-text rendering of benchmark results (the "plots" of this repo).
+
+Every figure generator in :mod:`repro.core.figures` returns a
+:class:`~repro.core.benchmark.SweepResult`; these helpers print it as an
+aligned table with one column per series — the rows the paper's plots
+are drawn from.  ``EXPERIMENTS.md`` is produced from these renders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .benchmark import Series, SweepResult
+
+__all__ = ["render_table", "render_sweep", "format_si"]
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Human formatting: exact integers up to 10^7, compact floats beyond."""
+    if value == 0:
+        return "0"
+    if float(value).is_integer() and abs(value) < 1e7:
+        return str(int(value))
+    a = abs(value)
+    if 1e-3 <= a < 1e6:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}e}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    min_width: int = 8,
+) -> str:
+    """Fixed-width ASCII table."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in srows)
+    return "\n".join(lines)
+
+
+def render_sweep(result: SweepResult, digits: int = 3) -> str:
+    """Render a SweepResult as '<xlabel> | one column per series'."""
+    labels = result.labels()
+    if not labels:
+        return f"{result.title}: (empty)"
+    # Union of x grids, sorted.
+    xs: List[float] = sorted({x for s in result.series.values() for x in s.x})
+    headers = [result.xlabel] + labels
+    rows = []
+    for x in xs:
+        row: List[str] = [format_si(x, digits)]
+        for label in labels:
+            s = result.series[label]
+            try:
+                row.append(format_si(s.at(x), digits))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    header = f"{result.title}   [{result.ylabel}]"
+    return header + "\n" + render_table(headers, rows)

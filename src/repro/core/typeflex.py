@@ -1,0 +1,191 @@
+"""The type-flexible kernel framework — the paper's productivity thesis.
+
+§III-B: "Julia's multiple-dispatch allows the development of fully
+type-flexible applications, such that the number format, or combinations
+of different formats, can be chosen at compile time ... any custom
+number format can be defined by implementing a standard set of
+arithmetic operations."
+
+:class:`TypeFlexKernel` is the Python embodiment:
+
+* a kernel is written **once**, against an abstract
+  :class:`FormatContext` that supplies constants and arithmetic in the
+  working format;
+* calling the kernel with a format (or arrays of a dtype) *instantiates*
+  it: native formats (float16/32/64) run straight numpy; software-only
+  formats (BFloat16, Float8...) run through
+  :class:`~repro.ftypes.rounding.SoftwareFloatOps`, with every operation
+  correctly rounded — the same guarantee Julia's Float16 lowering makes;
+* per-format specialisations can be registered and win over the generic
+  body (the ``cbrt`` method-table story of §II), dispatched through
+  :mod:`repro.ftypes.dispatch`.
+
+Example — the paper's ``axpy!`` for *any* format::
+
+    axpy = TypeFlexKernel("axpy")
+
+    @axpy.define
+    def _(ctx, a, x, y):
+        return ctx.ops.muladd(ctx.const(a), x, y)
+
+    axpy(FLOAT16, 2.0, x16, y16)     # native fp16 numpy
+    axpy(BFLOAT16, 2.0, xb, yb)      # software-rounded bfloat16
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..ftypes.dispatch import kind_of
+from ..ftypes.formats import FloatFormat, lookup_format
+from ..ftypes.rounding import SoftwareFloatOps, quantize
+
+__all__ = ["FormatContext", "TypeFlexKernel", "typeflexible"]
+
+
+@dataclass(frozen=True)
+class FormatContext:
+    """Everything a generic kernel body needs about the working format."""
+
+    fmt: FloatFormat
+    ops: SoftwareFloatOps
+    native: bool
+
+    def const(self, x: float) -> Any:
+        """A scalar constant rounded once into the working format."""
+        if self.native:
+            return self.fmt.npdtype.type(x)
+        return quantize(np.float64(x), self.fmt)
+
+    def array(self, x: np.ndarray) -> np.ndarray:
+        """Round an array into the working format's storage."""
+        if self.native:
+            return np.asarray(x, dtype=self.fmt.npdtype)
+        return quantize(np.asarray(x, dtype=np.float64), self.fmt)
+
+    @property
+    def eps(self) -> float:
+        return self.fmt.eps
+
+
+class _NativeOps(SoftwareFloatOps):
+    """Arithmetic context for formats numpy computes natively.
+
+    numpy's float16/32/64 ufuncs are already correctly rounded per
+    operation, so no explicit re-rounding is needed — operations run in
+    the dtype itself (matching A64FX hardware semantics for fp16).
+    """
+
+    def __init__(self, fmt: FloatFormat):
+        object.__setattr__(self, "fmt", fmt)
+        object.__setattr__(self, "mode", "round_each_op")
+        object.__setattr__(self, "flush_subnormals", False)
+
+    def _dt(self):
+        return self.fmt.npdtype
+
+    def add(self, x, y):
+        return np.add(x, y, dtype=self._dt())
+
+    def sub(self, x, y):
+        return np.subtract(x, y, dtype=self._dt())
+
+    def mul(self, x, y):
+        return np.multiply(x, y, dtype=self._dt())
+
+    def div(self, x, y):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.divide(x, y, dtype=self._dt())
+
+    def muladd(self, a, x, y):
+        dt = self._dt()
+        return np.add(np.multiply(a, x, dtype=dt), y, dtype=dt)
+
+    def fma(self, a, x, y):
+        # Exact product + single rounding via float64 (valid for p<=26).
+        dt = self._dt()
+        wide = np.multiply(
+            np.asarray(a, np.float64), np.asarray(x, np.float64)
+        ) + np.asarray(y, np.float64)
+        return np.asarray(wide).astype(dt)
+
+    def sqrt(self, x):
+        with np.errstate(invalid="ignore"):
+            return np.sqrt(x, dtype=self._dt())
+
+    def neg(self, x):
+        return np.negative(x)
+
+    def apply(self, func, *args):
+        return np.asarray(func(*args)).astype(self._dt())
+
+
+class TypeFlexKernel:
+    """A kernel instantiable at any floating-point format."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._generic: Optional[Callable[..., Any]] = None
+        self._special: Dict[FloatFormat, Callable[..., Any]] = {}
+
+    # -- definition -------------------------------------------------------
+    def define(self, func: Callable[..., Any]) -> Callable[..., Any]:
+        """Register the generic body ``func(ctx, *args)``."""
+        self._generic = func
+        return func
+
+    def specialize(
+        self, fmt: "FloatFormat | str"
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Register a per-format override (most specific wins, as in §II)."""
+        f = lookup_format(fmt)
+
+        def deco(func: Callable[..., Any]) -> Callable[..., Any]:
+            self._special[f] = func
+            return func
+
+        return deco
+
+    # -- instantiation ----------------------------------------------------
+    def context(self, fmt: "FloatFormat | str") -> FormatContext:
+        f = lookup_format(fmt)
+        if f.npdtype is not None:
+            return FormatContext(fmt=f, ops=_NativeOps(f), native=True)
+        return FormatContext(
+            fmt=f, ops=SoftwareFloatOps(f, mode="round_each_op"), native=False
+        )
+
+    def __call__(self, fmt: "FloatFormat | str | np.dtype", *args: Any) -> Any:
+        f = lookup_format(fmt)
+        impl = self._special.get(f, self._generic)
+        if impl is None:
+            raise TypeError(f"kernel {self.name!r} has no generic body")
+        return impl(self.context(f), *args)
+
+    def methods(self) -> list[str]:
+        """Format names with dedicated methods (plus the generic)."""
+        out = ["generic"] if self._generic else []
+        out.extend(f.name for f in self._special)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TypeFlexKernel({self.name}, methods={self.methods()})"
+
+
+def typeflexible(name: str) -> Callable[[Callable[..., Any]], TypeFlexKernel]:
+    """Decorator sugar::
+
+        @typeflexible("axpy")
+        def axpy(ctx, a, x, y):
+            return ctx.ops.muladd(ctx.const(a), x, y)
+    """
+
+    def deco(func: Callable[..., Any]) -> TypeFlexKernel:
+        k = TypeFlexKernel(name)
+        k.define(func)
+        return k
+
+    return deco

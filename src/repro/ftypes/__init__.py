@@ -1,0 +1,140 @@
+"""Floating-point format infrastructure (§II, §III-B of the paper).
+
+Public surface:
+
+* formats:      :class:`FloatFormat`, ``FLOAT16/32/64``, ``BFLOAT16``...
+* rounding:     :func:`quantize`, :class:`SoftwareFloatOps`
+* dispatch:     Julia-style multiple dispatch (:class:`GenericFunction`)
+* mathfuncs:    ``cbrt`` and friends with generic + specialised methods
+* sherlog:      Sherlogs.jl-equivalent recording arrays
+* compensated:  error-free transformations & compensated accumulators
+* subnormals:   FTZ semantics + the A64FX subnormal penalty model
+"""
+
+from .formats import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    STANDARD_FORMATS,
+    TFLOAT32,
+    FloatFormat,
+    format_from_dtype,
+    lookup_format,
+)
+from .rounding import SoftwareFloatOps, quantize, quantize_scalar, ulp
+from .dispatch import (
+    ABSTRACT_FLOAT,
+    AmbiguityError,
+    BFLOAT16_KIND,
+    FLOAT16_KIND,
+    FLOAT32_KIND,
+    FLOAT64_KIND,
+    INTEGER,
+    MethodError,
+    NUMBER,
+    NumberKind,
+    REAL,
+    GenericFunction,
+    generic_function,
+    kind_of,
+    register_dtype_kind,
+)
+from .mathfuncs import cbrt, cos, exp, log, make_unary_generic, sin
+from .sherlog import (
+    ExponentHistogram,
+    Sherlog,
+    Sherlog32,
+    Sherlog64,
+    suggest_scaling,
+)
+from .compensated import (
+    CompensatedAccumulator,
+    fast_two_sum,
+    kahan_sum,
+    naive_sum,
+    neumaier_sum,
+    pairwise_sum,
+    two_sum,
+)
+from .bits import all_values, bit_pattern, decode, encode
+from .stochastic import StochasticFloatOps, sr_sum, stochastic_round
+from .subnormals import (
+    SubnormalPenaltyModel,
+    count_subnormals,
+    flush_to_zero,
+    subnormal_fraction,
+    subnormal_mask,
+)
+
+__all__ = [
+    # formats
+    "FloatFormat",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT64",
+    "BFLOAT16",
+    "TFLOAT32",
+    "FLOAT8_E4M3",
+    "FLOAT8_E5M2",
+    "STANDARD_FORMATS",
+    "format_from_dtype",
+    "lookup_format",
+    # rounding
+    "quantize",
+    "quantize_scalar",
+    "ulp",
+    "SoftwareFloatOps",
+    # dispatch
+    "NumberKind",
+    "NUMBER",
+    "REAL",
+    "INTEGER",
+    "ABSTRACT_FLOAT",
+    "FLOAT64_KIND",
+    "FLOAT32_KIND",
+    "FLOAT16_KIND",
+    "BFLOAT16_KIND",
+    "GenericFunction",
+    "generic_function",
+    "kind_of",
+    "register_dtype_kind",
+    "MethodError",
+    "AmbiguityError",
+    # mathfuncs
+    "cbrt",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "make_unary_generic",
+    # sherlog
+    "ExponentHistogram",
+    "Sherlog",
+    "Sherlog32",
+    "Sherlog64",
+    "suggest_scaling",
+    # compensated
+    "two_sum",
+    "fast_two_sum",
+    "kahan_sum",
+    "naive_sum",
+    "neumaier_sum",
+    "pairwise_sum",
+    "CompensatedAccumulator",
+    # subnormals
+    "stochastic_round",
+    "StochasticFloatOps",
+    "sr_sum",
+    "encode",
+    "decode",
+    "bit_pattern",
+    "all_values",
+    "subnormal_mask",
+    "count_subnormals",
+    "subnormal_fraction",
+    "flush_to_zero",
+    "SubnormalPenaltyModel",
+]

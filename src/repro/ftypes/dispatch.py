@@ -1,0 +1,301 @@
+"""Julia-style multiple dispatch over an abstract number-type hierarchy.
+
+§II of the paper reproduces Julia's floating-point type tree::
+
+    abstract type Number end
+    abstract type Real <: Number end
+    abstract type AbstractFloat <: Real end
+    primitive type Float64 <: AbstractFloat 64 end
+    primitive type Float32 <: AbstractFloat 32 end
+    primitive type Float16 <: AbstractFloat 16 end
+
+and explains that math routines like ``cbrt`` have *several* methods,
+from generic (``AbstractFloat``) to specialised (``Float16``), with the
+runtime dynamically dispatching to the most specific applicable one.
+That mechanism is what makes type-flexible codes like ShallowWaters.jl
+possible: write once against the abstract type, get the fast
+per-format method automatically.
+
+This module is a faithful Python model of that mechanism:
+
+* a registry of abstract/concrete *number kinds* forming a tree
+  (:class:`NumberKind`, with ``Number``, ``Real``, ``AbstractFloat``,
+  ``Float64``, ``Float32``, ``Float16``, ``BFloat16`` predefined);
+* :class:`GenericFunction` — a callable holding multiple methods keyed by
+  signature of kinds, selecting the *most specific* applicable method at
+  call time (and raising on ambiguity, like Julia);
+* mapping of numpy dtypes to concrete kinds so plain arrays dispatch.
+
+It is intentionally small but complete: specificity is resolved by tree
+distance, ambiguities are errors, and new kinds/formats can be registered
+at runtime — mirroring how a custom number format in Julia only needs to
+implement "a standard set of arithmetic operations" (§III-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .formats import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FloatFormat,
+)
+
+__all__ = [
+    "NumberKind",
+    "NUMBER",
+    "REAL",
+    "INTEGER",
+    "ABSTRACT_FLOAT",
+    "FLOAT64_KIND",
+    "FLOAT32_KIND",
+    "FLOAT16_KIND",
+    "BFLOAT16_KIND",
+    "kind_of",
+    "register_dtype_kind",
+    "GenericFunction",
+    "generic_function",
+    "MethodError",
+    "AmbiguityError",
+]
+
+
+class MethodError(TypeError):
+    """No applicable method — the Julia ``MethodError`` equivalent."""
+
+
+class AmbiguityError(TypeError):
+    """Two applicable methods, neither more specific than the other."""
+
+
+@dataclass(frozen=True)
+class NumberKind:
+    """A node in the abstract number-type tree.
+
+    ``parent is None`` only for the root (``Number``).  ``fmt`` links a
+    concrete (leaf) kind to its :class:`FloatFormat` when it has one.
+    """
+
+    name: str
+    parent: Optional["NumberKind"] = None
+    abstract: bool = True
+    fmt: Optional[FloatFormat] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.parent is None and self.name != "Number":
+            raise ValueError("only the root kind 'Number' may lack a parent")
+
+    # -- subtype relation ------------------------------------------------
+    def isa(self, other: "NumberKind") -> bool:
+        """``self <: other`` in Julia notation (reflexive)."""
+        node: Optional[NumberKind] = self
+        while node is not None:
+            if node == other:
+                return True
+            node = node.parent
+        return False
+
+    def depth(self) -> int:
+        """Distance from the root; concrete leaves are deepest."""
+        d, node = 0, self.parent
+        while node is not None:
+            d, node = d + 1, node.parent
+        return d
+
+    def supertypes(self) -> Tuple["NumberKind", ...]:
+        """``(self, parent, ..., Number)`` from most to least specific."""
+        out, node = [], self
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "abstract" if self.abstract else "concrete"
+        return f"NumberKind({self.name}, {kind})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# The tree from §II of the paper (Integer added for completeness).
+NUMBER = NumberKind("Number")
+REAL = NumberKind("Real", NUMBER)
+INTEGER = NumberKind("Integer", REAL)
+ABSTRACT_FLOAT = NumberKind("AbstractFloat", REAL)
+FLOAT64_KIND = NumberKind("Float64", ABSTRACT_FLOAT, abstract=False, fmt=FLOAT64)
+FLOAT32_KIND = NumberKind("Float32", ABSTRACT_FLOAT, abstract=False, fmt=FLOAT32)
+FLOAT16_KIND = NumberKind("Float16", ABSTRACT_FLOAT, abstract=False, fmt=FLOAT16)
+BFLOAT16_KIND = NumberKind("BFloat16", ABSTRACT_FLOAT, abstract=False, fmt=BFLOAT16)
+
+_DTYPE_KINDS: Dict[np.dtype, NumberKind] = {
+    np.dtype(np.float64): FLOAT64_KIND,
+    np.dtype(np.float32): FLOAT32_KIND,
+    np.dtype(np.float16): FLOAT16_KIND,
+    np.dtype(np.int64): INTEGER,
+    np.dtype(np.int32): INTEGER,
+    np.dtype(np.int16): INTEGER,
+    np.dtype(np.int8): INTEGER,
+}
+
+_FORMAT_KINDS: Dict[FloatFormat, NumberKind] = {
+    FLOAT64: FLOAT64_KIND,
+    FLOAT32: FLOAT32_KIND,
+    FLOAT16: FLOAT16_KIND,
+    BFLOAT16: BFLOAT16_KIND,
+}
+
+
+def register_dtype_kind(dtype: np.dtype | type, kind: NumberKind) -> None:
+    """Attach a numpy dtype to a kind so arrays of it dispatch correctly."""
+    _DTYPE_KINDS[np.dtype(dtype)] = kind
+
+
+def kind_of(value: Any) -> NumberKind:
+    """The concrete kind of a runtime value.
+
+    Understands numpy arrays/scalars, Python floats/ints,
+    :class:`FloatFormat` objects (dispatch *on the format itself*, the
+    way ShallowWaters.jl takes ``T`` as a value), and
+    :class:`NumberKind` passed through.
+    """
+    if isinstance(value, NumberKind):
+        return value
+    if isinstance(value, FloatFormat):
+        try:
+            return _FORMAT_KINDS[value]
+        except KeyError:
+            raise MethodError(f"format {value} has no registered kind") from None
+    if isinstance(value, (np.ndarray, np.generic)):
+        dt = value.dtype
+        try:
+            return _DTYPE_KINDS[dt]
+        except KeyError:
+            raise MethodError(f"no NumberKind registered for dtype {dt}") from None
+    if isinstance(value, bool):
+        return INTEGER
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return FLOAT64_KIND
+    raise MethodError(f"cannot determine number kind of {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class _Method:
+    signature: Tuple[NumberKind, ...]
+    func: Callable[..., Any]
+
+    def applicable(self, argkinds: Sequence[NumberKind]) -> bool:
+        return len(argkinds) == len(self.signature) and all(
+            a.isa(s) for a, s in zip(argkinds, self.signature)
+        )
+
+    def more_specific_than(self, other: "_Method") -> bool:
+        """Strict specificity: every slot ``<=``, at least one ``<``."""
+        at_least_one = False
+        for mine, theirs in zip(self.signature, other.signature):
+            if mine.isa(theirs):
+                if mine != theirs:
+                    at_least_one = True
+            else:
+                return False
+        return at_least_one
+
+
+class GenericFunction:
+    """A function with multiple methods dispatched on argument kinds.
+
+    Example (the paper's ``cbrt`` story)::
+
+        cbrt = GenericFunction("cbrt")
+
+        @cbrt.register(ABSTRACT_FLOAT)
+        def _cbrt_generic(x):
+            ...
+
+        @cbrt.register(FLOAT16_KIND)
+        def _cbrt_f16(x):
+            ...
+
+        cbrt(np.float16(8.0))   # -> the Float16 method
+        cbrt(np.float32(8.0))   # -> the AbstractFloat method
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._methods: list[_Method] = []
+
+    # -- definition ------------------------------------------------------
+    def register(
+        self, *signature: NumberKind
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering a method for a kind signature.
+
+        Re-registering an identical signature *replaces* the old method
+        (Julia's method overwriting)."""
+
+        def deco(func: Callable[..., Any]) -> Callable[..., Any]:
+            m = _Method(tuple(signature), func)
+            self._methods = [
+                old for old in self._methods if old.signature != m.signature
+            ]
+            self._methods.append(m)
+            return func
+
+        return deco
+
+    def methods(self) -> Tuple[Tuple[NumberKind, ...], ...]:
+        """All registered signatures (the Julia ``methods(f)`` view)."""
+        return tuple(m.signature for m in self._methods)
+
+    # -- dispatch ----------------------------------------------------------
+    def resolve(self, *argkinds: NumberKind) -> Callable[..., Any]:
+        """Pick the most specific applicable method for concrete kinds."""
+        candidates = [m for m in self._methods if m.applicable(argkinds)]
+        if not candidates:
+            sig = ", ".join(str(k) for k in argkinds)
+            raise MethodError(f"{self.name}: no method matching ({sig})")
+        best = candidates[0]
+        for m in candidates[1:]:
+            if m.more_specific_than(best):
+                best = m
+        # Verify 'best' dominates everything (ambiguity check).
+        for m in candidates:
+            if m is best or best.more_specific_than(m):
+                continue
+            if m.signature != best.signature and not _dominates(best, m):
+                raise AmbiguityError(
+                    f"{self.name}: ambiguous dispatch between "
+                    f"{_fmt_sig(best.signature)} and {_fmt_sig(m.signature)}"
+                )
+        return best.func
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        argkinds = tuple(kind_of(a) for a in args)
+        return self.resolve(*argkinds)(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = len(self._methods)
+        return f"{self.name} (generic function with {n} method{'s' if n != 1 else ''})"
+
+
+def _dominates(a: _Method, b: _Method) -> bool:
+    """True when ``a`` is at least as specific as ``b`` in every slot."""
+    return all(x.isa(y) for x, y in zip(a.signature, b.signature))
+
+
+def _fmt_sig(sig: Tuple[NumberKind, ...]) -> str:
+    return "(" + ", ".join(str(k) for k in sig) + ")"
+
+
+def generic_function(name: str) -> GenericFunction:
+    """Create a fresh :class:`GenericFunction` (factory for readability)."""
+    return GenericFunction(name)

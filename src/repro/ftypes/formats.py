@@ -1,0 +1,246 @@
+"""IEEE-754 style floating-point format descriptors.
+
+The paper (§II) leans on Julia's first-class treatment of number formats:
+``Float16``, ``Float32`` and ``Float64`` are ordinary types in a hierarchy,
+and generic code is instantiated per format.  This module provides the
+Python analogue: a :class:`FloatFormat` value object that fully describes a
+binary interchange format (sign/exponent/mantissa split) and derives every
+quantity the rest of the library needs — machine epsilon, normal and
+subnormal ranges, bytes per element, and the matching numpy dtype when one
+exists.
+
+Custom formats (e.g. ``BFloat16``) are first-class: anything the rounding
+machinery in :mod:`repro.ftypes.rounding` can quantise to is usable by the
+type-flexible kernels in :mod:`repro.core.typeflex`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FloatFormat",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT64",
+    "BFLOAT16",
+    "TFLOAT32",
+    "FLOAT8_E4M3",
+    "FLOAT8_E5M2",
+    "STANDARD_FORMATS",
+    "format_from_dtype",
+    "lookup_format",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Description of a binary floating-point format.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"Float16"``.  Follows the paper's
+        Julia-style naming (``Float64`` rather than ``double``).
+    exponent_bits:
+        Width of the biased exponent field.
+    mantissa_bits:
+        Width of the explicit significand field (the stored bits; the
+        leading 1 of normal numbers is implicit).
+    npdtype:
+        The matching numpy dtype when hardware/numpy support exists,
+        otherwise ``None`` (the format is then only usable through the
+        software quantisation path in :mod:`repro.ftypes.rounding`).
+    """
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+    npdtype: Optional[np.dtype] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.exponent_bits < 2:
+            raise ValueError("need at least 2 exponent bits")
+        if self.mantissa_bits < 1:
+            raise ValueError("need at least 1 mantissa bit")
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """Total storage width in bits (sign + exponent + mantissa)."""
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bytes(self) -> int:
+        """Storage width in bytes, rounded up to whole bytes."""
+        return (self.bits + 7) // 8
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias: ``2**(exponent_bits-1) - 1``."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def precision(self) -> int:
+        """Significand precision in bits, counting the implicit leading 1."""
+        return self.mantissa_bits + 1
+
+    # ------------------------------------------------------------------
+    # Derived numerical properties
+    # ------------------------------------------------------------------
+    @property
+    def eps(self) -> float:
+        """Machine epsilon: spacing between 1.0 and the next larger value."""
+        return 2.0 ** (-self.mantissa_bits)
+
+    @property
+    def max_exponent(self) -> int:
+        """Largest unbiased exponent of a finite normal number."""
+        return self.bias
+
+    @property
+    def min_exponent(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable value (``floatmax``)."""
+        return (2.0 - self.eps) * 2.0 ** self.max_exponent
+
+    @property
+    def min_normal(self) -> float:
+        """Smallest positive *normal* value (``floatmin``)."""
+        return 2.0 ** self.min_exponent
+
+    @property
+    def min_subnormal(self) -> float:
+        """Smallest positive subnormal value."""
+        return 2.0 ** (self.min_exponent - self.mantissa_bits)
+
+    @property
+    def decades(self) -> float:
+        """Width of the *normal* range in orders of magnitude (base 10).
+
+        §III-B notes that Float16's normal range — about
+        :math:`6\\cdot10^{-5}` to 65504 — spans *less than 10 decades*,
+        which is why ShallowWaters.jl needs a multiplicative scaling.
+        """
+        return math.log10(self.max_value) - math.log10(self.min_normal)
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    def is_representable_normal(self, x: float) -> bool:
+        """True if ``abs(x)`` lies in the normal range (or is zero)."""
+        a = abs(x)
+        return a == 0.0 or (self.min_normal <= a <= self.max_value)
+
+    def would_be_subnormal(self, x: float) -> bool:
+        """True if ``x`` would round into the subnormal range."""
+        a = abs(x)
+        return 0.0 < a < self.min_normal and a >= self.min_subnormal / 2
+
+    def would_underflow(self, x: float) -> bool:
+        """True if ``x`` would round to zero (below half the min subnormal)."""
+        a = abs(x)
+        return 0.0 < a < self.min_subnormal / 2
+
+    def would_overflow(self, x: float) -> bool:
+        """True if ``x`` would round to infinity in this format."""
+        # Round-to-nearest overflows beyond max + 1/2 ulp(max).
+        threshold = 2.0 ** self.max_exponent * (2.0 - self.eps / 2)
+        return abs(x) >= threshold
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FloatFormat({self.name}: 1+{self.exponent_bits}+"
+            f"{self.mantissa_bits} bits)"
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: IEEE-754 binary16 — the format at the heart of the paper.
+FLOAT16 = FloatFormat("Float16", 5, 10, np.dtype(np.float16))
+#: IEEE-754 binary32.
+FLOAT32 = FloatFormat("Float32", 8, 23, np.dtype(np.float32))
+#: IEEE-754 binary64.
+FLOAT64 = FloatFormat("Float64", 11, 52, np.dtype(np.float64))
+#: bfloat16 (truncated binary32) — mentioned in the paper's introduction
+#: as a 16-bit GPU format; no numpy dtype, software path only.
+BFLOAT16 = FloatFormat("BFloat16", 8, 7, None)
+#: NVIDIA TF32-like format (8-bit exponent, 10-bit mantissa).
+TFLOAT32 = FloatFormat("TFloat32", 8, 10, None)
+#: 8-bit formats used in deep-learning training (paper's reference [6]).
+FLOAT8_E4M3 = FloatFormat("Float8_E4M3", 4, 3, None)
+FLOAT8_E5M2 = FloatFormat("Float8_E5M2", 5, 2, None)
+
+STANDARD_FORMATS: tuple[FloatFormat, ...] = (FLOAT16, FLOAT32, FLOAT64)
+
+_BY_DTYPE = {
+    np.dtype(np.float16): FLOAT16,
+    np.dtype(np.float32): FLOAT32,
+    np.dtype(np.float64): FLOAT64,
+}
+
+_BY_NAME = {
+    f.name.lower(): f
+    for f in (
+        FLOAT16,
+        FLOAT32,
+        FLOAT64,
+        BFLOAT16,
+        TFLOAT32,
+        FLOAT8_E4M3,
+        FLOAT8_E5M2,
+    )
+}
+_BY_NAME.update(
+    {
+        "float16": FLOAT16,
+        "float32": FLOAT32,
+        "float64": FLOAT64,
+        "half": FLOAT16,
+        "single": FLOAT32,
+        "double": FLOAT64,
+        "fp16": FLOAT16,
+        "fp32": FLOAT32,
+        "fp64": FLOAT64,
+        "bfloat16": BFLOAT16,
+        "bf16": BFLOAT16,
+    }
+)
+
+
+def format_from_dtype(dtype: np.dtype | type) -> FloatFormat:
+    """Return the :class:`FloatFormat` matching a numpy float dtype."""
+    dt = np.dtype(dtype)
+    try:
+        return _BY_DTYPE[dt]
+    except KeyError:
+        raise TypeError(f"no FloatFormat registered for dtype {dt!r}") from None
+
+
+def lookup_format(spec: "FloatFormat | str | np.dtype | type") -> FloatFormat:
+    """Resolve a user-facing format spec to a :class:`FloatFormat`.
+
+    Accepts a :class:`FloatFormat`, a name (``"Float16"``, ``"half"``,
+    ``"fp64"``...), or a numpy dtype/scalar type.
+    """
+    if isinstance(spec, FloatFormat):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _BY_NAME[spec.lower()]
+        except KeyError:
+            raise ValueError(f"unknown float format {spec!r}") from None
+    return format_from_dtype(spec)

@@ -1,0 +1,147 @@
+"""Math routines with generic and format-specialised methods.
+
+§II of the paper uses ``cbrt`` as the worked example: "Julia provides for
+cbrt several implementations that range from the specialized to the
+generic.  Float32 and Float64 share an implementation and Float16 is
+separated."  We reproduce that structure with the dispatch machinery of
+:mod:`repro.ftypes.dispatch`:
+
+* ``cbrt`` has a *generic* ``AbstractFloat`` method (Newton iteration in
+  wide precision, correct for any format via quantisation),
+  a *shared* Float32/Float64 method (numpy's ``cbrt``), and a
+  *specialised* Float16 method (compute in Float32, round once — exactly
+  the "Float16 is separated" strategy Julia uses).
+* the same pattern for ``exp``, ``log``, ``sin``, ``cos`` — the
+  transcendental set §III-B says ShallowWaters.jl needs only for
+  precomputing constants.
+
+Every method returns values in the *kind of its input*, so downstream
+type-flexible code keeps the working format.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .dispatch import (
+    ABSTRACT_FLOAT,
+    FLOAT16_KIND,
+    FLOAT32_KIND,
+    FLOAT64_KIND,
+    BFLOAT16_KIND,
+    GenericFunction,
+    kind_of,
+)
+from .formats import FLOAT16, FLOAT32
+from .rounding import quantize
+
+__all__ = ["cbrt", "exp", "log", "sin", "cos", "make_unary_generic"]
+
+
+def _dtype_of(x):
+    return np.asarray(x).dtype
+
+
+def _in_kind(x, result64: np.ndarray):
+    """Cast a float64 result back to the input's storage dtype."""
+    return np.asarray(result64).astype(_dtype_of(x))
+
+
+# ---------------------------------------------------------------------------
+# cbrt — the paper's worked example
+# ---------------------------------------------------------------------------
+cbrt = GenericFunction("cbrt")
+
+
+@cbrt.register(ABSTRACT_FLOAT)
+def _cbrt_generic(x):
+    """Generic method: Halley iteration in float64, quantised at the end.
+
+    Works for *any* AbstractFloat subtype — the productivity half of the
+    paper's "specialized to the generic" range.
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    y = np.cbrt(np.abs(x64))  # seed; we still iterate to show the shape
+    for _ in range(2):  # Halley: cubic convergence, 2 steps ample
+        y3 = y * y * y
+        with np.errstate(invalid="ignore", divide="ignore"):
+            y = np.where(y > 0, y * (y3 + 2 * np.abs(x64)) / (2 * y3 + np.abs(x64)), y)
+    r = np.copysign(y, x64)
+    kind = kind_of(x)
+    if kind.fmt is not None and kind.fmt.npdtype is None:
+        return quantize(r, kind.fmt)  # software-only formats (BFloat16...)
+    return _in_kind(x, r)
+
+
+@cbrt.register(FLOAT64_KIND)
+def _cbrt_f64(x):
+    """Float64 method (shared implementation strategy with Float32)."""
+    return np.cbrt(np.asarray(x, dtype=np.float64))
+
+
+@cbrt.register(FLOAT32_KIND)
+def _cbrt_f32(x):
+    """Float32 method — shares the implementation with Float64 (§II)."""
+    return np.cbrt(np.asarray(x, dtype=np.float64)).astype(np.float32)
+
+
+@cbrt.register(FLOAT16_KIND)
+def _cbrt_f16(x):
+    """Float16 method is *separated* (§II): compute in Float32, round once."""
+    wide = np.cbrt(np.asarray(x, dtype=np.float32))
+    return wide.astype(np.float16)
+
+
+@cbrt.register(BFLOAT16_KIND)
+def _cbrt_bf16(x):
+    """BFloat16 (software-only storage): wide compute, quantised result."""
+    return quantize(np.cbrt(np.asarray(x, dtype=np.float64)), FLOAT32)
+
+
+# ---------------------------------------------------------------------------
+# Factory for the other transcendentals ShallowWaters.jl precomputes with
+# ---------------------------------------------------------------------------
+def make_unary_generic(name: str, f64impl: Callable[[np.ndarray], np.ndarray]) -> GenericFunction:
+    """Build a generic unary function with the §II method layout.
+
+    The generated function has: a generic ``AbstractFloat`` method
+    (wide compute + quantise for software formats), a shared
+    Float32/Float64 fast path, and a separated Float16 method computing
+    through Float32.
+    """
+    g = GenericFunction(name)
+
+    @g.register(ABSTRACT_FLOAT)
+    def _generic(x):
+        r = f64impl(np.asarray(x, dtype=np.float64))
+        kind = kind_of(x)
+        if kind.fmt is not None and kind.fmt.npdtype is None:
+            return quantize(r, kind.fmt)
+        return _in_kind(x, r)
+
+    @g.register(FLOAT64_KIND)
+    def _f64(x):
+        return f64impl(np.asarray(x, dtype=np.float64))
+
+    @g.register(FLOAT32_KIND)
+    def _f32(x):
+        return f64impl(np.asarray(x, dtype=np.float64)).astype(np.float32)
+
+    @g.register(FLOAT16_KIND)
+    def _f16(x):
+        return f64impl(np.asarray(x, dtype=np.float32)).astype(np.float16)
+
+    return g
+
+
+exp = make_unary_generic("exp", np.exp)
+log = make_unary_generic("log", lambda x: _safe_log(x))
+sin = make_unary_generic("sin", np.sin)
+cos = make_unary_generic("cos", np.cos)
+
+
+def _safe_log(x: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.log(x)

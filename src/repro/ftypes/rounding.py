@@ -1,0 +1,212 @@
+"""Software rounding/quantisation to arbitrary float formats.
+
+§II and §IV-C of the paper discuss the core correctness requirement for
+software-emulated ``Float16``: every arithmetic operation must *round its
+result back to the target format* (LLVM: ``fptrunc`` after each op), so a
+machine without FP16 hardware produces bit-identical results to one with
+it.  The "x86 default" behaviour — keep intermediates in ``float`` — is
+faster but inconsistent.
+
+This module implements both behaviours for any :class:`FloatFormat`:
+
+* :func:`quantize` — correctly-rounded (round-to-nearest-even) conversion
+  of float64 arrays to the target format, kept in float64 storage.  This
+  is the general-purpose path for formats numpy has no dtype for
+  (BFloat16, Float8...).
+* :class:`SoftwareFloatOps` — an arithmetic context that executes each op
+  in wide precision and rounds afterwards (``mode="round_each_op"``,
+  Julia/LLVM-correct) or skips the intermediate rounding
+  (``mode="extend_precision"``, the inconsistent x86/FLT_EVAL_METHOD
+  behaviour the paper quotes GCC 12 about).
+
+Round-to-nearest-even for power-of-two-spaced grids is done with the
+classic *Veltkamp/Dekker style* add-and-subtract trick on the float64
+representation, which is exact for formats with at most 32 significand
+bits embedded in float64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from .formats import FloatFormat, lookup_format
+
+__all__ = [
+    "quantize",
+    "quantize_scalar",
+    "decompose",
+    "ulp",
+    "SoftwareFloatOps",
+    "RoundingMode",
+]
+
+RoundingMode = Literal["round_each_op", "extend_precision"]
+
+
+def _as_f64(x: np.ndarray | float) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)
+
+
+def ulp(fmt: FloatFormat | str, x: np.ndarray | float) -> np.ndarray:
+    """Unit in the last place of ``x`` in format ``fmt`` (array-valued).
+
+    For values in the subnormal range the ulp saturates at the subnormal
+    spacing; for zero it equals the smallest subnormal.
+    """
+    f = lookup_format(fmt)
+    a = np.abs(_as_f64(x))
+    with np.errstate(divide="ignore"):
+        e = np.floor(np.log2(np.where(a > 0, a, 1.0)))
+    e = np.where(a > 0, e, f.min_exponent)
+    e = np.clip(e, f.min_exponent, f.max_exponent)
+    return np.ldexp(1.0, (e - f.mantissa_bits).astype(np.int64))
+
+
+def quantize(x: np.ndarray | float, fmt: FloatFormat | str) -> np.ndarray:
+    """Round ``x`` to format ``fmt`` (nearest-even), result as float64.
+
+    Handles normals, subnormals (gradual underflow), overflow to ±inf,
+    and preserves NaN/±inf.  Values are *stored* in float64 so that any
+    format — including ones numpy has no dtype for — can flow through
+    ordinary numpy code.
+    """
+    f = lookup_format(fmt)
+    x64 = _as_f64(x)
+    if f.mantissa_bits >= 52:
+        return x64.copy()
+
+    result = x64.copy()
+    finite = np.isfinite(x64)
+    a = np.abs(x64)
+
+    # Exponent of each value, clamped so that the rounding grid in the
+    # subnormal range stays fixed at min_exponent (gradual underflow).
+    with np.errstate(divide="ignore"):
+        e = np.floor(np.log2(np.where(a > 0, a, 1.0)))
+    e = np.where(a > 0, e, float(f.min_exponent))
+    # Clamp both ends: below min_exponent the grid is fixed (gradual
+    # underflow); above max_exponent the value overflows anyway, and an
+    # unclamped shift of 2**(e+52-m) could itself overflow float64.
+    e = np.clip(e, float(f.min_exponent), float(f.max_exponent + 2))
+
+    # Round to a grid of spacing 2**(e - mantissa_bits) via the exact
+    # add/subtract trick: adding 2**(e + 52 - mantissa_bits) forces the
+    # low bits out of the float64 significand with round-to-nearest-even.
+    shift = np.ldexp(1.0, (e + 52 - f.mantissa_bits).astype(np.int64))
+    with np.errstate(invalid="ignore", over="ignore"):
+        rounded = (x64 + np.copysign(shift, x64)) - np.copysign(shift, x64)
+    # Rounding can bump |x| to the next binade (e.g. 1.9999 -> 2.0);
+    # that is still correctly rounded, no fixup needed.
+
+    result = np.where(finite, rounded, x64)
+
+    # Overflow to infinity (round-to-nearest ties the boundary at
+    # max + 1/2 ulp; after grid rounding anything above max_value went
+    # to 2**(max_exponent+1), i.e. strictly above max_value).
+    over = finite & (np.abs(result) > f.max_value)
+    result = np.where(over, np.copysign(np.inf, x64), result)
+    if np.ndim(x) == 0:
+        return result.reshape(())
+    return result
+
+
+def quantize_scalar(x: float, fmt: FloatFormat | str) -> float:
+    """Scalar convenience wrapper around :func:`quantize`."""
+    return float(quantize(np.float64(x), fmt))
+
+
+def decompose(x: float) -> tuple[int, int, float]:
+    """Split a float into (sign, unbiased exponent, significand in [1,2)).
+
+    Returns ``(0, 0, 0.0)`` for zero.  Used by tests and by the Sherlog
+    histogram bucketing.
+    """
+    if x == 0.0:
+        return (0 if not np.signbit(x) else 1, 0, 0.0)
+    s = 1 if x < 0 or np.signbit(x) else 0
+    m, e = np.frexp(abs(x))
+    # frexp returns m in [0.5, 1); normalise to [1, 2).
+    return (s, int(e) - 1, float(m * 2))
+
+
+@dataclass(frozen=True)
+class SoftwareFloatOps:
+    """Arithmetic context emulating a narrow format in software.
+
+    Parameters
+    ----------
+    fmt:
+        Target format each *input and output* belongs to.
+    mode:
+        ``"round_each_op"`` rounds the result of every operation back to
+        ``fmt`` (the behaviour Julia enforces for software Float16 by
+        inserting ``fpext``/``fptrunc`` pairs, §IV-C).
+        ``"extend_precision"`` keeps intermediates wide (the x86 legacy
+        behaviour the paper calls out as inconsistent).
+    flush_subnormals:
+        Flush results in the subnormal range of ``fmt`` to zero, modelling
+        the FTZ compiler flag set on A64FX (§III-B, footnote 9).
+    """
+
+    fmt: FloatFormat
+    mode: RoundingMode = "round_each_op"
+    flush_subnormals: bool = False
+
+    def _finish(self, r: np.ndarray) -> np.ndarray:
+        if self.mode == "round_each_op":
+            r = quantize(r, self.fmt)
+        if self.flush_subnormals:
+            a = np.abs(r)
+            r = np.where((a > 0) & (a < self.fmt.min_normal), 0.0 * r, r)
+        return r
+
+    # Binary ops ------------------------------------------------------
+    def add(self, x, y) -> np.ndarray:
+        return self._finish(_as_f64(x) + _as_f64(y))
+
+    def sub(self, x, y) -> np.ndarray:
+        return self._finish(_as_f64(x) - _as_f64(y))
+
+    def mul(self, x, y) -> np.ndarray:
+        return self._finish(_as_f64(x) * _as_f64(y))
+
+    def div(self, x, y) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._finish(_as_f64(x) / _as_f64(y))
+
+    def muladd(self, a, x, y) -> np.ndarray:
+        """``a*x + y`` with *two* roundings, as in the §IV-C listing.
+
+        Julia's ``muladd`` permits fusing, but the software-Float16
+        lowering in the paper rounds after the multiply and after the
+        add — exactly what we reproduce in ``round_each_op`` mode.
+        """
+        if self.mode == "round_each_op":
+            p = quantize(_as_f64(a) * _as_f64(x), self.fmt)
+            return self._finish(p + _as_f64(y))
+        return self._finish(_as_f64(a) * _as_f64(x) + _as_f64(y))
+
+    def fma(self, a, x, y) -> np.ndarray:
+        """Fused multiply-add: single rounding, as FP16 hardware does."""
+        # float64 carries enough precision that a*x is exact for any
+        # format with <= 26 significand bits, so mul-then-add in float64
+        # followed by one final rounding *is* an FMA for those formats.
+        return self._finish(_as_f64(a) * _as_f64(x) + _as_f64(y))
+
+    def sqrt(self, x) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return self._finish(np.sqrt(_as_f64(x)))
+
+    def neg(self, x) -> np.ndarray:
+        return self._finish(-_as_f64(x))
+
+    def apply(self, func: Callable[..., np.ndarray], *args) -> np.ndarray:
+        """Run an arbitrary elementwise float64 function under this context."""
+        return self._finish(func(*[_as_f64(a) for a in args]))
+
+    def quantize_inputs(self, *args) -> tuple[np.ndarray, ...]:
+        """Round raw inputs into the format (the 'storage' conversion)."""
+        return tuple(quantize(a, self.fmt) for a in args)

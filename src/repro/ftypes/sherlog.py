@@ -1,0 +1,270 @@
+"""Sherlogs.jl equivalent: number types that record where values live.
+
+§III-B: "we developed the analysis-number format Sherlogs.jl, which
+records a histogram of numbers during the simulation that allowed us to
+monitor, for example, how a multiplicative scaling s of the equations
+avoids Float16 subnormals.  For development purposes we therefore run
+ShallowWaters.jl with T=Sherlog32 ... and, after choosing s, we execute
+the same code with T=Float16."
+
+This module provides that workflow in Python:
+
+* :class:`ExponentHistogram` — a logbook of base-2 exponents (one bucket
+  per binade) with counters for zeros, subnormal-range hits, overflows
+  and NaNs *relative to a target format* (usually Float16);
+* :class:`Sherlog` — an ndarray subclass that behaves exactly like the
+  underlying float array but records every value it produces through
+  any numpy ufunc into a shared logbook;
+* ``Sherlog32`` / ``Sherlog64`` — constructors matching the Julia names;
+* :func:`suggest_scaling` — pick a power-of-two multiplicative scaling
+  ``s`` that centres the recorded distribution in the target format's
+  normal range (the "choosing s" step of the paper's workflow).
+
+Because :class:`Sherlog` *is* an ndarray, the whole ShallowWaters model in
+:mod:`repro.shallowwaters` runs on it unchanged — the same
+"identical code base, dynamically dispatched" productivity story the
+paper tells about Julia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .formats import FLOAT16, FloatFormat, lookup_format
+
+__all__ = [
+    "ExponentHistogram",
+    "Sherlog",
+    "Sherlog32",
+    "Sherlog64",
+    "suggest_scaling",
+]
+
+
+MIN_EXP, MAX_EXP = -1100, 1100  # histogram support (covers float64 + slack)
+
+
+@dataclass
+class ExponentHistogram:
+    """Histogram of base-2 exponents of every recorded value.
+
+    Bucket ``e`` counts values with ``floor(log2(|x|)) == e``.  Zeros,
+    NaNs and infinities are tallied separately.
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    zeros: int = 0
+    nans: int = 0
+    infs: int = 0
+    total: int = 0
+
+    def record(self, values: np.ndarray) -> None:
+        """Record all elements of ``values`` (any float dtype)."""
+        v = np.asarray(values, dtype=np.float64).ravel()
+        if v.size == 0:
+            return
+        self.total += v.size
+        finite = np.isfinite(v)
+        self.nans += int(np.isnan(v).sum())
+        self.infs += int(np.isinf(v).sum())
+        fv = v[finite]
+        zero = fv == 0.0
+        self.zeros += int(zero.sum())
+        nz = fv[~zero]
+        if nz.size == 0:
+            return
+        exps = np.frexp(np.abs(nz))[1] - 1  # floor(log2|x|)
+        exps = np.clip(exps, MIN_EXP, MAX_EXP)
+        uniq, cnt = np.unique(exps, return_counts=True)
+        for e, c in zip(uniq.tolist(), cnt.tolist()):
+            self.counts[int(e)] = self.counts.get(int(e), 0) + int(c)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def nonzero_recorded(self) -> int:
+        return sum(self.counts.values())
+
+    def exponent_range(self) -> tuple[int, int]:
+        """(min, max) recorded exponent; raises if nothing recorded."""
+        if not self.counts:
+            raise ValueError("no nonzero values recorded")
+        return min(self.counts), max(self.counts)
+
+    def fraction_in(self, lo_exp: int, hi_exp: int) -> float:
+        """Fraction of nonzero values with exponent in [lo_exp, hi_exp]."""
+        n = self.nonzero_recorded
+        if n == 0:
+            return 0.0
+        inside = sum(c for e, c in self.counts.items() if lo_exp <= e <= hi_exp)
+        return inside / n
+
+    def subnormal_fraction(self, fmt: FloatFormat | str = FLOAT16) -> float:
+        """Fraction of nonzero values in ``fmt``'s subnormal/underflow range.
+
+        This is the quantity the paper's scaling ``s`` is chosen to drive
+        to (near) zero, because Float16 subnormals carry "a heavy
+        performance penalty" on A64FX (§III-B).
+        """
+        f = lookup_format(fmt)
+        return self.fraction_in(MIN_EXP, f.min_exponent - 1)
+
+    def overflow_fraction(self, fmt: FloatFormat | str = FLOAT16) -> float:
+        """Fraction of nonzero values above ``fmt``'s normal range."""
+        f = lookup_format(fmt)
+        return self.fraction_in(f.max_exponent + 1, MAX_EXP)
+
+    def median_exponent(self) -> int:
+        """Median of the recorded exponent distribution."""
+        return self.percentile_exponent(0.5)
+
+    def percentile_exponent(self, q: float) -> int:
+        """Exponent below which a fraction ``q`` of nonzero values lie."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.counts:
+            raise ValueError("no nonzero values recorded")
+        n = self.nonzero_recorded
+        acc = 0
+        for e in sorted(self.counts):
+            acc += self.counts[e]
+            if acc >= q * n:
+                return e
+        return max(self.counts)
+
+    def merge(self, other: "ExponentHistogram") -> None:
+        """Fold another histogram into this one (e.g. from a second run)."""
+        for e, c in other.counts.items():
+            self.counts[e] = self.counts.get(e, 0) + c
+        self.zeros += other.zeros
+        self.nans += other.nans
+        self.infs += other.infs
+        self.total += other.total
+
+    def summary(self, fmt: FloatFormat | str = FLOAT16) -> str:
+        """Human-readable report relative to a target format."""
+        f = lookup_format(fmt)
+        lines = [f"ExponentHistogram: {self.total} values recorded"]
+        if self.counts:
+            lo, hi = self.exponent_range()
+            lines.append(f"  exponent range: 2^{lo} .. 2^{hi}")
+            lines.append(
+                f"  vs {f.name}: {100 * self.subnormal_fraction(f):.3f}% subnormal, "
+                f"{100 * self.overflow_fraction(f):.3f}% overflow"
+            )
+        lines.append(f"  zeros={self.zeros} nans={self.nans} infs={self.infs}")
+        return "\n".join(lines)
+
+
+class Sherlog(np.ndarray):
+    """A float array that logs every value produced through it.
+
+    Create with :func:`Sherlog32`/:func:`Sherlog64` (or ``Sherlog.wrap``).
+    All numpy ufuncs work; each ufunc result is recorded into the shared
+    :class:`ExponentHistogram` attached to the array, then returned as a
+    :class:`Sherlog` again so logging propagates through expressions.
+    """
+
+    logbook: ExponentHistogram
+
+    def __new__(cls, input_array, logbook: Optional[ExponentHistogram] = None):
+        obj = np.asarray(input_array).view(cls)
+        obj.logbook = logbook if logbook is not None else ExponentHistogram()
+        return obj
+
+    def __array_finalize__(self, obj):
+        if obj is None:
+            return
+        self.logbook = getattr(obj, "logbook", None) or ExponentHistogram()
+
+    def __array_ufunc__(self, ufunc, method, *inputs, out=None, **kwargs):
+        # Pull shared logbook from any Sherlog operand (first wins).
+        logbook = None
+        raw_inputs = []
+        for x in inputs:
+            if isinstance(x, Sherlog):
+                if logbook is None:
+                    logbook = x.logbook
+                raw_inputs.append(x.view(np.ndarray))
+            else:
+                raw_inputs.append(x)
+        raw_out = None
+        if out is not None:
+            raw_out = tuple(
+                o.view(np.ndarray) if isinstance(o, Sherlog) else o for o in out
+            )
+            kwargs["out"] = raw_out
+        result = getattr(ufunc, method)(*raw_inputs, **kwargs)
+        if result is NotImplemented:
+            return NotImplemented
+        if logbook is None:  # pragma: no cover - defensive
+            logbook = ExponentHistogram()
+
+        def _wrap(r, original_out):
+            if isinstance(r, np.ndarray) and np.issubdtype(r.dtype, np.floating):
+                logbook.record(r)
+                if original_out is not None and isinstance(original_out, Sherlog):
+                    return original_out
+                w = r.view(Sherlog)
+                w.logbook = logbook
+                return w
+            if np.isscalar(r) and isinstance(r, (float, np.floating)):
+                logbook.record(np.asarray(r))
+            return r
+
+        if isinstance(result, tuple):
+            outs = out if out is not None else (None,) * len(result)
+            return tuple(_wrap(r, o) for r, o in zip(result, outs))
+        return _wrap(result, out[0] if out else None)
+
+    @classmethod
+    def wrap(
+        cls,
+        array,
+        dtype: np.dtype | type = np.float32,
+        logbook: Optional[ExponentHistogram] = None,
+    ) -> "Sherlog":
+        arr = np.asarray(array, dtype=dtype)
+        obj = cls(arr.copy(), logbook=logbook)
+        obj.logbook.record(arr)  # initial values count too
+        return obj
+
+
+def Sherlog32(array, logbook: Optional[ExponentHistogram] = None) -> Sherlog:
+    """Sherlogs.jl's ``Sherlog32``: float32 storage + recording (§III-B)."""
+    return Sherlog.wrap(array, np.float32, logbook)
+
+
+def Sherlog64(array, logbook: Optional[ExponentHistogram] = None) -> Sherlog:
+    """Float64 storage + recording."""
+    return Sherlog.wrap(array, np.float64, logbook)
+
+
+def suggest_scaling(
+    hist: ExponentHistogram,
+    fmt: FloatFormat | str = FLOAT16,
+    headroom_bits: int = 3,
+    tail: float = 0.005,
+) -> float:
+    """Choose a power-of-two scaling ``s`` for the target format.
+
+    Lifts the low tail of the recorded exponent distribution (all but a
+    fraction ``tail``) out of ``fmt``'s subnormal range, while keeping
+    the high tail at least ``headroom_bits`` binades below overflow.
+    Returns ``s`` such that running the model on ``s * state`` keeps
+    values normal — the paper's workflow of "after choosing s, we
+    execute the same code with T=Float16, s=s".  When the distribution
+    is too wide to satisfy both ends, overflow safety wins (overflow is
+    fatal, subnormals merely slow/inaccurate).
+    """
+    f = lookup_format(fmt)
+    lo = hist.percentile_exponent(tail)
+    hi = hist.percentile_exponent(1.0 - tail)
+    # Shift needed to make the low tail normal (+1 binade of margin).
+    want = (f.min_exponent + 1) - lo
+    # Largest shift that keeps the high tail clear of overflow.
+    allowed = (f.max_exponent - headroom_bits) - hi
+    shift = min(want, allowed)
+    return float(2.0 ** max(shift, 0))

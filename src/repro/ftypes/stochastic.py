@@ -1,0 +1,141 @@
+"""Stochastic rounding — the reduced-precision extension beyond the paper.
+
+The paper's Float16 story uses deterministic round-to-nearest plus
+compensated sums.  The follow-up literature (including the
+ShallowWaters.jl authors' own work) shows *stochastic rounding* (SR) as
+the other mitigation: round up or down with probability proportional to
+the distance, making the rounding error zero-mean so long accumulations
+stop drifting.  Since §III-B claims any custom number format works once
+its arithmetic is defined, SR-Float16 is the natural stress test of that
+claim — and this module provides it:
+
+* :func:`stochastic_round` — SR quantisation of float64 data to any
+  :class:`~repro.ftypes.formats.FloatFormat`;
+* :class:`StochasticFloatOps` — drop-in replacement for
+  :class:`~repro.ftypes.rounding.SoftwareFloatOps` whose every operation
+  rounds stochastically (deterministic per seed);
+* :func:`sr_sum` — accumulation demonstrating the headline property:
+  the error of an SR sum grows like sqrt(n) ulps instead of n ulps.
+
+Exactness property used by the tests: values already representable in
+the target format are *never* perturbed (SR only randomises genuinely
+inexact results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .formats import FLOAT16, FloatFormat, lookup_format
+from .rounding import quantize, ulp
+
+__all__ = ["stochastic_round", "StochasticFloatOps", "sr_sum"]
+
+
+def stochastic_round(
+    x: np.ndarray | float,
+    fmt: FloatFormat | str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Round ``x`` to ``fmt`` stochastically (result stored in float64).
+
+    Each value rounds to one of its two neighbouring representables;
+    the probability of rounding up equals the fractional position
+    between them, so ``E[SR(x)] = x`` exactly (for values in range).
+    """
+    f = lookup_format(fmt)
+    x64 = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    down = quantize(x64, f)
+    with np.errstate(invalid="ignore", over="ignore"):
+        # Where quantisation was exact, keep it (neighbours coincide).
+        exact = down == x64
+        # The other neighbour: one ulp toward the residual's sign.
+        residual = x64 - down
+        step = np.where(residual > 0, 1.0, -1.0) * ulp(f, down)
+        up = quantize(down + step, f)
+    # fraction of the gap covered by the residual
+    with np.errstate(invalid="ignore", divide="ignore"):
+        gap = up - down
+        prob_up = np.where(gap != 0, residual / gap, 0.0)
+        prob_up = np.where(np.isfinite(prob_up), prob_up, 0.0)
+    prob_up = np.clip(prob_up, 0.0, 1.0)
+    draw = rng.uniform(size=x64.shape)
+    result = np.where(exact, down, np.where(draw < prob_up, up, down))
+    # Preserve non-finite values.
+    result = np.where(np.isfinite(x64), result, x64)
+    return result if np.ndim(x) else result.reshape(())
+
+
+@dataclass
+class StochasticFloatOps:
+    """Arithmetic context rounding every operation stochastically.
+
+    Deterministic for a given ``seed`` — reruns reproduce bit-for-bit,
+    which keeps tests and debugging sane (the 'Sherlogs for randomness'
+    discipline).
+    """
+
+    fmt: FloatFormat = FLOAT16
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def reset(self) -> None:
+        """Rewind the RNG (replay the same rounding sequence)."""
+        self._rng = np.random.default_rng(self.seed)
+
+    def _finish(self, r) -> np.ndarray:
+        return stochastic_round(r, self.fmt, self._rng)
+
+    def add(self, x, y):
+        return self._finish(np.asarray(x, np.float64) + np.asarray(y, np.float64))
+
+    def sub(self, x, y):
+        return self._finish(np.asarray(x, np.float64) - np.asarray(y, np.float64))
+
+    def mul(self, x, y):
+        return self._finish(np.asarray(x, np.float64) * np.asarray(y, np.float64))
+
+    def div(self, x, y):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self._finish(
+                np.asarray(x, np.float64) / np.asarray(y, np.float64)
+            )
+
+    def muladd(self, a, x, y):
+        p = self._finish(np.asarray(a, np.float64) * np.asarray(x, np.float64))
+        return self._finish(p + np.asarray(y, np.float64))
+
+    def fma(self, a, x, y):
+        return self._finish(
+            np.asarray(a, np.float64) * np.asarray(x, np.float64)
+            + np.asarray(y, np.float64)
+        )
+
+    def sqrt(self, x):
+        with np.errstate(invalid="ignore"):
+            return self._finish(np.sqrt(np.asarray(x, np.float64)))
+
+
+def sr_sum(
+    values: np.ndarray,
+    fmt: FloatFormat | str = FLOAT16,
+    seed: int = 0,
+) -> float:
+    """Sequential sum with stochastic rounding after every addition.
+
+    For n values of similar magnitude the expected error is O(sqrt(n))
+    ulps versus O(n) for round-to-nearest saturation — the property the
+    tests verify statistically.
+    """
+    f = lookup_format(fmt)
+    rng = np.random.default_rng(seed)
+    acc = 0.0
+    for v in np.asarray(values, dtype=np.float64).ravel():
+        acc = float(stochastic_round(acc + v, f, rng))
+    return acc

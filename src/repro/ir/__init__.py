@@ -1,0 +1,80 @@
+"""Miniature compiler IR: the paper's §II / §IV-C compilation story.
+
+Pipeline: :mod:`builder` constructs kernels (``muladd``, ``axpy``),
+:mod:`passes` transforms them (Float16 widening, SVE vectorisation),
+:mod:`interp` executes them bit-exactly on numpy data, :mod:`cost`
+charges them against the machine model, and :mod:`printer` renders the
+LLVM-like listings of §IV-C.
+"""
+
+from .types import DOUBLE, FLOAT, HALF, IRType, ScalarType, VectorType, wider
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    Value,
+    VScale,
+)
+from .builder import IRBuilder, build_axpy, build_dot, build_muladd
+from .passes import SoftFloatWideningPass, VectorizePass
+from .transforms import (
+    DeadCodeEliminationPass,
+    FuseMulAddPass,
+    VerificationError,
+    verify_function,
+)
+from .interp import ExecutionTrace, Interpreter
+from .cost import CostModel, FunctionCost
+from .printer import print_function
+
+__all__ = [
+    "HALF",
+    "FLOAT",
+    "DOUBLE",
+    "ScalarType",
+    "VectorType",
+    "IRType",
+    "wider",
+    "Value",
+    "Param",
+    "Instr",
+    "BinOp",
+    "UnOp",
+    "FMulAdd",
+    "Cast",
+    "Load",
+    "Store",
+    "Const",
+    "VScale",
+    "Splat",
+    "Ret",
+    "Loop",
+    "Function",
+    "IRBuilder",
+    "build_muladd",
+    "build_axpy",
+    "build_dot",
+    "Reduce",
+    "SoftFloatWideningPass",
+    "VectorizePass",
+    "FuseMulAddPass",
+    "DeadCodeEliminationPass",
+    "verify_function",
+    "VerificationError",
+    "Interpreter",
+    "ExecutionTrace",
+    "CostModel",
+    "FunctionCost",
+    "print_function",
+]

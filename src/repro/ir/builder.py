@@ -1,0 +1,187 @@
+"""IR construction helpers and the paper's two reference kernels.
+
+* :func:`build_muladd` — the exact function of the §IV-C listing::
+
+      define half @julia_muladd(half %0, half %1, half %2)
+
+* :func:`build_axpy` — the §III-A Julia ``axpy!`` loop: one counted loop
+  with a load-load-fmuladd-store body, type-parameterised like the
+  ``where {T<:Number}`` signature in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+    Ret,
+    Store,
+    Value,
+)
+from .types import DOUBLE, IRType, ScalarType
+
+__all__ = ["IRBuilder", "build_muladd", "build_axpy", "build_dot"]
+
+
+class IRBuilder:
+    """Incremental function builder (a tiny LLVM ``IRBuilder`` analogue)."""
+
+    def __init__(self, name: str, return_type: Optional[IRType]):
+        self.name = name
+        self.return_type = return_type
+        self.params: List[Param] = []
+        self._body: List[Instr] = []
+        self._stack: List[List[Instr]] = [self._body]
+
+    # -- parameters -----------------------------------------------------
+    def param(self, type: IRType, pointer: bool = False) -> Param:
+        p = Param(type=type, pointer=pointer, index=len(self.params))
+        self.params.append(p)
+        return p
+
+    # -- instruction emission --------------------------------------------
+    def _emit(self, instr: Instr) -> Optional[Value]:
+        self._stack[-1].append(instr)
+        return instr.result
+
+    def binop(self, op: str, lhs: Value, rhs: Value) -> Value:
+        return self._emit(BinOp(op, lhs, rhs))
+
+    def fmul(self, a: Value, b: Value) -> Value:
+        return self.binop("fmul", a, b)
+
+    def fadd(self, a: Value, b: Value) -> Value:
+        return self.binop("fadd", a, b)
+
+    def fmuladd(self, a: Value, b: Value, c: Value) -> Value:
+        return self._emit(FMulAdd(a, b, c))
+
+    def fpext(self, v: Value, to: IRType) -> Value:
+        return self._emit(Cast("fpext", v, to))
+
+    def fptrunc(self, v: Value, to: IRType) -> Value:
+        return self._emit(Cast("fptrunc", v, to))
+
+    def load(self, ptr: Param, index: Value, type: IRType) -> Value:
+        return self._emit(Load(ptr, index, type))
+
+    def store(self, value: Value, ptr: Param, index: Value) -> None:
+        self._emit(Store(value, ptr, index))
+
+    def const(self, value: float, type: IRType) -> Value:
+        return self._emit(Const(value, type))
+
+    def reduce_fadd(self, v: Value, ordered: bool = True) -> Value:
+        return self._emit(Reduce("fadd", v, ordered=ordered))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self._emit(Ret(value))
+
+    # -- loops ------------------------------------------------------------
+    def loop(self, trip_count: Param) -> "LoopContext":
+        return LoopContext(self, trip_count)
+
+    # -- finish ------------------------------------------------------------
+    def function(self) -> Function:
+        return Function(self.name, self.params, self._body, self.return_type)
+
+
+class LoopContext:
+    """``with builder.loop(n) as i: ...`` emits a counted loop."""
+
+    def __init__(self, builder: IRBuilder, trip_count: Param):
+        self.builder = builder
+        self.trip_count = trip_count
+        self.counter = Value(DOUBLE, name="i")  # integer-valued index
+        self.body: List[Instr] = []
+
+    def __enter__(self) -> Value:
+        self.builder._stack.append(self.body)
+        return self.counter
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.builder._stack.pop()
+        if exc_type is None:
+            self.builder._emit(
+                Loop(counter=self.counter, trip_count=self.trip_count, body=self.body)
+            )
+
+
+def build_muladd(t: ScalarType) -> Function:
+    """``muladd(x, y, z) = x*y + z`` as Julia lowers it (§IV-C listing 1).
+
+    For ``t = HALF`` the printed IR is exactly::
+
+        define half @julia_muladd(half %0, half %1, half %2) {
+        top:
+          %3 = fmul half %0, %1
+          %4 = fadd half %3, %2
+          ret half %4
+        }
+    """
+    b = IRBuilder("julia_muladd", t)
+    x = b.param(t)
+    y = b.param(t)
+    z = b.param(t)
+    p = b.fmul(x, y)
+    s = b.fadd(p, z)
+    b.ret(s)
+    return b.function()
+
+
+def build_axpy(t: ScalarType) -> Function:
+    """The §III-A generic ``axpy!``: ``y[i] = muladd(a, x[i], y[i])``.
+
+    Parameters are ``(a, x*, y*, n)``; the loop body is a scalar
+    load/load/fmuladd/store — exactly what ``@simd`` + ``@inbounds``
+    hands LLVM before vectorisation.
+    """
+    b = IRBuilder("julia_axpy", None)
+    a = b.param(t)
+    x = b.param(t, pointer=True)
+    y = b.param(t, pointer=True)
+    n = b.param(DOUBLE)  # trip count (integer-valued)
+    with b.loop(n) as i:
+        xi = b.load(x, i, t)
+        yi = b.load(y, i, t)
+        r = b.fmuladd(a, xi, yi)
+        b.store(r, y, i)
+    b.ret()
+    return b.function()
+
+
+def build_dot(t: ScalarType) -> Function:
+    """Scalar dot product ``acc += x[i]*y[i]`` (in-format accumulation).
+
+    The scalar loop form; run :class:`~repro.ir.passes.VectorizePass`
+    and the accumulator stays scalar per iteration — matching how BLAS
+    reference dots accumulate in the working precision (the §III-B
+    reason compensated techniques exist).  The loop carries the
+    accumulator through memory (a one-element buffer parameter), keeping
+    the structured IR free of loop-carried SSA values.
+    """
+    b = IRBuilder("julia_dot", t)
+    x = b.param(t, pointer=True)
+    y = b.param(t, pointer=True)
+    acc_buf = b.param(t, pointer=True)  # one-element accumulator
+    n = b.param(DOUBLE)
+    zero_idx = b.const(0.0, DOUBLE)
+    with b.loop(n) as i:
+        xi = b.load(x, i, t)
+        yi = b.load(y, i, t)
+        acc = b.load(acc_buf, zero_idx, t)
+        r = b.fmuladd(xi, yi, acc)
+        b.store(r, acc_buf, zero_idx)
+    final = b.load(acc_buf, zero_idx, t)
+    b.ret(final)
+    return b.function()

@@ -1,0 +1,167 @@
+"""Cycle cost model for IR functions on a chip.
+
+§IV-C: "On systems with full hardware support this [software widening]
+is clearly suboptimal" — this module quantifies *how* suboptimal.  Each
+instruction is charged issue slots on the chip's vector pipes; the cost
+of one loop iteration divided by its lane count gives cycles/element,
+and the ratio between the widened and native functions is the software-
+Float16 penalty the multi-versioning work in Julia/LLVM aims to remove.
+
+The model is a throughput (not latency) model: A64FX's two SVE pipes
+issue one vector arithmetic or conversion instruction each per cycle,
+loads/stores go to dedicated ports.  That is the right abstraction for
+the long, independent-iteration streaming loops of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..machine.specs import A64FX, ChipSpec
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Reduce,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    VScale,
+)
+from .types import VectorType, elem_type
+
+__all__ = ["CostModel", "FunctionCost"]
+
+# Issue-slot cost per instruction, in vector-pipe slots.
+_ARITH_SLOTS = {
+    "fmul": 1.0,
+    "fadd": 1.0,
+    "fsub": 1.0,
+    "fdiv": 8.0,  # unpipelined-ish divide
+    "fneg": 1.0,
+    "fmuladd": 1.0,  # FMA is one instruction
+    "fpext": 1.0,  # FCVT occupies a vector pipe
+    "fptrunc": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class FunctionCost:
+    """Costing result for a function."""
+
+    #: vector-pipe slots per loop iteration (or per call for straight-line).
+    arith_slots_per_iteration: float
+    #: load/store operations per iteration.
+    memory_ops_per_iteration: float
+    #: elements processed per iteration (lanes of the vectorised loop).
+    lanes: int
+    #: cycles per element on the chip (throughput bound).
+    cycles_per_element: float
+
+    def relative_to(self, other: "FunctionCost") -> float:
+        """How many times slower ``self`` is than ``other``."""
+        return self.cycles_per_element / other.cycles_per_element
+
+
+class CostModel:
+    """Charge an IR function against a chip's issue resources."""
+
+    def __init__(self, chip: ChipSpec = A64FX, vscale: int | None = None):
+        self.chip = chip
+        self.vscale = vscale if vscale is not None else chip.vector_bits // 128
+
+    # ------------------------------------------------------------------
+    def _instr_slots(self, ins: Instr) -> float:
+        if isinstance(ins, BinOp):
+            return _ARITH_SLOTS[ins.op]
+        if isinstance(ins, UnOp):
+            return _ARITH_SLOTS[ins.op]
+        if isinstance(ins, FMulAdd):
+            return _ARITH_SLOTS["fmuladd"]
+        if isinstance(ins, Cast):
+            return _ARITH_SLOTS[ins.op]
+        if isinstance(ins, Reduce):
+            import math
+
+            lanes = self._lanes_of(ins)
+            # fadda is sequential (one lane per cycle); faddv is a tree.
+            return float(lanes) if ins.ordered else math.log2(max(2, lanes))
+        if isinstance(ins, Splat):
+            return 0.0  # loop-invariant, hoisted by any real compiler
+        if isinstance(ins, (Const, VScale, Ret)):
+            return 0.0
+        return 0.0
+
+    def _lanes_of(self, ins: Instr) -> int:
+        for v in list(ins.operands()) + ([ins.result] if ins.result else []):
+            if v is not None and isinstance(v.type, VectorType):
+                return v.type.lanes(self.vscale)
+        return 1
+
+    def _split_factor(self, ins: Instr) -> int:
+        """Register-splitting multiplier: an op whose widest vector type
+        exceeds the hardware register (e.g. the ``<vscale x 8 x float>``
+        produced by widening a full fp16 vector) is legalised into
+        multiple instructions."""
+        worst = 1
+        for v in list(ins.operands()) + ([ins.result] if ins.result else []):
+            if v is not None and isinstance(v.type, VectorType):
+                bits = v.type.lanes(self.vscale) * v.type.elem.bits
+                worst = max(worst, -(-bits // self.chip.vector_bits))
+        return worst
+
+    # ------------------------------------------------------------------
+    def cost(self, fn: Function) -> FunctionCost:
+        """Cost the (innermost loop of the) function.
+
+        Straight-line functions are costed per call with ``lanes=1``.
+        """
+        loop = next((i for i in fn.body if isinstance(i, Loop)), None)
+        body = loop.body if loop is not None else fn.body
+
+        iter_lanes = loop.lanes_hint if loop is not None else 1
+        arith = 0.0
+        mem = 0.0
+        arith_per_elem = 0.0
+        mem_per_elem = 0.0
+        for ins in body:
+            lanes = self._lanes_of(ins)
+            split = self._split_factor(ins)
+            iter_lanes = max(iter_lanes, lanes)
+            if isinstance(ins, (Load, Store)):
+                mem += split
+                mem_per_elem += split / lanes
+            else:
+                # Widened fp16 arithmetic runs on fp32 vectors that need
+                # twice the registers for the same lane count, so each
+                # logical op legalises to ``split`` hardware issues.
+                slots = self._instr_slots(ins) * split
+                arith += slots
+                arith_per_elem += slots / lanes
+
+        # Throughput bound: arithmetic shares the FMA/convert pipes;
+        # loads/stores use their own ports (2 loads + 1 store per cycle
+        # on A64FX -> 1 cycle can retire ~2 memory ops of a stream).
+        arith_cycles = arith_per_elem / self.chip.fma_pipes
+        mem_cycles = mem_per_elem / 2.0
+        floor = (1.0 / iter_lanes) if body else 0.0
+        cycles_per_element = max(arith_cycles, mem_cycles, floor)
+        return FunctionCost(
+            arith_slots_per_iteration=arith,
+            memory_ops_per_iteration=mem,
+            lanes=iter_lanes,
+            cycles_per_element=cycles_per_element,
+        )
+
+    def software_float16_penalty(
+        self, native_fn: Function, widened_fn: Function
+    ) -> float:
+        """Slowdown factor of the §IV-C software lowering vs native FP16."""
+        return self.cost(widened_fn).relative_to(self.cost(native_fn))

@@ -1,0 +1,271 @@
+"""Numpy interpreter for the miniature IR — bit-exact per-mode semantics.
+
+This is where the paper's §II consistency requirement becomes testable:
+
+* a function *before* the widening pass, executed here, uses native
+  format arithmetic (numpy's float16 ops are correctly-rounded IEEE
+  binary16 — exactly what A64FX hardware produces);
+* the *same* function after ``SoftFloatWideningPass(mode="round_each_op")``
+  executes literally — fpext to float32, compute, fptrunc back — and the
+  tests assert the results are **bit-identical** to native;
+* after ``mode="extend_precision"`` the intermediates stay wide and the
+  results can differ (the inconsistency Julia refuses to accept).
+
+Vectorised functions execute chunk-wise with a predicated tail, mirroring
+:class:`repro.machine.vector.SVEVectorUnit`; ``llvm.vscale`` evaluates to
+the interpreter's ``vscale`` (4 for 512-bit SVE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    Value,
+    VScale,
+)
+from .types import IRType, ScalarType, VectorType, elem_type
+
+__all__ = ["Interpreter", "ExecutionTrace"]
+
+_BINOP_FUNCS = {
+    "fmul": np.multiply,
+    "fadd": np.add,
+    "fsub": np.subtract,
+    "fdiv": np.divide,
+}
+
+
+@dataclass
+class ExecutionTrace:
+    """Dynamic instruction counts from one execution (for the cost model)."""
+
+    executed: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str, n: int = 1) -> None:
+        self.executed[kind] = self.executed.get(kind, 0) + n
+
+    def total(self) -> int:
+        return sum(self.executed.values())
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class Interpreter:
+    """Execute IR functions on numpy data.
+
+    Parameters
+    ----------
+    vscale:
+        Runtime SVE scale (vector bits / 128).  A64FX: 4.
+    """
+
+    def __init__(self, vscale: int = 4):
+        self.vscale = vscale
+
+    # ------------------------------------------------------------------
+    def run(
+        self, fn: Function, *args: Any, trace: Optional[ExecutionTrace] = None
+    ) -> Any:
+        """Call ``fn`` with numpy arguments; returns its ``ret`` value.
+
+        Array arguments are mutated in place by ``store`` (like passing
+        a Julia ``Vector`` to ``axpy!``).
+        """
+        if len(args) != len(fn.params):
+            raise TypeError(
+                f"@{fn.name} takes {len(fn.params)} arguments, got {len(args)}"
+            )
+        env: Dict[Value, Any] = {}
+        for p, a in zip(fn.params, args):
+            env[p] = self._coerce_param(p, a)
+        try:
+            self._exec_body(fn.body, env, trace)
+        except _ReturnSignal as r:
+            return r.value
+        return None
+
+    # ------------------------------------------------------------------
+    def _coerce_param(self, p: Param, a: Any) -> Any:
+        if p.pointer:
+            arr = np.asarray(a)
+            want = elem_type(p.type).npdtype
+            if arr.dtype != want:
+                raise TypeError(
+                    f"pointer argument {p.index} must be {want}, got {arr.dtype}"
+                )
+            return arr
+        if isinstance(p.type, ScalarType):
+            # Scalars: trip counts arrive as ints, floats as format scalars.
+            if isinstance(a, (int, np.integer)) and not isinstance(a, bool):
+                return int(a)
+            return p.type.npdtype.type(a)
+        raise TypeError("vector-typed parameters are not supported")
+
+    def _exec_body(
+        self,
+        body: Sequence[Instr],
+        env: Dict[Value, Any],
+        trace: Optional[ExecutionTrace],
+    ) -> None:
+        for ins in body:
+            self._exec_instr(ins, env, trace)
+
+    # ------------------------------------------------------------------
+    def _exec_instr(
+        self, ins: Instr, env: Dict[Value, Any], trace: Optional[ExecutionTrace]
+    ) -> None:
+        if isinstance(ins, BinOp):
+            lhs, rhs = env[ins.lhs], env[ins.rhs]
+            dt = elem_type(ins.lhs.type).npdtype
+            with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+                r = _BINOP_FUNCS[ins.op](lhs, rhs, dtype=dt)
+            env[ins.result] = r
+            if trace:
+                trace.bump(ins.op)
+        elif isinstance(ins, UnOp):
+            env[ins.result] = np.negative(env[ins.operand])
+            if trace:
+                trace.bump(ins.op)
+        elif isinstance(ins, FMulAdd):
+            a, b, c = env[ins.a], env[ins.b], env[ins.c]
+            dt = elem_type(ins.a.type).npdtype
+            if dt == np.float64:
+                # llvm.fmuladd permits unfused evaluation; float64 has no
+                # wider type here, so evaluate as mul+add.
+                with np.errstate(over="ignore", invalid="ignore"):
+                    r = np.add(np.multiply(a, b), c, dtype=dt)
+            else:
+                # Fused: compute exactly in float64 and round once.  For
+                # half/float this *is* a correctly-rounded FMA (the
+                # product is exact in float64 and 53 >= 2p+2 makes the
+                # final double rounding innocuous).
+                wide = np.multiply(
+                    np.asarray(a, np.float64), np.asarray(b, np.float64)
+                ) + np.asarray(c, np.float64)
+                with np.errstate(over="ignore", invalid="ignore"):
+                    r = wide.astype(dt) if isinstance(wide, np.ndarray) else dt.type(wide)
+            env[ins.result] = r
+            if trace:
+                trace.bump("fmuladd")
+        elif isinstance(ins, Cast):
+            v = env[ins.operand]
+            dt = elem_type(ins.to_type).npdtype
+            with np.errstate(over="ignore", invalid="ignore"):
+                env[ins.result] = (
+                    v.astype(dt) if isinstance(v, np.ndarray) else dt.type(v)
+                )
+            if trace:
+                trace.bump(ins.op)
+        elif isinstance(ins, Reduce):
+            v = np.asarray(env[ins.operand])
+            dt = ins.operand.type.elem.npdtype
+            if ins.ordered:
+                # SVE fadda: strictly sequential lane order.
+                acc = dt.type(0)
+                for lane in v:
+                    acc = dt.type(acc + lane)
+            else:
+                # faddv-style tree reduction.
+                work = v.astype(dt)
+                while work.shape[0] > 1:
+                    half_n = work.shape[0] // 2
+                    head = work[: 2 * half_n]
+                    with np.errstate(over="ignore"):
+                        work = np.concatenate(
+                            [(head[0::2] + head[1::2]).astype(dt),
+                             work[2 * half_n :]]
+                        )
+                acc = work[0] if work.shape[0] else dt.type(0)
+            env[ins.result] = acc
+            if trace:
+                trace.bump("reduce")
+        elif isinstance(ins, Splat):
+            v = env[ins.operand]
+            lanes = ins.to_type.lanes(self.vscale)
+            env[ins.result] = np.full(lanes, v, dtype=ins.to_type.elem.npdtype)
+            if trace:
+                trace.bump("splat")
+        elif isinstance(ins, Const):
+            dt = elem_type(ins.type).npdtype
+            env[ins.result] = dt.type(ins.value)
+        elif isinstance(ins, VScale):
+            env[ins.result] = self.vscale
+            if trace:
+                trace.bump("vscale")
+        elif isinstance(ins, Load):
+            arr = env[ins.ptr]
+            i = int(env[ins.index])
+            if isinstance(ins.type, VectorType):
+                lanes = ins.type.lanes(self.vscale)
+                stop = min(i + lanes, arr.shape[0])
+                chunk = arr[i:stop]
+                if chunk.shape[0] < lanes:
+                    # Predicated (tail) load: inactive lanes read as zero,
+                    # matching SVE masked-load semantics.
+                    chunk = np.concatenate(
+                        [chunk, np.zeros(lanes - chunk.shape[0], dtype=arr.dtype)]
+                    )
+                env[ins.result] = chunk
+                if trace:
+                    trace.bump("vload")
+            else:
+                env[ins.result] = arr[i]
+                if trace:
+                    trace.bump("load")
+        elif isinstance(ins, Store):
+            arr = env[ins.ptr]
+            i = int(env[ins.index])
+            v = env[ins.value]
+            if isinstance(ins.value.type, VectorType):
+                lanes = ins.value.type.lanes(self.vscale)
+                stop = min(i + lanes, arr.shape[0])
+                width = stop - i
+                v = np.asarray(v)
+                arr[i:stop] = v[:width]
+                if trace:
+                    trace.bump("vstore")
+            else:
+                arr[i] = v
+                if trace:
+                    trace.bump("store")
+        elif isinstance(ins, Loop):
+            n = int(env[ins.trip_count])
+            i = 0
+            iterations = 0
+            while i < n:
+                env[ins.counter] = i
+                self._exec_body(ins.body, env, trace)
+                # step_values (llvm.vscale) are produced by the body, so
+                # the effective step is only known after executing it.
+                step = ins.step
+                for sv in ins.step_values:
+                    step *= int(env[sv])
+                i += max(1, step)
+                iterations += 1
+            if trace:
+                trace.bump("loop_iterations", iterations)
+        elif isinstance(ins, Ret):
+            raise _ReturnSignal(env[ins.value] if ins.value is not None else None)
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise TypeError(f"cannot interpret {type(ins).__name__}")

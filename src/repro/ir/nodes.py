@@ -1,0 +1,307 @@
+"""SSA instructions and functions of the miniature IR.
+
+The IR is *structured*: a function body is a list of instructions, and a
+counted loop is itself an instruction holding a nested body (no CFG/phi
+machinery).  That is all the paper's kernels need — ``muladd`` is
+straight-line, ``axpy!`` is one counted loop — while keeping the passes
+(:mod:`repro.ir.passes`) and the interpreter (:mod:`repro.ir.interp`)
+small and fully testable.
+
+Instruction set (all float, matching the §IV-C listings):
+
+========  ==========================================================
+fneg      unary negation
+fmul/fadd/fsub/fdiv   binary arithmetic
+fmuladd   ``llvm.fmuladd`` intrinsic (may fuse; Julia's ``muladd``)
+fpext     widen to a larger float type
+fptrunc   round to a smaller float type
+load      ``x[i]`` from an array parameter (optionally vector/masked)
+store     ``x[i] = v`` (optionally vector/masked)
+vscale    runtime vector-scale constant (SVE)
+const     literal
+ret       function result
+loop      counted loop with nested body (trip count from a parameter)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .types import IRType, ScalarType, VectorType
+
+__all__ = [
+    "Value",
+    "Instr",
+    "BinOp",
+    "UnOp",
+    "FMulAdd",
+    "Cast",
+    "Load",
+    "Store",
+    "Const",
+    "VScale",
+    "Splat",
+    "Reduce",
+    "Ret",
+    "Loop",
+    "Param",
+    "Function",
+    "BINARY_OPS",
+]
+
+BINARY_OPS = ("fmul", "fadd", "fsub", "fdiv")
+
+
+@dataclass(frozen=True, eq=False)
+class Value:
+    """An SSA value: a parameter, a constant, or an instruction result."""
+
+    type: IRType
+    name: Optional[str] = None  # assigned at print time if None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Value({self.type}, {self.name or '?'})"
+
+
+@dataclass(frozen=True, eq=False)
+class Param(Value):
+    """A function parameter.  ``pointer=True`` marks array arguments."""
+
+    pointer: bool = False
+    index: int = 0
+
+
+@dataclass(eq=False)
+class Instr:
+    """Base instruction.  ``result`` is None for stores/ret."""
+
+    result: Optional[Value] = field(default=None, init=False)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return ()
+
+
+@dataclass(eq=False)
+class BinOp(Instr):
+    op: str
+    lhs: Value
+    rhs: Value
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+        if self.lhs.type != self.rhs.type:
+            raise TypeError(
+                f"{self.op}: operand types differ "
+                f"({self.lhs.type} vs {self.rhs.type})"
+            )
+        self.result = Value(self.lhs.type)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(eq=False)
+class UnOp(Instr):
+    op: str
+    operand: Value
+
+    def __post_init__(self) -> None:
+        if self.op != "fneg":
+            raise ValueError(f"unknown unary op {self.op!r}")
+        self.result = Value(self.operand.type)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.operand,)
+
+
+@dataclass(eq=False)
+class FMulAdd(Instr):
+    """``llvm.fmuladd.*``: a*b + c, allowed (not required) to fuse."""
+
+    a: Value
+    b: Value
+    c: Value
+
+    def __post_init__(self) -> None:
+        if not (self.a.type == self.b.type == self.c.type):
+            raise TypeError("fmuladd operands must share a type")
+        self.result = Value(self.a.type)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.a, self.b, self.c)
+
+
+@dataclass(eq=False)
+class Cast(Instr):
+    """``fpext`` (widen) or ``fptrunc`` (round to narrower)."""
+
+    op: str
+    operand: Value
+    to_type: IRType
+
+    def __post_init__(self) -> None:
+        if self.op not in ("fpext", "fptrunc"):
+            raise ValueError(f"unknown cast {self.op!r}")
+        self.result = Value(self.to_type)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.operand,)
+
+
+@dataclass(eq=False)
+class Load(Instr):
+    """Load ``ptr[index]`` — scalar, or a whole vector when ``type`` is a
+    VectorType (``mask`` predicates the tail)."""
+
+    ptr: Param
+    index: Value
+    type: IRType
+    mask: Optional[Value] = None
+
+    def __post_init__(self) -> None:
+        if not self.ptr.pointer:
+            raise TypeError("load requires a pointer parameter")
+        self.result = Value(self.type)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.index,) if self.mask is None else (self.index, self.mask)
+
+
+@dataclass(eq=False)
+class Store(Instr):
+    value: Value
+    ptr: Param
+    index: Value
+    mask: Optional[Value] = None
+
+    def __post_init__(self) -> None:
+        if not self.ptr.pointer:
+            raise TypeError("store requires a pointer parameter")
+        self.result = None
+
+    def operands(self) -> Tuple[Value, ...]:
+        ops = (self.value, self.index)
+        return ops if self.mask is None else ops + (self.mask,)
+
+
+@dataclass(eq=False)
+class Const(Instr):
+    value: float
+    type: IRType
+
+    def __post_init__(self) -> None:
+        self.result = Value(self.type)
+
+
+@dataclass(eq=False)
+class VScale(Instr):
+    """``llvm.vscale()`` — the runtime SVE scale factor (§III-A: LLVM 14
+    emits this without needing -aarch64-sve-vector-bits-min)."""
+
+    def __post_init__(self) -> None:
+        from .types import DOUBLE  # the interp treats it as an integer count
+
+        self.result = Value(DOUBLE, name=None)
+
+
+@dataclass(eq=False)
+class Reduce(Instr):
+    """Horizontal lane reduction of a vector to a scalar (LLVM's
+    ``llvm.vector.reduce.fadd``).  ``ordered=True`` models SVE's
+    ``fadda`` (strictly sequential lane order — reproducible); unordered
+    models ``faddv`` (tree order — faster, different rounding)."""
+
+    op: str
+    operand: Value
+    ordered: bool = True
+
+    def __post_init__(self) -> None:
+        if self.op != "fadd":
+            raise ValueError(f"unsupported reduction {self.op!r}")
+        if not isinstance(self.operand.type, VectorType):
+            raise TypeError("reduce requires a vector operand")
+        self.result = Value(self.operand.type.elem)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.operand,)
+
+
+@dataclass(eq=False)
+class Splat(Instr):
+    """Broadcast a scalar into every lane of a vector (LLVM's
+    ``insertelement`` + ``shufflevector`` splat idiom)."""
+
+    operand: Value
+    to_type: VectorType
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.to_type, VectorType):
+            raise TypeError("splat target must be a vector type")
+        if self.operand.type != self.to_type.elem:
+            raise TypeError("splat operand must match the vector element type")
+        self.result = Value(self.to_type)
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.operand,)
+
+
+@dataclass(eq=False)
+class Ret(Instr):
+    value: Optional[Value] = None
+
+    def __post_init__(self) -> None:
+        self.result = None
+
+    def operands(self) -> Tuple[Value, ...]:
+        return (self.value,) if self.value is not None else ()
+
+
+@dataclass(eq=False)
+class Loop(Instr):
+    """Counted loop: ``for counter in range(0, trip_count, step)``.
+
+    ``step_values`` lets the step be a product of SSA values (e.g.
+    ``vscale * 8`` after vectorisation); a plain scalar step of 1 is the
+    scalar-loop case.  The loop body is a nested instruction list that
+    may reference ``counter`` as an index value.
+    """
+
+    counter: Value
+    trip_count: Param
+    body: List[Instr]
+    step: int = 1
+    step_values: Tuple[Value, ...] = ()
+    #: lanes per iteration after vectorisation (1 = scalar), for costing.
+    lanes_hint: int = 1
+
+    def __post_init__(self) -> None:
+        self.result = None
+
+
+@dataclass(eq=False)
+class Function:
+    """An IR function: named params and a structured body."""
+
+    name: str
+    params: List[Param]
+    body: List[Instr]
+    return_type: Optional[IRType]
+
+    def walk(self):
+        """Yield every instruction, entering loop bodies depth-first."""
+
+        def _walk(instrs):
+            for ins in instrs:
+                yield ins
+                if isinstance(ins, Loop):
+                    yield from _walk(ins.body)
+
+        yield from _walk(self.body)
+
+    def count_ops(self, *kinds: type) -> int:
+        """Number of instructions of the given classes (for tests/costs)."""
+        return sum(1 for ins in self.walk() if isinstance(ins, kinds))

@@ -1,0 +1,315 @@
+"""IR transformation passes: Float16 widening and SVE vectorisation.
+
+Two passes, each the code-level embodiment of a section of the paper:
+
+* :class:`SoftFloatWideningPass` (§II, §IV-C) — on hardware without
+  native FP16 arithmetic, every ``half`` operation must be computed in
+  ``float`` *and rounded back*: the pass wraps each arithmetic
+  instruction in ``fpext``/``fptrunc`` pairs, producing exactly the
+  second listing of §IV-C.  Its ``extend_precision`` mode instead keeps
+  intermediates wide (the legacy x86 ``FLT_EVAL_METHOD`` behaviour GCC 12
+  documents as "inconsistent ... between software emulation and
+  AVX512-FP16 instructions") — faster, but numerically different, which
+  the interpreter tests demonstrate.
+
+* :class:`VectorizePass` (§III-A) — turns the scalar ``axpy`` loop into
+  SVE code: vector loads/stores, a splat of the scalar ``a``, an
+  ``llvm.vscale``-scaled loop step, and a predicated tail.  With
+  ``scalable=True`` it emits ``<vscale x N x T>`` types (the LLVM 14 /
+  Julia v1.9 path); with a fixed ``vector_bits`` it models the older
+  ``-aarch64-sve-vector-bits-min=512`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional
+
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Param,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    VScale,
+    Value,
+)
+from .types import (
+    HALF,
+    IRType,
+    ScalarType,
+    VectorType,
+    elem_type,
+    wider,
+    with_elem,
+)
+
+__all__ = ["SoftFloatWideningPass", "VectorizePass"]
+
+
+@dataclass
+class SoftFloatWideningPass:
+    """Rewrite ``half`` arithmetic for machines without FP16 hardware.
+
+    mode:
+      ``"round_each_op"`` — fpext operands, compute in float, fptrunc the
+      result of *every* operation (Julia's correct software lowering).
+      ``"extend_precision"`` — fpext once, fptrunc only when a value is
+      stored or returned (the inconsistent x86 behaviour).
+    narrow:
+      The scalar type being softened (default ``half``).
+    """
+
+    mode: Literal["round_each_op", "extend_precision"] = "round_each_op"
+    narrow: ScalarType = HALF
+
+    def run(self, fn: Function) -> Function:
+        wide = wider(self.narrow)
+        new_body = self._rewrite(fn.body, {}, wide)
+        return Function(fn.name, fn.params, new_body, fn.return_type)
+
+    # ------------------------------------------------------------------
+    def _is_narrow(self, t: IRType) -> bool:
+        return elem_type(t) == self.narrow
+
+    def _widen_type(self, t: IRType) -> IRType:
+        return with_elem(t, wider(self.narrow))
+
+    def _rewrite(
+        self,
+        body: List[Instr],
+        repl: Dict[Value, Value],
+        wide: ScalarType,
+    ) -> List[Instr]:
+        """Rewrite one instruction list.
+
+        ``repl`` maps an original SSA value to its replacement.  In
+        ``round_each_op`` mode replacements stay narrow (each op is
+        truncated back); in ``extend_precision`` mode replacements are
+        *wide* values, truncated only at stores/returns.
+        """
+        out: List[Instr] = []
+        # Cache of widened versions of narrow values (extend mode reuses
+        # a single fpext per value, like keeping it in a wide register).
+        wide_cache: Dict[Value, Value] = {}
+
+        def emit(ins: Instr) -> Optional[Value]:
+            out.append(ins)
+            return ins.result
+
+        def resolve(v: Value) -> Value:
+            return repl.get(v, v)
+
+        def as_wide(v: Value) -> Value:
+            """The wide version of a (possibly replaced) value."""
+            v = resolve(v)
+            if not self._is_narrow(v.type):
+                return v
+            if v in wide_cache and self.mode == "extend_precision":
+                return wide_cache[v]
+            ext = Cast("fpext", v, self._widen_type(v.type))
+            emit(ext)
+            wide_cache[v] = ext.result
+            return ext.result
+
+        def as_narrow(v: Value) -> Value:
+            """The narrow version of a value (insert fptrunc if wide)."""
+            if self._is_narrow(v.type):
+                return v
+            tr = Cast("fptrunc", v, with_elem(v.type, self.narrow))
+            emit(tr)
+            return tr.result
+
+        def finish(old_result: Value, wide_result: Value) -> None:
+            """Bind the rewritten result according to the mode."""
+            if self.mode == "round_each_op":
+                repl[old_result] = as_narrow(wide_result)
+            else:
+                repl[old_result] = wide_result
+                wide_cache[old_result] = wide_result
+
+        for ins in body:
+            if isinstance(ins, BinOp) and self._is_narrow(ins.lhs.type):
+                lw, rw = as_wide(ins.lhs), as_wide(ins.rhs)
+                op = BinOp(ins.op, lw, rw)
+                emit(op)
+                finish(ins.result, op.result)
+            elif isinstance(ins, UnOp) and self._is_narrow(ins.operand.type):
+                ow = as_wide(ins.operand)
+                op = UnOp(ins.op, ow)
+                emit(op)
+                finish(ins.result, op.result)
+            elif isinstance(ins, FMulAdd) and self._is_narrow(ins.a.type):
+                # Software lowering splits muladd into mul + add, each
+                # individually rounded (the §IV-C listing).
+                aw, bw = as_wide(ins.a), as_wide(ins.b)
+                mul = BinOp("fmul", aw, bw)
+                emit(mul)
+                if self.mode == "round_each_op":
+                    mul_n = as_narrow(mul.result)
+                    mul_w = as_wide(mul_n)
+                else:
+                    mul_w = mul.result
+                cw = as_wide(ins.c)
+                add = BinOp("fadd", mul_w, cw)
+                emit(add)
+                finish(ins.result, add.result)
+            elif isinstance(ins, Store):
+                v = resolve(ins.value)
+                if not self._is_narrow(ins.value.type) and v.type != ins.value.type:
+                    pass  # non-narrow stores unaffected
+                if self._is_narrow(ins.value.type) or self._is_narrow(v.type):
+                    v = as_narrow(v)
+                emit(Store(v, ins.ptr, resolve(ins.index), ins.mask))
+            elif isinstance(ins, Ret) and ins.value is not None:
+                v = resolve(ins.value)
+                if v.type != ins.value.type:
+                    v = as_narrow(v)
+                emit(Ret(v))
+            elif isinstance(ins, Loop):
+                inner = self._rewrite(ins.body, repl, wide)
+                emit(
+                    Loop(
+                        counter=ins.counter,
+                        trip_count=ins.trip_count,
+                        body=inner,
+                        step=ins.step,
+                        step_values=ins.step_values,
+                        lanes_hint=ins.lanes_hint,
+                    )
+                )
+            else:
+                # Loads, consts, casts on non-narrow types... pass through
+                # with operand substitution where trivially possible.
+                emit(ins)
+        return out
+
+
+@dataclass
+class VectorizePass:
+    """Vectorise the innermost counted loop of a function for SVE.
+
+    Parameters
+    ----------
+    vector_bits:
+        Hardware vector width the generated code assumes (512 on A64FX;
+        use 128 to model a NEON-width fallback).
+    scalable:
+        Emit ``<vscale x N x T>`` types and a ``llvm.vscale`` step
+        (LLVM 14 behaviour) rather than fixed-width vectors (the
+        ``-aarch64-sve-vector-bits-min=512`` era).
+    """
+
+    vector_bits: int = 512
+    scalable: bool = True
+
+    def run(self, fn: Function) -> Function:
+        new_body: List[Instr] = []
+        changed = False
+        for ins in fn.body:
+            if isinstance(ins, Loop) and not changed:
+                new_body.append(self._vectorize_loop(ins))
+                changed = True
+            else:
+                new_body.append(ins)
+        if not changed:
+            raise ValueError(f"no loop to vectorise in @{fn.name}")
+        return Function(fn.name, fn.params, new_body, fn.return_type)
+
+    # ------------------------------------------------------------------
+    def _vectorize_loop(self, loop: Loop) -> Loop:
+        # Element type: take it from the first load/store in the body.
+        elem: Optional[ScalarType] = None
+        for ins in loop.body:
+            if isinstance(ins, (Load, Store)):
+                t = ins.type if isinstance(ins, Load) else ins.value.type
+                elem = elem_type(t)
+                break
+        if elem is None:
+            raise ValueError("loop body has no memory access to infer a type")
+
+        granule = 128 // elem.bits  # lanes per 128-bit SVE granule
+        if self.scalable:
+            vtype = VectorType(elem, granule, scalable=True)
+        else:
+            vtype = VectorType(elem, self.vector_bits // elem.bits, scalable=False)
+        lanes = self.vector_bits // elem.bits
+
+        body: List[Instr] = []
+        repl: Dict[Value, Value] = {}
+        splat_cache: Dict[Value, Value] = {}
+        step_values: List[Value] = []
+        if self.scalable:
+            vs = VScale()
+            body.append(vs)
+            step_values.append(vs.result)
+
+        def vec(v: Value) -> Value:
+            """Vector version of an operand (splat scalars once)."""
+            v2 = repl.get(v, v)
+            if isinstance(v2.type, VectorType):
+                return v2
+            if v2 in splat_cache:
+                return splat_cache[v2]
+            sp = Splat(v2, vtype)
+            body.append(sp)
+            splat_cache[v2] = sp.result
+            return sp.result
+
+        # Predicate value for the tail (whilelo-style); modelled as a
+        # mask produced once per iteration — we reuse the loop counter.
+        mask = Value(vtype, name="pred")
+
+        for ins in loop.body:
+            if isinstance(ins, (Load, Store)) and ins.index is not loop.counter:
+                raise ValueError(
+                    "cannot vectorise: memory access not indexed by the "
+                    "loop counter (e.g. a loop-carried accumulator; see "
+                    "build_dot)"
+                )
+            if isinstance(ins, Load):
+                nl = Load(ins.ptr, loop.counter, vtype, mask=mask)
+                body.append(nl)
+                repl[ins.result] = nl.result
+            elif isinstance(ins, Store):
+                body.append(Store(vec(ins.value), ins.ptr, loop.counter, mask=mask))
+            elif isinstance(ins, BinOp):
+                nb = BinOp(ins.op, vec(ins.lhs), vec(ins.rhs))
+                body.append(nb)
+                repl[ins.result] = nb.result
+            elif isinstance(ins, UnOp):
+                nu = UnOp(ins.op, vec(ins.operand))
+                body.append(nu)
+                repl[ins.result] = nu.result
+            elif isinstance(ins, FMulAdd):
+                nf = FMulAdd(vec(ins.a), vec(ins.b), vec(ins.c))
+                body.append(nf)
+                repl[ins.result] = nf.result
+            elif isinstance(ins, Const):
+                nc = Const(ins.value, ins.type)
+                body.append(nc)
+                repl[ins.result] = nc.result
+            else:
+                raise ValueError(
+                    f"cannot vectorise {type(ins).__name__} in loop body"
+                )
+
+        # Effective step per iteration is the lane count: for scalable
+        # code that is granule_count x vscale (vscale evaluated at run
+        # time), for fixed-width code it is the literal lane count.
+        return Loop(
+            counter=loop.counter,
+            trip_count=loop.trip_count,
+            body=body,
+            step=granule if self.scalable else lanes,
+            step_values=tuple(step_values),
+            lanes_hint=lanes,
+        )

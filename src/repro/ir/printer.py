@@ -1,0 +1,168 @@
+"""LLVM-like textual rendering of the miniature IR.
+
+The goal is byte-for-byte reproduction of the two §IV-C listings.  For
+``build_muladd(HALF)``::
+
+    define half @julia_muladd(half %0, half %1, half %2) {
+    top:
+      %3 = fmul half %0, %1
+      %4 = fadd half %3, %2
+      ret half %4
+    }
+
+and, after ``SoftFloatWideningPass(mode="round_each_op")``, the widened
+ten-instruction version with explicit ``fpext``/``fptrunc`` pairs.
+
+SSA values are numbered at print time: parameters first (``%0``...),
+then instruction results in emission order — LLVM's implicit numbering.
+Loops print as annotated regions (our IR is structured, not CFG-based).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Reduce,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    Value,
+    VScale,
+)
+from .types import VectorType
+
+__all__ = ["print_function"]
+
+
+def print_function(fn: Function) -> str:
+    """Render a function as LLVM-flavoured text."""
+    names: Dict[Value, str] = {}
+    counter = [0]
+
+    def name_of(v: Value) -> str:
+        if v not in names:
+            if v.name is not None:
+                names[v] = f"%{v.name}"
+            else:
+                names[v] = f"%{counter[0]}"
+                counter[0] += 1
+        return names[v]
+
+    params = ", ".join(f"{p.type}{'*' if p.pointer else ''} {name_of(p)}" for p in fn.params)
+    ret_t = str(fn.return_type) if fn.return_type is not None else "void"
+    lines: List[str] = [f"define {ret_t} @{fn.name}({params}) {{", "top:"]
+    lines.extend(_print_body(fn.body, names, counter, indent="  "))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _print_body(
+    body: List[Instr],
+    names: Dict[Value, str],
+    counter: List[int],
+    indent: str,
+) -> List[str]:
+    def name_of(v: Value) -> str:
+        if v not in names:
+            if v.name is not None:
+                names[v] = f"%{v.name}"
+            else:
+                names[v] = f"%{counter[0]}"
+                counter[0] += 1
+        return names[v]
+
+    out: List[str] = []
+    for ins in body:
+        if isinstance(ins, BinOp):
+            out.append(
+                f"{indent}{name_of(ins.result)} = {ins.op} {ins.lhs.type} "
+                f"{name_of(ins.lhs)}, {name_of(ins.rhs)}"
+            )
+        elif isinstance(ins, UnOp):
+            out.append(
+                f"{indent}{name_of(ins.result)} = {ins.op} "
+                f"{ins.operand.type} {name_of(ins.operand)}"
+            )
+        elif isinstance(ins, FMulAdd):
+            t = ins.a.type
+            out.append(
+                f"{indent}{name_of(ins.result)} = call {t} "
+                f"@llvm.fmuladd.{_suffix(t)}({t} {name_of(ins.a)}, "
+                f"{t} {name_of(ins.b)}, {t} {name_of(ins.c)})"
+            )
+        elif isinstance(ins, Cast):
+            out.append(
+                f"{indent}{name_of(ins.result)} = {ins.op} "
+                f"{ins.operand.type} {name_of(ins.operand)} to {ins.to_type}"
+            )
+        elif isinstance(ins, Load):
+            mask = f", mask {name_of(ins.mask)}" if ins.mask is not None else ""
+            out.append(
+                f"{indent}{name_of(ins.result)} = load {ins.type}, "
+                f"ptr {name_of(ins.ptr)}[{name_of(ins.index)}]{mask}"
+            )
+        elif isinstance(ins, Store):
+            mask = f", mask {name_of(ins.mask)}" if ins.mask is not None else ""
+            out.append(
+                f"{indent}store {ins.value.type} {name_of(ins.value)}, "
+                f"ptr {name_of(ins.ptr)}[{name_of(ins.index)}]{mask}"
+            )
+        elif isinstance(ins, Reduce):
+            flavour = "fadda" if ins.ordered else "faddv"
+            out.append(
+                f"{indent}{name_of(ins.result)} = call {ins.result.type} "
+                f"@llvm.vector.reduce.fadd.{_suffix(ins.operand.type)}"
+                f"({ins.operand.type} {name_of(ins.operand)}) ; {flavour}"
+            )
+        elif isinstance(ins, Splat):
+            out.append(
+                f"{indent}{name_of(ins.result)} = splat {ins.operand.type} "
+                f"{name_of(ins.operand)} to {ins.to_type}"
+            )
+        elif isinstance(ins, Const):
+            out.append(
+                f"{indent}{name_of(ins.result)} = {ins.type} {ins.value}"
+            )
+        elif isinstance(ins, VScale):
+            out.append(f"{indent}{name_of(ins.result)} = call i64 @llvm.vscale.i64()")
+        elif isinstance(ins, Ret):
+            if ins.value is None:
+                out.append(f"{indent}ret void")
+            else:
+                out.append(
+                    f"{indent}ret {ins.value.type} {name_of(ins.value)}"
+                )
+        elif isinstance(ins, Loop):
+            step = str(ins.step)
+            if ins.step_values:
+                step += " x " + " x ".join(name_of(v) for v in ins.step_values)
+            out.append(
+                f"{indent}loop {name_of(ins.counter)} = 0, {name_of(ins.trip_count)}, "
+                f"step {step} {{"
+            )
+            out.extend(_print_body(ins.body, names, counter, indent + "  "))
+            out.append(f"{indent}}}")
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"cannot print {type(ins).__name__}")
+    return out
+
+
+def _suffix(t) -> str:
+    if isinstance(t, VectorType):
+        prefix = f"nxv{t.count}" if t.scalable else f"v{t.count}"
+        return prefix + _elem_suffix(t.elem.llvm_name)
+    return _elem_suffix(t.llvm_name)
+
+
+def _elem_suffix(name: str) -> str:
+    return {"half": "f16", "float": "f32", "double": "f64"}[name]

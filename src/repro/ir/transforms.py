@@ -1,0 +1,257 @@
+"""Additional IR passes: FMA fusion, dead-code elimination, verification.
+
+§IV-C's subtext is that *how* ``x*y + z`` is lowered changes numerics:
+``llvm.fmuladd`` may fuse (one rounding) or not (two roundings), and
+Julia guarantees consistency by choosing explicitly.  These passes make
+that choice a program transformation:
+
+* :class:`FuseMulAddPass` — rewrite ``fadd(fmul(a, b), c)`` into
+  ``llvm.fmuladd(a, b, c)`` when the multiply has a single use (the
+  ``-ffp-contract=fast`` behaviour).  Tests demonstrate that fusion
+  *changes results* in Float16 — which is exactly why contraction must
+  be a deliberate decision, not a default;
+* :class:`DeadCodeEliminationPass` — drop instructions whose results are
+  never used (the widening pass can leave dead extensions behind after
+  other rewrites);
+* :func:`verify_function` — structural/type checking of a function:
+  SSA (each value defined before use, defined once), operand type
+  agreement, loads/stores through pointer params.  All passes in this
+  package keep functions verifiable, which the pass tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from .nodes import (
+    BinOp,
+    Cast,
+    Const,
+    FMulAdd,
+    Function,
+    Instr,
+    Load,
+    Loop,
+    Param,
+    Reduce,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    Value,
+    VScale,
+)
+from .types import VectorType, elem_type
+
+__all__ = ["FuseMulAddPass", "DeadCodeEliminationPass", "verify_function",
+           "VerificationError"]
+
+
+class VerificationError(ValueError):
+    """The function violates SSA or type rules."""
+
+
+# ---------------------------------------------------------------------------
+def _count_uses(body: List[Instr], counts: Dict[Value, int]) -> None:
+    for ins in body:
+        for op in ins.operands():
+            counts[op] = counts.get(op, 0) + 1
+        if isinstance(ins, Loop):
+            counts[ins.trip_count] = counts.get(ins.trip_count, 0) + 1
+            _count_uses(ins.body, counts)
+
+
+@dataclass
+class FuseMulAddPass:
+    """Contract ``fadd(fmul(a,b), c)`` / ``fadd(c, fmul(a,b))`` to FMA.
+
+    Only single-use multiplies are fused (otherwise the unfused value
+    would still be needed).  This changes rounding behaviour: the fused
+    form rounds once.
+    """
+
+    def run(self, fn: Function) -> Function:
+        uses: Dict[Value, int] = {}
+        _count_uses(fn.body, uses)
+        new_body = self._rewrite(fn.body, uses, {})
+        return Function(fn.name, fn.params, new_body, fn.return_type)
+
+    def _rewrite(
+        self,
+        body: List[Instr],
+        uses: Dict[Value, int],
+        repl: Dict[Value, Value],
+    ) -> List[Instr]:
+        # new mul result -> (new mul instruction, original mul result)
+        muls: Dict[Value, tuple] = {}
+        out: List[Instr] = []
+        fused: Set[Value] = set()  # new mul results consumed by an FMA
+
+        def resolve(v: Value) -> Value:
+            return repl.get(v, v)
+
+        for ins in body:
+            if isinstance(ins, BinOp) and ins.op == "fmul":
+                nm = BinOp("fmul", resolve(ins.lhs), resolve(ins.rhs))
+                repl[ins.result] = nm.result
+                muls[nm.result] = (nm, ins.result)
+                out.append(nm)
+            elif isinstance(ins, BinOp) and ins.op == "fadd":
+                lhs, rhs = resolve(ins.lhs), resolve(ins.rhs)
+                fuse_with: Optional[tuple] = None
+                other: Optional[Value] = None
+                if lhs in muls and uses.get(muls[lhs][1], 0) == 1:
+                    fuse_with, other = muls[lhs], rhs
+                elif rhs in muls and uses.get(muls[rhs][1], 0) == 1:
+                    fuse_with, other = muls[rhs], lhs
+                if fuse_with is not None:
+                    mul_instr, _ = fuse_with
+                    fma = FMulAdd(mul_instr.lhs, mul_instr.rhs, other)
+                    out.append(fma)
+                    repl[ins.result] = fma.result
+                    fused.add(mul_instr.result)
+                else:
+                    nb = BinOp("fadd", lhs, rhs)
+                    out.append(nb)
+                    repl[ins.result] = nb.result
+            elif isinstance(ins, Loop):
+                inner = self._rewrite(ins.body, uses, repl)
+                out.append(
+                    Loop(
+                        counter=ins.counter,
+                        trip_count=ins.trip_count,
+                        body=inner,
+                        step=ins.step,
+                        step_values=ins.step_values,
+                        lanes_hint=ins.lanes_hint,
+                    )
+                )
+            else:
+                new = _substitute(ins, resolve)
+                if (
+                    new is not ins
+                    and ins.result is not None
+                    and new.result is not None
+                ):
+                    repl[ins.result] = new.result
+                out.append(new)
+        # Drop the multiplies that were absorbed into FMAs.
+        return [
+            i
+            for i in out
+            if not (
+                isinstance(i, BinOp) and i.op == "fmul" and i.result in fused
+            )
+        ]
+
+
+def _substitute(ins: Instr, resolve) -> Instr:
+    """Rebuild an instruction with operands passed through ``resolve``."""
+    if isinstance(ins, BinOp):
+        nb = BinOp(ins.op, resolve(ins.lhs), resolve(ins.rhs))
+        return nb
+    if isinstance(ins, UnOp):
+        return UnOp(ins.op, resolve(ins.operand))
+    if isinstance(ins, FMulAdd):
+        return FMulAdd(resolve(ins.a), resolve(ins.b), resolve(ins.c))
+    if isinstance(ins, Cast):
+        return Cast(ins.op, resolve(ins.operand), ins.to_type)
+    if isinstance(ins, Store):
+        return Store(resolve(ins.value), ins.ptr, resolve(ins.index), ins.mask)
+    if isinstance(ins, Ret):
+        return Ret(resolve(ins.value) if ins.value is not None else None)
+    if isinstance(ins, Splat):
+        return Splat(resolve(ins.operand), ins.to_type)
+    if isinstance(ins, Reduce):
+        return Reduce(ins.op, resolve(ins.operand), ordered=ins.ordered)
+    return ins  # Load/Const/VScale have no float SSA operands to substitute
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class DeadCodeEliminationPass:
+    """Remove instructions whose results are never used.
+
+    Stores, returns and loops are roots; everything reachable from their
+    operands is live.
+    """
+
+    def run(self, fn: Function) -> Function:
+        live: Set[Value] = set()
+
+        def mark(body: List[Instr]) -> None:
+            # Two sweeps handle straight-line def-before-use ordering.
+            for _ in range(2):
+                for ins in reversed(body):
+                    is_root = isinstance(ins, (Store, Ret, Loop))
+                    if is_root or (ins.result is not None and ins.result in live):
+                        for op in ins.operands():
+                            live.add(op)
+                        if isinstance(ins, Loop):
+                            live.add(ins.trip_count)
+                            mark(ins.body)
+
+        mark(fn.body)
+
+        def sweep(body: List[Instr]) -> List[Instr]:
+            out: List[Instr] = []
+            for ins in body:
+                if isinstance(ins, Loop):
+                    out.append(
+                        Loop(
+                            counter=ins.counter,
+                            trip_count=ins.trip_count,
+                            body=sweep(ins.body),
+                            step=ins.step,
+                            step_values=ins.step_values,
+                            lanes_hint=ins.lanes_hint,
+                        )
+                    )
+                elif isinstance(ins, (Store, Ret)):
+                    out.append(ins)
+                elif isinstance(ins, VScale):
+                    out.append(ins)  # loop-step dependence isn't SSA-visible
+                elif ins.result is not None and ins.result in live:
+                    out.append(ins)
+            return out
+
+        return Function(fn.name, fn.params, sweep(fn.body), fn.return_type)
+
+
+# ---------------------------------------------------------------------------
+def verify_function(fn: Function) -> None:
+    """Raise :class:`VerificationError` on SSA/type violations."""
+    defined: Set[Value] = set(fn.params)
+    loop_counters: Set[Value] = set()
+
+    def check_operand(ins: Instr, v: Value) -> None:
+        if v not in defined and v not in loop_counters:
+            raise VerificationError(
+                f"{type(ins).__name__} uses undefined value {v!r}"
+            )
+
+    def walk(body: List[Instr]) -> None:
+        for ins in body:
+            if isinstance(ins, Loop):
+                check_operand(ins, ins.trip_count)
+                loop_counters.add(ins.counter)
+                walk(ins.body)
+                continue
+            for v in ins.operands():
+                # masks are symbolic predicates, not SSA values
+                if isinstance(ins, (Load, Store)) and v is getattr(ins, "mask", None):
+                    continue
+                check_operand(ins, v)
+            if isinstance(ins, BinOp) and ins.lhs.type != ins.rhs.type:
+                raise VerificationError(f"type mismatch in {ins.op}")
+            if isinstance(ins, (Load, Store)) and not ins.ptr.pointer:
+                raise VerificationError("memory access through non-pointer")
+            if ins.result is not None:
+                if ins.result in defined:
+                    raise VerificationError(
+                        f"value {ins.result!r} defined twice (SSA violation)"
+                    )
+                defined.add(ins.result)
+
+    walk(fn.body)

@@ -1,0 +1,50 @@
+"""A64FX machine model (the hardware substrate the paper measured on).
+
+Public surface:
+
+* specs:       :class:`ChipSpec`, ``A64FX``, ``XEON_CASCADE_LAKE``
+* vector:      :class:`SVEVectorUnit` (predicated chunked execution)
+* memory:      :class:`MemoryHierarchy` (L1/L2/HBM2 bandwidth model)
+* roofline:    :class:`Roofline`, :class:`KernelTraffic`
+* kernelmodel: :class:`StreamKernelModel`, :class:`ImplementationProfile`
+"""
+
+from .specs import A64FX, XEON_CASCADE_LAKE, CacheLevel, ChipSpec, get_chip
+from .vector import SVEVectorUnit, VectorExecutionStats
+from .memory import BandwidthPoint, MemoryHierarchy
+from .roofline import KernelTraffic, Roofline, RooflinePoint
+from .kernelmodel import ImplementationProfile, KernelTiming, StreamKernelModel
+from .multicore import MulticoreModel
+from .jit import (
+    CompilationModel,
+    JITSession,
+    MethodSpec,
+    SystemImage,
+    amortization_calls,
+    time_to_first_result,
+)
+
+__all__ = [
+    "ChipSpec",
+    "CacheLevel",
+    "A64FX",
+    "XEON_CASCADE_LAKE",
+    "get_chip",
+    "SVEVectorUnit",
+    "VectorExecutionStats",
+    "MemoryHierarchy",
+    "BandwidthPoint",
+    "Roofline",
+    "RooflinePoint",
+    "KernelTraffic",
+    "StreamKernelModel",
+    "ImplementationProfile",
+    "KernelTiming",
+    "MulticoreModel",
+    "MethodSpec",
+    "CompilationModel",
+    "JITSession",
+    "SystemImage",
+    "time_to_first_result",
+    "amortization_calls",
+]

@@ -1,0 +1,130 @@
+"""Memory hierarchy model: which level feeds a streaming kernel, and how fast.
+
+Fig. 1's characteristic GFLOPS-vs-size shape — rise, L1 plateau, knees at
+the L1 (64 KiB) and L2 boundaries, memory-bound tail — is entirely a
+memory-hierarchy effect.  §III-A-2 additionally points at the 64 KiB L1
+to explain why MPI.jl (no cache-avoidance) beats IMB below that size.
+
+:class:`MemoryHierarchy` answers two questions for a working set of
+``W`` bytes streamed by one core:
+
+* :meth:`level_for` — the innermost level that holds it;
+* :meth:`effective_bandwidth` — the sustained load/store bandwidth,
+  blended smoothly across a boundary so the knees are knees rather than
+  cliffs (a working set slightly above L1 still gets most lines from L1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .specs import A64FX, CacheLevel, ChipSpec
+
+__all__ = ["BandwidthPoint", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """Sustained per-core bandwidths (bytes/s) for a given working set."""
+
+    level_name: str
+    load_bps: float
+    store_bps: float
+    latency_cycles: float
+
+
+class MemoryHierarchy:
+    """Per-core view of a chip's cache + DRAM system."""
+
+    def __init__(self, chip: ChipSpec = A64FX):
+        self.chip = chip
+        if not chip.cache_levels:
+            raise ValueError("chip has no cache levels")
+
+    # ------------------------------------------------------------------
+    def levels(self) -> Tuple[CacheLevel, ...]:
+        return self.chip.cache_levels
+
+    def level_for(self, working_set_bytes: int) -> str:
+        """Name of the innermost level that contains the working set."""
+        for lvl in self.chip.cache_levels:
+            if working_set_bytes <= lvl.size_bytes:
+                return lvl.name
+        return "DRAM"
+
+    # ------------------------------------------------------------------
+    def _raw_point(self, index: int) -> BandwidthPoint:
+        """Bandwidth point of cache level ``index`` or DRAM past the end."""
+        levels = self.chip.cache_levels
+        if index < len(levels):
+            lvl = levels[index]
+            clk = self.chip.clock_hz
+            return BandwidthPoint(
+                lvl.name,
+                lvl.load_bytes_per_cycle * clk,
+                lvl.store_bytes_per_cycle * clk,
+                lvl.latency_cycles,
+            )
+        dram = self.chip.dram_bw_single_core
+        # Streams write-allocate: stores cost a read + a write; model the
+        # store stream at half the load bandwidth.
+        return BandwidthPoint("DRAM", dram, dram / 2.0, self.chip.dram_latency_cycles)
+
+    def effective_bandwidth(self, working_set_bytes: int) -> BandwidthPoint:
+        """Blended sustained bandwidth for a streamed working set.
+
+        For a working set of ``W`` bytes with cache level of size ``S``
+        beneath it, a streaming pass re-uses the resident fraction
+        ``S/W`` at that level's speed and fetches the rest from the next
+        level out; the harmonic blend of the two bandwidths reproduces
+        the smooth knee measured in stream benchmarks.
+        """
+        w = max(1, int(working_set_bytes))
+        levels = self.chip.cache_levels
+        if w <= levels[0].size_bytes:
+            return self._raw_point(0)
+        # The working set spills level i-1: the resident fraction still
+        # streams at level i-1 speed, the rest comes from level i (or
+        # DRAM past the last cache).
+        inner_idx = len(levels) - 1  # default: last cache vs DRAM
+        for i in range(1, len(levels)):
+            if w <= levels[i].size_bytes:
+                inner_idx = i - 1
+                break
+        inner = self._raw_point(inner_idx)
+        outer = self._raw_point(inner_idx + 1)
+        frac_inner = levels[inner_idx].size_bytes / w
+
+        def blend(b_in: float, b_out: float) -> float:
+            # Harmonic (time-weighted) mixture of hit/miss traffic.
+            return 1.0 / (frac_inner / b_in + (1.0 - frac_inner) / b_out)
+
+        return BandwidthPoint(
+            outer.level_name,
+            blend(inner.load_bps, outer.load_bps),
+            blend(inner.store_bps, outer.store_bps),
+            outer.latency_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def stream_time(
+        self,
+        load_bytes: float,
+        store_bytes: float,
+        working_set_bytes: int,
+    ) -> float:
+        """Seconds to stream the given traffic with this working set.
+
+        Load and store streams use separate ports in cache (they overlap)
+        but share the DRAM interface; we charge ``max`` of the two stream
+        times in cache and their *sum* once traffic is DRAM-bound.
+        """
+        bw = self.effective_bandwidth(working_set_bytes)
+        t_load = load_bytes / bw.load_bps if load_bytes else 0.0
+        t_store = store_bytes / bw.store_bps if store_bytes else 0.0
+        if bw.level_name == self.chip.cache_levels[0].name:
+            # L1 has separate load and store ports: streams overlap.
+            return max(t_load, t_store)
+        # L2 and beyond share a bus/interface: traffic serialises.
+        return t_load + t_store

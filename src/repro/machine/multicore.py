@@ -1,0 +1,87 @@
+"""Multi-core scaling on A64FX: bandwidth saturation per CMG.
+
+The paper's single-node experiments are single-threaded (Fig. 1) or
+whole-application (Fig. 5); scaling them across A64FX's 48 cores is
+governed by one fact: cores share their core-memory-group's (CMG's)
+HBM2 channel.  A single core sustains ~60 GB/s; the 12 cores of a CMG
+share ~220 GB/s sustained; the chip's four CMGs are independent.  So
+memory-bound kernels scale linearly up to ~4 cores per CMG and then
+saturate — while compute-bound kernels keep scaling to 48.
+
+:class:`MulticoreModel` provides that curve and the derived speedups,
+and :meth:`scaled_stream_time` is the hook the ShallowWaters runtime
+model uses for its multi-core variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ftypes.formats import FloatFormat
+from .roofline import KernelTraffic
+from .specs import A64FX, ChipSpec
+
+__all__ = ["MulticoreModel"]
+
+
+@dataclass(frozen=True)
+class MulticoreModel:
+    """Bandwidth/compute aggregation across cores of one chip."""
+
+    chip: ChipSpec = A64FX
+    #: cores per CMG (A64FX: 12) — the bandwidth-sharing domain.
+    cores_per_group: int = 12
+    #: sustained DRAM bandwidth of one full CMG (bytes/s).
+    group_bandwidth: float = 220e9
+
+    def effective_dram_bandwidth(self, cores: int) -> float:
+        """Aggregate sustained DRAM bandwidth for ``cores`` cores.
+
+        Cores fill CMGs in order; each CMG contributes
+        ``min(cores_in_group x single_core, group_bandwidth)``.
+        """
+        if cores < 1:
+            raise ValueError("need at least one core")
+        cores = min(cores, self.chip.cores)
+        single = self.chip.dram_bw_single_core
+        full_groups, rem = divmod(cores, self.cores_per_group)
+        bw = full_groups * min(
+            self.cores_per_group * single, self.group_bandwidth
+        )
+        if rem:
+            bw += min(rem * single, self.group_bandwidth)
+        return min(bw, self.chip.dram_bw_chip)
+
+    def bandwidth_scale(self, cores: int) -> float:
+        """Bandwidth multiplier relative to one core."""
+        return self.effective_dram_bandwidth(cores) / self.chip.dram_bw_single_core
+
+    # ------------------------------------------------------------------
+    def speedup(
+        self,
+        kernel: KernelTraffic,
+        fmt: FloatFormat,
+        cores: int,
+        dram_resident: bool = True,
+    ) -> float:
+        """Parallel speedup of a streaming kernel over one core.
+
+        Memory-bound DRAM-resident kernels follow the bandwidth curve;
+        compute-bound kernels scale linearly with cores.  The crossover
+        is decided by the kernel's arithmetic intensity against the
+        chip's per-core balance point.
+        """
+        if cores < 1:
+            raise ValueError("need at least one core")
+        cores = min(cores, self.chip.cores)
+        ai = kernel.arithmetic_intensity(fmt)
+        balance = self.chip.peak_flops_core(fmt) / self.chip.dram_bw_single_core
+        if not dram_resident or ai >= balance:
+            return float(cores)  # compute-bound: private pipelines
+        return self.bandwidth_scale(cores)
+
+    def saturation_cores(self) -> int:
+        """Cores per CMG after which extra cores add no bandwidth."""
+        single = self.chip.dram_bw_single_core
+        n = int(self.group_bandwidth // single)
+        return max(1, min(n, self.cores_per_group))

@@ -1,0 +1,181 @@
+"""Hardware specifications: Fujitsu A64FX and a contrast x86 core.
+
+The paper's performance claims are all functions of a small set of
+datasheet quantities — SVE width, FMA pipes, per-precision lane counts,
+cache sizes/bandwidths and HBM2 memory bandwidth.  This module encodes
+them as frozen dataclasses that the vector unit (:mod:`.vector`), memory
+hierarchy (:mod:`.memory`), roofline (:mod:`.roofline`) and streaming
+kernel model (:mod:`.kernelmodel`) consume.
+
+Sources: Fujitsu A64FX datasheet (paper ref. [9]) and the published
+microarchitecture manual.  A64FX FX1000 (the Fugaku part):
+
+* 48 compute cores in 4 CMGs (core-memory groups), 2.2 GHz boost;
+* 2x 512-bit SVE FMA pipes per core;
+* native FP16 *arithmetic* (the first HPC CPU with it — the paper's
+  headline), giving 4x FP64 flop rate at FP16, 2x at FP32;
+* per core: 64 KiB L1D, 2x512-bit loads + 1x512-bit store per cycle;
+* per CMG: 8 MiB L2 shared by 12 cores; HBM2 256 GB/s per CMG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..ftypes.formats import FLOAT16, FLOAT32, FLOAT64, FloatFormat
+
+__all__ = ["CacheLevel", "ChipSpec", "A64FX", "XEON_CASCADE_LAKE", "get_chip"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the per-core memory hierarchy.
+
+    Bandwidths are *per core*, in bytes per cycle, as sustained by a
+    streaming kernel (not theoretical port counts).
+    """
+
+    name: str
+    size_bytes: int
+    load_bytes_per_cycle: float
+    store_bytes_per_cycle: float
+    latency_cycles: float
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """A CPU model sufficient for the paper's single-node experiments."""
+
+    name: str
+    clock_hz: float
+    cores: int
+    #: SIMD register width in bits (SVE for A64FX, AVX-512 for x86).
+    vector_bits: int
+    #: FMA-capable vector pipes per core.
+    fma_pipes: int
+    #: Floating-point formats with *native arithmetic* support.
+    native_formats: Tuple[FloatFormat, ...]
+    #: Formats accepted as storage but computed via a wider format
+    #: (e.g. Float16 on x86): map format -> widening penalty multiplier
+    #: on compute throughput (conversions + wider lanes).
+    software_formats: Dict[FloatFormat, float] = field(default_factory=dict)
+    #: Per-core cache hierarchy, innermost first.
+    cache_levels: Tuple[CacheLevel, ...] = ()
+    #: Sustained DRAM bandwidth for a single core (bytes/s).
+    dram_bw_single_core: float = 0.0
+    #: Sustained DRAM bandwidth for the whole chip (bytes/s).
+    dram_bw_chip: float = 0.0
+    #: DRAM access latency (cycles).
+    dram_latency_cycles: float = 200.0
+    #: Extra cycles per vector instruction touching a subnormal operand.
+    subnormal_trap_cycles: float = 160.0
+    #: Whether the FPU can flush subnormals to zero (FTZ flag available).
+    has_ftz: bool = True
+
+    # ------------------------------------------------------------------
+    def lanes(self, fmt: FloatFormat) -> int:
+        """Vector lanes per instruction for ``fmt`` (512-bit SVE: 8 f64,
+        16 f32, 32 f16 — the 4x Float16 story of the paper)."""
+        return max(1, self.vector_bits // fmt.bits)
+
+    def supports_native(self, fmt: FloatFormat) -> bool:
+        return fmt in self.native_formats
+
+    def compute_penalty(self, fmt: FloatFormat) -> float:
+        """Throughput penalty multiplier for non-native formats (>= 1)."""
+        if self.supports_native(fmt):
+            return 1.0
+        try:
+            return self.software_formats[fmt]
+        except KeyError:
+            raise ValueError(
+                f"{self.name} has no arithmetic support for {fmt.name}"
+            ) from None
+
+    def peak_flops_core(self, fmt: FloatFormat) -> float:
+        """Peak FMA flops/s of one core at ``fmt`` (2 flops per FMA lane)."""
+        return (
+            self.clock_hz
+            * self.fma_pipes
+            * self.lanes(fmt)
+            * 2.0
+            / self.compute_penalty(fmt)
+        )
+
+    def peak_flops_chip(self, fmt: FloatFormat) -> float:
+        """Peak flops/s of the full chip at ``fmt``."""
+        return self.peak_flops_core(fmt) * self.cores
+
+    def l1(self) -> CacheLevel:
+        return self.cache_levels[0]
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+
+#: Fujitsu A64FX FX1000 (Fugaku).  Peak: 70.4 GF/s FP64 per core,
+#: 3.38 TF/s FP64 per chip, 13.5 TF/s FP16 per chip.
+A64FX = ChipSpec(
+    name="A64FX",
+    clock_hz=2.2e9,
+    cores=48,
+    vector_bits=512,
+    fma_pipes=2,
+    native_formats=(FLOAT64, FLOAT32, FLOAT16),
+    software_formats={},
+    cache_levels=(
+        # L1D: 64 KiB, 2x64 B loads + 1x64 B store per cycle.
+        CacheLevel("L1D", 64 * 1024, 128.0, 64.0, 5.0),
+        # L2 (CMG-shared 8 MiB): single-core sustained stream bandwidth
+        # is bus-limited to ~97 GB/s load, ~48 GB/s store (measured
+        # STREAM-like numbers, not port counts).
+        CacheLevel("L2", 8 * 1024 * 1024, 44.0, 22.0, 40.0),
+    ),
+    # Single-core sustained stream bandwidth from HBM2 ~ 60 GB/s
+    # (hardware prefetch); chip sustained ~ 830 GB/s of the 1 TB/s peak.
+    dram_bw_single_core=60e9,
+    dram_bw_chip=830e9,
+    dram_latency_cycles=260.0,
+    subnormal_trap_cycles=160.0,
+    has_ftz=True,
+)
+
+#: A Cascade-Lake-like x86 server core for contrast experiments: AVX-512,
+#: no native FP16 arithmetic — Float16 is storage-only and computed via
+#: Float32 with conversion overhead (the §II software path).
+XEON_CASCADE_LAKE = ChipSpec(
+    name="Xeon-CascadeLake",
+    clock_hz=2.5e9,
+    cores=24,
+    vector_bits=512,
+    fma_pipes=2,
+    native_formats=(FLOAT64, FLOAT32),
+    # FP16 via FP32: half the lanes of native FP16 plus cvt overhead.
+    software_formats={FLOAT16: 2.6},
+    cache_levels=(
+        CacheLevel("L1D", 32 * 1024, 128.0, 64.0, 4.0),
+        CacheLevel("L2", 1024 * 1024, 64.0, 32.0, 14.0),
+        CacheLevel("L3", 33 * 1024 * 1024, 32.0, 16.0, 50.0),
+    ),
+    dram_bw_single_core=13e9,
+    dram_bw_chip=120e9,
+    dram_latency_cycles=220.0,
+    subnormal_trap_cycles=120.0,
+    has_ftz=True,
+)
+
+_CHIPS = {c.name.lower(): c for c in (A64FX, XEON_CASCADE_LAKE)}
+_CHIPS["a64fx"] = A64FX
+_CHIPS["x86"] = XEON_CASCADE_LAKE
+_CHIPS["xeon"] = XEON_CASCADE_LAKE
+
+
+def get_chip(name: "str | ChipSpec") -> ChipSpec:
+    """Resolve a chip by name (``"a64fx"``, ``"x86"``) or pass through."""
+    if isinstance(name, ChipSpec):
+        return name
+    try:
+        return _CHIPS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown chip {name!r}") from None

@@ -1,0 +1,161 @@
+"""SVE vector unit model: predicated, vector-length-agnostic execution.
+
+The Scalable Vector Extension (SVE) is central to the paper: the A64FX
+implements 512-bit SVE, and LLVM's ability (or early inability) to target
+it is what the ``JULIA_LLVM_ARGS=-aarch64-sve-vector-bits-min=512`` story
+in §III-A is about.
+
+:class:`SVEVectorUnit` executes *real numpy work* chunk-by-chunk the way
+SVE hardware does — whole vectors with a predicate mask for the tail —
+while accounting cycles on a :class:`~repro.machine.specs.ChipSpec`.
+This gives the library an executable notion of "vectorised at width W"
+that both the IR interpreter (:mod:`repro.ir.interp`) and the BLAS
+kernels (:mod:`repro.blas.kernels`) share:
+
+* lane count per format: 512-bit gives 8 x Float64, 16 x Float32,
+  32 x Float16 — the mechanical origin of the 4x Float16 claim;
+* ``vscale``: SVE code is written against ``<vscale x N>`` vectors; the
+  hardware fixes vscale at runtime (4 on A64FX for 128-bit granules);
+* predication: the loop tail is executed as one partially-masked vector
+  instruction (``whilelo``-style), not a scalar epilogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Tuple
+
+import numpy as np
+
+from ..ftypes.formats import FloatFormat, format_from_dtype
+from .specs import A64FX, ChipSpec
+
+__all__ = ["SVEVectorUnit", "VectorExecutionStats"]
+
+
+@dataclass
+class VectorExecutionStats:
+    """Cycle/instruction accounting for one vector-unit execution."""
+
+    vector_instructions: int = 0
+    predicated_instructions: int = 0
+    elements_processed: int = 0
+    cycles: float = 0.0
+
+    def merge(self, other: "VectorExecutionStats") -> None:
+        self.vector_instructions += other.vector_instructions
+        self.predicated_instructions += other.predicated_instructions
+        self.elements_processed += other.elements_processed
+        self.cycles += other.cycles
+
+
+@dataclass
+class SVEVectorUnit:
+    """A vector execution engine bound to a chip.
+
+    Parameters
+    ----------
+    chip:
+        The hardware model supplying clock, width and pipe counts.
+    vector_bits:
+        Effective vector width used by the *code*.  The paper's pre-LLVM-14
+        situation — SVE present but compiler targeting 128-bit NEON — is
+        modelled by setting this below ``chip.vector_bits``.
+    """
+
+    chip: ChipSpec = field(default_factory=lambda: A64FX)
+    vector_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.vector_bits is None:
+            self.vector_bits = self.chip.vector_bits
+        if self.vector_bits > self.chip.vector_bits:
+            raise ValueError(
+                f"code vector width {self.vector_bits} exceeds hardware "
+                f"width {self.chip.vector_bits}"
+            )
+        if self.vector_bits % 128 != 0:
+            raise ValueError("SVE vector length must be a multiple of 128 bits")
+
+    # ------------------------------------------------------------------
+    @property
+    def vscale(self) -> int:
+        """Runtime ``vscale``: vector length in 128-bit granules."""
+        return self.vector_bits // 128
+
+    def lanes(self, fmt: FloatFormat | np.dtype) -> int:
+        """Elements per vector register for a format."""
+        f = fmt if isinstance(fmt, FloatFormat) else format_from_dtype(fmt)
+        return max(1, self.vector_bits // f.bits)
+
+    # ------------------------------------------------------------------
+    def iter_chunks(
+        self, n: int, fmt: FloatFormat | np.dtype
+    ) -> Iterator[Tuple[slice, int]]:
+        """Yield ``(slice, active_lanes)`` pairs covering ``range(n)``.
+
+        The final chunk may be partial — that is the predicated tail.
+        """
+        lanes = self.lanes(fmt)
+        start = 0
+        while start < n:
+            stop = min(start + lanes, n)
+            yield slice(start, stop), stop - start
+            start = stop
+
+    def map_inplace(
+        self,
+        func: Callable[..., np.ndarray],
+        out: np.ndarray,
+        *inputs: np.ndarray,
+        ops_per_vector: float = 1.0,
+    ) -> VectorExecutionStats:
+        """Apply ``func`` chunk-wise: ``out[c] = func(*inputs[c])``.
+
+        Semantically identical to one whole-array call, but executed the
+        way the hardware would — one vector at a time with a predicated
+        tail — and cycle-accounted.  ``ops_per_vector`` is the issue cost
+        of the chunk body in vector instructions (e.g. an axpy body is
+        load+load+fma+store = 4, but the FMA pipes and load/store units
+        run in parallel; the *throughput* bottleneck is taken by the
+        caller via the kernel model — here we count instructions).
+        """
+        n = out.shape[0]
+        fmt = format_from_dtype(out.dtype)
+        lanes = self.lanes(fmt)
+        stats = VectorExecutionStats()
+        for sl, active in self.iter_chunks(n, fmt):
+            chunk_inputs = [x[sl] for x in inputs]
+            out[sl] = func(*chunk_inputs)
+            stats.vector_instructions += int(np.ceil(ops_per_vector))
+            if active < lanes:
+                stats.predicated_instructions += 1
+            stats.elements_processed += active
+        # Throughput: at best one vector body per cycle per FMA pipe.
+        bodies = int(np.ceil(n / lanes))
+        stats.cycles = bodies * ops_per_vector / self.chip.fma_pipes
+        return stats
+
+    # ------------------------------------------------------------------
+    def axpy(
+        self, a: float, x: np.ndarray, y: np.ndarray
+    ) -> VectorExecutionStats:
+        """In-place ``y <- a*x + y`` through the vector unit.
+
+        The executable core of Fig. 1's Julia ``axpy!``: one FMA per
+        vector, predicated tail, any float dtype (including float16 —
+        "Julia is able to generate code for the type-generic function
+        axpy! with half-precision Float16 numbers").
+        """
+        if x.shape != y.shape:
+            raise ValueError("axpy requires equally-shaped vectors")
+        if x.dtype != y.dtype:
+            raise TypeError("axpy is type-uniform: x and y must share a dtype")
+        scalar = y.dtype.type(a)
+        return self.map_inplace(
+            lambda xc, yc: scalar * xc + yc, y, x, y, ops_per_vector=1.0
+        )
+
+    def speedup_vs_scalar(self, fmt: FloatFormat) -> float:
+        """Ideal vector speedup over scalar code for ``fmt``."""
+        return float(self.lanes(fmt))

@@ -1,0 +1,293 @@
+"""MPIBenchmarks.jl / IMB-equivalent benchmark drivers (Figs. 2-3).
+
+Each benchmark runs a standard IMB measurement loop inside the
+simulator — warmup iterations, timed repetitions, per-rank timing with a
+max-reduction across ranks (IMB reports the slowest rank) — and returns
+latency in microseconds per message size:
+
+* :class:`PingPong` — two ranks on two nodes (the paper's scheduler
+  line ``-L node=2 -mpi max-proc-per-node=1``); reports half the
+  round-trip time and the derived throughput (Fig. 2);
+* :class:`AllreduceBench`, :class:`ReduceBench`, :class:`GathervBench` —
+  the 1536-rank/384-node collectives of Fig. 3 (scheduler line
+  ``node=4x6x16:torus``, ``proc=1536``).
+
+Running the same driver under the ``IMB_C`` and ``MPI_JL`` binding
+profiles produces the two curves of each panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from .bindings import BindingProfile, IMB_C, MPI_JL
+from .comm import Comm, MPIWorld
+from .simulator import Now
+
+__all__ = [
+    "BenchResult",
+    "PingPong",
+    "PingPing",
+    "AllreduceBench",
+    "ReduceBench",
+    "GathervBench",
+    "BcastBench",
+    "AllgatherBench",
+    "AlltoallBench",
+    "BarrierBench",
+    "default_message_sizes",
+    "run_comparison",
+]
+
+def default_message_sizes(max_bytes: int = 4 * 1024 * 1024) -> List[int]:
+    """IMB's standard message-size ladder: 0, then powers of two to
+    ``max_bytes`` (default 4 MiB)."""
+    sizes = [0, 1]
+    while sizes[-1] < max_bytes:
+        sizes.append(sizes[-1] * 2)
+    return sizes
+
+
+@dataclass
+class BenchResult:
+    """Latency table of one benchmark under one binding."""
+
+    benchmark: str
+    binding: str
+    nranks: int
+    sizes: List[int] = field(default_factory=list)
+    latency_us: List[float] = field(default_factory=list)
+
+    def throughput_mbps(self) -> List[float]:
+        """Throughput in MB/s (IMB convention: bytes / time)."""
+        out = []
+        for size, lat in zip(self.sizes, self.latency_us):
+            out.append((size / (lat * 1e-6)) / 1e6 if lat > 0 and size > 0 else 0.0)
+        return out
+
+    def at_size(self, nbytes: int) -> float:
+        """Latency (us) at an exact message size."""
+        try:
+            return self.latency_us[self.sizes.index(nbytes)]
+        except ValueError:
+            raise KeyError(f"size {nbytes} not measured") from None
+
+    def as_rows(self) -> List[Tuple[int, float, float]]:
+        return [
+            (s, l, t)
+            for s, l, t in zip(self.sizes, self.latency_us, self.throughput_mbps())
+        ]
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class PingPong:
+    """Inter-node ping-pong between ranks 0 and 1 (Fig. 2)."""
+
+    repetitions: int = 50
+    warmup: int = 2
+
+    def _program(self, comm: Comm, nbytes: int, reps: int) -> Generator:
+        partner = 1 - comm.rank
+        if comm.rank > 1:
+            return 0.0  # idle ranks (none in the 2-rank world)
+        t0 = yield comm.now()
+        for r in range(reps):
+            if comm.rank == 0:
+                yield comm.send(partner, nbytes=nbytes, tag=r % 8)
+                yield comm.recv(partner, tag=r % 8)
+            else:
+                yield comm.recv(partner, tag=r % 8)
+                yield comm.send(partner, nbytes=nbytes, tag=r % 8)
+        t1 = yield comm.now()
+        return (t1 - t0) / reps / 2.0  # one-way time per IMB convention
+
+    def run(
+        self,
+        binding: BindingProfile,
+        sizes: Optional[Sequence[int]] = None,
+    ) -> BenchResult:
+        sizes = list(sizes if sizes is not None else default_message_sizes())
+        result = BenchResult("PingPong", binding.name, nranks=2)
+        for nbytes in sizes:
+            world = MPIWorld(nranks=2, ranks_per_node=1, shape=(2, 1, 1), binding=binding)
+            # Warmup folded into the measured loop start; the simulator
+            # is deterministic, so a separate warmup run is only needed
+            # to mirror IMB's procedure.
+            times = world.run(self._program, nbytes, self.repetitions)
+            one_way = max(t for t in times if t is not None)
+            result.sizes.append(nbytes)
+            result.latency_us.append(one_way * 1e6)
+        return result
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class _CollectiveBench:
+    """Shared driver for the Fig. 3 collectives."""
+
+    name: str = "Collective"
+    nranks: int = 1536
+    ranks_per_node: int = 4
+    shape: Tuple[int, int, int] = (4, 6, 16)
+    repetitions: int = 4
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        raise NotImplementedError
+
+    def _program(self, comm: Comm, nbytes: int, reps: int) -> Generator:
+        yield from comm.barrier()
+        t0 = yield comm.now()
+        for _ in range(reps):
+            yield from self._collective(comm, nbytes)
+        t1 = yield comm.now()
+        return (t1 - t0) / reps
+
+    def run(
+        self,
+        binding: BindingProfile,
+        sizes: Optional[Sequence[int]] = None,
+    ) -> BenchResult:
+        sizes = list(
+            sizes if sizes is not None else default_message_sizes(1024 * 1024)
+        )
+        result = BenchResult(self.name, binding.name, nranks=self.nranks)
+        for nbytes in sizes:
+            world = MPIWorld(
+                nranks=self.nranks,
+                ranks_per_node=self.ranks_per_node,
+                shape=self.shape,
+                binding=binding,
+            )
+            times = world.run(self._program, nbytes, self.repetitions)
+            # IMB reports t_max over ranks.
+            latency = max(times)
+            result.sizes.append(nbytes)
+            result.latency_us.append(latency * 1e6)
+        return result
+
+
+@dataclass
+class AllreduceBench(_CollectiveBench):
+    name: str = "Allreduce"
+    algorithm: str = "auto"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        return comm.allreduce(None, op=None, nbytes=nbytes, algorithm=self.algorithm)
+
+
+@dataclass
+class ReduceBench(_CollectiveBench):
+    name: str = "Reduce"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        return comm.reduce(None, op=None, root=0, nbytes=nbytes)
+
+
+@dataclass
+class GathervBench(_CollectiveBench):
+    name: str = "Gatherv"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        return comm.gatherv(None, root=0, nbytes=nbytes)
+
+
+@dataclass
+class BcastBench(_CollectiveBench):
+    """IMB Bcast: binomial-tree broadcast from rank 0."""
+
+    name: str = "Bcast"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        return comm.bcast(None, root=0, nbytes=nbytes)
+
+
+@dataclass
+class AllgatherBench(_CollectiveBench):
+    """IMB Allgather via Bruck's algorithm."""
+
+    name: str = "Allgather"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        from .collectives import allgather_bruck
+
+        return allgather_bruck(comm.rank, comm.size, nbytes, None)
+
+
+@dataclass
+class AlltoallBench(_CollectiveBench):
+    """IMB Alltoall via the pairwise-exchange algorithm."""
+
+    name: str = "Alltoall"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        from .collectives import alltoall_pairwise
+
+        return alltoall_pairwise(comm.rank, comm.size, nbytes, None)
+
+
+@dataclass
+class BarrierBench(_CollectiveBench):
+    """IMB Barrier: dissemination, message size is irrelevant."""
+
+    name: str = "Barrier"
+
+    def _collective(self, comm: Comm, nbytes: int) -> Generator:
+        from .collectives import barrier_dissemination
+
+        return barrier_dissemination(comm.rank, comm.size, tag_base=820)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class PingPing:
+    """IMB PingPing: both ranks send simultaneously (full-duplex test).
+
+    Unlike PingPong, each direction's message contends with the opposite
+    one at the endpoints, so PingPing latency >= PingPong latency.
+    """
+
+    repetitions: int = 50
+
+    def _program(self, comm: Comm, nbytes: int, reps: int) -> Generator:
+        if comm.rank > 1:
+            return 0.0
+        partner = 1 - comm.rank
+        t0 = yield comm.now()
+        for r in range(reps):
+            yield comm.sendrecv(
+                partner,
+                send_nbytes=nbytes,
+                source=partner,
+                send_tag=r % 8,
+                recv_tag=r % 8,
+            )
+        t1 = yield comm.now()
+        return (t1 - t0) / reps
+
+    def run(
+        self,
+        binding: BindingProfile,
+        sizes: Optional[Sequence[int]] = None,
+    ) -> BenchResult:
+        sizes = list(sizes if sizes is not None else default_message_sizes())
+        result = BenchResult("PingPing", binding.name, nranks=2)
+        for nbytes in sizes:
+            world = MPIWorld(
+                nranks=2, ranks_per_node=1, shape=(2, 1, 1), binding=binding
+            )
+            times = world.run(self._program, nbytes, self.repetitions)
+            result.sizes.append(nbytes)
+            result.latency_us.append(max(times) * 1e6)
+        return result
+
+
+# ---------------------------------------------------------------------------
+def run_comparison(
+    bench,
+    sizes: Optional[Sequence[int]] = None,
+    bindings: Tuple[BindingProfile, ...] = (MPI_JL, IMB_C),
+) -> Dict[str, BenchResult]:
+    """Run one benchmark under several bindings (the paper's two curves)."""
+    return {b.name: bench.run(b, sizes=sizes) for b in bindings}

@@ -1,0 +1,158 @@
+"""MPI reduction operators — built-in vs custom, and the §IV-B limitation.
+
+§IV-B: "An issue that is limiting the ability to run some MPI
+applications on ARM CPUs is the impossibility to use custom MPI
+reduction operations on non-Intel architectures due to how they are
+implemented in MPI.jl" (MPI.jl issue #404: closure-pointer (cfunction)
+creation is unsupported on AArch64).
+
+This module models the mechanism faithfully:
+
+* :class:`ReduceOp` — built-in operators (SUM, PROD, MIN, MAX, ...)
+  usable from any binding, plus :func:`custom_op` for user reductions;
+* :class:`OperatorSupport` — what a binding on an architecture can pass
+  to the MPI library.  ``MPI_JL`` on ``aarch64`` raises
+  :class:`CustomOperatorUnsupported` for custom ops — exactly the
+  paper's limitation — while built-ins always work;
+* :func:`reduce_with_fallback` — the user-space workaround the Julia
+  community used: gather to root and reduce locally (correct, but loses
+  the tree's log p scaling; the extra cost is measurable with the
+  simulator and tested).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from .bindings import BindingProfile
+from .collectives import gatherv_linear, reduce_binomial
+
+__all__ = [
+    "ReduceOp",
+    "SUM",
+    "PROD",
+    "MIN",
+    "MAX",
+    "LAND",
+    "LOR",
+    "BUILTIN_OPS",
+    "custom_op",
+    "CustomOperatorUnsupported",
+    "OperatorSupport",
+    "reduce_with_fallback",
+]
+
+
+class CustomOperatorUnsupported(RuntimeError):
+    """Custom reduction rejected by the binding/architecture combination.
+
+    The MPI.jl-on-AArch64 failure mode of §IV-B.
+    """
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A reduction operator handed to MPI.
+
+    ``builtin`` ops map to MPI_SUM & co. (implemented inside the MPI
+    library, binding-independent); custom ops require the binding to
+    synthesise a C-callable callback from user code.
+    """
+
+    name: str
+    func: Callable[[Any, Any], Any]
+    builtin: bool = True
+    commutative: bool = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.func(a, b)
+
+
+SUM = ReduceOp("MPI_SUM", operator.add)
+PROD = ReduceOp("MPI_PROD", operator.mul)
+MIN = ReduceOp("MPI_MIN", min)
+MAX = ReduceOp("MPI_MAX", max)
+LAND = ReduceOp("MPI_LAND", lambda a, b: bool(a) and bool(b))
+LOR = ReduceOp("MPI_LOR", lambda a, b: bool(a) or bool(b))
+
+BUILTIN_OPS = (SUM, PROD, MIN, MAX, LAND, LOR)
+
+
+def custom_op(
+    func: Callable[[Any, Any], Any],
+    name: str = "user_op",
+    commutative: bool = True,
+) -> ReduceOp:
+    """Wrap a user function as a custom MPI operator (MPI_Op_create)."""
+    return ReduceOp(name=name, func=func, builtin=False, commutative=commutative)
+
+
+@dataclass(frozen=True)
+class OperatorSupport:
+    """Which operators a binding supports on an architecture.
+
+    The C binding passes function pointers natively (custom ops work
+    everywhere).  MPI.jl v0.20 creates the callback with a closure
+    ``cfunction``, which Julia supports only on x86 — on AArch64 the
+    creation fails (issue #404).
+    """
+
+    binding: BindingProfile
+    architecture: str = "aarch64"  # "x86_64" | "aarch64"
+
+    @property
+    def is_julia(self) -> bool:
+        return "mpi.jl" in self.binding.name.lower()
+
+    def supports(self, op: ReduceOp) -> bool:
+        if op.builtin:
+            return True
+        if self.is_julia and self.architecture == "aarch64":
+            return False
+        return True
+
+    def validate(self, op: ReduceOp) -> ReduceOp:
+        """Return the op, or raise the §IV-B error."""
+        if self.supports(op):
+            return op
+        raise CustomOperatorUnsupported(
+            f"{self.binding.name} cannot create the custom reduction "
+            f"{op.name!r} on {self.architecture}: closure cfunctions are "
+            f"unsupported on this architecture (MPI.jl issue #404). "
+            f"Use a built-in op or the gather fallback."
+        )
+
+
+def reduce_with_fallback(
+    comm,
+    value: Any,
+    op: ReduceOp,
+    support: OperatorSupport,
+    root: int = 0,
+    nbytes: int = 0,
+) -> Generator:
+    """Reduce that degrades gracefully when custom ops are unsupported.
+
+    * supported op  -> normal binomial-tree reduce (log p steps);
+    * unsupported   -> Gatherv to the root + local fold (the user-space
+      workaround): correct but the root ingests p-1 full payloads.
+
+    Usable inside rank programs: ``r = yield from reduce_with_fallback(...)``.
+    """
+    if support.supports(op):
+        return (
+            yield from reduce_binomial(
+                comm.rank, comm.size, root, nbytes, value, op
+            )
+        )
+    gathered = yield from gatherv_linear(
+        comm.rank, comm.size, root, nbytes, value
+    )
+    if comm.rank != root:
+        return None
+    acc = gathered[0]
+    for item in gathered[1:]:
+        acc = op(acc, item)
+    return acc

@@ -1,0 +1,510 @@
+"""Deterministic discrete-event MPI simulator.
+
+The substrate for Figs. 2-3.  Every MPI rank is a Python generator that
+*yields* communication operations; the engine advances a virtual clock,
+routes messages over the :class:`~repro.mpi.network.TofuDNetwork`, and
+charges binding software costs from a
+:class:`~repro.mpi.bindings.BindingProfile`.  Collective algorithms
+(:mod:`repro.mpi.collectives`) are ordinary sub-generators built from
+sends/receives, so their latency *emerges* from real message flows —
+1536-rank Allreduce really performs ~11 rounds of pairwise exchanges
+across the torus.
+
+Semantics (blocking MPI, one outstanding operation per rank):
+
+* ``Send`` — the sender is busy for its endpoint software time; eager
+  messages let it continue immediately afterwards, rendezvous blocks it
+  until the data has arrived at the receiver (the synchronous large-
+  message behaviour of Fujitsu MPI).
+* ``Recv`` — completes at ``max(post time, arrival) + endpoint time``.
+* ``SendRecv`` — simultaneous exchange (used by the collectives to
+  avoid deadlock, like MPI_Sendrecv).
+* ``Compute`` — local work (reduction arithmetic, model time).
+* ``Now`` — reads the rank's virtual clock (the benchmark timer).
+
+Payloads are real Python/numpy objects, so data correctness is testable;
+benchmarks may send ``payload=None`` with an explicit byte count to skip
+data handling at 1536-rank scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from .bindings import BindingProfile, IMB_C
+from .network import TofuDNetwork
+from .topology import TofuDTopology
+
+__all__ = [
+    "Send",
+    "Recv",
+    "SendRecv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Compute",
+    "Now",
+    "DeadlockError",
+    "Engine",
+    "EngineStats",
+    "RankProgram",
+]
+
+
+# ---------------------------------------------------------------------------
+# Operations a rank may yield
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Send:
+    dest: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    source: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class SendRecv:
+    dest: int
+    send_nbytes: int
+    source: int
+    send_payload: Any = None
+    send_tag: int = 0
+    recv_tag: int = 0
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Non-blocking send: yields a request id immediately; the sender is
+    busy only for the local injection (eager copy / rendezvous setup)."""
+
+    dest: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Irecv:
+    """Non-blocking receive: posts the match and yields a request id."""
+
+    source: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until a request completes; yields the received payload
+    (``None`` for send requests)."""
+
+    request: int
+
+
+@dataclass(frozen=True)
+class Waitall:
+    """Block until every request completes; yields the list of payloads
+    in request order."""
+
+    requests: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Compute:
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Now:
+    pass
+
+
+RankProgram = Callable[..., Generator]
+
+
+class DeadlockError(RuntimeError):
+    """No runnable event but ranks are still blocked."""
+
+
+@dataclass
+class EngineStats:
+    """Aggregate traffic statistics of one simulation run.
+
+    Filled by the engine as messages move; useful both for tests (did
+    the collective really send p log p messages?) and for communication
+    analysis of rank programs.
+    """
+
+    messages: int = 0
+    bytes_sent: int = 0
+    eager_messages: int = 0
+    rendezvous_messages: int = 0
+    shm_messages: int = 0
+    max_hops: int = 0
+    #: per-rank counts of messages sent.
+    sends_by_rank: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, src: int, nbytes: int, protocol: str, hops: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+        if protocol == "eager":
+            self.eager_messages += 1
+        elif protocol == "rendezvous":
+            self.rendezvous_messages += 1
+        else:
+            self.shm_messages += 1
+        self.max_hops = max(self.max_hops, hops)
+        self.sends_by_rank[src] = self.sends_by_rank.get(src, 0) + 1
+
+
+# ---------------------------------------------------------------------------
+# Engine internals
+# ---------------------------------------------------------------------------
+@dataclass
+class _Message:
+    src: int
+    tag: int
+    nbytes: int
+    payload: Any
+    arrival: float
+    pipelined: bool = False
+
+
+@dataclass
+class _Request:
+    """An outstanding non-blocking operation."""
+
+    req_id: int
+    kind: str  # "send" | "recv"
+    source: int = -1
+    tag: int = 0
+    done: bool = False
+    done_time: float = 0.0
+    payload: Any = None
+    nbytes: int = 0
+    pipelined: bool = False
+
+
+@dataclass
+class _RankState:
+    gen: Generator
+    time: float = 0.0
+    #: (source, tag) the rank is blocked receiving on, if any.
+    waiting: Optional[Tuple[int, int]] = None
+    #: completion floor from the send half of a SendRecv.
+    recv_floor: float = 0.0
+    done: bool = False
+    result: Any = None
+    #: outstanding non-blocking requests, by id.
+    requests: Dict[int, _Request] = field(default_factory=dict)
+    #: posted Irecvs awaiting a matching message, in posting order.
+    irecv_posted: List[_Request] = field(default_factory=list)
+    #: request ids a Wait/Waitall is currently blocked on.
+    blocked_on: Optional[Tuple[int, ...]] = None
+    #: monotonic request-id source (ids stay unique across completions).
+    next_req_id: int = 0
+
+
+class Engine:
+    """Run a set of rank programs to completion over a network model."""
+
+    def __init__(
+        self,
+        nranks: int,
+        network: TofuDNetwork,
+        binding: BindingProfile = IMB_C,
+        bindings_by_rank: Optional[Dict[int, BindingProfile]] = None,
+    ):
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        if nranks > network.topology.ranks:
+            raise ValueError(
+                f"{nranks} ranks exceed topology capacity "
+                f"{network.topology.ranks}"
+            )
+        self.nranks = nranks
+        self.network = network
+        self._binding_default = binding
+        self._bindings = bindings_by_rank or {}
+        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._mailbox: Dict[int, Dict[Tuple[int, int], List[_Message]]] = {
+            r: {} for r in range(nranks)
+        }
+        self._states: List[_RankState] = []
+        # Per-rank ingress channel: inter-node message bodies serialise
+        # on the destination link, which makes fan-in patterns (linear
+        # Gatherv) bandwidth-bound at the root.
+        self._ingress_free: List[float] = [0.0] * nranks
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def binding(self, rank: int) -> BindingProfile:
+        return self._bindings.get(rank, self._binding_default)
+
+    def _schedule(self, time: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), fn))
+
+    # ------------------------------------------------------------------
+    def run(self, program: RankProgram, *args: Any) -> List[Any]:
+        """Instantiate ``program(rank, nranks, *args)`` per rank and run.
+
+        Returns the list of per-rank return values.
+        """
+        self._states = [
+            _RankState(gen=program(r, self.nranks, *args))
+            for r in range(self.nranks)
+        ]
+        for r in range(self.nranks):
+            self._schedule(0.0, lambda r=r: self._advance(r, None))
+        self._loop()
+        return [s.result for s in self._states]
+
+    def _loop(self) -> None:
+        while self._events:
+            _, _, fn = heapq.heappop(self._events)
+            fn()
+        blocked = [i for i, s in enumerate(self._states) if not s.done]
+        if blocked:
+            details = []
+            for i in blocked[:8]:
+                st = self._states[i]
+                what = st.waiting if st.waiting else st.blocked_on
+                details.append(f"rank {i} waiting on {what}")
+            raise DeadlockError("; ".join(details))
+
+    # ------------------------------------------------------------------
+    def _advance(self, rank: int, value: Any) -> None:
+        """Resume a rank's generator with ``value`` and act on its yield."""
+        state = self._states[rank]
+        try:
+            op = state.gen.send(value)
+        except StopIteration as stop:
+            state.done = True
+            state.result = stop.value
+            return
+        self._dispatch(rank, op)
+
+    def _dispatch(self, rank: int, op: Any) -> None:
+        state = self._states[rank]
+        t = state.time
+        if isinstance(op, Send):
+            resume_at = self._do_send(rank, t, op.dest, op.tag, op.nbytes, op.payload)
+            state.time = resume_at
+            self._schedule(resume_at, lambda: self._advance(rank, None))
+        elif isinstance(op, Recv):
+            self._post_recv(rank, op.source, op.tag, floor=t)
+        elif isinstance(op, SendRecv):
+            send_done = self._do_send(
+                rank, t, op.dest, op.send_tag, op.send_nbytes, op.send_payload
+            )
+            self._post_recv(rank, op.source, op.recv_tag, floor=send_done)
+        elif isinstance(op, Isend):
+            req = self._new_request(rank, "send")
+            free_at, arrival = self._do_send_async(
+                rank, t, op.dest, op.tag, op.nbytes, op.payload
+            )
+            state.time = free_at
+
+            def _complete_send(rank=rank, req=req, arrival=arrival):
+                req.done = True
+                req.done_time = arrival
+                self._wake_if_ready(rank)
+
+            self._schedule(arrival, _complete_send)
+            self._schedule(free_at, lambda: self._advance(rank, req.req_id))
+        elif isinstance(op, Irecv):
+            if not (0 <= op.source < self.nranks):
+                raise ValueError(f"irecv from invalid rank {op.source}")
+            req = self._new_request(rank, "recv", source=op.source, tag=op.tag)
+            key = (op.source, op.tag)
+            queue = self._mailbox[rank].get(key)
+            if queue:
+                msg = queue.pop(0)
+                if not queue:
+                    del self._mailbox[rank][key]
+                self._fill_recv_request(req, msg)
+            else:
+                state.irecv_posted.append(req)
+            post_done = t + self.binding(rank).per_call_overhead
+            state.time = post_done
+            self._schedule(post_done, lambda: self._advance(rank, req.req_id))
+        elif isinstance(op, (Wait, Waitall)):
+            ids = (op.request,) if isinstance(op, Wait) else tuple(op.requests)
+            for rid in ids:
+                if rid not in state.requests:
+                    raise ValueError(f"unknown request id {rid}")
+            state.blocked_on = ids
+            self._wake_if_ready(rank)
+        elif isinstance(op, Compute):
+            if op.seconds < 0:
+                raise ValueError("negative compute time")
+            state.time = t + op.seconds
+            self._schedule(state.time, lambda: self._advance(rank, None))
+        elif isinstance(op, Now):
+            self._schedule(t, lambda: self._advance(rank, t))
+        else:
+            raise TypeError(f"rank {rank} yielded unknown op {op!r}")
+
+    # -- non-blocking plumbing ---------------------------------------------
+    def _new_request(
+        self, rank: int, kind: str, source: int = -1, tag: int = 0
+    ) -> _Request:
+        state = self._states[rank]
+        req = _Request(
+            req_id=state.next_req_id, kind=kind, source=source, tag=tag
+        )
+        state.next_req_id += 1
+        state.requests[req.req_id] = req
+        return req
+
+    def _fill_recv_request(self, req: _Request, msg: _Message) -> None:
+        req.done = True
+        req.done_time = msg.arrival
+        req.payload = msg.payload
+        req.nbytes = msg.nbytes
+        req.pipelined = msg.pipelined
+
+    def _wake_if_ready(self, rank: int) -> None:
+        """Resume a rank blocked in Wait/Waitall once all requests are done."""
+        state = self._states[rank]
+        if state.blocked_on is None:
+            return
+        reqs = [state.requests[rid] for rid in state.blocked_on]
+        if not all(r.done for r in reqs):
+            return
+        ids = state.blocked_on
+        state.blocked_on = None
+        prof = self.binding(rank)
+        t = state.time
+        payloads = []
+        for r in reqs:
+            t = max(t, r.done_time)
+            if r.kind == "recv":
+                # copy-out happens at completion time, serially on the CPU
+                t += prof.endpoint_time(r.nbytes, pipelined=r.pipelined)
+            payloads.append(r.payload if r.kind == "recv" else None)
+        state.time = t
+        for rid in ids:
+            del state.requests[rid]
+        value = payloads[0] if len(ids) == 1 else payloads
+        self._schedule(t, lambda: self._advance(rank, value))
+
+    # ------------------------------------------------------------------
+    def _do_send(
+        self, src: int, t: float, dest: int, tag: int, nbytes: int, payload: Any
+    ) -> float:
+        """Inject a message; returns the time the sender becomes free."""
+        if not (0 <= dest < self.nranks):
+            raise ValueError(f"send to invalid rank {dest}")
+        if dest == src:
+            raise ValueError("self-sends are not supported (use local state)")
+        prof = self.binding(src)
+        wire = self.network.wire_time(src, dest, nbytes)
+        pipelined = wire.protocol == "rendezvous"
+        inject_done = t + prof.endpoint_time(nbytes, pipelined=pipelined)
+        head_at_dest = inject_done + wire.latency_seconds
+        if wire.protocol == "shm":
+            arrival = head_at_dest + wire.serial_seconds
+        else:
+            start_ingest = max(head_at_dest, self._ingress_free[dest])
+            arrival = start_ingest + wire.serial_seconds
+            self._ingress_free[dest] = arrival
+        msg = _Message(
+            src=src,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            arrival=arrival,
+            pipelined=pipelined,
+        )
+        self.stats.record(src, nbytes, wire.protocol, wire.hops)
+        self._schedule(arrival, lambda: self._deliver(dest, msg))
+        if wire.protocol == "rendezvous":
+            # Synchronous: the sender's buffer is in flight until the
+            # receiver has pulled it.
+            return arrival
+        return inject_done
+
+    def _do_send_async(
+        self, src: int, t: float, dest: int, tag: int, nbytes: int, payload: Any
+    ) -> Tuple[float, float]:
+        """Non-blocking injection: returns ``(sender_free, arrival)``.
+
+        Unlike the blocking path, a rendezvous Isend does not stall the
+        sender — the buffer stays in flight until Wait.
+        """
+        if not (0 <= dest < self.nranks):
+            raise ValueError(f"send to invalid rank {dest}")
+        if dest == src:
+            raise ValueError("self-sends are not supported (use local state)")
+        prof = self.binding(src)
+        wire = self.network.wire_time(src, dest, nbytes)
+        pipelined = wire.protocol == "rendezvous"
+        inject_done = t + prof.endpoint_time(nbytes, pipelined=pipelined)
+        head_at_dest = inject_done + wire.latency_seconds
+        if wire.protocol == "shm":
+            arrival = head_at_dest + wire.serial_seconds
+        else:
+            start_ingest = max(head_at_dest, self._ingress_free[dest])
+            arrival = start_ingest + wire.serial_seconds
+            self._ingress_free[dest] = arrival
+        msg = _Message(
+            src=src,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            arrival=arrival,
+            pipelined=pipelined,
+        )
+        self.stats.record(src, nbytes, wire.protocol, wire.hops)
+        self._schedule(arrival, lambda: self._deliver(dest, msg))
+        return inject_done, arrival
+
+    def _deliver(self, dest: int, msg: _Message) -> None:
+        state = self._states[dest]
+        key = (msg.src, msg.tag)
+        # Posted non-blocking receives match first, in posting order.
+        for i, req in enumerate(state.irecv_posted):
+            if (req.source, req.tag) == key:
+                state.irecv_posted.pop(i)
+                self._fill_recv_request(req, msg)
+                self._wake_if_ready(dest)
+                return
+        if state.waiting == key:
+            self._complete_recv(dest, msg)
+        else:
+            self._mailbox[dest].setdefault(key, []).append(msg)
+
+    def _post_recv(self, rank: int, source: int, tag: int, floor: float) -> None:
+        if not (0 <= source < self.nranks):
+            raise ValueError(f"recv from invalid rank {source}")
+        state = self._states[rank]
+        state.recv_floor = max(floor, state.time)
+        key = (source, tag)
+        queue = self._mailbox[rank].get(key)
+        if queue:
+            msg = queue.pop(0)
+            if not queue:
+                del self._mailbox[rank][key]
+            self._complete_recv(rank, msg)
+        else:
+            state.waiting = key
+
+    def _complete_recv(self, rank: int, msg: _Message) -> None:
+        state = self._states[rank]
+        state.waiting = None
+        prof = self.binding(rank)
+        done = max(state.recv_floor, msg.arrival) + prof.endpoint_time(
+            msg.nbytes, pipelined=msg.pipelined
+        )
+        state.time = done
+        self._schedule(done, lambda: self._advance(rank, msg.payload))

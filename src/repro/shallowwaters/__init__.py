@@ -1,0 +1,74 @@
+"""Type-flexible shallow-water model — the ShallowWaters.jl port (Figs. 4-5).
+
+* params:      :class:`ShallowWaterParams` (dtype, scaling, integration)
+* grid:        Arakawa C-grid difference/average operators
+* forcing:     balanced-turbulence and vortex initial conditions
+* rhs:         the scaled, dtype-generic right-hand side
+* integration: RK4 with plain / compensated / mixed-precision updates
+* model:       :class:`ShallowWaterModel` — run / run_sherlog
+* diagnostics: energy, enstrophy, vorticity, comparison metrics
+* perf:        the A64FX runtime model behind Fig. 5
+"""
+
+from .params import ShallowWaterParams, StepCoefficients
+from .operators import CHANNEL, PERIODIC, ChannelOps, Operators, PeriodicOps
+from .rhs import State, tendencies
+from .forcing import balanced_turbulence, gaussian_vortex
+from .integration import RK4Integrator
+from .model import ShallowWaterModel, SimulationResult
+from .diagnostics import (
+    enstrophy,
+    field_stats,
+    kinetic_energy,
+    normalized_rmse,
+    pattern_correlation,
+    potential_energy,
+    total_energy,
+    unscale,
+    vorticity,
+)
+from .perf import SWRuntimeModel, VARIANTS, speedup_sweep
+from .tracer import TracerAdvection, upwind_flux_divergence
+from .distributed import HALO, DistributedResult, DistributedShallowWater
+from .spectra import isotropic_ke_spectrum, spectral_slope, spectrum_overlap
+from .output import load_snapshot, restart_state, save_snapshot
+
+__all__ = [
+    "ShallowWaterParams",
+    "StepCoefficients",
+    "Operators",
+    "PeriodicOps",
+    "ChannelOps",
+    "PERIODIC",
+    "CHANNEL",
+    "State",
+    "tendencies",
+    "balanced_turbulence",
+    "gaussian_vortex",
+    "RK4Integrator",
+    "ShallowWaterModel",
+    "SimulationResult",
+    "unscale",
+    "vorticity",
+    "kinetic_energy",
+    "potential_energy",
+    "total_energy",
+    "enstrophy",
+    "pattern_correlation",
+    "normalized_rmse",
+    "field_stats",
+    "SWRuntimeModel",
+    "VARIANTS",
+    "speedup_sweep",
+    "TracerAdvection",
+    "upwind_flux_divergence",
+    "DistributedShallowWater",
+    "DistributedResult",
+    "HALO",
+    "isotropic_ke_spectrum",
+    "spectral_slope",
+    "spectrum_overlap",
+    "save_snapshot",
+    "load_snapshot",
+    "restart_state",
+]

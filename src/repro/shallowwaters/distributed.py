@@ -1,0 +1,276 @@
+"""Distributed ShallowWaters: domain decomposition over the MPI simulator.
+
+The paper's two halves — the type-flexible solver (§III-B) and the
+MPI.jl overhead study (§III-A-2) — meet in practice in exactly one
+place: a distributed version of the model.  This module provides it,
+over this repository's own substrates:
+
+* 1-D decomposition in x (the periodic direction): each simulated rank
+  owns a slab of ``nx / nranks`` columns plus ``HALO``-wide ghost
+  columns on each side;
+* a *wide halo*: one exchange per time step with ``HALO = 8`` columns
+  covers all four RK4 stages (stencil radius 2 per stage: the
+  biharmonic), trading bandwidth for latency the way real weather codes
+  do;
+* halo exchange via non-blocking ``Isend``/``Irecv`` on the simulated
+  TofuD network, so each step's communication cost (and its overlap
+  with the local compute estimate) comes out of the discrete-event
+  engine;
+* **bit-exactness**: the extended-array computation performs the same
+  elementwise operations on the same values as the serial model, so the
+  assembled distributed result equals the single-process run bit for
+  bit, at any dtype — tested.
+
+Channel boundaries decompose the same way (walls are in y, the
+decomposition is in x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..mpi.comm import Comm, MPIWorld
+from .model import ShallowWaterModel
+from .params import ShallowWaterParams
+from .perf import SWRuntimeModel
+from .rhs import State, tendencies
+
+__all__ = ["HALO", "DistributedShallowWater", "DistributedResult"]
+
+#: ghost columns per side: 4 RK4 stages x stencil radius 2.
+HALO = 8
+
+
+@dataclass
+class DistributedResult:
+    """Assembled outcome of a distributed run."""
+
+    params: ShallowWaterParams
+    nranks: int
+    state: State  # assembled global state
+    nsteps: int
+    #: virtual seconds of the slowest rank.
+    sim_seconds: float
+    #: simulator traffic statistics.
+    messages: int
+    bytes_sent: int
+    #: virtual seconds spent in (modelled) local compute.
+    compute_seconds: float
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of virtual time not covered by local compute."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.compute_seconds / self.sim_seconds)
+
+
+class DistributedShallowWater:
+    """A shallow-water experiment decomposed over simulated MPI ranks.
+
+    ``halo`` defaults to the provably sufficient width (4 RK4 stages x
+    stencil radius 2 = 8); narrower halos are accepted so tests can
+    demonstrate they corrupt the edges (losing bit-exactness), which
+    validates the stencil-radius analysis.
+    """
+
+    def __init__(self, params: ShallowWaterParams, nranks: int,
+                 halo: int = HALO):
+        if params.nx % nranks != 0:
+            raise ValueError(
+                f"nx={params.nx} must divide evenly over {nranks} ranks"
+            )
+        if halo < 1:
+            raise ValueError("halo must be at least 1 column")
+        self.halo = halo
+        self.local_nx = params.nx // nranks
+        if self.local_nx < halo:
+            raise ValueError(
+                f"local slab ({self.local_nx} cols) narrower than the "
+                f"halo ({halo}); use fewer ranks or a bigger grid"
+            )
+        self.params = params
+        self.nranks = nranks
+        #: modelled per-step local compute time (used as virtual work).
+        self.step_compute_seconds = (
+            SWRuntimeModel().time_per_step(params) / nranks
+        )
+
+    # ------------------------------------------------------------------
+    def _slab(self, arr: np.ndarray, rank: int) -> np.ndarray:
+        lo = rank * self.local_nx
+        return arr[:, lo : lo + self.local_nx].copy()
+
+    def _initial_slabs(self, rank: int) -> State:
+        full = ShallowWaterModel(self.params).initial_state()
+        return State(
+            self._slab(full.u, rank),
+            self._slab(full.v, rank),
+            self._slab(full.eta, rank),
+        )
+
+    @staticmethod
+    def _pack(state: State, sl: slice) -> np.ndarray:
+        """Stack the three fields' halo columns into one message."""
+        return np.stack(
+            [state.u[:, sl], state.v[:, sl], state.eta[:, sl]]
+        ).copy()
+
+    # ------------------------------------------------------------------
+    def rank_program(self, comm: Comm, nsteps: int) -> Generator:
+        """The per-rank simulation loop (run under :class:`MPIWorld`)."""
+        p = self.params
+        coeffs = p.coefficients().cast(p.np_dtype)
+        ops = p.ops
+        local = self._initial_slabs(comm.rank)
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        itemsize = p.np_dtype.itemsize
+        H = self.halo
+        halo_bytes = 3 * p.ny * H * itemsize
+        t = local.dtype.type
+        half, sixth, two = t(0.5), t(1.0 / 6.0), t(2.0)
+        compute_total = 0.0
+
+        for step in range(nsteps):
+            # -- halo exchange (non-blocking, both directions at once) --
+            if comm.size == 1:
+                # Single rank: the halo is the periodic wraparound.
+                west = self._pack(local, slice(-H, None))
+                east = self._pack(local, slice(0, H))
+            else:
+                tag_l, tag_r = 2 * (step % 4), 2 * (step % 4) + 1
+                sreq_l = yield comm.isend(
+                    left, nbytes=halo_bytes,
+                    payload=self._pack(local, slice(0, H)), tag=tag_l,
+                )
+                sreq_r = yield comm.isend(
+                    right, nbytes=halo_bytes,
+                    payload=self._pack(local, slice(-H, None)), tag=tag_r,
+                )
+                rreq_l = yield comm.irecv(left, tag=tag_r)
+                rreq_r = yield comm.irecv(right, tag=tag_l)
+                west, east = (
+                    yield comm.waitall([rreq_l, rreq_r])
+                )
+                yield comm.waitall([sreq_l, sreq_r])
+
+            # -- extended arrays: [west halo | local | east halo] ------
+            def extend(idx: int, field: np.ndarray) -> np.ndarray:
+                return np.concatenate(
+                    [west[idx], field, east[idx]], axis=1
+                )
+
+            u = extend(0, local.u)
+            v = extend(1, local.v)
+            eta = extend(2, local.eta)
+
+            # -- four RK4 stages on the extended slab ------------------
+            k1u, k1v, k1e = tendencies(State(u, v, eta), coeffs, ops)
+            k2u, k2v, k2e = tendencies(
+                State(u + half * k1u, v + half * k1v, eta + half * k1e),
+                coeffs, ops,
+            )
+            k3u, k3v, k3e = tendencies(
+                State(u + half * k2u, v + half * k2v, eta + half * k2e),
+                coeffs, ops,
+            )
+            k4u, k4v, k4e = tendencies(
+                State(u + k3u, v + k3v, eta + k3e), coeffs, ops
+            )
+            inner = slice(H, H + self.local_nx)
+            local = State(
+                local.u + (sixth * (k1u + two * (k2u + k3u) + k4u))[:, inner],
+                local.v + (sixth * (k1v + two * (k2v + k3v) + k4v))[:, inner],
+                local.eta + (sixth * (k1e + two * (k2e + k3e) + k4e))[:, inner],
+            )
+
+            # -- charge the modelled local compute time ------------------
+            yield comm.compute(self.step_compute_seconds)
+            compute_total += self.step_compute_seconds
+
+        t_end = yield comm.now()
+        return {
+            "rank": comm.rank,
+            "u": local.u,
+            "v": local.v,
+            "eta": local.eta,
+            "time": t_end,
+            "compute": compute_total,
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def strong_scaling(
+        params: ShallowWaterParams,
+        rank_counts: List[int],
+        nsteps: int = 10,
+    ) -> Dict[int, Dict[str, float]]:
+        """Fixed problem, growing rank counts: virtual-time speedups.
+
+        Returns ``{nranks: {"time": s, "speedup": x, "comm_fraction": f}}``.
+        """
+        base: Optional[float] = None
+        out: Dict[int, Dict[str, float]] = {}
+        for nranks in rank_counts:
+            res = DistributedShallowWater(params, nranks).run(nsteps)
+            if base is None:
+                base = res.sim_seconds
+            out[nranks] = {
+                "time": res.sim_seconds,
+                "speedup": base / res.sim_seconds,
+                "comm_fraction": res.comm_fraction,
+            }
+        return out
+
+    @staticmethod
+    def weak_scaling(
+        base_params: ShallowWaterParams,
+        rank_counts: List[int],
+        nsteps: int = 10,
+    ) -> Dict[int, Dict[str, float]]:
+        """Problem grows with the ranks (constant work per rank).
+
+        The x-extent scales with the rank count; ideal weak scaling
+        keeps the virtual time flat.  Returns per-count time and
+        efficiency (t_1 / t_n).
+        """
+        from dataclasses import replace as dc_replace
+
+        base: Optional[float] = None
+        out: Dict[int, Dict[str, float]] = {}
+        for nranks in rank_counts:
+            p = dc_replace(base_params, nx=base_params.nx * nranks)
+            res = DistributedShallowWater(p, nranks).run(nsteps)
+            if base is None:
+                base = res.sim_seconds
+            out[nranks] = {
+                "time": res.sim_seconds,
+                "efficiency": base / res.sim_seconds,
+                "comm_fraction": res.comm_fraction,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    def run(self, nsteps: int) -> DistributedResult:
+        """Run the decomposed model and assemble the global state."""
+        world = MPIWorld(nranks=self.nranks, ranks_per_node=1)
+        results = world.run(self.rank_program, nsteps)
+        results.sort(key=lambda r: r["rank"])
+        u = np.concatenate([r["u"] for r in results], axis=1)
+        v = np.concatenate([r["v"] for r in results], axis=1)
+        eta = np.concatenate([r["eta"] for r in results], axis=1)
+        stats = world.last_stats
+        return DistributedResult(
+            params=self.params,
+            nranks=self.nranks,
+            state=State(u, v, eta),
+            nsteps=nsteps,
+            sim_seconds=max(r["time"] for r in results),
+            messages=stats.messages,
+            bytes_sent=stats.bytes_sent,
+            compute_seconds=max(r["compute"] for r in results),
+        )

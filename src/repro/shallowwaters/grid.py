@@ -1,0 +1,161 @@
+"""Arakawa C-grid operators (doubly periodic), dtype-preserving.
+
+Staggering (shapes all ``(ny, nx)``):
+
+* ``eta`` at cell centres ``(j+1/2, i+1/2)``;
+* ``u`` at east faces ``(j+1/2, i+1)`` — ``u[j, i]`` sits between
+  centres ``i`` and ``i+1``;
+* ``v`` at north faces ``(j+1, i+1/2)``;
+* vorticity/PV ``q`` at corners ``(j, i)``.
+
+All operators are *plain neighbour differences/averages* — no ``1/dx``
+— because the model folds grid factors into the per-step coefficients
+(:class:`repro.shallowwaters.params.StepCoefficients`), which is what
+keeps every Float16 intermediate in the normal range.  Implemented with
+``np.roll`` (views + one allocation, the idiomatic vectorised form) and
+dtype-preserving for float16/32/64 and Sherlog arrays alike.
+
+Operator naming: ``d<axis>_<from>2<to>``, e.g. ``dx_eta2u`` is the
+x-difference of a centre field evaluated at u-points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dx_eta2u",
+    "dy_eta2v",
+    "dx_u2eta",
+    "dy_v2eta",
+    "dx_v2q",
+    "dy_u2q",
+    "ax_eta2u",
+    "ay_eta2v",
+    "ax_u2eta",
+    "ay_v2eta",
+    "a4_q2u",
+    "a4_q2v",
+    "ax_v2q",
+    "ay_u2q",
+    "laplace",
+    "biharmonic",
+]
+
+
+def _roll(a: np.ndarray, shift: int, axis: int) -> np.ndarray:
+    return np.roll(a, shift, axis=axis)
+
+
+# ---------------------------------------------------------------------------
+# Differences (result lives on the staggered point between the operands)
+# ---------------------------------------------------------------------------
+def dx_eta2u(eta: np.ndarray) -> np.ndarray:
+    """``eta[j, i+1] - eta[j, i]`` at u-point ``(j, i)``."""
+    return _roll(eta, -1, 1) - eta
+
+
+def dy_eta2v(eta: np.ndarray) -> np.ndarray:
+    """``eta[j+1, i] - eta[j, i]`` at v-point ``(j, i)``."""
+    return _roll(eta, -1, 0) - eta
+
+
+def dx_u2eta(u: np.ndarray) -> np.ndarray:
+    """``u[j, i] - u[j, i-1]`` at centre ``(j, i)`` (divergence part)."""
+    return u - _roll(u, 1, 1)
+
+
+def dy_v2eta(v: np.ndarray) -> np.ndarray:
+    """``v[j, i] - v[j-1, i]`` at centre ``(j, i)``."""
+    return v - _roll(v, 1, 0)
+
+
+def dx_v2q(v: np.ndarray) -> np.ndarray:
+    """``v[j, i+1] - v[j, i]`` at corner ``(j+1, i+1)`` (for vorticity).
+
+    With u at ``(j+1/2, i+1)`` and v at ``(j+1, i+1/2)``, the corner
+    indexed ``[j, i]`` sits at ``(j+1, i+1)``; both vorticity halves
+    (this and :func:`dy_u2q`) land on that same corner — the staggering
+    consistency that makes the Coriolis term energy-neutral.
+    """
+    return _roll(v, -1, 1) - v
+
+
+def dy_u2q(u: np.ndarray) -> np.ndarray:
+    """``u[j+1, i] - u[j, i]`` at corner ``(j+1, i+1)``."""
+    return _roll(u, -1, 0) - u
+
+
+# ---------------------------------------------------------------------------
+# Two-point averages
+# ---------------------------------------------------------------------------
+def ax_eta2u(eta: np.ndarray) -> np.ndarray:
+    """Centre field averaged to u-points."""
+    half = eta.dtype.type(0.5)
+    return half * (eta + _roll(eta, -1, 1))
+
+
+def ay_eta2v(eta: np.ndarray) -> np.ndarray:
+    half = eta.dtype.type(0.5)
+    return half * (eta + _roll(eta, -1, 0))
+
+
+def ax_u2eta(u: np.ndarray) -> np.ndarray:
+    half = u.dtype.type(0.5)
+    return half * (u + _roll(u, 1, 1))
+
+
+def ay_v2eta(v: np.ndarray) -> np.ndarray:
+    half = v.dtype.type(0.5)
+    return half * (v + _roll(v, 1, 0))
+
+
+def ax_v2q(v: np.ndarray) -> np.ndarray:
+    """v averaged in x to corner points."""
+    half = v.dtype.type(0.5)
+    return half * (v + _roll(v, 1, 1))
+
+
+def ay_u2q(u: np.ndarray) -> np.ndarray:
+    half = u.dtype.type(0.5)
+    return half * (u + _roll(u, 1, 0))
+
+
+# ---------------------------------------------------------------------------
+# Corner-field-to-face averages (the PV/Coriolis averages)
+# ---------------------------------------------------------------------------
+def a4_q2u(q: np.ndarray) -> np.ndarray:
+    """Corner field averaged to u-points.
+
+    The u-point ``(j+1/2, i+1)`` lies between corners ``(j, i+1)``
+    (``q[j-1, i]``) and ``(j+1, i+1)`` (``q[j, i]``).
+    """
+    half = q.dtype.type(0.5)
+    return half * (q + _roll(q, 1, 0))
+
+
+def a4_q2v(q: np.ndarray) -> np.ndarray:
+    """Corner field averaged to v-points: corners ``(j+1, i)`` and
+    ``(j+1, i+1)``, i.e. ``q[j, i-1]`` and ``q[j, i]``."""
+    half = q.dtype.type(0.5)
+    return half * (q + _roll(q, 1, 1))
+
+
+# ---------------------------------------------------------------------------
+# Diffusion stencils (plain differences; coefficients carry the units)
+# ---------------------------------------------------------------------------
+def laplace(a: np.ndarray) -> np.ndarray:
+    """5-point Laplacian as plain differences (no 1/dx^2)."""
+    four = a.dtype.type(4)
+    return (
+        _roll(a, -1, 0)
+        + _roll(a, 1, 0)
+        + _roll(a, -1, 1)
+        + _roll(a, 1, 1)
+        - four * a
+    )
+
+
+def biharmonic(a: np.ndarray) -> np.ndarray:
+    """del^4 as the squared 5-point stencil (13-point effective)."""
+    return laplace(laplace(a))

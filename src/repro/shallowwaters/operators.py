@@ -1,0 +1,222 @@
+"""Boundary-aware operator sets: doubly periodic vs zonal channel.
+
+ShallowWaters.jl supports bounded domains (its headline runs are
+wind-driven gyres in closed/channel basins); this module factors the
+grid operators behind an interface so the *same* RHS runs either way:
+
+* :class:`PeriodicOps` — delegates to :mod:`repro.shallowwaters.grid`
+  (torus in both directions);
+* :class:`ChannelOps` — periodic in x, solid walls at y=0 and y=Ly:
+  - no normal flow: ``v = 0`` on the walls (the northernmost stored v
+    row *is* the wall row and is pinned to zero);
+  - free-slip tangential flow: ``du/dy = 0`` and vorticity ``zeta = 0``
+    on the walls (reflected ghost rows for u, zero ghosts for v);
+  - diffusion respects the same ghosts per field, so the biharmonic
+    operator differs between u, v and eta.
+
+Everything remains dtype-preserving and allocation-light (pad + slice
+instead of roll on the bounded axis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import grid
+
+__all__ = ["Operators", "PeriodicOps", "ChannelOps", "PERIODIC", "CHANNEL"]
+
+
+def _shift_south(a: np.ndarray, ghost: str) -> np.ndarray:
+    """Array whose row j holds a[j-1], with a ghost row at j=0.
+
+    ghost: "zero" (Dirichlet), "reflect" (Neumann: a[-1] := a[0]).
+    """
+    out = np.empty_like(a)
+    out[1:] = a[:-1]
+    out[0] = 0 if ghost == "zero" else a[0]
+    return out
+
+
+def _shift_north(a: np.ndarray, ghost: str) -> np.ndarray:
+    """Array whose row j holds a[j+1], ghost at j=ny-1."""
+    out = np.empty_like(a)
+    out[:-1] = a[1:]
+    out[-1] = 0 if ghost == "zero" else a[-1]
+    return out
+
+
+class Operators:
+    """Interface the RHS codes against (names match :mod:`grid`)."""
+
+    name = "abstract"
+
+    # x-direction is periodic in both variants.
+    dx_eta2u = staticmethod(grid.dx_eta2u)
+    dx_u2eta = staticmethod(grid.dx_u2eta)
+    dx_v2q = staticmethod(grid.dx_v2q)
+    ax_eta2u = staticmethod(grid.ax_eta2u)
+    ax_u2eta = staticmethod(grid.ax_u2eta)
+
+    # y-direction operators and field-specific diffusion are overridden.
+    def dy_eta2v(self, eta):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def dy_v2eta(self, v):
+        raise NotImplementedError
+
+    def dy_u2q(self, u):
+        raise NotImplementedError
+
+    def ay_eta2v(self, eta):
+        raise NotImplementedError
+
+    def ay_v2eta(self, v):
+        raise NotImplementedError
+
+    def a4_q2u(self, q):
+        raise NotImplementedError
+
+    def a4_q2v(self, q):
+        raise NotImplementedError
+
+    def v_bar_u(self, v):
+        raise NotImplementedError
+
+    def u_bar_v(self, u):
+        raise NotImplementedError
+
+    def biharmonic_u(self, u):
+        raise NotImplementedError
+
+    def biharmonic_v(self, v):
+        raise NotImplementedError
+
+    def enforce_walls(self, dv: np.ndarray) -> np.ndarray:
+        """Pin the v-tendency on wall rows (no-op for periodic)."""
+        return dv
+
+
+class PeriodicOps(Operators):
+    """Doubly periodic: thin delegation to :mod:`grid`."""
+
+    name = "periodic"
+
+    dy_eta2v = staticmethod(grid.dy_eta2v)
+    dy_v2eta = staticmethod(grid.dy_v2eta)
+    dy_u2q = staticmethod(grid.dy_u2q)
+    ay_eta2v = staticmethod(grid.ay_eta2v)
+    ay_v2eta = staticmethod(grid.ay_v2eta)
+    a4_q2u = staticmethod(grid.a4_q2u)
+    a4_q2v = staticmethod(grid.a4_q2v)
+    biharmonic_u = staticmethod(grid.biharmonic)
+    biharmonic_v = staticmethod(grid.biharmonic)
+
+    @staticmethod
+    def v_bar_u(v):
+        from .rhs import v_bar_u as _vbu
+
+        return _vbu(v)
+
+    @staticmethod
+    def u_bar_v(u):
+        from .rhs import u_bar_v as _ubv
+
+        return _ubv(u)
+
+
+class ChannelOps(Operators):
+    """Zonal channel: periodic x, free-slip walls at y=0 and y=Ly."""
+
+    name = "channel"
+
+    # -- y differences ----------------------------------------------------
+    @staticmethod
+    def dy_eta2v(eta):
+        # eta[j+1] - eta[j] at v rows; the north wall row has v = 0 and
+        # its tendency is pinned, the value here is irrelevant but must
+        # be finite: use 0.
+        return _shift_north(eta, "reflect") - eta
+
+    @staticmethod
+    def dy_v2eta(v):
+        # v[j] - v[j-1] with v[-1] = 0 (south wall): no flux enters.
+        return v - _shift_south(v, "zero")
+
+    @staticmethod
+    def dy_u2q(u):
+        # u[j+1] - u[j] at corner row j+1; free-slip: du/dy = 0 on the
+        # north wall -> ghost u[ny] = u[ny-1] gives 0 there.
+        return _shift_north(u, "reflect") - u
+
+    # -- y averages ----------------------------------------------------------
+    @staticmethod
+    def ay_eta2v(eta):
+        half = eta.dtype.type(0.5)
+        return half * (eta + _shift_north(eta, "reflect"))
+
+    @staticmethod
+    def ay_v2eta(v):
+        half = v.dtype.type(0.5)
+        return half * (v + _shift_south(v, "zero"))
+
+    @staticmethod
+    def a4_q2u(q):
+        # corners (j, i+1) and (j+1, i+1) around the u row; the south
+        # ghost corner row carries zeta = 0 (free-slip).
+        half = q.dtype.type(0.5)
+        return half * (q + _shift_south(q, "zero"))
+
+    @staticmethod
+    def a4_q2v(q):
+        half = q.dtype.type(0.5)
+        return half * (q + np.roll(q, 1, axis=1))
+
+    # -- transverse velocity averages --------------------------------------
+    @staticmethod
+    def v_bar_u(v):
+        quarter = v.dtype.type(0.25)
+        v_im = np.roll(v, -1, axis=1)
+        v_s = _shift_south(v, "zero")
+        v_s_im = np.roll(v_s, -1, axis=1)
+        return quarter * (v + v_im + v_s + v_s_im)
+
+    @staticmethod
+    def u_bar_v(u):
+        quarter = u.dtype.type(0.25)
+        u_ix = np.roll(u, 1, axis=1)
+        u_n = _shift_north(u, "reflect")
+        u_n_ix = np.roll(u_n, 1, axis=1)
+        return quarter * (u + u_ix + u_n + u_n_ix)
+
+    # -- diffusion ------------------------------------------------------------
+    @staticmethod
+    def _laplace(a, ghost: str):
+        four = a.dtype.type(4)
+        return (
+            _shift_north(a, ghost)
+            + _shift_south(a, ghost)
+            + np.roll(a, -1, axis=1)
+            + np.roll(a, 1, axis=1)
+            - four * a
+        )
+
+    @classmethod
+    def biharmonic_u(cls, u):
+        # free-slip: Neumann ghosts for u.
+        return cls._laplace(cls._laplace(u, "reflect"), "reflect")
+
+    @classmethod
+    def biharmonic_v(cls, v):
+        # walls: Dirichlet ghosts for v.
+        return cls._laplace(cls._laplace(v, "zero"), "zero")
+
+    @staticmethod
+    def enforce_walls(dv: np.ndarray) -> np.ndarray:
+        """The northernmost v row sits on the wall: no normal flow."""
+        dv[-1, :] = 0
+        return dv
+
+
+PERIODIC = PeriodicOps()
+CHANNEL = ChannelOps()

@@ -1,0 +1,269 @@
+"""Configuration of the shallow-water model (ShallowWaters.jl port).
+
+The model solves the rotating shallow-water equations on a doubly
+periodic beta-plane — the idealised geophysical-turbulence setup of
+Fig. 4 — with the three ingredients §III-B describes for Float16
+viability:
+
+* a **multiplicative scaling** ``s`` (a power of two, so applying and
+  removing it is exact) keeping all stored fields and intermediate
+  products inside Float16's normal range;
+* **compensated time integration** for the precision-critical state
+  update (``integration="compensated"``);
+* a **mixed-precision** alternative computing the RHS in Float16 but
+  accumulating in Float32 (``integration="mixed"`` — the Fig. 5
+  comparison case).
+
+All physical constants are folded at setup (in float64) into a handful
+of per-step nondimensional coefficients (:class:`StepCoefficients`), so
+the inner loop touches only well-scaled quantities — the concrete form
+of the paper's "scaling analysis" workflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Literal, Optional
+
+import numpy as np
+
+__all__ = ["ShallowWaterParams", "StepCoefficients"]
+
+IntegrationMode = Literal["standard", "compensated", "mixed"]
+
+
+@dataclass(frozen=True)
+class ShallowWaterParams:
+    """Physical + numerical configuration.
+
+    Defaults give a 2:1 mid-latitude beta-plane box with geostrophic
+    turbulence, stable for all supported dtypes.
+    """
+
+    # -- grid -----------------------------------------------------------
+    nx: int = 128
+    ny: int = 64
+    #: domain size [m]; dy = Ly/ny must equal dx = Lx/nx.
+    Lx: float = 2_000e3
+
+    # -- physics ----------------------------------------------------------
+    gravity: float = 9.81
+    #: mean layer depth [m].
+    depth: float = 500.0
+    #: Coriolis parameter at the domain centre [1/s].
+    f0: float = 1.0e-4
+    #: beta-plane gradient [1/(m s)].  Defaults to 0 (f-plane): with
+    #: doubly periodic boundaries a nonzero beta is discontinuous at the
+    #: y-seam; set it only for channel-style experiments.
+    beta: float = 0.0
+    #: linear bottom drag [1/s].
+    drag: float = 1.0e-7
+    #: biharmonic viscosity as a fraction of the grid-scale damping
+    #: limit (dimensionless, 0..1); the dimensional coefficient is
+    #: derived from dx and dt.
+    biharmonic_strength: float = 0.06
+    #: wind-stress amplitude [m/s^2] (0 = free-decay turbulence).
+    wind_amplitude: float = 0.0
+
+    # -- numerics -----------------------------------------------------------
+    #: CFL number against the gravity-wave speed sqrt(g H).
+    cfl: float = 0.7
+    #: number format of the prognostic state ("float16/32/64").
+    dtype: str = "float64"
+    #: multiplicative scaling (power of two; 1 for wide formats).
+    scaling: float = 1.0
+    #: state-update scheme (§III-B; Float16 defaults to compensated
+    #: in ShallowWaters.jl — we keep it explicit).
+    integration: IntegrationMode = "standard"
+    #: flush Float16 subnormals to zero (the A64FX compiler flag).
+    flush_subnormals: bool = False
+    #: RNG seed for the initial condition.
+    seed: int = 1234
+    #: initial RMS velocity of the balanced turbulence field [m/s].
+    init_velocity: float = 0.25
+    #: domain geometry: "periodic" (torus) or "channel" (periodic in x,
+    #: free-slip walls at y=0 and y=Ly — the wind-driven-gyre setup).
+    boundary: str = "periodic"
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.nx < 8 or self.ny < 8:
+            raise ValueError("grid must be at least 8x8")
+        if self.scaling <= 0:
+            raise ValueError("scaling must be positive")
+        frac, _ = math.frexp(self.scaling)
+        if frac != 0.5:
+            raise ValueError("scaling must be a power of two (exact in FP)")
+        if self.dtype not in ("float16", "float32", "float64"):
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        if not 0.0 < self.cfl <= 1.0:
+            raise ValueError("cfl must be in (0, 1]")
+        if self.boundary not in ("periodic", "channel"):
+            raise ValueError(f"unknown boundary {self.boundary!r}")
+
+    # -- derived quantities ------------------------------------------------
+    @property
+    def dx(self) -> float:
+        return self.Lx / self.nx
+
+    @property
+    def Ly(self) -> float:
+        return self.dx * self.ny
+
+    @property
+    def wave_speed(self) -> float:
+        """Gravity-wave speed sqrt(g H) [m/s]."""
+        return math.sqrt(self.gravity * self.depth)
+
+    @property
+    def dt(self) -> float:
+        """Time step from the CFL condition [s]."""
+        return self.cfl * self.dx / self.wave_speed
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    def with_dtype(
+        self,
+        dtype: str,
+        scaling: Optional[float] = None,
+        integration: Optional[IntegrationMode] = None,
+    ) -> "ShallowWaterParams":
+        """The same experiment at another precision — the paper's
+        "identical code base, different number format" move."""
+        kwargs: dict = {"dtype": dtype}
+        if scaling is not None:
+            kwargs["scaling"] = scaling
+        if integration is not None:
+            kwargs["integration"] = integration
+        return replace(self, **kwargs)
+
+    def coefficients(self) -> "StepCoefficients":
+        return StepCoefficients.from_params(self)
+
+    @property
+    def ops(self):
+        """The boundary-condition operator set for this configuration."""
+        from .operators import CHANNEL, PERIODIC
+
+        return CHANNEL if self.boundary == "channel" else PERIODIC
+
+
+@dataclass(frozen=True)
+class StepCoefficients:
+    """Per-step nondimensional coefficients, precomputed in float64.
+
+    With fields stored scaled (``u~ = s*u`` ...), gradients taken as
+    plain neighbour differences (no 1/dx), and tendencies premultiplied
+    by dt, the update reads::
+
+        du~ += cf[j]*v~ + cz*(dvx - duy)*(v~/s)        # (f + zeta) v dt
+               - cz*d_x(g_eta*eta~ + ke~) ...           # Bernoulli
+        deta~ += -ch*d_x(u~) - cz*d_x(u~*(eta~/s)) ...  # continuity
+
+    Every constant lands in Float16's comfort zone and every division
+    by ``s`` is exact.
+    """
+
+    #: dt/dx [s/m] — multiplies difference-form quadratic terms.
+    cz: float
+    #: g*dt/dx — multiplies the scaled surface-gradient difference.
+    cg: float
+    #: H*dt/dx — linear continuity coefficient.
+    ch: float
+    #: f(y)*dt at u/v rows (1-D arrays broadcast over x).
+    cf_u: np.ndarray
+    cf_q: np.ndarray
+    #: drag*dt.
+    cr: float
+    #: biharmonic coefficient on plain 4th differences.
+    cb: float
+    #: wind forcing per step, scaled (s*dt*F0), on u rows.
+    cw: np.ndarray
+    #: the scaling s and its exact inverse.
+    s: float
+    inv_s: float
+    dt: float
+
+    @classmethod
+    def from_params(cls, p: ShallowWaterParams) -> "StepCoefficients":
+        dt, dx = p.dt, p.dx
+        ny = p.ny
+        # y coordinates: u rows at (j+1/2)*dx, v/q rows at (j+1)*dx
+        # (the corner/face convention of repro.shallowwaters.grid), with
+        # the beta term centred on the domain middle.
+        y_mid = 0.5 * p.Ly
+        y_u = (np.arange(ny) + 0.5) * dx - y_mid
+        y_q = (np.arange(ny) + 1.0) * dx - y_mid
+        cf_u = (p.f0 + p.beta * y_u) * dt
+        cf_q = (p.f0 + p.beta * y_q) * dt
+        # Wind stress: sinusoidal jet profile (zero by default).
+        cw = p.scaling * dt * p.wind_amplitude * np.sin(
+            2.0 * np.pi * (y_u + y_mid) / p.Ly
+        )
+        # Biharmonic: strength as a fraction of the explicit stability
+        # limit for del^4 (|cb| <= 1/64 in 2D) *at cfl = 1*, scaled by
+        # the actual cfl so the dimensional viscosity nu4 = cb dx^4/dt
+        # is independent of the time step (refining dt must not change
+        # the physics).
+        cb = p.biharmonic_strength / 64.0 * p.cfl
+        return cls(
+            cz=dt / dx,
+            cg=p.gravity * dt / dx,
+            ch=p.depth * dt / dx,
+            cf_u=cf_u,
+            cf_q=cf_q,
+            cr=p.drag * dt,
+            cb=cb,
+            cw=cw,
+            s=p.scaling,
+            inv_s=1.0 / p.scaling,
+            dt=dt,
+        )
+
+    def cast(self, dtype: np.dtype) -> "CastCoefficients":
+        """Round every coefficient to the working dtype once, at setup.
+
+        The drag coefficient ``dt*r`` (~1e-5) is below Float16's normal
+        range, so it is stored as ``cr_hi * cr_lo`` with ``cr_lo`` an
+        exact power of two and ``cr_hi`` normal — applying the factors
+        sequentially keeps every intermediate normal (§III-B's boosted-
+        constant discipline).
+        """
+        t = dtype.type
+        cr_lo = 2.0**-10
+        cr_hi = self.cr / cr_lo
+        return CastCoefficients(
+            cz=t(self.cz),
+            cg=t(self.cg),
+            ch=t(self.ch),
+            cf_u=self.cf_u.astype(dtype)[:, None],
+            cf_q=self.cf_q.astype(dtype)[:, None],
+            cr_hi=t(cr_hi),
+            cr_lo=t(cr_lo),
+            cb=t(self.cb),
+            cw=self.cw.astype(dtype)[:, None],
+            s=t(self.s),
+            inv_s=t(self.inv_s),
+            half=t(0.5),
+        )
+
+
+@dataclass(frozen=True)
+class CastCoefficients:
+    """The coefficients in the working dtype (see :class:`StepCoefficients`)."""
+
+    cz: np.floating
+    cg: np.floating
+    ch: np.floating
+    cf_u: np.ndarray
+    cf_q: np.ndarray
+    cr_hi: np.floating
+    cr_lo: np.floating
+    cb: np.floating
+    cw: np.ndarray
+    s: np.floating
+    inv_s: np.floating
+    half: np.floating

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_sw_params():
+    """A small, fast shallow-water configuration."""
+    from repro.shallowwaters import ShallowWaterParams
+
+    return ShallowWaterParams(nx=32, ny=16)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (full-scale experiment)"
+    )

@@ -1,0 +1,169 @@
+"""Tests for repro.blas: kernels, library models, trampoline (Fig. 1 logic)."""
+
+import numpy as np
+import pytest
+
+from repro.blas import (
+    ALL_LIBRARIES,
+    ARMPL,
+    BLIS,
+    FUJITSU_BLAS,
+    JULIA_GENERIC,
+    OPENBLAS,
+    KERNELS,
+    Trampoline,
+    UnsupportedRoutineError,
+    axpy_chunked,
+    default_trampoline,
+    dot_chunked,
+    get_library,
+    kernel_traffic,
+)
+from repro.ftypes import FLOAT16, FLOAT32, FLOAT64
+from repro.machine import SVEVectorUnit
+
+
+class TestKernelDescriptors:
+    def test_axpy_signature(self):
+        k = kernel_traffic("axpy")
+        assert (k.flops, k.loads, k.stores) == (2, 2, 1)
+
+    def test_all_kernels_present(self):
+        for name in ("axpy", "dot", "scal", "nrm2", "asum", "copy", "swap", "rot"):
+            assert name in KERNELS
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            kernel_traffic("gemm")
+
+    def test_chunked_axpy_matches_numpy(self, rng):
+        unit = SVEVectorUnit()
+        x = rng.standard_normal(77).astype(np.float16)
+        y = rng.standard_normal(77).astype(np.float16)
+        expect = (np.float16(2) * x + y).astype(np.float16)
+        axpy_chunked(unit, 2.0, x, y)
+        assert np.array_equal(y, expect)
+
+    def test_chunked_dot_in_format_accumulation(self, rng):
+        unit = SVEVectorUnit()
+        x = rng.standard_normal(200).astype(np.float32)
+        y = rng.standard_normal(200).astype(np.float32)
+        r, stats = dot_chunked(unit, x, y)
+        assert r.dtype == np.float32
+        assert float(r) == pytest.approx(
+            float(np.dot(x.astype(np.float64), y.astype(np.float64))), rel=1e-3
+        )
+        assert stats.elements_processed == 200
+
+
+class TestLibraryModels:
+    SIZES = [2**k for k in range(4, 23)]
+
+    def _peak(self, lib, fmt):
+        return max(lib.gflops("axpy", fmt, n) for n in self.SIZES)
+
+    def test_fig1_ordering_float64(self):
+        """Julia >= Fujitsu > BLIS >> OpenBLAS ~ ARMPL at peak."""
+        peaks = {lib.name: self._peak(lib, FLOAT64) for lib in ALL_LIBRARIES}
+        assert peaks["Julia"] >= peaks["FujitsuBLAS"]
+        assert peaks["FujitsuBLAS"] > peaks["BLIS"]
+        assert peaks["BLIS"] > 1.5 * peaks["OpenBLAS"]
+        assert abs(peaks["OpenBLAS"] - peaks["ARMPL"]) < 0.5 * peaks["ARMPL"]
+
+    def test_julia_best_peak_all_precisions(self):
+        """'it achieves the best peak performance in all cases'."""
+        for fmt in (FLOAT32, FLOAT64):
+            peaks = {lib.name: self._peak(lib, fmt) for lib in ALL_LIBRARIES}
+            assert max(peaks, key=peaks.get) == "Julia"
+
+    def test_julia_competitive_with_fujitsu_across_sizes(self):
+        """'competitive with Fujitsu BLAS across all sizes'."""
+        for n in self.SIZES:
+            jl = JULIA_GENERIC.gflops("axpy", FLOAT64, n)
+            fj = FUJITSU_BLAS.gflops("axpy", FLOAT64, n)
+            assert jl > 0.8 * fj
+
+    def test_float16_only_julia(self):
+        """Fig. 1's half panel: binary libraries raise, Julia runs."""
+        assert JULIA_GENERIC.gflops("axpy", FLOAT16, 1024) > 0
+        for lib in (FUJITSU_BLAS, BLIS, OPENBLAS, ARMPL):
+            with pytest.raises(UnsupportedRoutineError):
+                lib.gflops("axpy", FLOAT16, 1024)
+
+    def test_fp16_peak_4x_fp64(self):
+        g16 = self._peak(JULIA_GENERIC, FLOAT16)
+        g64 = self._peak(JULIA_GENERIC, FLOAT64)
+        assert g16 == pytest.approx(4 * g64, rel=0.1)
+
+    def test_executable_routines_compute(self, rng):
+        x = rng.standard_normal(64)
+        y = rng.standard_normal(64)
+        expect = 2.0 * x + y
+        timing = JULIA_GENERIC.axpy(2.0, x, y)
+        assert np.allclose(y, expect)
+        assert timing.gflops > 0
+
+    def test_dot_returns_value_and_timing(self, rng):
+        x = rng.standard_normal(128).astype(np.float32)
+        r, t = JULIA_GENERIC.dot(x, x)
+        assert float(r) > 0 and t.seconds > 0
+
+    def test_memory_tail_converges_julia_fujitsu(self):
+        n = 2**23
+        jl = JULIA_GENERIC.gflops("axpy", FLOAT64, n)
+        fj = FUJITSU_BLAS.gflops("axpy", FLOAT64, n)
+        assert jl == pytest.approx(fj, rel=0.1)
+
+    def test_get_library(self):
+        assert get_library("julia") is JULIA_GENERIC
+        assert get_library("OpenBLAS") is OPENBLAS
+        with pytest.raises(ValueError):
+            get_library("mkl")
+
+
+class TestTrampoline:
+    def test_forwards_to_selected_backend(self, rng):
+        t = Trampoline("julia")
+        x, y = rng.standard_normal(32), rng.standard_normal(32)
+        t.axpy(1.0, x, y)
+        t.set_backend("blis")
+        t.axpy(1.0, x, y)
+        assert [b for b, _ in t.call_log] == ["Julia", "BLIS"]
+
+    def test_same_numerics_any_backend(self, rng):
+        x = rng.standard_normal(64)
+        results = []
+        for name in ("julia", "fujitsublas", "openblas"):
+            t = Trampoline(name)
+            y = np.ones(64)
+            t.axpy(2.0, x, y)
+            results.append(y)
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+    def test_no_backend_errors(self):
+        t = Trampoline()
+        with pytest.raises(RuntimeError, match="no BLAS backend"):
+            t.axpy(1.0, np.zeros(2), np.zeros(2))
+
+    def test_default_trampoline_points_at_julia(self):
+        assert default_trampoline().backend is JULIA_GENERIC
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            Trampoline("atlas")
+
+    def test_custom_backend_registration(self):
+        from repro.blas import BLASLibrary
+        from repro.machine import ImplementationProfile
+
+        custom = BLASLibrary(ImplementationProfile(name="MyBLAS"))
+        t = Trampoline()
+        t.register(custom)
+        assert t.set_backend("myblas") is custom
+        assert "myblas" in t.available()
+
+    def test_non_routine_attribute_raises(self):
+        t = default_trampoline()
+        with pytest.raises(AttributeError):
+            t.gemm

@@ -1,0 +1,142 @@
+"""Tests for repro.blas.reference — the type-generic Level-1 routines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.blas import (
+    asum,
+    axpby,
+    axpy,
+    copy,
+    dot,
+    iamax,
+    nrm2,
+    rot,
+    scal,
+    swap,
+)
+
+DTYPES = [np.float16, np.float32, np.float64]
+
+
+def vectors(dtype, n=None):
+    shape = st.integers(1, 64) if n is None else st.just(n)
+    return hnp.arrays(
+        dtype,
+        shape,
+        elements=st.floats(min_value=-100, max_value=100, width=16).map(float),
+    )
+
+
+class TestAxpy:
+    @pytest.mark.parametrize("dt", DTYPES)
+    def test_matches_definition(self, dt, rng):
+        x = rng.standard_normal(100).astype(dt)
+        y = rng.standard_normal(100).astype(dt)
+        expect = (dt(2.5) * x + y).astype(dt)
+        out = axpy(2.5, x, y)
+        assert out is y  # in place, returns y (the Julia axpy! contract)
+        assert np.array_equal(y, expect)
+
+    def test_float16_works(self):
+        """The Fig. 1 claim: the generic code runs at half precision."""
+        x = np.ones(8, np.float16)
+        y = np.zeros(8, np.float16)
+        axpy(0.1, x, y)
+        assert y.dtype == np.float16
+        assert float(y[0]) == float(np.float16(0.1))
+
+    def test_type_uniformity_enforced(self):
+        with pytest.raises(TypeError, match="dtypes differ"):
+            axpy(1.0, np.zeros(4, np.float32), np.zeros(4, np.float64))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            axpy(1.0, np.zeros(4), np.zeros(5))
+
+    @given(vectors(np.float16, 16), vectors(np.float16, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_property_fp16_rounding_per_op(self, x, y):
+        """axpy in fp16 == quantised fp64 axpy with per-op rounding."""
+        y1 = y.copy()
+        axpy(2.0, x, y1)
+        prod = (np.float16(2.0) * x).astype(np.float16)
+        expect = (prod + y).astype(np.float16)
+        assert np.array_equal(
+            y1[np.isfinite(y1)], expect[np.isfinite(expect)]
+        )
+
+
+class TestOtherRoutines:
+    @pytest.mark.parametrize("dt", DTYPES)
+    def test_scal(self, dt, rng):
+        x = rng.standard_normal(37).astype(dt)
+        expect = (dt(0.5) * x).astype(dt)
+        scal(0.5, x)
+        assert np.array_equal(x, expect)
+
+    @pytest.mark.parametrize("dt", DTYPES)
+    def test_axpby(self, dt, rng):
+        x = rng.standard_normal(16).astype(dt)
+        y = rng.standard_normal(16).astype(dt)
+        expect = (dt(2) * x + (dt(3) * y).astype(dt)).astype(dt)
+        axpby(2.0, x, 3.0, y)
+        assert np.allclose(y, expect, rtol=1e-2)
+
+    @pytest.mark.parametrize("dt", DTYPES)
+    def test_dot_accumulates_in_dtype(self, dt):
+        x = np.full(100, 0.1, dtype=dt)
+        r = dot(x, x)
+        assert r.dtype == dt
+        assert float(r) == pytest.approx(1.0, rel=0.05)
+
+    def test_dot_fp16_rounding_visible(self):
+        """fp16 accumulation genuinely rounds (differs from fp64 path)."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(4096).astype(np.float16)
+        y = rng.standard_normal(4096).astype(np.float16)
+        exact = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+        assert float(dot(x, y)) != pytest.approx(exact, abs=1e-12)
+
+    def test_nrm2_overflow_safe_fp16(self):
+        """Naive sum-of-squares overflows fp16 at 300; scaled nrm2 doesn't."""
+        x = np.full(10, 300.0, dtype=np.float16)
+        r = nrm2(x)
+        assert np.isfinite(float(r))
+        assert float(r) == pytest.approx(300 * np.sqrt(10), rel=0.01)
+
+    def test_nrm2_zero_and_empty(self):
+        assert float(nrm2(np.zeros(5, np.float32))) == 0.0
+        assert float(nrm2(np.array([], dtype=np.float32))) == 0.0
+
+    @pytest.mark.parametrize("dt", DTYPES)
+    def test_asum(self, dt):
+        x = np.array([1, -2, 3, -4], dtype=dt)
+        assert float(asum(x)) == 10.0
+
+    def test_iamax_first_max(self):
+        assert iamax(np.array([1.0, -5.0, 5.0, 2.0])) == 1
+        with pytest.raises(ValueError):
+            iamax(np.array([]))
+
+    def test_copy_and_swap(self, rng):
+        x = rng.standard_normal(10)
+        y = np.zeros(10)
+        copy(x, y)
+        assert np.array_equal(x, y)
+        a, b = rng.standard_normal(5), rng.standard_normal(5)
+        a0, b0 = a.copy(), b.copy()
+        swap(a, b)
+        assert np.array_equal(a, b0) and np.array_equal(b, a0)
+
+    def test_rot_orthogonality(self, rng):
+        """A Givens rotation preserves x^2 + y^2 elementwise."""
+        x = rng.standard_normal(50)
+        y = rng.standard_normal(50)
+        r2_before = x**2 + y**2
+        c, s = np.cos(0.7), np.sin(0.7)
+        rot(x, y, c, s)
+        np.testing.assert_allclose(x**2 + y**2, r2_before, rtol=1e-12)

@@ -1,0 +1,94 @@
+"""Tests for repro.blas.stream — the executable BabelStream suite."""
+
+import numpy as np
+import pytest
+
+from repro.blas import STREAM_SCALAR, StreamBenchmark
+from repro.machine import XEON_CASCADE_LAKE
+
+
+class TestKernelsCorrect:
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+    def test_rotation_verifies(self, dtype):
+        sb = StreamBenchmark(n=4096, dtype=dtype)
+        sb.run_all(repeat=1)
+        ok, msg = sb.verify()
+        assert ok, msg
+
+    def test_copy_semantics(self):
+        sb = StreamBenchmark(n=128)
+        sb.copy()
+        assert np.array_equal(sb.c, sb.a)
+
+    def test_triad_semantics(self):
+        sb = StreamBenchmark(n=128)
+        sb.c[:] = 1.0
+        sb.b[:] = 2.0
+        sb.triad()
+        assert np.allclose(sb.a, 2.0 + STREAM_SCALAR * 1.0)
+
+    def test_dot_value(self):
+        sb = StreamBenchmark(n=1000)
+        got = sb.dot()
+        assert got == pytest.approx(1000 * 0.1 * 0.2, rel=1e-10)
+
+    def test_dot_fp16_less_accurate_than_fp32(self, rng):
+        """In-dtype accumulation: the fp16 dot of identical (exactly
+        representable) data is far less accurate than the fp32 dot —
+        the phenomenon compensated summation fixes."""
+        n = 1 << 14
+        data = rng.standard_normal(n).astype(np.float16)
+
+        def rel_err(dtype):
+            sb = StreamBenchmark(n=n, dtype=dtype)
+            sb.a[:] = data.astype(dtype)
+            sb.b[:] = data.astype(dtype)
+            exact = float(
+                np.dot(sb.a.astype(np.float64), sb.b.astype(np.float64))
+            )
+            return abs(sb.dot() - exact) / abs(exact)
+
+        assert rel_err(np.float16) > 10 * rel_err(np.float32)
+
+    def test_validates_n(self):
+        with pytest.raises(ValueError):
+            StreamBenchmark(n=1)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            StreamBenchmark(n=64).run_kernel("scale42")
+
+
+class TestResults:
+    def test_result_fields(self):
+        sb = StreamBenchmark(n=1 << 14)
+        r = sb.run_kernel("triad", repeat=1)
+        assert r.kernel == "triad"
+        assert r.n == 1 << 14
+        assert r.measured_gbps > 0
+        assert r.modelled_gbps > 0
+        assert r.measured_seconds > 0
+
+    def test_model_precision_scaling(self):
+        """Modelled DRAM-resident triad *time* halves per precision step
+        (same array count, half the bytes)."""
+        n = 1 << 22
+        times = {}
+        for dt in (np.float16, np.float32, np.float64):
+            sb = StreamBenchmark(n=n, dtype=dt)
+            fmt_bytes = np.dtype(dt).itemsize
+            r = sb.run_kernel("triad", repeat=1)
+            # modelled time = bytes / modelled_gbps
+            times[fmt_bytes] = (3 * fmt_bytes * n) / (r.modelled_gbps * 1e9)
+        assert times[8] == pytest.approx(2 * times[4], rel=0.15)
+        assert times[4] == pytest.approx(2 * times[2], rel=0.15)
+
+    def test_chip_parameter(self):
+        sb = StreamBenchmark(n=1 << 20, chip=XEON_CASCADE_LAKE)
+        r = sb.run_kernel("copy", repeat=1)
+        assert r.modelled_gbps > 0
+
+    def test_run_all_order(self):
+        sb = StreamBenchmark(n=4096)
+        results = sb.run_all(repeat=1)
+        assert list(results) == ["copy", "mul", "add", "triad", "dot"]

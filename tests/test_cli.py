@@ -1,0 +1,54 @@
+"""Tests for the repro CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig1"])
+        assert args.scale == "ci"
+        assert not args.quiet
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig1", "fig2", "fig3", "fig4", "fig5", "lst1"):
+            assert key in out
+
+    def test_claims(self, capsys):
+        assert main(["claims", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "4x" in out
+
+    def test_claims_unknown(self, capsys):
+        assert main(["claims", "nope"]) == 2
+
+    def test_run_listing_passes(self, capsys):
+        assert main(["run", "lst1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS] lst1" in out
+
+    def test_run_prints_report(self, capsys):
+        assert main(["run", "lst1"]) == 0
+        out = capsys.readouterr().out
+        assert "@julia_muladd" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig42"]) == 2
+
+    def test_run_fig5_ci(self, capsys):
+        assert main(["run", "fig5", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok  ") == 4  # four claims hold

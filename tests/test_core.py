@@ -1,0 +1,162 @@
+"""Tests for repro.core — typeflex kernels, benchmark harness, report."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Series,
+    SweepResult,
+    TypeFlexKernel,
+    format_si,
+    measure_gflops,
+    measure_seconds,
+    render_sweep,
+    render_table,
+    typeflexible,
+)
+from repro.ftypes import BFLOAT16, FLOAT16, FLOAT32, FLOAT64, FLOAT8_E4M3
+
+
+@typeflexible("axpy")
+def axpy_kernel(ctx, a, x, y):
+    return ctx.ops.muladd(ctx.const(a), x, y)
+
+
+class TestTypeFlexKernel:
+    def test_native_formats_run_in_dtype(self, rng):
+        for fmt, dt in ((FLOAT16, np.float16), (FLOAT32, np.float32)):
+            x = rng.standard_normal(50).astype(dt)
+            y = rng.standard_normal(50).astype(dt)
+            r = axpy_kernel(fmt, 2.0, x, y)
+            assert r.dtype == dt
+            expect = (dt(2.0) * x).astype(dt) + y
+            assert np.array_equal(r, expect.astype(dt))
+
+    def test_software_format_correctly_rounded(self, rng):
+        """BFloat16 has no numpy dtype — the software path quantises
+        after every op, like Julia's software Float16."""
+        ctx = axpy_kernel.context(BFLOAT16)
+        x = ctx.array(rng.standard_normal(100))
+        y = ctx.array(rng.standard_normal(100))
+        r = axpy_kernel(BFLOAT16, 2.0, x, y)
+        from repro.ftypes import quantize
+
+        # every output value is exactly representable in bfloat16
+        assert np.array_equal(r, quantize(r, BFLOAT16))
+
+    def test_float8_runs(self):
+        ctx = axpy_kernel.context(FLOAT8_E4M3)
+        x = ctx.array([0.5, 1.0])
+        y = ctx.array([1.0, 1.0])
+        r = axpy_kernel(FLOAT8_E4M3, 1.0, x, y)
+        assert np.all(np.isfinite(r))
+
+    def test_specialisation_wins(self):
+        k = TypeFlexKernel("f")
+
+        @k.define
+        def _gen(ctx, x):
+            return "generic"
+
+        @k.specialize(FLOAT16)
+        def _f16(ctx, x):
+            return "f16"
+
+        assert k(FLOAT16, None) == "f16"
+        assert k(FLOAT64, None) == "generic"
+        assert set(k.methods()) == {"generic", "Float16"}
+
+    def test_no_body_raises(self):
+        k = TypeFlexKernel("empty")
+        with pytest.raises(TypeError, match="no generic body"):
+            k(FLOAT64)
+
+    def test_context_const_rounds_once(self):
+        ctx = axpy_kernel.context(FLOAT16)
+        assert float(ctx.const(0.1)) == float(np.float16(0.1))
+        ctx_b = axpy_kernel.context(BFLOAT16)
+        from repro.ftypes import quantize_scalar
+
+        assert float(ctx_b.const(0.1)) == quantize_scalar(0.1, BFLOAT16)
+
+    def test_context_eps(self):
+        assert axpy_kernel.context(FLOAT16).eps == FLOAT16.eps
+
+    def test_dispatch_by_dtype_string(self):
+        r = axpy_kernel("float32", 1.0, np.ones(2, np.float32), np.ones(2, np.float32))
+        assert r.dtype == np.float32
+
+
+class TestBenchmarkHarness:
+    def test_measure_seconds_positive(self):
+        t = measure_seconds(lambda: sum(range(1000)), repeat=2, warmup=1)
+        assert t > 0
+
+    def test_measure_seconds_validates(self):
+        with pytest.raises(ValueError):
+            measure_seconds(lambda: None, repeat=0)
+
+    def test_measure_gflops(self):
+        g = measure_gflops(lambda: np.dot(np.ones(1000), np.ones(1000)),
+                           flops=2000, repeat=2)
+        assert g > 0
+
+    def test_series_operations(self):
+        s = Series("a")
+        s.append(1, 10.0)
+        s.append(2, 30.0)
+        assert s.peak() == 30.0
+        assert s.at(1) == 10.0
+        with pytest.raises(KeyError):
+            s.at(99)
+
+    def test_series_ratio(self):
+        a, b = Series("a"), Series("b")
+        for x in (1, 2):
+            a.append(x, 10.0)
+            b.append(x, 5.0)
+        assert a.ratio_to(b) == [2.0, 2.0]
+        c = Series("c")
+        c.append(3, 1.0)
+        with pytest.raises(ValueError):
+            a.ratio_to(c)
+
+    def test_empty_series_peak(self):
+        with pytest.raises(ValueError):
+            Series("e").peak()
+
+    def test_sweep_result_container(self):
+        sw = SweepResult("t", "x", "y")
+        s = sw.new_series("curve")
+        s.append(1, 2)
+        assert sw.labels() == ["curve"]
+        assert sw["curve"].at(1) == 2
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_render_sweep_includes_all_series(self):
+        sw = SweepResult("title", "n", "gflops")
+        for label in ("x", "y"):
+            s = sw.new_series(label)
+            s.append(1, 1.5)
+        text = render_sweep(sw)
+        assert "title" in text and "x" in text and "y" in text
+
+    def test_render_sweep_missing_points_dashed(self):
+        sw = SweepResult("t", "n", "v")
+        a = sw.new_series("a")
+        a.append(1, 1.0)
+        b = sw.new_series("b")
+        b.append(2, 2.0)
+        assert "-" in render_sweep(sw).splitlines()[-1]
+
+    def test_format_si(self):
+        assert format_si(0) == "0"
+        assert format_si(1536) == "1536"
+        assert "e" in format_si(2**40)

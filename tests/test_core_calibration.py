@@ -1,0 +1,42 @@
+"""Tests for the calibration ledger."""
+
+import pytest
+
+from repro.core import CALIBRATIONS, validate_calibration
+
+
+class TestLedger:
+    def test_all_entries_within_bounds(self):
+        """Every tuned constant sits in its documented range — the guard
+        against silent model drift."""
+        results = validate_calibration()
+        bad = [(n, v) for n, v, ok in results if not ok]
+        assert not bad, bad
+
+    def test_entries_cover_the_load_bearing_constants(self):
+        names = {c.name for c in CALIBRATIONS}
+        for must in (
+            "A64FX.clock_hz",
+            "A64FX.L1_size",
+            "TofuD.link_bandwidth",
+            "MPI_JL.small_message_overhead",
+            "SW.compensated_extra_passes",
+        ):
+            assert must in names
+
+    def test_sources_declared(self):
+        for c in CALIBRATIONS:
+            assert c.source in ("datasheet", "measurement", "shape-fit")
+            assert c.note
+
+    def test_getters_live_not_copies(self):
+        """The ledger reads the live values: the clock entry equals the
+        actual spec object's field."""
+        from repro.machine import A64FX
+
+        clock = next(c for c in CALIBRATIONS if c.name == "A64FX.clock_hz")
+        assert clock.current() == A64FX.clock_hz
+
+    def test_datasheet_entries_exact_where_exact(self):
+        l1 = next(c for c in CALIBRATIONS if c.name == "A64FX.L1_size")
+        assert l1.lo == l1.hi == 64 * 1024

@@ -1,0 +1,141 @@
+"""Tests for repro.core.figures — every paper artefact regenerates with
+the right qualitative shape (CI-sized versions; full scale in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    fig1_axpy,
+    fig2_pingpong,
+    fig3_collectives,
+    fig4_turbulence,
+    fig5_speedup,
+    listing_muladd,
+    render_sweep,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        # Dense grid so every format's true peak is sampled.
+        return fig1_axpy(sizes=[2**k for k in range(4, 23)])
+
+    def test_three_panels(self, panels):
+        assert set(panels) == {"Float16", "Float32", "Float64"}
+
+    def test_float16_panel_julia_only(self, panels):
+        assert panels["Float16"].labels() == ["Julia"]
+
+    def test_wide_panels_have_five_libraries(self, panels):
+        for name in ("Float32", "Float64"):
+            assert len(panels[name].labels()) == 5
+
+    def test_julia_best_peak(self, panels):
+        for name in ("Float32", "Float64"):
+            peaks = {l: s.peak() for l, s in panels[name].series.items()}
+            assert max(peaks, key=peaks.get) == "Julia"
+
+    def test_precision_peak_ratios(self, panels):
+        j16 = panels["Float16"]["Julia"].peak()
+        j32 = panels["Float32"]["Julia"].peak()
+        j64 = panels["Float64"]["Julia"].peak()
+        assert j16 == pytest.approx(4 * j64, rel=0.15)
+        assert j32 == pytest.approx(2 * j64, rel=0.15)
+
+    def test_renders(self, panels):
+        assert "GFLOPS" in render_sweep(panels["Float64"])
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return fig2_pingpong(
+            sizes=[0, 64, 1024, 16384, 65536, 1048576, 4194304],
+            repetitions=8,
+        )
+
+    def test_two_panels_two_series(self, panels):
+        assert set(panels) == {"latency", "throughput"}
+        for p in panels.values():
+            assert set(p.labels()) == {"MPI.jl", "IMB-C"}
+
+    def test_small_message_overhead_and_crossover(self, panels):
+        lat = panels["latency"]
+        assert lat["MPI.jl"].at(64) > lat["IMB-C"].at(64)
+        assert lat["MPI.jl"].at(65536) < lat["IMB-C"].at(65536)
+
+    def test_peak_throughput_within_1pct(self, panels):
+        thr = panels["throughput"]
+        assert thr["MPI.jl"].peak() == pytest.approx(
+            thr["IMB-C"].peak(), rel=0.01
+        )
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        # 96 ranks keeps CI fast; the 1536-rank run lives in benchmarks/.
+        return fig3_collectives(
+            sizes=[8, 1024, 65536], nranks=96, repetitions=1
+        )
+
+    def test_three_collectives(self, panels):
+        assert set(panels) == {"Allreduce", "Gatherv", "Reduce"}
+
+    def test_mpijl_overhead_small_sizes(self, panels):
+        for name, panel in panels.items():
+            assert panel["MPI.jl"].at(8) > panel["IMB-C"].at(8), name
+
+    def test_latency_grows_with_size(self, panels):
+        for name, panel in panels.items():
+            s = panel["IMB-C"]
+            assert s.at(65536) > s.at(8), name
+
+    def test_gatherv_slowest_collective_at_large_sizes(self, panels):
+        """Linear Gatherv dwarfs the logarithmic trees."""
+        g = panels["Gatherv"]["IMB-C"].at(65536)
+        a = panels["Allreduce"]["IMB-C"].at(65536)
+        assert g > a
+
+
+class TestFig4:
+    def test_float16_indistinguishable(self):
+        r = fig4_turbulence(nx=48, ny=24, nsteps=150)
+        assert r.correlation > 0.99
+        assert r.nrmse < 0.06
+        assert r.vorticity_f16.shape == r.vorticity_f64.shape
+
+    def test_runtime_ratio_near_3p6(self):
+        r = fig4_turbulence(nx=32, ny=16, nsteps=10)
+        assert r.f64_runtime_ratio == pytest.approx(3.6, abs=0.4)
+        assert "3.6" in r.summary() or "3." in r.summary()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return fig5_speedup(nxs=[64, 256, 1024, 3000, 6000])
+
+    def test_four_series(self, panel):
+        assert len(panel.labels()) == 4
+
+    def test_paper_shape(self, panel):
+        f16 = panel["Float16"]
+        f32 = panel["Float32"]
+        assert 3.4 < f16.at(6000) < 4.0
+        assert 1.9 < f32.at(6000) < 2.1
+        # Float32 reaches its asymptote earlier ('wider range'):
+        assert f32.at(256) / f32.at(6000) > f16.at(256) / f16.at(6000) * 0.95
+
+    def test_mixed_below_compensated(self, panel):
+        assert panel["Float16/32 mixed"].at(3000) < panel["Float16"].at(3000)
+
+
+class TestListing:
+    def test_both_listings_generated(self):
+        lst = listing_muladd()
+        assert lst["native"].count("\n") == 5
+        assert "fpext" not in lst["native"]
+        assert lst["widened"].count("fpext") == 4
+        assert lst["widened"].count("fptrunc") == 2

@@ -1,0 +1,101 @@
+"""Tests for repro.core.portability — the §IV-A cross-architecture story."""
+
+import pytest
+
+from repro.core import (
+    C_VENDOR,
+    GENERATIONS,
+    JULIA_1_6,
+    JULIA_1_7,
+    JULIA_1_9,
+    STREAM_KERNELS,
+    performance_portability,
+    portability_table,
+)
+from repro.machine import A64FX, XEON_CASCADE_LAKE
+
+
+class TestGenerations:
+    def test_flag_requirements_match_history(self):
+        """§III-A/§IV-A: before LLVM 14 the SVE width needed a flag."""
+        assert JULIA_1_6.needs_flag and JULIA_1_7.needs_flag
+        assert not JULIA_1_9.needs_flag and not C_VENDOR.needs_flag
+
+    def test_julia_17_with_flag_gets_full_sve(self):
+        p = JULIA_1_7.profile(use_flag=True, chip=A64FX)
+        assert p.vector_bits == 512
+
+    def test_julia_17_without_flag_stuck_at_neon(self):
+        p = JULIA_1_7.profile(use_flag=False, chip=A64FX)
+        assert p.vector_bits == 128
+
+    def test_julia_19_default_sve(self):
+        p = JULIA_1_9.profile(use_flag=False, chip=A64FX)
+        assert p.vector_bits == 512
+
+    def test_x86_always_full_width(self):
+        for gen in GENERATIONS:
+            assert gen.profile(False, XEON_CASCADE_LAKE).vector_bits == 512
+
+
+class TestPortabilityTable:
+    @pytest.fixture(scope="class")
+    def table_noflag(self):
+        return portability_table(use_flag=False)
+
+    @pytest.fixture(scope="class")
+    def table_flag(self):
+        return portability_table(use_flag=True)
+
+    def test_all_kernels_and_chips(self, table_noflag):
+        assert set(table_noflag) == set(STREAM_KERNELS)
+        for chips in table_noflag.values():
+            assert set(chips) == {"A64FX", "Xeon-CascadeLake"}
+
+    def test_fractions_normalised(self, table_noflag):
+        for chips in table_noflag.values():
+            for gens in chips.values():
+                assert max(gens.values()) == pytest.approx(1.0)
+                assert all(0 < v <= 1.0 + 1e-12 for v in gens.values())
+
+    def test_julia_19_closes_the_gap(self, table_noflag):
+        """'Julia can achieve on this platform performance close to
+        C/C++' — by v1.9, without flags."""
+        for chips in table_noflag.values():
+            frac = chips["A64FX"]["Julia-1.9"]
+            assert frac > 0.9
+
+    def test_old_julia_lags_on_a64fx_without_flag(self, table_noflag):
+        for chips in table_noflag.values():
+            assert chips["A64FX"]["Julia-1.6"] < 0.7
+            assert chips["A64FX"]["Julia-1.7"] < 0.8
+
+    def test_flag_rescues_julia_17(self, table_flag):
+        """The paper's setup: v1.7 + the LLVM flag is competitive."""
+        for chips in table_flag.values():
+            assert chips["A64FX"]["Julia-1.7"] > 0.85
+
+    def test_v16_to_v17_improvement(self, table_flag):
+        """Ref. [20]: 'performance improved sensibly from v1.6 to v1.7'."""
+        for chips in table_flag.values():
+            assert chips["A64FX"]["Julia-1.7"] > chips["A64FX"]["Julia-1.6"]
+
+
+class TestPPMetric:
+    def test_harmonic_mean_properties(self):
+        table = {"k": {"A": {"g": 0.5}, "B": {"g": 1.0}}}
+        pp = performance_portability(table, "g")
+        assert pp["k"] == pytest.approx(2 / (1 / 0.5 + 1 / 1.0))
+
+    def test_zero_platform_zeroes_pp(self):
+        table = {"k": {"A": {"g": 0.0}, "B": {"g": 1.0}}}
+        assert performance_portability(table, "g")["k"] == 0.0
+
+    def test_generation_ordering(self):
+        table = portability_table(use_flag=False, kernels=["triad"])
+        pps = {
+            g.name: performance_portability(table, g.name)["triad"]
+            for g in GENERATIONS
+        }
+        assert pps["Julia-1.6"] < pps["Julia-1.7"] < pps["Julia-1.9"]
+        assert pps["Julia-1.9"] == pytest.approx(pps["C-vendor"], rel=0.1)

@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs to completion.
+
+Run as subprocesses with CI-sized arguments, asserting exit status 0 and
+a recognisable line of output — the 'would a downstream user's first
+contact actually work' test.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "bit-identical" in out
+        assert "@julia_muladd" in out
+
+    def test_blas_comparison(self):
+        out = run_example("blas_comparison.py")
+        assert "GFLOPS" in out
+        assert "OpenBLAS" in out
+
+    def test_mpi_benchmarks(self):
+        out = run_example("mpi_benchmarks.py")
+        assert "PingPong" in out
+        assert "within 1%" in out or "% apart" in out
+
+    def test_shallow_water(self):
+        out = run_example("shallow_water_simulation.py", "--nx", "48",
+                          "--steps", "80")
+        assert "correlation" in out
+        assert "paper: 3.6x" in out
+
+    def test_precision_analysis(self):
+        out = run_example("precision_analysis.py")
+        assert "suggested s" in out
+        assert "compensated" in out.lower()
+
+    def test_double_gyre(self):
+        out = run_example("double_gyre.py", "--nx", "48", "--steps", "200")
+        assert "gyres" in out
+
+    def test_distributed(self):
+        out = run_example("distributed_shallow_water.py", "--nx", "48",
+                          "--steps", "20")
+        assert "bit-exact" in out
+        assert "True" in out
+
+    def test_compilation_and_portability(self):
+        out = run_example("compilation_and_portability.py")
+        assert "time-to-first-result" in out
+        assert "Julia-1.9" in out
+
+    def test_quantized_formats(self):
+        out = run_example("quantized_formats.py")
+        assert "Float8_E4M3" in out
+        assert "Float16+SR" in out
+
+    def test_ir_pipeline(self):
+        out = run_example("ir_pipeline.py")
+        assert "scalar == vectorised (bit-exact): True" in out
+        assert "the §II law): True" in out
+        assert "contraction *barriers*" in out

@@ -1,0 +1,125 @@
+"""Tests for repro.ftypes.bits — bit-level format encoding."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    all_values,
+    bit_pattern,
+    decode,
+    encode,
+    quantize_scalar,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e9, max_value=1e9)
+
+
+class TestAgainstNumpyFloat16:
+    def test_decode_exhaustive(self):
+        """Every one of the 65536 fp16 patterns decodes to numpy's value."""
+        patterns = np.arange(1 << 16, dtype=np.uint16)
+        theirs = patterns.view(np.float16).astype(np.float64)
+        for bits in range(0, 1 << 16, 7):  # stride keeps the test fast
+            v = decode(bits, FLOAT16)
+            t = theirs[bits]
+            assert v == t or (math.isnan(v) and math.isnan(t)), hex(bits)
+
+    @given(finite)
+    @settings(max_examples=300, deadline=None)
+    def test_encode_matches_numpy(self, x):
+        with np.errstate(over="ignore"):
+            want = int(np.float16(x).view(np.uint16))
+        assert encode(x, FLOAT16) == want
+
+    def test_roundtrip_every_canonical_pattern(self):
+        for bits in range(0, 1 << 16, 11):
+            v = decode(bits, FLOAT16)
+            if math.isnan(v):
+                continue
+            assert encode(v, FLOAT16) == bits
+
+
+class TestSpecialValues:
+    def test_zero_signs(self):
+        assert encode(0.0, FLOAT16) == 0
+        assert encode(-0.0, FLOAT16) == 0x8000
+        assert decode(0x8000, FLOAT16) == 0.0
+        assert math.copysign(1.0, decode(0x8000, FLOAT16)) == -1.0
+
+    def test_infinities(self):
+        assert encode(math.inf, FLOAT16) == 0x7C00
+        assert encode(-math.inf, FLOAT16) == 0xFC00
+        assert decode(0x7C00, FLOAT16) == math.inf
+
+    def test_nan(self):
+        assert math.isnan(decode(encode(math.nan, FLOAT16), FLOAT16))
+
+    def test_overflow_encodes_inf(self):
+        assert encode(1e6, FLOAT16) == 0x7C00
+
+    def test_negative_underflow_keeps_sign(self):
+        assert encode(-1e-9, FLOAT16) == 0x8000  # -0
+
+    def test_subnormals(self):
+        assert encode(FLOAT16.min_subnormal, FLOAT16) == 1
+        assert decode(1, FLOAT16) == FLOAT16.min_subnormal
+        assert decode(0x03FF, FLOAT16) == pytest.approx(
+            FLOAT16.min_normal - FLOAT16.min_subnormal
+        )
+
+    def test_one_and_max(self):
+        assert bit_pattern(1.0, FLOAT16) == "0|01111|0000000000"
+        assert decode(0x7BFF, FLOAT16) == 65504.0
+
+
+class TestSoftwareFormats:
+    @given(finite)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_law_bfloat16(self, x):
+        """decode(encode(x)) == quantize(x) for software formats too."""
+        q = quantize_scalar(x, BFLOAT16)
+        got = decode(encode(x, BFLOAT16), BFLOAT16)
+        if math.isinf(q):
+            assert got == q
+        else:
+            assert got == q
+
+    def test_bfloat16_is_truncated_float32_bits(self):
+        """bfloat16's pattern equals float32's top 16 bits (for values
+        where rounding goes down)."""
+        x = 1.5  # exactly representable
+        f32_bits = int(np.float32(x).view(np.uint32))
+        assert encode(x, BFLOAT16) == f32_bits >> 16
+
+    @pytest.mark.parametrize("fmt,count", [(FLOAT8_E4M3, 240), (FLOAT8_E5M2, 248)])
+    def test_fp8_value_counts(self, fmt, count):
+        """Finite-code counts: 2^8 minus NaN/inf codes."""
+        vals = list(all_values(fmt))
+        assert len(vals) == count
+
+    def test_fp8_enumeration_sorted_within_sign(self):
+        # positive codes come first in pattern order and increase
+        vals = [
+            v for v in all_values(FLOAT8_E4M3)
+            if math.copysign(1.0, v) > 0
+        ]
+        assert vals == sorted(vals)
+
+    def test_enumeration_rejects_wide_formats(self):
+        from repro.ftypes import FLOAT32
+
+        with pytest.raises(ValueError):
+            list(all_values(FLOAT32))
+
+    def test_decode_range_check(self):
+        with pytest.raises(ValueError):
+            decode(1 << 16, FLOAT16)

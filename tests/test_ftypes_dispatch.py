@@ -1,0 +1,179 @@
+"""Tests for repro.ftypes.dispatch — the Julia-style method table (§II)."""
+
+import numpy as np
+import pytest
+
+from repro.ftypes import (
+    ABSTRACT_FLOAT,
+    BFLOAT16,
+    BFLOAT16_KIND,
+    FLOAT16_KIND,
+    FLOAT32_KIND,
+    FLOAT64_KIND,
+    INTEGER,
+    NUMBER,
+    REAL,
+    AmbiguityError,
+    GenericFunction,
+    MethodError,
+    NumberKind,
+    kind_of,
+    register_dtype_kind,
+)
+
+
+class TestHierarchy:
+    """The type tree from the paper's §II code listing."""
+
+    def test_paper_tree_shape(self):
+        assert REAL.parent is NUMBER
+        assert ABSTRACT_FLOAT.parent is REAL
+        assert FLOAT64_KIND.parent is ABSTRACT_FLOAT
+        assert FLOAT32_KIND.parent is ABSTRACT_FLOAT
+        assert FLOAT16_KIND.parent is ABSTRACT_FLOAT
+
+    def test_isa_reflexive_and_transitive(self):
+        assert FLOAT16_KIND.isa(FLOAT16_KIND)
+        assert FLOAT16_KIND.isa(ABSTRACT_FLOAT)
+        assert FLOAT16_KIND.isa(REAL)
+        assert FLOAT16_KIND.isa(NUMBER)
+        assert not FLOAT16_KIND.isa(FLOAT32_KIND)
+        assert not ABSTRACT_FLOAT.isa(FLOAT16_KIND)
+
+    def test_concrete_vs_abstract(self):
+        assert ABSTRACT_FLOAT.abstract
+        assert not FLOAT16_KIND.abstract
+
+    def test_depth(self):
+        assert NUMBER.depth() == 0
+        assert FLOAT16_KIND.depth() == 3
+
+    def test_supertypes_chain(self):
+        chain = FLOAT16_KIND.supertypes()
+        assert chain == (FLOAT16_KIND, ABSTRACT_FLOAT, REAL, NUMBER)
+
+    def test_root_must_be_number(self):
+        with pytest.raises(ValueError):
+            NumberKind("Orphan")
+
+
+class TestKindOf:
+    def test_numpy_arrays(self):
+        assert kind_of(np.zeros(3, np.float16)) is FLOAT16_KIND
+        assert kind_of(np.zeros(3, np.float32)) is FLOAT32_KIND
+        assert kind_of(np.float64(1.0)) is FLOAT64_KIND
+
+    def test_python_scalars(self):
+        assert kind_of(1.5) is FLOAT64_KIND
+        assert kind_of(7) is INTEGER
+        assert kind_of(True) is INTEGER
+
+    def test_formats_dispatchable_as_values(self):
+        assert kind_of(BFLOAT16) is BFLOAT16_KIND
+
+    def test_int_arrays(self):
+        assert kind_of(np.zeros(3, np.int32)) is INTEGER
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(MethodError):
+            kind_of("a string")
+
+    def test_register_custom_dtype(self):
+        kind = NumberKind("Complex128", NUMBER, abstract=False)
+        register_dtype_kind(np.complex128, kind)
+        assert kind_of(np.zeros(2, np.complex128)) is kind
+
+
+class TestDispatch:
+    def _make(self):
+        f = GenericFunction("f")
+
+        @f.register(ABSTRACT_FLOAT)
+        def _generic(x):
+            return "generic"
+
+        @f.register(FLOAT16_KIND)
+        def _f16(x):
+            return "f16"
+
+        return f
+
+    def test_most_specific_wins(self):
+        f = self._make()
+        assert f(np.float16(1.0)) == "f16"
+        assert f(np.float32(1.0)) == "generic"
+        assert f(np.float64(1.0)) == "generic"
+
+    def test_no_method_raises(self):
+        f = self._make()
+        with pytest.raises(MethodError, match="no method matching"):
+            f(3)  # Integer is not an AbstractFloat
+
+    def test_method_count_repr(self):
+        f = self._make()
+        assert "2 methods" in repr(f)
+        assert len(f.methods()) == 2
+
+    def test_redefinition_replaces(self):
+        f = self._make()
+
+        @f.register(FLOAT16_KIND)
+        def _new(x):
+            return "f16-v2"
+
+        assert f(np.float16(1.0)) == "f16-v2"
+        assert len(f.methods()) == 2
+
+    def test_two_argument_dispatch(self):
+        g = GenericFunction("g")
+
+        @g.register(ABSTRACT_FLOAT, ABSTRACT_FLOAT)
+        def _gen(x, y):
+            return "gen"
+
+        @g.register(FLOAT16_KIND, FLOAT16_KIND)
+        def _ff(x, y):
+            return "f16f16"
+
+        assert g(np.float16(1), np.float16(2)) == "f16f16"
+        assert g(np.float16(1), np.float32(2)) == "gen"
+
+    def test_ambiguity_detected(self):
+        g = GenericFunction("g")
+
+        @g.register(FLOAT16_KIND, ABSTRACT_FLOAT)
+        def _a(x, y):
+            return "a"
+
+        @g.register(ABSTRACT_FLOAT, FLOAT16_KIND)
+        def _b(x, y):
+            return "b"
+
+        with pytest.raises(AmbiguityError):
+            g(np.float16(1), np.float16(2))
+        # Unambiguous corners still dispatch.
+        assert g(np.float16(1), np.float32(2)) == "a"
+        assert g(np.float32(1), np.float16(2)) == "b"
+
+    def test_arity_mismatch_is_no_method(self):
+        f = self._make()
+        with pytest.raises(MethodError):
+            f(np.float16(1), np.float16(2))
+
+    def test_resolve_without_call(self):
+        f = self._make()
+        impl = f.resolve(FLOAT32_KIND)
+        assert impl(None) == "generic"
+
+    def test_intermediate_abstract_level(self):
+        f = GenericFunction("f")
+
+        @f.register(NUMBER)
+        def _n(x):
+            return "number"
+
+        @f.register(REAL)
+        def _r(x):
+            return "real"
+
+        assert f(7) == "real"  # Integer <: Real beats Number

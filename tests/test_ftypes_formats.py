@@ -1,0 +1,141 @@
+"""Tests for repro.ftypes.formats — format descriptors and derived values."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    FloatFormat,
+    format_from_dtype,
+    lookup_format,
+)
+
+
+class TestStructure:
+    def test_float16_layout(self):
+        assert FLOAT16.bits == 16
+        assert FLOAT16.exponent_bits == 5
+        assert FLOAT16.mantissa_bits == 10
+        assert FLOAT16.bytes == 2
+
+    def test_float32_layout(self):
+        assert FLOAT32.bits == 32
+        assert FLOAT32.bias == 127
+        assert FLOAT32.precision == 24
+
+    def test_float64_layout(self):
+        assert FLOAT64.bits == 64
+        assert FLOAT64.bias == 1023
+        assert FLOAT64.mantissa_bits == 52
+
+    def test_bfloat16_is_truncated_float32(self):
+        assert BFLOAT16.exponent_bits == FLOAT32.exponent_bits
+        assert BFLOAT16.bits == 16
+        assert BFLOAT16.npdtype is None
+
+    def test_float8_variants_differ(self):
+        assert FLOAT8_E4M3.exponent_bits == 4
+        assert FLOAT8_E5M2.exponent_bits == 5
+        assert FLOAT8_E4M3.bits == FLOAT8_E5M2.bits == 8
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", 1, 4)
+        with pytest.raises(ValueError):
+            FloatFormat("bad", 5, 0)
+
+
+class TestDerivedValues:
+    """Derived constants must match IEEE-754 / numpy finfo exactly."""
+
+    @pytest.mark.parametrize(
+        "fmt,np_dtype",
+        [(FLOAT16, np.float16), (FLOAT32, np.float32), (FLOAT64, np.float64)],
+    )
+    def test_matches_numpy_finfo(self, fmt, np_dtype):
+        fi = np.finfo(np_dtype)
+        assert fmt.eps == fi.eps
+        assert fmt.max_value == fi.max
+        assert fmt.min_normal == fi.tiny
+        assert fmt.min_subnormal == float(fi.smallest_subnormal)
+
+    def test_float16_paper_range(self):
+        """§III-B: Float16 normal range ~6e-5 .. 65504, <10 decades."""
+        assert FLOAT16.max_value == 65504.0
+        assert FLOAT16.min_normal == pytest.approx(6.104e-5, rel=1e-3)
+        assert FLOAT16.min_subnormal == pytest.approx(5.96e-8, rel=1e-3)
+        assert FLOAT16.decades < 10.0
+
+    def test_float64_range_much_wider(self):
+        assert FLOAT64.decades > 600
+
+    def test_bfloat16_trades_precision_for_range(self):
+        assert BFLOAT16.decades > FLOAT16.decades * 7
+        assert BFLOAT16.eps > FLOAT16.eps
+
+
+class TestClassification:
+    def test_normal_range_check(self):
+        assert FLOAT16.is_representable_normal(1.0)
+        assert FLOAT16.is_representable_normal(0.0)
+        assert FLOAT16.is_representable_normal(-65504.0)
+        assert not FLOAT16.is_representable_normal(1e-6)
+        assert not FLOAT16.is_representable_normal(1e6)
+
+    def test_subnormal_detection(self):
+        assert FLOAT16.would_be_subnormal(1e-5)
+        assert FLOAT16.would_be_subnormal(-1e-6)
+        assert not FLOAT16.would_be_subnormal(1e-4)
+        assert not FLOAT16.would_be_subnormal(0.0)
+
+    def test_underflow_threshold(self):
+        assert FLOAT16.would_underflow(1e-9)
+        assert not FLOAT16.would_underflow(6e-8)
+        assert not FLOAT16.would_underflow(0.0)
+
+    def test_overflow_threshold(self):
+        assert FLOAT16.would_overflow(70000.0)
+        assert not FLOAT16.would_overflow(65504.0)
+        # Round-to-nearest boundary: max + 1/2 ulp overflows.
+        assert FLOAT16.would_overflow(65520.0)
+        assert not FLOAT16.would_overflow(65519.0)
+
+
+class TestLookup:
+    def test_from_dtype(self):
+        assert format_from_dtype(np.float16) is FLOAT16
+        assert format_from_dtype(np.dtype(np.float64)) is FLOAT64
+
+    def test_from_dtype_rejects_int(self):
+        with pytest.raises(TypeError):
+            format_from_dtype(np.int32)
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("Float16", FLOAT16),
+            ("half", FLOAT16),
+            ("fp32", FLOAT32),
+            ("double", FLOAT64),
+            ("bf16", BFLOAT16),
+        ],
+    )
+    def test_by_name(self, name, expected):
+        assert lookup_format(name) is expected
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown float format"):
+            lookup_format("float128")
+
+    def test_passthrough(self):
+        assert lookup_format(FLOAT16) is FLOAT16
+
+    def test_str_is_name(self):
+        assert str(FLOAT16) == "Float16"

@@ -1,0 +1,68 @@
+"""Tests for repro.ftypes.mathfuncs — the §II cbrt method-table story."""
+
+import numpy as np
+import pytest
+
+from repro.ftypes import BFLOAT16, cbrt, cos, exp, log, sin
+from repro.ftypes.rounding import quantize
+
+
+class TestCbrt:
+    def test_dispatches_per_dtype(self):
+        assert cbrt(np.float16(8.0)).dtype == np.float16
+        assert cbrt(np.float32(8.0)).dtype == np.float32
+        assert cbrt(np.float64(8.0)).dtype == np.float64
+
+    def test_exact_cubes(self):
+        for x, want in [(8.0, 2.0), (27.0, 3.0), (-64.0, -4.0), (0.0, 0.0)]:
+            assert float(cbrt(np.float64(x))) == want
+
+    def test_f16_computed_via_f32(self):
+        """The 'Float16 is separated' method: float32 compute, one round."""
+        x = np.float16(10.0)
+        expected = np.cbrt(np.float32(x)).astype(np.float16)
+        assert cbrt(x) == expected
+
+    def test_f32_shares_f64_implementation(self, rng):
+        xs = rng.uniform(0.1, 100, 50).astype(np.float32)
+        got = cbrt(xs)
+        want = np.cbrt(xs.astype(np.float64)).astype(np.float32)
+        assert np.array_equal(got, want)
+
+    def test_generic_method_accurate(self, rng):
+        """The Halley-iteration generic path is correct to ~1 ulp in f64."""
+        from repro.ftypes.mathfuncs import _cbrt_generic
+
+        xs = rng.uniform(0.01, 1000, 100)
+        got = np.asarray(_cbrt_generic(xs))
+        np.testing.assert_allclose(got, np.cbrt(xs), rtol=1e-14)
+
+    def test_bfloat16_method_registered_and_quantizes(self):
+        from repro.ftypes import BFLOAT16_KIND, FLOAT32
+
+        impl = cbrt.resolve(BFLOAT16_KIND)
+        r = impl(2.0)
+        # The software-format method computes wide and quantises.
+        assert float(r) == float(quantize(np.cbrt(2.0), FLOAT32))
+
+
+class TestTranscendentalFactory:
+    @pytest.mark.parametrize("g,np_func", [(exp, np.exp), (sin, np.sin), (cos, np.cos)])
+    def test_matches_numpy_per_dtype(self, g, np_func, rng):
+        for dt in (np.float16, np.float32, np.float64):
+            xs = rng.uniform(-3, 3, 50).astype(dt)
+            got = g(xs)
+            assert got.dtype == dt
+            if dt == np.float16:
+                want = np_func(xs.astype(np.float32)).astype(np.float16)
+            else:
+                want = np_func(xs.astype(np.float64)).astype(dt)
+            assert np.array_equal(got, want)
+
+    def test_log_of_negative_is_nan_not_error(self):
+        r = log(np.float32(-1.0))
+        assert np.isnan(r)
+
+    def test_method_tables_have_four_methods(self):
+        for g in (exp, log, sin, cos):
+            assert len(g.methods()) == 4

@@ -1,0 +1,207 @@
+"""Tests for repro.ftypes.rounding — quantisation and software arithmetic.
+
+The key property (§II of the paper): software emulation must be
+*bit-identical* to hardware.  numpy's float16/float32 are the hardware
+reference here, and hypothesis drives the equivalence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT64,
+    SoftwareFloatOps,
+    quantize,
+    quantize_scalar,
+    ulp,
+)
+from repro.ftypes.rounding import decompose
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e30, max_value=1e30
+)
+
+
+class TestQuantizeAgainstNumpy:
+    """quantize() must agree bit-for-bit with numpy's cast rounding."""
+
+    @given(finite_floats)
+    @settings(max_examples=300, deadline=None)
+    def test_fp16_matches_cast(self, x):
+        ours = quantize_scalar(x, FLOAT16)
+        with np.errstate(over="ignore"):
+            theirs = float(np.float64(x).astype(np.float16))
+        assert ours == theirs or (np.isnan(ours) and np.isnan(theirs))
+
+    @given(finite_floats)
+    @settings(max_examples=300, deadline=None)
+    def test_fp32_matches_cast(self, x):
+        ours = quantize_scalar(x, FLOAT32)
+        theirs = float(np.float64(x).astype(np.float32))
+        assert ours == theirs
+
+    def test_bulk_fp16_including_subnormals(self, rng):
+        x = rng.standard_normal(50_000) * 10 ** rng.uniform(-9, 6, 50_000)
+        with np.errstate(over="ignore"):
+            ref = x.astype(np.float16).astype(np.float64)
+        assert np.array_equal(quantize(x, FLOAT16), ref)
+
+    def test_bulk_fp32(self, rng):
+        x = rng.standard_normal(50_000) * 10 ** rng.uniform(-42, 38, 50_000)
+        ref = x.astype(np.float32).astype(np.float64)
+        assert np.array_equal(quantize(x, FLOAT32), ref)
+
+
+class TestQuantizeEdgeCases:
+    def test_round_to_nearest_even(self):
+        # Halfway between 1 and 1+eps: ties to even (stay at 1).
+        assert quantize_scalar(1.0 + 2.0**-11, FLOAT16) == 1.0
+        # Halfway between 1+eps and 1+2eps: ties up to even.
+        assert quantize_scalar(1.0 + 3 * 2.0**-11, FLOAT16) == 1.0 + 2.0**-9
+
+    def test_overflow_to_inf(self):
+        assert quantize_scalar(1e6, FLOAT16) == np.inf
+        assert quantize_scalar(-1e6, FLOAT16) == -np.inf
+        assert quantize_scalar(65520.0, FLOAT16) == np.inf
+        assert quantize_scalar(65519.0, FLOAT16) == 65504.0
+
+    def test_gradual_underflow(self):
+        sub = FLOAT16.min_subnormal
+        assert quantize_scalar(sub, FLOAT16) == sub
+        assert quantize_scalar(sub * 0.49, FLOAT16) == 0.0
+        assert quantize_scalar(sub * 0.51, FLOAT16) == sub
+
+    def test_preserves_special_values(self):
+        assert np.isnan(quantize_scalar(np.nan, FLOAT16))
+        assert quantize_scalar(np.inf, FLOAT16) == np.inf
+        assert quantize_scalar(-np.inf, FLOAT16) == -np.inf
+        assert quantize_scalar(0.0, FLOAT16) == 0.0
+
+    def test_huge_input_does_not_nan(self):
+        # Regression: the add/sub trick must not overflow internally.
+        assert quantize_scalar(1e300, FLOAT16) == np.inf
+        assert quantize_scalar(-1e300, FLOAT32) == -np.inf
+
+    def test_float64_passthrough(self):
+        x = np.array([1.1, -2.2, 3.3e300])
+        assert np.array_equal(quantize(x, FLOAT64), x)
+
+    def test_bfloat16_quantization(self):
+        # bfloat16 keeps float32's exponent: no overflow at 1e30.
+        q = quantize_scalar(1e30, BFLOAT16)
+        assert np.isfinite(q)
+        # but only 8 significand bits: 257 rounds to 256.
+        assert quantize_scalar(257.0, BFLOAT16) == 256.0
+        assert quantize_scalar(258.0, BFLOAT16) == 258.0
+
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(1000)
+        q1 = quantize(x, FLOAT16)
+        assert np.array_equal(quantize(q1, FLOAT16), q1)
+
+
+class TestUlp:
+    def test_ulp_at_one(self):
+        assert float(ulp(FLOAT16, 1.0)) == FLOAT16.eps
+        assert float(ulp(FLOAT32, 1.0)) == FLOAT32.eps
+
+    def test_ulp_scales_with_binade(self):
+        assert float(ulp(FLOAT16, 2.0)) == 2 * FLOAT16.eps
+        assert float(ulp(FLOAT16, 1024.0)) == 1024 * FLOAT16.eps
+
+    def test_ulp_floors_at_subnormal_spacing(self):
+        assert float(ulp(FLOAT16, 0.0)) == FLOAT16.min_subnormal
+        assert float(ulp(FLOAT16, 1e-7)) == FLOAT16.min_subnormal
+
+
+class TestDecompose:
+    def test_zero(self):
+        assert decompose(0.0) == (0, 0, 0.0)
+
+    def test_positive(self):
+        s, e, m = decompose(6.0)
+        assert (s, e) == (0, 2)
+        assert m == 1.5
+
+    def test_negative(self):
+        s, e, m = decompose(-0.75)
+        assert (s, e) == (1, -1)
+        assert m == 1.5
+
+
+class TestSoftwareFloatOps:
+    """The two §IV-C semantics: round-each-op vs extend-precision."""
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_each_op_matches_native_fp16(self, a, x, y):
+        """Software muladd == numpy-native fp16 muladd, bit for bit."""
+        ops = SoftwareFloatOps(FLOAT16, mode="round_each_op")
+        a16, x16, y16 = (np.float16(v) for v in (a, x, y))
+        soft = ops.muladd(float(a16), float(x16), float(y16))
+        with np.errstate(over="ignore", invalid="ignore"):
+            native = np.float16(a16 * x16 + y16)
+        sf, nf = float(soft), float(native)
+        assert sf == nf or (np.isnan(sf) and np.isnan(nf))
+
+    def test_extend_precision_differs_somewhere(self, rng):
+        """The x86 legacy mode is NOT consistent with hardware fp16."""
+        ops_ext = SoftwareFloatOps(FLOAT16, mode="extend_precision")
+        mismatches = 0
+        for _ in range(500):
+            a, x, y = (np.float16(v) for v in rng.standard_normal(3) * 8)
+            ext = float(ops_ext.muladd(float(a), float(x), float(y)))
+            native = float(np.float16(a * x + y))
+            if ext != native and not (np.isnan(ext) and np.isnan(native)):
+                mismatches += 1
+        assert mismatches > 0
+
+    def test_fma_single_rounding_beats_muladd_somewhere(self, rng):
+        """fma (one rounding) differs from muladd (two roundings)."""
+        ops = SoftwareFloatOps(FLOAT16)
+        diffs = 0
+        for _ in range(2000):
+            a, x, y = rng.standard_normal(3)
+            if float(ops.fma(a, x, y)) != float(ops.muladd(a, x, y)):
+                diffs += 1
+        assert diffs > 0
+
+    def test_flush_subnormals(self):
+        ops = SoftwareFloatOps(FLOAT16, flush_subnormals=True)
+        r = ops.mul(1e-3, 1e-3)  # 1e-6: subnormal in fp16
+        assert float(r) == 0.0
+        ops_keep = SoftwareFloatOps(FLOAT16, flush_subnormals=False)
+        assert float(ops_keep.mul(1e-3, 1e-3)) != 0.0
+
+    def test_division(self):
+        ops = SoftwareFloatOps(FLOAT16)
+        assert float(ops.div(1.0, 3.0)) == float(np.float16(1.0) / np.float16(3.0))
+
+    def test_sqrt(self):
+        ops = SoftwareFloatOps(FLOAT16)
+        assert float(ops.sqrt(2.0)) == float(np.sqrt(np.float16(2.0)))
+
+    def test_arrays_supported(self, rng):
+        ops = SoftwareFloatOps(FLOAT16)
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        r = ops.add(x, y)
+        ref = (x.astype(np.float16) + y.astype(np.float16)).astype(np.float64)
+        # inputs here are float64 (not pre-quantised); quantise first:
+        xq, yq = ops.quantize_inputs(x, y)
+        r = ops.add(xq, yq)
+        assert np.array_equal(r, ref)
+
+    def test_apply_generic_function(self):
+        ops = SoftwareFloatOps(FLOAT16)
+        r = ops.apply(np.exp, 1.0)
+        assert float(r) == float(np.float16(np.exp(1.0)))

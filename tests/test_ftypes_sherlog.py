@@ -1,0 +1,160 @@
+"""Tests for repro.ftypes.sherlog — the recording number format (§III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.ftypes import (
+    FLOAT16,
+    ExponentHistogram,
+    Sherlog,
+    Sherlog32,
+    Sherlog64,
+    suggest_scaling,
+)
+
+
+class TestExponentHistogram:
+    def test_records_binades(self):
+        h = ExponentHistogram()
+        h.record(np.array([1.0, 2.0, 3.0, 0.25]))
+        # exponents: 0, 1, 1, -2
+        assert h.counts == {0: 1, 1: 2, -2: 1}
+        assert h.total == 4
+
+    def test_zeros_nans_infs_tallied_separately(self):
+        h = ExponentHistogram()
+        h.record(np.array([0.0, np.nan, np.inf, -np.inf, 1.0]))
+        assert h.zeros == 1
+        assert h.nans == 1
+        assert h.infs == 2
+        assert h.nonzero_recorded == 1
+
+    def test_exponent_range(self):
+        h = ExponentHistogram()
+        h.record(np.array([1e-6, 1.0, 1e6]))
+        lo, hi = h.exponent_range()
+        assert lo == -20 and hi == 19
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            ExponentHistogram().exponent_range()
+
+    def test_subnormal_fraction_fp16(self):
+        h = ExponentHistogram()
+        # 1e-5 is subnormal in fp16 (< 6.1e-5); 1.0 is normal.
+        h.record(np.array([1e-5, 1.0, 1.0, 1.0]))
+        assert h.subnormal_fraction(FLOAT16) == 0.25
+
+    def test_overflow_fraction_fp16(self):
+        h = ExponentHistogram()
+        h.record(np.array([1e5, 1.0]))
+        assert h.overflow_fraction(FLOAT16) == 0.5
+
+    def test_percentiles(self):
+        h = ExponentHistogram()
+        h.record(2.0 ** np.arange(10))
+        assert h.percentile_exponent(0.0) == 0
+        assert h.percentile_exponent(1.0) == 9
+        assert h.median_exponent() in (4, 5)
+
+    def test_merge(self):
+        a, b = ExponentHistogram(), ExponentHistogram()
+        a.record(np.array([1.0]))
+        b.record(np.array([2.0, 0.0]))
+        a.merge(b)
+        assert a.total == 3
+        assert a.counts == {0: 1, 1: 1}
+        assert a.zeros == 1
+
+    def test_summary_mentions_format(self):
+        h = ExponentHistogram()
+        h.record(np.array([1.0, 1e-6]))
+        s = h.summary(FLOAT16)
+        assert "Float16" in s and "subnormal" in s
+
+
+class TestSherlogArrays:
+    def test_behaves_like_ndarray(self):
+        x = Sherlog32([1.0, 2.0, 3.0])
+        assert isinstance(x, np.ndarray)
+        assert x.dtype == np.float32
+        assert float(x.sum()) == 6.0
+
+    def test_records_initial_values(self):
+        x = Sherlog32([1.0, 2.0])
+        assert x.logbook.total == 2
+
+    def test_arithmetic_records_results(self):
+        x = Sherlog32([1.0, 2.0])
+        before = x.logbook.total
+        y = x * 2.0
+        assert isinstance(y, Sherlog)
+        assert y.logbook is x.logbook
+        assert x.logbook.total == before + 2
+
+    def test_logbook_shared_through_expressions(self):
+        x = Sherlog32([1.0])
+        y = (x + 1.0) * (x - 0.5)  # three ops, one element each
+        assert y.logbook is x.logbook
+        assert x.logbook.total >= 4
+
+    def test_records_small_values_for_scaling_analysis(self):
+        x = Sherlog32([1e-3])
+        _ = x * x  # 1e-6: below fp16 min normal
+        assert x.logbook.subnormal_fraction(FLOAT16) > 0
+
+    def test_np_roll_preserves_logging(self):
+        x = Sherlog32(np.arange(8, dtype=np.float32))
+        rolled = np.roll(x, 1)
+        before = x.logbook.total
+        _ = rolled + rolled
+        assert x.logbook.total > before
+
+    def test_sherlog64(self):
+        x = Sherlog64([1.0])
+        assert x.dtype == np.float64
+
+    def test_mixed_with_plain_arrays(self):
+        x = Sherlog32([1.0, 2.0])
+        plain = np.array([3.0, 4.0], dtype=np.float32)
+        r = x + plain
+        assert isinstance(r, Sherlog)
+
+    def test_inplace_ops(self):
+        x = Sherlog32([1.0, 2.0])
+        before = x.logbook.total
+        x += 1.0
+        assert x.logbook.total > before
+        assert float(np.asarray(x)[0]) == 2.0
+
+
+class TestSuggestScaling:
+    def test_power_of_two(self):
+        h = ExponentHistogram()
+        h.record(np.array([1e-5] * 100 + [1.0] * 100))
+        s = suggest_scaling(h, FLOAT16)
+        assert s > 1
+        assert np.log2(s) == int(np.log2(s))
+
+    def test_scaling_lifts_subnormals(self, rng):
+        values = 10.0 ** rng.uniform(-7, -4, 2000)
+        h = ExponentHistogram()
+        h.record(values)
+        s = suggest_scaling(h, FLOAT16)
+        h2 = ExponentHistogram()
+        h2.record(values * s)
+        assert h2.subnormal_fraction(FLOAT16) < h.subnormal_fraction(FLOAT16)
+        assert h2.overflow_fraction(FLOAT16) == 0.0
+
+    def test_well_placed_distribution_keeps_s_modest(self, rng):
+        h = ExponentHistogram()
+        h.record(rng.uniform(0.5, 2.0, 1000))
+        s = suggest_scaling(h, FLOAT16)
+        assert 1.0 <= s <= 2.0**12
+
+    def test_overflow_safety_wins(self):
+        """A distribution already touching the top must not be scaled up."""
+        h = ExponentHistogram()
+        h.record(np.array([3e4] * 100 + [1e-6] * 5))
+        s = suggest_scaling(h, FLOAT16)
+        assert s == 1.0

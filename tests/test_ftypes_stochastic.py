@@ -1,0 +1,115 @@
+"""Tests for repro.ftypes.stochastic — stochastic rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    StochasticFloatOps,
+    naive_sum,
+    quantize_scalar,
+    sr_sum,
+    stochastic_round,
+)
+
+
+class TestStochasticRound:
+    def test_exact_values_never_perturbed(self, rng):
+        """Representable inputs round to themselves with probability 1."""
+        exact = np.float16(rng.standard_normal(500) * 8).astype(np.float64)
+        out = stochastic_round(exact, FLOAT16, rng)
+        assert np.array_equal(out, exact)
+
+    def test_rounds_to_neighbours_only(self, rng):
+        x = 1.0 + 0.3 * float(np.finfo(np.float16).eps)
+        draws = stochastic_round(np.full(5000, x), FLOAT16, rng)
+        uniq = set(np.unique(draws).tolist())
+        lo = quantize_scalar(x, FLOAT16)
+        assert lo in uniq
+        assert all(abs(v - x) <= 2 * float(np.finfo(np.float16).eps) for v in uniq)
+        assert len(uniq) == 2
+
+    def test_unbiased(self, rng):
+        """E[SR(x)] == x: the mean of many draws converges to x."""
+        eps = float(np.finfo(np.float16).eps)
+        for frac in (0.1, 0.3, 0.45):
+            x = 1.0 + frac * eps
+            draws = stochastic_round(np.full(40000, x), FLOAT16, rng)
+            assert (draws.mean() - x) / eps == pytest.approx(0.0, abs=0.02)
+
+    def test_probability_proportional_to_distance(self, rng):
+        eps = float(np.finfo(np.float16).eps)
+        x = 1.0 + 0.25 * eps  # RTN would always round down
+        draws = stochastic_round(np.full(40000, x), FLOAT16, rng)
+        up_frac = np.mean(draws > 1.0)
+        assert up_frac == pytest.approx(0.25, abs=0.02)
+
+    def test_deterministic_per_seed(self):
+        x = np.linspace(0, 1, 100) + 1e-5
+        a = stochastic_round(x, FLOAT16, np.random.default_rng(7))
+        b = stochastic_round(x, FLOAT16, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_nonfinite_passthrough(self, rng):
+        x = np.array([np.nan, np.inf, -np.inf])
+        out = stochastic_round(x, FLOAT16, rng)
+        assert np.isnan(out[0]) and out[1] == np.inf and out[2] == -np.inf
+
+    def test_scalar_shape(self, rng):
+        out = stochastic_round(1.00003, FLOAT16, rng)
+        assert np.ndim(out) == 0
+
+    def test_works_for_software_formats(self, rng):
+        x = np.full(2000, 1.0 + 2.0**-9)  # inexact in bfloat16 (8-bit mantissa)
+        draws = stochastic_round(x, BFLOAT16, rng)
+        assert len(np.unique(draws)) == 2
+
+
+class TestStochasticOps:
+    def test_ops_round_to_format(self):
+        ops = StochasticFloatOps(FLOAT16, seed=3)
+        r = ops.add(np.float64(1.0), np.float64(1e-4))
+        # result is exactly representable in fp16
+        assert float(r) == quantize_scalar(float(r), FLOAT16)
+
+    def test_reset_replays(self, rng):
+        ops = StochasticFloatOps(FLOAT16, seed=5)
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        a = ops.mul(x, y)
+        ops.reset()
+        b = ops.mul(x, y)
+        assert np.array_equal(a, b)
+
+    def test_muladd_two_roundings_fma_one(self):
+        ops = StochasticFloatOps(FLOAT16, seed=1)
+        # structural: both produce format values; fma uses one rounding
+        r1 = ops.muladd(1.1, 2.3, 0.7)
+        ops.reset()
+        r2 = ops.fma(1.1, 2.3, 0.7)
+        for r in (r1, r2):
+            assert float(r) == quantize_scalar(float(r), FLOAT16)
+
+
+class TestSRSum:
+    def test_sr_escapes_rtn_saturation(self):
+        """The headline: RTN fp16 summation of 20k x 0.05 saturates at
+        128 (ulp > increment); SR keeps tracking the true sum."""
+        vals = np.full(20000, 0.05)
+        exact = float(vals.sum())
+        rtn = float(naive_sum(vals.astype(np.float16)))
+        sr = sr_sum(vals, FLOAT16, seed=2)
+        assert abs(rtn - exact) > 800  # saturated
+        assert abs(sr - exact) < 50  # within a few sqrt(n) ulps
+
+    def test_sr_error_unbiased_across_seeds(self):
+        vals = np.full(3000, 0.05)
+        exact = float(vals.sum())
+        errors = [sr_sum(vals, FLOAT16, seed=s) - exact for s in range(10)]
+        assert abs(np.mean(errors)) < 2 * np.std(errors)
+
+    def test_empty_sum(self):
+        assert sr_sum(np.array([]), FLOAT16) == 0.0

@@ -1,0 +1,97 @@
+"""Tests for repro.ftypes.subnormals — FTZ semantics and the trap penalty."""
+
+import numpy as np
+import pytest
+
+from repro.ftypes import (
+    FLOAT16,
+    FLOAT32,
+    SubnormalPenaltyModel,
+    count_subnormals,
+    flush_to_zero,
+    subnormal_fraction,
+    subnormal_mask,
+)
+
+
+class TestDetection:
+    def test_mask_fp16(self):
+        x = np.array([1e-5, 1e-4, 0.0, -2e-5, 1.0], dtype=np.float64)
+        mask = subnormal_mask(x, FLOAT16)
+        assert mask.tolist() == [True, False, False, True, False]
+
+    def test_format_inferred_from_dtype(self):
+        x = np.array([1e-5], dtype=np.float16)
+        assert subnormal_mask(x).tolist() == [True]
+        x32 = np.array([1e-5], dtype=np.float32)
+        assert subnormal_mask(x32).tolist() == [False]
+
+    def test_count_and_fraction(self):
+        x = np.array([1e-5] * 3 + [1.0] * 7)
+        assert count_subnormals(x, FLOAT16) == 3
+        assert subnormal_fraction(x, FLOAT16) == pytest.approx(0.3)
+
+    def test_empty(self):
+        assert subnormal_fraction(np.array([]), FLOAT16) == 0.0
+
+
+class TestFlushToZero:
+    def test_flushes_only_subnormals(self):
+        x = np.array([1e-5, 1e-4, 1.0], dtype=np.float64)
+        f = flush_to_zero(x, FLOAT16)
+        assert f[0] == 0.0
+        assert f[1] == pytest.approx(1e-4)
+        assert f[2] == 1.0
+
+    def test_sign_preserved(self):
+        f = flush_to_zero(np.array([-1e-5]), FLOAT16)
+        assert f[0] == 0.0 and np.signbit(f[0])
+
+    def test_original_untouched(self):
+        x = np.array([1e-5])
+        flush_to_zero(x, FLOAT16)
+        assert x[0] == 1e-5
+
+    def test_native_fp16_array(self):
+        x = np.array([1e-5, 1.0], dtype=np.float16)
+        f = flush_to_zero(x)
+        assert f.dtype == np.float16
+        assert float(f[0]) == 0.0
+
+
+class TestPenaltyModel:
+    def test_no_subnormals_no_penalty(self, rng):
+        m = SubnormalPenaltyModel()
+        data = rng.uniform(1, 2, 1000).astype(np.float16)
+        assert m.slowdown(data) == 1.0
+
+    def test_ftz_removes_penalty(self, rng):
+        m = SubnormalPenaltyModel()
+        data = np.full(1000, 1e-5)
+        assert m.slowdown(data, FLOAT16, ftz=True) == 1.0
+        assert m.slowdown(data, FLOAT16, ftz=False) > 10
+
+    def test_occasional_subnormal_is_heavy(self):
+        """§III-B: 'even the occasional occurrence ... causes a heavy
+        performance penalty' — 1 in 1000 elements still traps ~3% of
+        32-lane vectors at ~160 cycles each."""
+        m = SubnormalPenaltyModel()
+        s = m.expected_slowdown(1e-3)
+        assert s > 4.0  # >4x slowdown from 0.1% subnormals
+
+    def test_expected_slowdown_monotonic(self):
+        m = SubnormalPenaltyModel()
+        probs = [0.0, 1e-4, 1e-3, 1e-2, 1e-1]
+        slows = [m.expected_slowdown(p) for p in probs]
+        assert slows == sorted(slows)
+        assert slows[0] == 1.0
+
+    def test_slowdown_counts_vectors_not_elements(self):
+        m = SubnormalPenaltyModel(trap_cycles=100, vector_lanes=4)
+        # one subnormal in an 8-element array -> 1 of 2 vectors traps
+        data = np.array([1e-5] + [1.0] * 7)
+        assert m.slowdown(data, FLOAT16) == pytest.approx((2 + 100) / 2)
+
+    def test_empty_data(self):
+        m = SubnormalPenaltyModel()
+        assert m.slowdown(np.array([]), FLOAT16) == 1.0

@@ -1,0 +1,143 @@
+"""Tests for repro.ir types, nodes and builder."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    FLOAT,
+    HALF,
+    BinOp,
+    Cast,
+    FMulAdd,
+    Function,
+    IRBuilder,
+    Load,
+    Loop,
+    Param,
+    Ret,
+    Splat,
+    Store,
+    UnOp,
+    Value,
+    VectorType,
+    build_axpy,
+    build_muladd,
+    wider,
+)
+from repro.ir.types import elem_type, with_elem
+
+
+class TestTypes:
+    def test_scalar_names(self):
+        assert str(HALF) == "half"
+        assert str(FLOAT) == "float"
+        assert str(DOUBLE) == "double"
+
+    def test_npdtypes(self):
+        assert HALF.npdtype == np.float16
+        assert DOUBLE.npdtype == np.float64
+
+    def test_wider_chain(self):
+        assert wider(HALF) is FLOAT
+        assert wider(FLOAT) is DOUBLE
+        with pytest.raises(TypeError):
+            wider(DOUBLE)
+
+    def test_vector_type_str(self):
+        assert str(VectorType(HALF, 8, scalable=True)) == "<vscale x 8 x half>"
+        assert str(VectorType(FLOAT, 4)) == "<4 x float>"
+
+    def test_vector_lanes_with_vscale(self):
+        v = VectorType(HALF, 8, scalable=True)
+        assert v.lanes(4) == 32  # 512-bit SVE: vscale=4
+        assert VectorType(HALF, 8).lanes(4) == 8  # fixed ignores vscale
+
+    def test_elem_and_with_elem(self):
+        v = VectorType(HALF, 8, scalable=True)
+        assert elem_type(v) is HALF
+        assert elem_type(HALF) is HALF
+        w = with_elem(v, FLOAT)
+        assert isinstance(w, VectorType) and w.elem is FLOAT and w.scalable
+
+
+class TestNodes:
+    def test_binop_type_check(self):
+        a, b = Value(HALF), Value(FLOAT)
+        with pytest.raises(TypeError, match="operand types differ"):
+            BinOp("fadd", a, b)
+
+    def test_binop_unknown_op(self):
+        a = Value(HALF)
+        with pytest.raises(ValueError):
+            BinOp("fxor", a, a)
+
+    def test_binop_result_type(self):
+        a = Value(HALF)
+        op = BinOp("fmul", a, a)
+        assert op.result.type is HALF
+
+    def test_fmuladd_uniform_types(self):
+        with pytest.raises(TypeError):
+            FMulAdd(Value(HALF), Value(HALF), Value(FLOAT))
+
+    def test_load_requires_pointer(self):
+        scalar_param = Param(type=HALF, pointer=False)
+        with pytest.raises(TypeError):
+            Load(scalar_param, Value(DOUBLE), HALF)
+
+    def test_splat_type_checks(self):
+        v = VectorType(HALF, 8, scalable=True)
+        with pytest.raises(TypeError):
+            Splat(Value(FLOAT), v)  # elem mismatch
+        with pytest.raises(TypeError):
+            Splat(Value(HALF), HALF)  # not a vector
+
+    def test_function_walk_enters_loops(self):
+        fn = build_axpy(HALF)
+        kinds = [type(i).__name__ for i in fn.walk()]
+        assert "Loop" in kinds and "FMulAdd" in kinds and "Store" in kinds
+
+    def test_count_ops(self):
+        fn = build_muladd(HALF)
+        assert fn.count_ops(BinOp) == 2
+        assert fn.count_ops(Ret) == 1
+
+
+class TestBuilder:
+    def test_muladd_structure(self):
+        fn = build_muladd(HALF)
+        assert fn.name == "julia_muladd"
+        assert len(fn.params) == 3
+        assert fn.return_type is HALF
+        ops = [i for i in fn.body if isinstance(i, BinOp)]
+        assert [o.op for o in ops] == ["fmul", "fadd"]
+
+    def test_axpy_structure(self):
+        fn = build_axpy(DOUBLE)
+        assert len(fn.params) == 4
+        loop = next(i for i in fn.body if isinstance(i, Loop))
+        assert loop.step == 1
+        body_kinds = [type(i).__name__ for i in loop.body]
+        assert body_kinds == ["Load", "Load", "FMulAdd", "Store"]
+
+    def test_builder_nested_emission(self):
+        b = IRBuilder("f", None)
+        n = b.param(DOUBLE)
+        x = b.param(DOUBLE, pointer=True)
+        with b.loop(n) as i:
+            v = b.load(x, i, DOUBLE)
+            b.store(v, x, i)
+        b.ret()
+        fn = b.function()
+        assert isinstance(fn.body[0], Loop)
+        assert len(fn.body[0].body) == 2
+
+    def test_loop_context_does_not_leak_on_error(self):
+        b = IRBuilder("f", None)
+        n = b.param(DOUBLE)
+        with pytest.raises(RuntimeError):
+            with b.loop(n):
+                raise RuntimeError("boom")
+        # loop not emitted on exception
+        assert b.function().body == []

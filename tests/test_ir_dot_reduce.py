@@ -1,0 +1,141 @@
+"""Tests for the IR dot kernel and the Reduce instruction."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    HALF,
+    CostModel,
+    Interpreter,
+    Reduce,
+    SoftFloatWideningPass,
+    Value,
+    VectorizePass,
+    build_dot,
+    print_function,
+    verify_function,
+)
+from repro.ir.types import FLOAT, VectorType
+
+
+def run_dot(t, x, y):
+    fn = build_dot(t)
+    acc = np.zeros(1, dtype=t.npdtype)
+    return Interpreter().run(fn, x, y, acc, x.shape[0])
+
+
+class TestDotKernel:
+    def test_verifies(self):
+        verify_function(build_dot(HALF))
+        verify_function(build_dot(DOUBLE))
+
+    def test_f64_matches_numpy(self, rng):
+        x = rng.standard_normal(100)
+        y = rng.standard_normal(100)
+        r = run_dot(DOUBLE, x, y)
+        # sequential fma accumulation ~ numpy dot to high precision
+        assert float(r) == pytest.approx(float(np.dot(x, y)), rel=1e-12)
+
+    def test_f16_in_format_accumulation(self, rng):
+        """The accumulator is Float16: each step is a correctly rounded
+        FMA into fp16 — visible rounding vs the float64 reference."""
+        x = rng.standard_normal(300).astype(np.float16)
+        y = rng.standard_normal(300).astype(np.float16)
+        r = run_dot(HALF, x, y)
+        acc = np.float16(0)
+        for i in range(300):
+            wide = float(x[i]) * float(y[i]) + float(acc)
+            acc = np.float16(wide)
+        assert r == acc
+        exact = float(np.dot(x.astype(np.float64), y.astype(np.float64)))
+        assert float(r) != pytest.approx(exact, abs=1e-10)
+
+    def test_software_widening_applies_to_dot(self, rng):
+        """Widened fp16 dot has different numerics (muladd unfuses)."""
+        fn = build_dot(HALF)
+        soft = SoftFloatWideningPass().run(fn)
+        verify_function(soft)
+        x = rng.standard_normal(64).astype(np.float16)
+        y = rng.standard_normal(64).astype(np.float16)
+        a1 = np.zeros(1, np.float16)
+        a2 = np.zeros(1, np.float16)
+        r_native = Interpreter().run(fn, x, y, a1, 64)
+        r_soft = Interpreter().run(soft, x, y, a2, 64)
+        # both are finite fp16 values; they may differ (fma vs mul+add)
+        assert np.isfinite(float(r_native)) and np.isfinite(float(r_soft))
+
+    def test_vectorise_pass_refuses_accumulator(self):
+        """The loop-carried accumulator cannot be naively vectorised —
+        the pass reports it instead of producing wrong code."""
+        with pytest.raises(ValueError, match="loop counter"):
+            VectorizePass().run(build_dot(HALF))
+
+    def test_prints(self):
+        text = print_function(build_dot(HALF))
+        assert "@julia_dot" in text
+        assert "fmuladd" in text
+
+
+class TestReduceInstruction:
+    def _exec(self, lanes_data, ordered):
+        vt = VectorType(HALF, 8, scalable=True)
+        v = Value(vt)
+        ins = Reduce("fadd", v, ordered=ordered)
+        interp = Interpreter(vscale=4)
+        env = {v: lanes_data}
+        interp._exec_instr(ins, env, None)
+        return env[ins.result]
+
+    def test_ordered_is_sequential(self, rng):
+        data = rng.standard_normal(32).astype(np.float16)
+        got = self._exec(data, ordered=True)
+        acc = np.float16(0)
+        for lane in data:
+            acc = np.float16(acc + lane)
+        assert got == acc
+
+    def test_unordered_is_tree(self, rng):
+        data = rng.standard_normal(32).astype(np.float16)
+        got = self._exec(data, ordered=False)
+        # tree: pairwise halving
+        work = data.copy()
+        while work.shape[0] > 1:
+            work = (work[0::2] + work[1::2]).astype(np.float16)
+        assert got == work[0]
+
+    def test_orders_can_differ_in_fp16(self, rng):
+        """fadda vs faddv give different roundings — why reproducible
+        reductions matter for type-flexible codes."""
+        diffs = 0
+        for _ in range(50):
+            data = (rng.standard_normal(32) * 8).astype(np.float16)
+            if self._exec(data, True) != self._exec(data, False):
+                diffs += 1
+        assert diffs > 0
+
+    def test_type_checks(self):
+        with pytest.raises(TypeError, match="vector"):
+            Reduce("fadd", Value(HALF))
+        with pytest.raises(ValueError, match="unsupported"):
+            Reduce("fmax", Value(VectorType(HALF, 8)))
+
+    def test_cost_ordered_slower_than_tree(self):
+        cm = CostModel()
+        vt = VectorType(HALF, 8, scalable=True)
+        v = Value(vt)
+        slow = cm._instr_slots(Reduce("fadd", v, ordered=True))
+        fast = cm._instr_slots(Reduce("fadd", v, ordered=False))
+        assert slow == 32.0
+        assert fast == 5.0  # log2(32)
+
+    def test_printer_flavours(self):
+        from repro.ir.printer import _print_body
+
+        vt = VectorType(FLOAT, 4, scalable=False)
+        v = Value(vt, name="v")
+        lines = _print_body(
+            [Reduce("fadd", v, ordered=True)], {v: "%v"}, [0], "  "
+        )
+        assert "llvm.vector.reduce.fadd" in lines[0]
+        assert "fadda" in lines[0]

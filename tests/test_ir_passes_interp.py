@@ -1,0 +1,231 @@
+"""Tests for the IR passes and interpreter — the §II/§IV-C semantics.
+
+The central theorems of the paper's compiler section, checked executably:
+
+1. widening with round-each-op is *bit-identical* to native Float16;
+2. the extend-precision (legacy x86) mode is NOT;
+3. SVE vectorisation (fixed or scalable) is bit-identical to scalar.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    DOUBLE,
+    FLOAT,
+    HALF,
+    BinOp,
+    Cast,
+    CostModel,
+    ExecutionTrace,
+    Interpreter,
+    Load,
+    Loop,
+    SoftFloatWideningPass,
+    Splat,
+    Store,
+    VectorizePass,
+    build_axpy,
+    build_muladd,
+    print_function,
+)
+
+f16s = st.floats(min_value=-500, max_value=500).map(np.float16)
+
+
+class TestWideningPass:
+    def test_widened_structure_matches_listing(self):
+        fn = SoftFloatWideningPass(mode="round_each_op").run(build_muladd(HALF))
+        casts = [i for i in fn.body if isinstance(i, Cast)]
+        exts = [c for c in casts if c.op == "fpext"]
+        truncs = [c for c in casts if c.op == "fptrunc"]
+        # The §IV-C listing: 4 fpext, 2 fptrunc, fmul+fadd in float.
+        assert len(exts) == 4
+        assert len(truncs) == 2
+        bins = [i for i in fn.body if isinstance(i, BinOp)]
+        assert all(b.lhs.type is FLOAT for b in bins)
+
+    def test_extend_mode_fewer_roundings(self):
+        fn = SoftFloatWideningPass(mode="extend_precision").run(build_muladd(HALF))
+        truncs = [i for i in fn.body if isinstance(i, Cast) and i.op == "fptrunc"]
+        assert len(truncs) == 1  # only at the return
+
+    @given(f16s, f16s, f16s)
+    @settings(max_examples=300, deadline=None)
+    def test_round_each_op_bit_identical(self, x, y, z):
+        fn = build_muladd(HALF)
+        soft = SoftFloatWideningPass(mode="round_each_op").run(fn)
+        interp = Interpreter()
+        a = interp.run(fn, x, y, z)
+        b = interp.run(soft, x, y, z)
+        assert a == b or (np.isnan(a) and np.isnan(b))
+
+    def test_extend_precision_inconsistent(self, rng):
+        fn = build_muladd(HALF)
+        ext = SoftFloatWideningPass(mode="extend_precision").run(fn)
+        interp = Interpreter()
+        mismatch = 0
+        for _ in range(1000):
+            args = tuple(np.float16(v) for v in rng.standard_normal(3) * 10)
+            a, b = interp.run(fn, *args), interp.run(ext, *args)
+            if a != b and not (np.isnan(a) and np.isnan(b)):
+                mismatch += 1
+        assert mismatch > 50  # systematic, not a fluke
+
+    def test_float64_function_untouched(self):
+        fn = build_muladd(DOUBLE)
+        out = SoftFloatWideningPass().run(fn)
+        assert not any(isinstance(i, Cast) for i in out.body)
+
+    def test_widening_composes_with_vectorisation(self):
+        fn = VectorizePass().run(build_axpy(HALF))
+        soft = SoftFloatWideningPass().run(fn)
+        text = print_function(soft)
+        assert "<vscale x 8 x float>" in text
+        assert "fptrunc" in text
+
+
+class TestVectorizePass:
+    @pytest.mark.parametrize("scalable", [True, False])
+    @pytest.mark.parametrize("t", [HALF, FLOAT, DOUBLE])
+    @pytest.mark.parametrize("n", [1, 7, 32, 33, 257])
+    def test_vectorised_axpy_bit_identical(self, scalable, t, n, rng):
+        fn = build_axpy(t)
+        vec = VectorizePass(vector_bits=512, scalable=scalable).run(fn)
+        interp = Interpreter(vscale=4)
+        dt = t.npdtype
+        x = rng.standard_normal(n).astype(dt)
+        y0 = rng.standard_normal(n).astype(dt)
+        a = dt.type(1.25)
+        y1, y2 = y0.copy(), y0.copy()
+        interp.run(fn, a, x, y1, n)
+        interp.run(vec, a, x, y2, n)
+        assert np.array_equal(y1, y2)
+
+    def test_scalable_step_uses_vscale(self):
+        vec = VectorizePass(scalable=True).run(build_axpy(HALF))
+        loop = next(i for i in vec.body if isinstance(i, Loop))
+        assert loop.step == 8  # granule: 128/16
+        assert len(loop.step_values) == 1
+        assert loop.lanes_hint == 32
+
+    def test_fixed_width_step(self):
+        vec = VectorizePass(vector_bits=512, scalable=False).run(build_axpy(DOUBLE))
+        loop = next(i for i in vec.body if isinstance(i, Loop))
+        assert loop.step == 8  # 512/64
+        assert loop.step_values == ()
+
+    def test_neon_width_fallback(self):
+        vec = VectorizePass(vector_bits=128, scalable=False).run(build_axpy(DOUBLE))
+        loop = next(i for i in vec.body if isinstance(i, Loop))
+        assert loop.lanes_hint == 2
+
+    def test_splat_emitted_once(self):
+        vec = VectorizePass().run(build_axpy(HALF))
+        loop = next(i for i in vec.body if isinstance(i, Loop))
+        splats = [i for i in loop.body if isinstance(i, Splat)]
+        assert len(splats) == 1
+
+    def test_loopless_function_rejected(self):
+        with pytest.raises(ValueError, match="no loop"):
+            VectorizePass().run(build_muladd(HALF))
+
+    def test_different_vscale_values(self, rng):
+        """Vector-length-agnostic: the same IR runs at any vscale."""
+        vec = VectorizePass(scalable=True).run(build_axpy(FLOAT))
+        x = rng.standard_normal(100).astype(np.float32)
+        y0 = rng.standard_normal(100).astype(np.float32)
+        results = []
+        for vscale in (1, 2, 4):
+            y = y0.copy()
+            Interpreter(vscale=vscale).run(vec, np.float32(2), x, y, 100)
+            results.append(y)
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+
+class TestInterpreter:
+    def test_argument_count_checked(self):
+        fn = build_muladd(HALF)
+        with pytest.raises(TypeError, match="takes 3 arguments"):
+            Interpreter().run(fn, np.float16(1))
+
+    def test_pointer_dtype_checked(self):
+        fn = build_axpy(HALF)
+        x64 = np.zeros(4)
+        with pytest.raises(TypeError, match="must be float16"):
+            Interpreter().run(fn, np.float16(1), x64, x64, 4)
+
+    def test_scalar_coercion(self):
+        fn = build_muladd(HALF)
+        r = Interpreter().run(fn, 1.5, 2.0, 0.25)  # python floats coerced
+        assert r == np.float16(1.5) * np.float16(2.0) + np.float16(0.25)
+
+    def test_in_place_mutation_like_julia_bang(self, rng):
+        fn = build_axpy(DOUBLE)
+        x = rng.standard_normal(16)
+        y = rng.standard_normal(16)
+        y_orig = y.copy()
+        Interpreter().run(fn, 3.0, x, y, 16)
+        assert np.array_equal(y, 3.0 * x + y_orig)
+
+    def test_trace_counts(self):
+        fn = build_axpy(HALF)
+        trace = ExecutionTrace()
+        x = np.zeros(10, np.float16)
+        Interpreter().run(fn, np.float16(1), x, x.copy(), 10, trace=trace)
+        assert trace.executed["load"] == 20
+        assert trace.executed["store"] == 10
+        assert trace.executed["fmuladd"] == 10
+        assert trace.executed["loop_iterations"] == 10
+
+    def test_trace_vectorised(self):
+        fn = VectorizePass().run(build_axpy(HALF))
+        trace = ExecutionTrace()
+        x = np.zeros(64, np.float16)
+        Interpreter(vscale=4).run(fn, np.float16(1), x, x.copy(), 64, trace=trace)
+        assert trace.executed["loop_iterations"] == 2  # 64 / 32 lanes
+        assert trace.executed["vload"] == 4
+
+    def test_zero_trip_loop(self):
+        fn = build_axpy(DOUBLE)
+        x = np.zeros(0)
+        Interpreter().run(fn, 1.0, x, x.copy(), 0)  # no crash
+
+
+class TestCostModel:
+    def test_native_fp16_vector_axpy_cost(self):
+        cm = CostModel()
+        vec = VectorizePass().run(build_axpy(HALF))
+        c = cm.cost(vec)
+        assert c.lanes == 32
+        # memory-bound: 3 memory ops / 32 lanes / 2 ports
+        assert c.cycles_per_element == pytest.approx(3 / 32 / 2)
+
+    def test_software_widening_penalty_significant(self):
+        """§IV-C: software lowering is 'clearly suboptimal' — several x."""
+        cm = CostModel()
+        vec = VectorizePass().run(build_axpy(HALF))
+        soft = SoftFloatWideningPass().run(vec)
+        penalty = cm.software_float16_penalty(vec, soft)
+        assert penalty > 3.0
+
+    def test_scalar_muladd_penalty(self):
+        cm = CostModel()
+        fn = build_muladd(HALF)
+        soft = SoftFloatWideningPass().run(fn)
+        assert cm.software_float16_penalty(fn, soft) == pytest.approx(4.0)
+
+    def test_wider_formats_cost_more_per_element(self):
+        cm = CostModel()
+        c16 = cm.cost(VectorizePass().run(build_axpy(HALF)))
+        c64 = cm.cost(VectorizePass().run(build_axpy(DOUBLE)))
+        assert c64.cycles_per_element == pytest.approx(4 * c16.cycles_per_element)
+
+    def test_narrow_vector_width_costs_more(self):
+        cm = CostModel()
+        full = cm.cost(VectorizePass(vector_bits=512, scalable=False).run(build_axpy(DOUBLE)))
+        neon = cm.cost(VectorizePass(vector_bits=128, scalable=False).run(build_axpy(DOUBLE)))
+        assert neon.cycles_per_element == pytest.approx(4 * full.cycles_per_element)

@@ -1,0 +1,78 @@
+"""Tests for repro.ir.printer — byte-exact reproduction of §IV-C listings."""
+
+import pytest
+
+from repro.ir import (
+    HALF,
+    SoftFloatWideningPass,
+    VectorizePass,
+    build_axpy,
+    build_muladd,
+    print_function,
+)
+
+# The first listing of §IV-C, verbatim from the paper.
+PAPER_LISTING_NATIVE = """\
+define half @julia_muladd(half %0, half %1, half %2) {
+top:
+  %3 = fmul half %0, %1
+  %4 = fadd half %3, %2
+  ret half %4
+}"""
+
+# The second listing of §IV-C: explicit fpext/fptrunc pairs.
+PAPER_LISTING_WIDENED = """\
+define half @julia_muladd(half %0, half %1, half %2) {
+top:
+  %3 = fpext half %0 to float
+  %4 = fpext half %1 to float
+  %5 = fmul float %3, %4
+  %6 = fptrunc float %5 to half
+  %7 = fpext half %6 to float
+  %8 = fpext half %2 to float
+  %9 = fadd float %7, %8
+  %10 = fptrunc float %9 to half
+  ret half %10
+}"""
+
+
+class TestPaperListings:
+    def test_native_listing_byte_exact(self):
+        assert print_function(build_muladd(HALF)) == PAPER_LISTING_NATIVE
+
+    def test_widened_listing_byte_exact(self):
+        fn = SoftFloatWideningPass(mode="round_each_op").run(build_muladd(HALF))
+        assert print_function(fn) == PAPER_LISTING_WIDENED
+
+
+class TestGeneralPrinting:
+    def test_axpy_scalar_loop(self):
+        text = print_function(build_axpy(HALF))
+        assert "define void @julia_axpy" in text
+        assert "loop %i = 0, %3, step 1 {" in text
+        assert "@llvm.fmuladd.f16" in text
+
+    def test_vectorised_axpy_scalable_types(self):
+        text = print_function(VectorizePass().run(build_axpy(HALF)))
+        assert "@llvm.vscale.i64()" in text
+        assert "<vscale x 8 x half>" in text
+        assert "@llvm.fmuladd.nxv8f16" in text
+        assert "mask %pred" in text
+
+    def test_fixed_width_vector_types(self):
+        text = print_function(
+            VectorizePass(vector_bits=512, scalable=False).run(build_axpy(HALF))
+        )
+        assert "<32 x half>" in text
+        assert "vscale" not in text
+
+    def test_pointer_params_starred(self):
+        text = print_function(build_axpy(HALF))
+        assert "half* %1" in text and "half* %2" in text
+
+    def test_ssa_numbering_continuous(self):
+        text = print_function(
+            SoftFloatWideningPass().run(build_muladd(HALF))
+        )
+        for i in range(11):
+            assert f"%{i}" in text

@@ -1,0 +1,195 @@
+"""Tests for repro.ir.transforms — fusion, DCE, verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import (
+    DOUBLE,
+    HALF,
+    BinOp,
+    Cast,
+    DeadCodeEliminationPass,
+    FMulAdd,
+    FuseMulAddPass,
+    Interpreter,
+    IRBuilder,
+    Ret,
+    SoftFloatWideningPass,
+    VectorizePass,
+    VerificationError,
+    build_axpy,
+    build_muladd,
+    print_function,
+    verify_function,
+)
+from repro.ir.nodes import Load, Loop, Param, Store, Value
+
+f16s = st.floats(min_value=-200, max_value=200).map(np.float16)
+
+
+class TestFuseMulAdd:
+    def test_muladd_becomes_single_fma(self):
+        fused = FuseMulAddPass().run(build_muladd(HALF))
+        assert fused.count_ops(FMulAdd) == 1
+        assert fused.count_ops(BinOp) == 0
+        verify_function(fused)
+
+    @given(f16s, f16s, f16s)
+    @settings(max_examples=200, deadline=None)
+    def test_fused_is_single_rounding(self, x, y, z):
+        """Fused result == exact product + one rounding (true FMA)."""
+        fused = FuseMulAddPass().run(build_muladd(HALF))
+        got = Interpreter().run(fused, x, y, z)
+        exact = float(x) * float(y) + float(z)
+        with np.errstate(over="ignore"):
+            want = np.float16(exact)
+        assert got == want or (np.isnan(got) and np.isnan(want))
+
+    def test_fusion_changes_results_fp16(self, rng):
+        """The §IV-C point: contraction is observable — fused and
+        unfused differ on a substantial fraction of inputs."""
+        fn = build_muladd(HALF)
+        fused = FuseMulAddPass().run(fn)
+        interp = Interpreter()
+        diffs = 0
+        for _ in range(1000):
+            args = tuple(np.float16(v) for v in rng.standard_normal(3) * 5)
+            a, b = interp.run(fn, *args), interp.run(fused, *args)
+            if a != b and not (np.isnan(a) and np.isnan(b)):
+                diffs += 1
+        assert diffs > 100
+
+    def test_multi_use_mul_not_fused(self):
+        b = IRBuilder("f", HALF)
+        x = b.param(HALF)
+        y = b.param(HALF)
+        m = b.fmul(x, y)
+        s1 = b.fadd(m, x)
+        s2 = b.fadd(s1, m)  # m used twice
+        b.ret(s2)
+        fused = FuseMulAddPass().run(b.function())
+        assert fused.count_ops(FMulAdd) == 0
+        verify_function(fused)
+
+    def test_add_with_mul_on_rhs_fused(self):
+        b = IRBuilder("f", HALF)
+        x = b.param(HALF)
+        y = b.param(HALF)
+        z = b.param(HALF)
+        m = b.fmul(x, y)
+        s = b.fadd(z, m)  # mul on the right
+        b.ret(s)
+        fused = FuseMulAddPass().run(b.function())
+        assert fused.count_ops(FMulAdd) == 1
+
+    def test_fusion_inside_vectorised_loop(self, rng):
+        """Widened axpy has fmul+fadd in its loop; fusing keeps it
+        executable and verifiable (result changes: one less rounding)."""
+        soft = SoftFloatWideningPass().run(build_axpy(HALF))
+        fused = FuseMulAddPass().run(soft)
+        verify_function(fused)
+        x = rng.standard_normal(40).astype(np.float16)
+        y = x.copy()
+        Interpreter().run(fused, np.float16(1.5), x, y, 40)
+        assert np.all(np.isfinite(y.astype(np.float64)))
+
+    def test_f64_fusion_safe(self, rng):
+        fn = build_muladd(DOUBLE)
+        fused = FuseMulAddPass().run(fn)
+        a = Interpreter().run(fn, 1.1, 2.2, 3.3)
+        b = Interpreter().run(fused, 1.1, 2.2, 3.3)
+        assert a == pytest.approx(b, rel=1e-15)
+
+
+class TestDCE:
+    def test_removes_unused_arithmetic(self):
+        b = IRBuilder("f", HALF)
+        x = b.param(HALF)
+        b.fmul(x, x)  # dead
+        b.fmul(x, x)  # dead
+        live = b.fadd(x, x)
+        b.ret(live)
+        clean = DeadCodeEliminationPass().run(b.function())
+        assert clean.count_ops(BinOp) == 1
+        verify_function(clean)
+
+    def test_keeps_chains_feeding_the_return(self):
+        fn = build_muladd(HALF)
+        clean = DeadCodeEliminationPass().run(fn)
+        assert clean.count_ops(BinOp) == 2  # nothing is dead
+
+    def test_keeps_stores(self):
+        fn = build_axpy(HALF)
+        clean = DeadCodeEliminationPass().run(fn)
+        assert clean.count_ops(Store) == 1
+
+    def test_semantics_preserved(self, rng):
+        b = IRBuilder("f", DOUBLE)
+        x = b.param(DOUBLE)
+        b.fmul(x, x)  # dead
+        r = b.fadd(x, x)
+        b.ret(r)
+        fn = b.function()
+        clean = DeadCodeEliminationPass().run(fn)
+        for _ in range(10):
+            v = float(rng.standard_normal())
+            assert Interpreter().run(fn, v) == Interpreter().run(clean, v)
+
+    def test_dead_cast_chain_removed(self):
+        from repro.ir.types import FLOAT
+
+        b = IRBuilder("f", HALF)
+        x = b.param(HALF)
+        w = b.fpext(x, FLOAT)  # dead chain head
+        b.fptrunc(w, HALF)  # dead
+        b.ret(x)
+        clean = DeadCodeEliminationPass().run(b.function())
+        assert clean.count_ops(Cast) == 0
+
+
+class TestVerify:
+    def test_valid_functions_pass(self):
+        for fn in (
+            build_muladd(HALF),
+            build_axpy(DOUBLE),
+            VectorizePass().run(build_axpy(HALF)),
+            SoftFloatWideningPass().run(build_muladd(HALF)),
+        ):
+            verify_function(fn)
+
+    def test_undefined_value_caught(self):
+        ghost = Value(HALF)
+        b = IRBuilder("f", HALF)
+        x = b.param(HALF)
+        bad = BinOp("fadd", x, ghost)
+        b._emit(bad)
+        b.ret(bad.result)
+        with pytest.raises(VerificationError, match="undefined"):
+            verify_function(b.function())
+
+    def test_double_definition_caught(self):
+        b = IRBuilder("f", HALF)
+        x = b.param(HALF)
+        op = BinOp("fadd", x, x)
+        b._emit(op)
+        b._emit(op)  # same instruction (and result) twice
+        b.ret(op.result)
+        with pytest.raises(VerificationError, match="twice"):
+            verify_function(b.function())
+
+    def test_all_passes_preserve_verifiability(self):
+        fn = build_axpy(HALF)
+        stages = [fn]
+        stages.append(VectorizePass().run(stages[-1]))
+        stages.append(SoftFloatWideningPass().run(stages[-1]))
+        stages.append(FuseMulAddPass().run(stages[-1]))
+        stages.append(DeadCodeEliminationPass().run(stages[-1]))
+        for s in stages:
+            verify_function(s)
+        # and the final composition still computes axpy
+        x = np.arange(5, dtype=np.float16)
+        y = np.ones(5, dtype=np.float16)
+        Interpreter().run(stages[-1], np.float16(2), x, y, 5)
+        assert np.allclose(y.astype(np.float64), 2 * np.arange(5) + 1)

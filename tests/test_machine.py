@@ -1,0 +1,268 @@
+"""Tests for repro.machine — specs, vector unit, memory, roofline, kernel model."""
+
+import numpy as np
+import pytest
+
+from repro.ftypes import FLOAT16, FLOAT32, FLOAT64
+from repro.machine import (
+    A64FX,
+    XEON_CASCADE_LAKE,
+    ImplementationProfile,
+    KernelTraffic,
+    MemoryHierarchy,
+    Roofline,
+    StreamKernelModel,
+    SVEVectorUnit,
+    get_chip,
+)
+
+
+class TestChipSpecs:
+    def test_a64fx_datasheet_numbers(self):
+        assert A64FX.vector_bits == 512
+        assert A64FX.cores == 48
+        assert A64FX.clock_hz == 2.2e9
+        # Peak FP64 per core: 2 pipes x 8 lanes x 2 flops x 2.2 GHz.
+        assert A64FX.peak_flops_core(FLOAT64) == pytest.approx(70.4e9)
+        # Chip: 3.3792 TF/s FP64 (the published figure).
+        assert A64FX.peak_flops_chip(FLOAT64) == pytest.approx(3.3792e12)
+
+    def test_fp16_4x_fp64(self):
+        """The paper's headline: 4x Float16 over Float64 peak."""
+        assert A64FX.peak_flops_core(FLOAT16) == 4 * A64FX.peak_flops_core(FLOAT64)
+        assert A64FX.peak_flops_core(FLOAT32) == 2 * A64FX.peak_flops_core(FLOAT64)
+
+    def test_lane_counts(self):
+        assert A64FX.lanes(FLOAT64) == 8
+        assert A64FX.lanes(FLOAT32) == 16
+        assert A64FX.lanes(FLOAT16) == 32
+
+    def test_native_format_support(self):
+        assert A64FX.supports_native(FLOAT16)
+        assert not XEON_CASCADE_LAKE.supports_native(FLOAT16)
+
+    def test_x86_fp16_penalty(self):
+        """x86 computes fp16 via fp32 with conversion cost (§II)."""
+        assert XEON_CASCADE_LAKE.compute_penalty(FLOAT16) > 1.0
+        # Net: x86 "fp16" is SLOWER than its fp32.
+        assert XEON_CASCADE_LAKE.peak_flops_core(
+            FLOAT16
+        ) < XEON_CASCADE_LAKE.peak_flops_core(FLOAT32)
+
+    def test_unsupported_format_raises(self):
+        from repro.ftypes import BFLOAT16
+
+        with pytest.raises(ValueError):
+            A64FX.compute_penalty(BFLOAT16)
+
+    def test_get_chip(self):
+        assert get_chip("a64fx") is A64FX
+        assert get_chip("x86") is XEON_CASCADE_LAKE
+        assert get_chip(A64FX) is A64FX
+        with pytest.raises(ValueError):
+            get_chip("m1")
+
+    def test_l1_is_64kib(self):
+        """64 KiB L1 — the size the MPI cache-effect story hinges on."""
+        assert A64FX.l1().size_bytes == 64 * 1024
+
+
+class TestSVEVectorUnit:
+    def test_vscale(self):
+        assert SVEVectorUnit(A64FX).vscale == 4
+        assert SVEVectorUnit(A64FX, vector_bits=128).vscale == 1
+
+    def test_width_cannot_exceed_hardware(self):
+        with pytest.raises(ValueError):
+            SVEVectorUnit(A64FX, vector_bits=1024)
+
+    def test_width_multiple_of_granule(self):
+        with pytest.raises(ValueError):
+            SVEVectorUnit(A64FX, vector_bits=200)
+
+    def test_chunk_iteration_covers_everything(self):
+        unit = SVEVectorUnit(A64FX)
+        chunks = list(unit.iter_chunks(70, FLOAT16))
+        assert sum(active for _, active in chunks) == 70
+        assert chunks[-1][1] == 70 - 2 * 32  # predicated tail
+
+    def test_axpy_correct_all_dtypes(self, rng):
+        unit = SVEVectorUnit(A64FX)
+        for dt in (np.float16, np.float32, np.float64):
+            x = rng.standard_normal(101).astype(dt)
+            y = rng.standard_normal(101).astype(dt)
+            ref = (dt(2.0) * x + y).astype(dt)
+            stats = unit.axpy(2.0, x, y)
+            assert np.array_equal(y, ref)
+            assert stats.elements_processed == 101
+
+    def test_axpy_predicated_tail_counted(self, rng):
+        unit = SVEVectorUnit(A64FX)
+        x = rng.standard_normal(33).astype(np.float16)
+        stats = unit.axpy(1.0, x, x.copy())
+        assert stats.predicated_instructions == 1
+
+    def test_axpy_shape_and_dtype_checks(self):
+        unit = SVEVectorUnit(A64FX)
+        with pytest.raises(ValueError):
+            unit.axpy(1.0, np.zeros(3), np.zeros(4))
+        with pytest.raises(TypeError):
+            unit.axpy(1.0, np.zeros(3, np.float32), np.zeros(3, np.float64))
+
+    def test_ideal_speedup_is_lane_count(self):
+        unit = SVEVectorUnit(A64FX)
+        assert unit.speedup_vs_scalar(FLOAT16) == 32.0
+
+    def test_narrower_unit_fewer_lanes(self):
+        neon = SVEVectorUnit(A64FX, vector_bits=128)
+        assert neon.lanes(FLOAT64) == 2
+
+    def test_cycles_accounted(self, rng):
+        unit = SVEVectorUnit(A64FX)
+        x = rng.standard_normal(640).astype(np.float16)
+        stats = unit.axpy(1.0, x, x.copy())
+        assert stats.cycles == pytest.approx(640 / 32 / 2)  # bodies / pipes
+
+
+class TestMemoryHierarchy:
+    def test_level_selection(self):
+        mem = MemoryHierarchy(A64FX)
+        assert mem.level_for(10_000) == "L1D"
+        assert mem.level_for(1_000_000) == "L2"
+        assert mem.level_for(100_000_000) == "DRAM"
+
+    def test_bandwidth_monotone_decreasing(self):
+        mem = MemoryHierarchy(A64FX)
+        sizes = [2**k for k in range(10, 30)]
+        bws = [mem.effective_bandwidth(s).load_bps for s in sizes]
+        assert all(a >= b - 1e-6 for a, b in zip(bws, bws[1:]))
+
+    def test_l1_bandwidth_value(self):
+        mem = MemoryHierarchy(A64FX)
+        bw = mem.effective_bandwidth(32 * 1024)
+        assert bw.level_name == "L1D"
+        assert bw.load_bps == pytest.approx(128 * 2.2e9)
+
+    def test_dram_asymptote(self):
+        mem = MemoryHierarchy(A64FX)
+        bw = mem.effective_bandwidth(10**10)
+        assert bw.load_bps == pytest.approx(60e9, rel=0.05)
+
+    def test_blend_between_levels(self):
+        mem = MemoryHierarchy(A64FX)
+        just_above_l1 = mem.effective_bandwidth(80 * 1024).load_bps
+        l1 = mem.effective_bandwidth(64 * 1024).load_bps
+        l2 = mem.effective_bandwidth(4 * 1024 * 1024).load_bps
+        assert l2 < just_above_l1 < l1
+
+    def test_stream_time_l1_overlaps_ports(self):
+        mem = MemoryHierarchy(A64FX)
+        t = mem.stream_time(load_bytes=1000.0, store_bytes=500.0,
+                            working_set_bytes=10_000)
+        # max(), not sum: 1000/128 cycles dominates.
+        assert t == pytest.approx(1000 / (128 * 2.2e9))
+
+    def test_stream_time_outer_levels_serialise(self):
+        mem = MemoryHierarchy(A64FX)
+        ws = 10**9
+        t = mem.stream_time(1000.0, 500.0, ws)
+        bw = mem.effective_bandwidth(ws)
+        assert t == pytest.approx(1000 / bw.load_bps + 500 / bw.store_bps)
+
+
+class TestRoofline:
+    def test_axpy_memory_bound_everywhere(self):
+        r = Roofline(A64FX)
+        axpy = KernelTraffic("axpy", flops=2, loads=2, stores=1)
+        for n in (100, 10_000, 10_000_000):
+            assert r.evaluate(axpy, FLOAT64, n).bound == "memory"
+
+    def test_compute_bound_kernel(self):
+        r = Roofline(A64FX)
+        dense = KernelTraffic("gemm-ish", flops=200, loads=1, stores=1)
+        assert r.evaluate(dense, FLOAT64, 10_000).bound == "compute"
+
+    def test_precision_scaling_in_l1(self):
+        """In-cache axpy: 4:2:1 GFLOPS across fp16/fp32/fp64."""
+        r = Roofline(A64FX)
+        axpy = KernelTraffic("axpy", 2, 2, 1)
+        n = 1000  # fits L1 at all formats
+        g16 = r.evaluate(axpy, FLOAT16, n).gflops
+        g32 = r.evaluate(axpy, FLOAT32, n).gflops
+        g64 = r.evaluate(axpy, FLOAT64, n).gflops
+        assert g16 == pytest.approx(4 * g64)
+        assert g32 == pytest.approx(2 * g64)
+
+    def test_narrow_vector_width_lowers_compute_roof(self):
+        r = Roofline(A64FX)
+        dense = KernelTraffic("dense", flops=500, loads=1, stores=0)
+        full = r.evaluate(dense, FLOAT64, 1000).gflops
+        neon = r.evaluate(dense, FLOAT64, 1000, vector_bits=128).gflops
+        assert neon == pytest.approx(full / 4)
+
+    def test_invalid_n(self):
+        r = Roofline(A64FX)
+        with pytest.raises(ValueError):
+            r.evaluate(KernelTraffic("k", 1, 1, 0), FLOAT64, 0)
+
+    def test_arithmetic_intensity(self):
+        axpy = KernelTraffic("axpy", 2, 2, 1)
+        assert axpy.arithmetic_intensity(FLOAT64) == pytest.approx(2 / 24)
+        assert axpy.arithmetic_intensity(FLOAT16) == pytest.approx(2 / 6)
+
+
+class TestStreamKernelModel:
+    AXPY = KernelTraffic("axpy", 2, 2, 1)
+
+    def test_gflops_curve_shape(self):
+        """Rise (startup), peak in cache, decay to DRAM tail."""
+        model = StreamKernelModel(A64FX)
+        prof = ImplementationProfile("test")
+        sizes = [2**k for k in range(2, 24)]
+        curve = model.gflops_curve(self.AXPY, FLOAT64, sizes, prof)
+        peak_idx = curve.index(max(curve))
+        assert 0 < peak_idx < len(curve) - 1
+        assert curve[-1] < max(curve) / 3  # DRAM tail well below peak
+
+    def test_startup_dominates_small_sizes(self):
+        model = StreamKernelModel(A64FX)
+        cheap = ImplementationProfile("cheap", startup_cycles=10)
+        costly = ImplementationProfile("costly", startup_cycles=1000)
+        g_cheap = model.kernel_time(self.AXPY, FLOAT64, 64, cheap).gflops
+        g_costly = model.kernel_time(self.AXPY, FLOAT64, 64, costly).gflops
+        assert g_cheap > 3 * g_costly
+
+    def test_large_sizes_insensitive_to_startup(self):
+        model = StreamKernelModel(A64FX)
+        cheap = ImplementationProfile("cheap", startup_cycles=10)
+        costly = ImplementationProfile("costly", startup_cycles=1000)
+        n = 2**22
+        g1 = model.kernel_time(self.AXPY, FLOAT64, n, cheap).gflops
+        g2 = model.kernel_time(self.AXPY, FLOAT64, n, costly).gflops
+        assert g1 == pytest.approx(g2, rel=0.01)
+
+    def test_unsupported_format_raises(self):
+        model = StreamKernelModel(A64FX)
+        prof = ImplementationProfile("binary", supported_formats=(FLOAT64,))
+        with pytest.raises(ValueError, match="no Float16"):
+            model.kernel_time(self.AXPY, FLOAT16, 100, prof)
+
+    def test_subnormal_slowdown_applies_to_compute(self):
+        model = StreamKernelModel(A64FX)
+        # Compute-heavy kernel so the compute term is the max().
+        dense = KernelTraffic("dense", flops=300, loads=1, stores=0)
+        prof = ImplementationProfile("p")
+        t1 = model.kernel_time(dense, FLOAT16, 10_000, prof).seconds
+        t2 = model.kernel_time(
+            dense, FLOAT16, 10_000, prof, subnormal_slowdown=10.0
+        ).seconds
+        assert t2 > 5 * t1
+
+    def test_timing_breakdown_consistent(self):
+        model = StreamKernelModel(A64FX)
+        prof = ImplementationProfile("p")
+        t = model.kernel_time(self.AXPY, FLOAT32, 4096, prof)
+        assert t.seconds == pytest.approx(
+            t.startup_seconds + max(t.compute_seconds, t.memory_seconds)
+        )
+        assert t.bound in ("compute", "memory")

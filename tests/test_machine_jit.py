@@ -1,0 +1,115 @@
+"""Tests for repro.machine.jit — the §IV-A compilation-latency model."""
+
+import pytest
+
+from repro.machine import (
+    A64FX,
+    XEON_CASCADE_LAKE,
+    CompilationModel,
+    JITSession,
+    MethodSpec,
+    SystemImage,
+    amortization_calls,
+    time_to_first_result,
+)
+
+
+class TestCompilationModel:
+    def test_a64fx_compiles_slower_than_x86(self):
+        """§IV-A: 'poor performance in some tasks, such as compilation'."""
+        m = MethodSpec("kernel", 10.0)
+        t_arm = CompilationModel.for_chip(A64FX).compile_time(m)
+        t_x86 = CompilationModel.for_chip(XEON_CASCADE_LAKE).compile_time(m)
+        assert t_arm > 2.5 * t_x86
+
+    def test_compile_time_scales_with_complexity(self):
+        cm = CompilationModel.for_chip(A64FX)
+        t1 = cm.compile_time(MethodSpec("a", 1.0))
+        t10 = cm.compile_time(MethodSpec("b", 10.0))
+        assert t10 == pytest.approx(10 * t1)
+
+    def test_reasonable_absolute_range(self):
+        """A small method compiles in ~10-100 ms territory."""
+        t = CompilationModel.for_chip(A64FX).compile_time(MethodSpec("axpy"))
+        assert 0.005 < t < 0.5
+
+    def test_invalid_complexity(self):
+        with pytest.raises(ValueError):
+            MethodSpec("bad", 0.0)
+
+
+class TestJITSession:
+    def test_first_call_pays_compilation(self):
+        s = JITSession(CompilationModel.for_chip(A64FX))
+        m = MethodSpec("f", 1.0)
+        first = s.run(m, 0.001)
+        second = s.run(m, 0.001)
+        assert first > 10 * second
+        assert second == pytest.approx(0.001)
+
+    def test_methods_cached_independently(self):
+        s = JITSession(CompilationModel.for_chip(A64FX))
+        a, b = MethodSpec("a"), MethodSpec("b")
+        s.run(a, 0.0)
+        assert s.is_compiled(a)
+        assert not s.is_compiled(b)
+
+    def test_total_compile_accounting(self):
+        cm = CompilationModel.for_chip(A64FX)
+        s = JITSession(cm)
+        methods = [MethodSpec(f"m{i}", 2.0) for i in range(5)]
+        s.run_workload([(m, 0.01) for m in methods] * 3)
+        expect = sum(cm.compile_time(m) for m in methods)
+        assert s.total_compile_seconds == pytest.approx(expect)
+
+    def test_system_image_skips_compilation(self):
+        cm = CompilationModel.for_chip(A64FX)
+        methods = [MethodSpec(f"m{i}", 5.0) for i in range(4)]
+        img = SystemImage.build(methods, cm)
+        s = JITSession(cm, image=img)
+        t = s.run(methods[0], 0.001)
+        assert t == pytest.approx(0.001)
+        assert s.total_compile_seconds == 0.0
+
+    def test_image_misses_still_compile(self):
+        cm = CompilationModel.for_chip(A64FX)
+        img = SystemImage.build([MethodSpec("covered")], cm)
+        s = JITSession(cm, image=img)
+        t = s.run(MethodSpec("uncovered", 3.0), 0.001)
+        assert t > 0.01
+
+    def test_image_build_cost_positive(self):
+        cm = CompilationModel.for_chip(XEON_CASCADE_LAKE)
+        img = SystemImage.build([MethodSpec("m", 50.0)], cm)
+        assert img.build_seconds > 20.0  # link overhead + compile
+
+
+class TestMetrics:
+    def test_time_to_first_result_dominated_by_jit_on_a64fx(self):
+        methods = [MethodSpec(f"m{i}", 5.0) for i in range(10)]
+        runtime = 0.5
+        ttfr = time_to_first_result(methods, runtime, chip=A64FX)
+        assert ttfr > 5 * runtime  # compilation dwarfs the compute
+
+    def test_image_improves_ttfr(self):
+        methods = [MethodSpec(f"m{i}", 5.0) for i in range(10)]
+        cm = CompilationModel.for_chip(A64FX)
+        img = SystemImage.build(methods, cm)
+        with_img = time_to_first_result(methods, 0.5, A64FX, image=img)
+        without = time_to_first_result(methods, 0.5, A64FX)
+        assert with_img < without / 3
+
+    def test_amortization_grows_with_compile_cost(self):
+        short = amortization_calls(MethodSpec("k", 1.0), 0.01, chip=A64FX)
+        heavy = amortization_calls(MethodSpec("k", 50.0), 0.01, chip=A64FX)
+        assert heavy > short
+
+    def test_amortization_x86_fewer_calls(self):
+        m = MethodSpec("k", 10.0)
+        assert amortization_calls(m, 0.01, XEON_CASCADE_LAKE) < amortization_calls(
+            m, 0.01, A64FX
+        )
+
+    def test_amortization_validates(self):
+        with pytest.raises(ValueError):
+            amortization_calls(MethodSpec("k"), 0.0)

@@ -1,0 +1,124 @@
+"""Focused tests for smaller API surfaces not covered elsewhere."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import measure_seconds
+from repro.core.report import render_table
+from repro.machine import A64FX, SVEVectorUnit
+from repro.mpi import AlltoallBench, Comm, MPIWorld
+from repro.mpi.bindings import IMB_C
+
+
+class TestVectorUnitMapInplace:
+    def test_arbitrary_elementwise_body(self, rng):
+        unit = SVEVectorUnit(A64FX)
+        x = rng.standard_normal(100).astype(np.float32)
+        out = np.empty_like(x)
+        stats = unit.map_inplace(lambda c: np.sqrt(np.abs(c)), out, x)
+        np.testing.assert_array_equal(out, np.sqrt(np.abs(x)))
+        assert stats.elements_processed == 100
+
+    def test_multiple_inputs(self, rng):
+        unit = SVEVectorUnit(A64FX)
+        a = rng.standard_normal(50).astype(np.float64)
+        b = rng.standard_normal(50).astype(np.float64)
+        out = np.empty_like(a)
+        unit.map_inplace(lambda x, y: x * y, out, a, b, ops_per_vector=2.0)
+        np.testing.assert_array_equal(out, a * b)
+
+    def test_cycle_accounting_scales_with_ops(self, rng):
+        unit = SVEVectorUnit(A64FX)
+        x = rng.standard_normal(640).astype(np.float64)
+        out = np.empty_like(x)
+        s1 = unit.map_inplace(lambda c: c, out, x, ops_per_vector=1.0)
+        s2 = unit.map_inplace(lambda c: c, out, x, ops_per_vector=3.0)
+        assert s2.cycles == pytest.approx(3 * s1.cycles)
+
+
+class TestMeasureMinTime:
+    def test_min_time_accumulates_iterations(self):
+        calls = [0]
+
+        def body():
+            calls[0] += 1
+
+        t = measure_seconds(body, repeat=1, warmup=0, min_time=0.01)
+        assert calls[0] > 1  # a trivial body must have looped
+        assert t < 0.01  # per-iteration time, not the accumulated window
+
+
+class TestRenderTableWidths:
+    def test_min_width_respected(self):
+        out = render_table(["a"], [["x"]], min_width=12)
+        assert len(out.splitlines()[0]) >= 12
+
+    def test_wide_cells_stretch_columns(self):
+        out = render_table(["h"], [["a-very-long-cell-value"]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(row)
+
+
+class TestScattervTiming:
+    def test_root_bound_like_gatherv(self):
+        """Scatterv's root serialises p-1 sends: linear growth."""
+
+        def latency(p):
+            def prog(comm: Comm):
+                yield from comm.barrier()
+                t0 = yield comm.now()
+                vals = list(range(comm.size)) if comm.rank == 0 else None
+                yield from comm.scatterv(vals, root=0, nbytes=16384)
+                t1 = yield comm.now()
+                return t1 - t0
+
+            return max(MPIWorld(nranks=p).run(prog))
+
+        assert latency(32) > 2.0 * latency(8)
+
+    def test_values_only_needed_at_root(self):
+        def prog(comm: Comm):
+            vals = [f"blk{i}" for i in range(comm.size)] if comm.rank == 2 else None
+            return (yield from comm.scatterv(vals, root=2, nbytes=8))
+
+        out = MPIWorld(nranks=6).run(prog)
+        assert out == [f"blk{i}" for i in range(6)]
+
+    def test_timing_mode(self):
+        def prog(comm: Comm):
+            return (yield from comm.scatterv(None, root=0, nbytes=256))
+
+        assert MPIWorld(nranks=4).run(prog) == [None] * 4
+
+
+class TestAlltoallBench:
+    def test_runs_and_grows_with_size(self):
+        bench = AlltoallBench(nranks=24, ranks_per_node=4, shape=(2, 1, 3),
+                              repetitions=2)
+        res = bench.run(IMB_C, sizes=[64, 16384])
+        assert res.latency_us[1] > res.latency_us[0] > 0
+
+    def test_heavier_than_allgather(self):
+        """Alltoall moves p distinct blocks per rank vs allgather's
+        shared ones — at least as expensive."""
+        from repro.mpi import AllgatherBench
+
+        kw = dict(nranks=24, ranks_per_node=4, shape=(2, 1, 3), repetitions=2)
+        a2a = AlltoallBench(**kw).run(IMB_C, sizes=[4096]).latency_us[0]
+        ag = AllgatherBench(**kw).run(IMB_C, sizes=[4096]).latency_us[0]
+        assert a2a > 0.8 * ag
+
+
+class TestTrampolineRemainingRoutines:
+    def test_nrm2_and_asum_forwarded(self, rng):
+        from repro.blas import Trampoline
+
+        t = Trampoline("julia")
+        x = rng.standard_normal(64)
+        r, timing = t.nrm2(x)
+        assert float(r) == pytest.approx(float(np.linalg.norm(x)), rel=1e-6)
+        r2, _ = t.asum(x)
+        assert float(r2) == pytest.approx(float(np.abs(x).sum()), rel=1e-12)
+        assert [r for _, r in t.call_log] == ["nrm2", "asum"]

@@ -1,0 +1,109 @@
+"""Tests for repro.mpi.benchsuite — the Figs. 2-3 benchmark drivers.
+
+Collective benches run at reduced rank counts here; the full 1536-rank
+runs live in benchmarks/.  What these tests pin down is the *shape*
+claims of the paper.
+"""
+
+import pytest
+
+from repro.mpi import (
+    AllreduceBench,
+    GathervBench,
+    PingPong,
+    ReduceBench,
+    default_message_sizes,
+    run_comparison,
+)
+from repro.mpi.bindings import IMB_C, MPI_JL, MPI_JL_CACHE_AVOIDING
+
+PP_SIZES = [0, 64, 1024, 16384, 65536, 262144, 4194304]
+
+
+@pytest.fixture(scope="module")
+def pingpong_results():
+    pp = PingPong(repetitions=10)
+    return {b.name: pp.run(b, sizes=PP_SIZES) for b in (MPI_JL, IMB_C)}
+
+
+class TestPingPong:
+    def test_zero_byte_latency_order_1us(self, pingpong_results):
+        """TofuD zero-byte ping-pong is ~1 us (R-CCS measurements)."""
+        lat = pingpong_results["IMB-C"].latency_us[0]
+        assert 0.3 < lat < 2.0
+
+    def test_mpijl_overhead_small_messages(self, pingpong_results):
+        """Fig. 2: MPI.jl slightly slower below 1-2 KiB."""
+        jl = pingpong_results["MPI.jl"]
+        imb = pingpong_results["IMB-C"]
+        assert jl.latency_us[0] > imb.latency_us[0] * 1.1
+        assert jl.at_size(1024) > imb.at_size(1024)
+
+    def test_mpijl_faster_at_64k(self, pingpong_results):
+        """Fig. 2: no cache-avoidance makes MPI.jl *faster* <= 64 KiB."""
+        jl = pingpong_results["MPI.jl"]
+        imb = pingpong_results["IMB-C"]
+        assert jl.at_size(65536) < imb.at_size(65536)
+        assert jl.at_size(16384) < imb.at_size(16384)
+
+    def test_peak_throughput_within_1pct(self, pingpong_results):
+        """'peak throughput ... within 1% of that reported by R-CCS'."""
+        peak_jl = max(pingpong_results["MPI.jl"].throughput_mbps())
+        peak_imb = max(pingpong_results["IMB-C"].throughput_mbps())
+        assert abs(peak_jl - peak_imb) / peak_imb < 0.01
+
+    def test_peak_near_link_bandwidth(self, pingpong_results):
+        """Peak within ~15% of the 6.8 GB/s TofuD link rate."""
+        peak = max(pingpong_results["IMB-C"].throughput_mbps())
+        assert peak > 0.8 * 6800
+
+    def test_latency_monotone_beyond_eager(self, pingpong_results):
+        lat = pingpong_results["IMB-C"].latency_us
+        sizes = pingpong_results["IMB-C"].sizes
+        big = [l for s, l in zip(sizes, lat) if s >= 16384]
+        assert big == sorted(big)
+
+
+class TestBenchInfra:
+    def test_default_sizes_ladder(self):
+        sizes = default_message_sizes(1024)
+        assert sizes == [0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+    def test_throughput_skips_zero(self):
+        pp = PingPong(repetitions=2)
+        res = pp.run(IMB_C, sizes=[0, 1024])
+        assert res.throughput_mbps()[0] == 0.0
+
+    def test_run_comparison_two_bindings(self):
+        pp = PingPong(repetitions=2)
+        out = run_comparison(pp, sizes=[1024])
+        assert set(out) == {"MPI.jl", "IMB-C"}
+
+
+class TestCollectiveBenches:
+    @pytest.mark.parametrize(
+        "bench_cls", [AllreduceBench, ReduceBench, GathervBench]
+    )
+    def test_small_scale_runs(self, bench_cls):
+        bench = bench_cls(nranks=48, ranks_per_node=4, shape=(2, 2, 3),
+                          repetitions=2)
+        res = bench.run(IMB_C, sizes=[8, 4096])
+        assert len(res.latency_us) == 2
+        assert all(l > 0 for l in res.latency_us)
+        assert res.latency_us[1] > res.latency_us[0]
+
+    def test_mpijl_overhead_visible_at_small_sizes(self):
+        bench = AllreduceBench(nranks=48, ranks_per_node=4, shape=(2, 2, 3),
+                               repetitions=2)
+        jl = bench.run(MPI_JL, sizes=[8]).latency_us[0]
+        imb = bench.run(IMB_C, sizes=[8]).latency_us[0]
+        assert jl > imb
+
+    def test_cache_avoiding_mpijl_matches_imb_shape(self):
+        """abl4: adding cache avoidance to MPI.jl removes its <=64 KiB
+        advantage in ping-pong."""
+        pp = PingPong(repetitions=5)
+        jl_ca = pp.run(MPI_JL_CACHE_AVOIDING, sizes=[65536]).latency_us[0]
+        imb = pp.run(IMB_C, sizes=[65536]).latency_us[0]
+        jl = pp.run(MPI_JL, sizes=[65536]).latency_us[0]
+        assert jl < imb < jl_ca * 1.05  # jl_ca ~ imb + small call overhead

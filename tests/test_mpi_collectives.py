@@ -1,0 +1,228 @@
+"""Tests for repro.mpi.collectives — functional correctness of the
+algorithms behind Fig. 3, across awkward rank counts."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.mpi import Comm, MPIWorld
+
+# Rank counts chosen to stress the non-power-of-two fold-in paths:
+# powers of two, odd, 3*2^k (the 1536 shape), primes.
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12, 16, 24, 31]
+
+
+def run(nranks, body):
+    return MPIWorld(nranks=nranks).run(body)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_completes_all_sizes(self, p):
+        def prog(comm: Comm):
+            yield from comm.barrier()
+            return (yield comm.now())
+
+        times = run(p, prog)
+        assert len(times) == p
+
+    def test_barrier_synchronises(self):
+        """A rank that computes first still exits the barrier after the
+        slowest rank has entered."""
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.compute(1e-3)  # straggler
+            yield from comm.barrier()
+            return (yield comm.now())
+
+        times = run(4, prog)
+        assert min(times) >= 1e-3
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_everyone_gets_root_value(self, p):
+        def prog(comm: Comm):
+            v = "payload" if comm.rank == 2 % p else None
+            out = yield from comm.bcast(v, root=2 % p, nbytes=64)
+            return out
+
+        assert run(p, prog) == ["payload"] * p
+
+    @pytest.mark.parametrize("root", [0, 1, 5])
+    def test_any_root(self, root):
+        def prog(comm: Comm):
+            v = comm.rank if comm.rank == root else None
+            return (yield from comm.bcast(v, root=root, nbytes=8))
+
+        assert run(8, prog) == [root] * 8
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_to_root(self, p):
+        def prog(comm: Comm):
+            return (
+                yield from comm.reduce(comm.rank + 1, op=operator.add, root=0, nbytes=8)
+            )
+
+        results = run(p, prog)
+        assert results[0] == p * (p + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_nonzero_root(self):
+        def prog(comm: Comm):
+            return (
+                yield from comm.reduce(comm.rank, op=operator.add, root=3, nbytes=8)
+            )
+
+        results = run(8, prog)
+        assert results[3] == sum(range(8))
+
+    def test_noncommutative_safe_op(self):
+        """max is order-insensitive; verify trees don't lose entries."""
+
+        def prog(comm: Comm):
+            return (yield from comm.reduce(comm.rank * 7 % 13, op=max, root=0, nbytes=8))
+
+        results = run(13, prog)
+        assert results[0] == max(r * 7 % 13 for r in range(13))
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("algorithm", ["recursive_doubling", "auto"])
+    def test_sum_everywhere(self, p, algorithm):
+        def prog(comm: Comm):
+            return (
+                yield from comm.allreduce(
+                    comm.rank + 1, op=operator.add, nbytes=8, algorithm=algorithm
+                )
+            )
+
+        assert run(p, prog) == [p * (p + 1) // 2] * p
+
+    @pytest.mark.parametrize("p", [4, 6, 12])
+    def test_ring_functional(self, p):
+        def prog(comm: Comm):
+            return (
+                yield from comm.allreduce(
+                    comm.rank, op=operator.add, nbytes=1024, algorithm="ring"
+                )
+            )
+
+        assert run(p, prog) == [sum(range(p))] * p
+
+    def test_rabenseifner_functional(self):
+        from repro.mpi import allreduce_rabenseifner
+
+        def prog(comm: Comm):
+            return (
+                yield from allreduce_rabenseifner(
+                    comm.rank, comm.size, 1024 * 1024, comm.rank + 1, operator.add
+                )
+            )
+
+        assert run(12, prog) == [78] * 12
+
+    def test_numpy_array_reduction(self):
+        def prog(comm: Comm):
+            v = np.full(4, float(comm.rank))
+            return (
+                yield from comm.allreduce(v, op=np.add, nbytes=32)
+            )
+
+        out = run(6, prog)
+        for r in out:
+            assert np.array_equal(r, np.full(4, 15.0))
+
+    def test_unknown_algorithm(self):
+        def prog(comm: Comm):
+            yield from comm.allreduce(1, op=operator.add, algorithm="quantum")
+
+        with pytest.raises(ValueError, match="unknown allreduce"):
+            run(2, prog)
+
+    def test_timing_mode_returns_none(self):
+        """payload=None runs the message flow but skips arithmetic."""
+
+        def prog(comm: Comm):
+            r = yield from comm.allreduce(None, op=None, nbytes=4096)
+            return r
+
+        assert run(8, prog) == [None] * 8
+
+
+class TestGatherv:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_root_collects_in_rank_order(self, p):
+        def prog(comm: Comm):
+            return (yield from comm.gatherv(comm.rank**2, root=0, nbytes=8))
+
+        results = run(p, prog)
+        assert results[0] == [r**2 for r in range(p)]
+        assert all(r is None for r in results[1:])
+
+    def test_nonzero_root(self):
+        def prog(comm: Comm):
+            return (yield from comm.gatherv(comm.rank, root=2, nbytes=8))
+
+        results = run(5, prog)
+        assert results[2] == [0, 1, 2, 3, 4]
+
+
+class TestCollectiveTiming:
+    def test_allreduce_scales_logarithmically(self):
+        """Recursive doubling: latency ~ log2(p), not ~ p."""
+
+        def latency(p):
+            def prog(comm: Comm):
+                yield from comm.barrier()
+                t0 = yield comm.now()
+                yield from comm.allreduce(None, nbytes=8)
+                t1 = yield comm.now()
+                return t1 - t0
+
+            return max(MPIWorld(nranks=p).run(prog))
+
+        t8, t64 = latency(8), latency(64)
+        assert t64 < t8 * 4  # log growth: 6/3 = 2x, allow slack
+
+    def test_gatherv_scales_linearly(self):
+        """At sizes where the root's per-message cost dominates, Gatherv
+        time grows ~linearly with p (the root ingests p-1 blocks)."""
+
+        def latency(p):
+            def prog(comm: Comm):
+                yield from comm.barrier()
+                t0 = yield comm.now()
+                yield from comm.gatherv(None, root=0, nbytes=16384)
+                t1 = yield comm.now()
+                return t1 - t0
+
+            return max(MPIWorld(nranks=p).run(prog))
+
+        t8, t32 = latency(8), latency(32)
+        # Per-message root costs (31 vs 7 ingests) plus a constant wire
+        # term: clearly super-logarithmic growth.
+        assert t32 > 2.0 * t8
+
+    def test_repeated_collectives_no_tag_collision(self):
+        """Back-to-back allreduces must not cross-match messages."""
+
+        def prog(comm: Comm):
+            out = []
+            for k in range(5):
+                r = yield from comm.allreduce(
+                    comm.rank + k, op=operator.add, nbytes=8
+                )
+                out.append(r)
+            return out
+
+        p = 6
+        results = run(p, prog)
+        base = sum(range(p))
+        for r in results:
+            assert r == [base + k * p for k in range(5)]

@@ -1,0 +1,93 @@
+"""Tests for the extended IMB-style benchmarks and the Bruck allgather."""
+
+import pytest
+
+from repro.mpi import (
+    AllgatherBench,
+    BarrierBench,
+    BcastBench,
+    Comm,
+    MPIWorld,
+    PingPing,
+    PingPong,
+    allgather_bruck,
+)
+from repro.mpi.bindings import IMB_C, MPI_JL
+
+
+class TestAllgatherBruck:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 12, 16, 21])
+    def test_all_ranks_collect_everything_in_order(self, p):
+        def prog(comm: Comm):
+            return (
+                yield from allgather_bruck(comm.rank, comm.size, 8, comm.rank + 100)
+            )
+
+        results = MPIWorld(nranks=p).run(prog)
+        expect = [r + 100 for r in range(p)]
+        assert all(r == expect for r in results)
+
+    def test_round_count_logarithmic(self):
+        """Bruck finishes in ceil(log2 p) exchange rounds."""
+
+        def count_rounds(p):
+            def prog(comm: Comm):
+                exchanges = 0
+                gen = allgather_bruck(comm.rank, comm.size, 8, comm.rank)
+                try:
+                    op = next(gen)
+                    while True:
+                        exchanges += 1
+                        op = gen.send((yield op))
+                except StopIteration:
+                    pass
+                return exchanges
+
+            return max(MPIWorld(nranks=p).run(prog))
+
+        assert count_rounds(8) == 3
+        assert count_rounds(16) == 4
+        assert count_rounds(12) == 4  # non-power-of-two: ceil(log2 12)
+
+    def test_timing_mode(self):
+        def prog(comm: Comm):
+            return (yield from allgather_bruck(comm.rank, comm.size, 1024, None))
+
+        assert MPIWorld(nranks=8).run(prog) == [None] * 8
+
+
+class TestExtendedBenches:
+    KW = dict(nranks=48, ranks_per_node=4, shape=(2, 2, 3), repetitions=2)
+
+    def test_bcast_faster_than_allgather(self):
+        from repro.mpi import AllreduceBench
+
+        b = BcastBench(**self.KW).run(IMB_C, sizes=[4096]).latency_us[0]
+        g = AllgatherBench(**self.KW).run(IMB_C, sizes=[4096]).latency_us[0]
+        assert b < g  # allgather moves p blocks, bcast one
+
+    def test_barrier_size_independent(self):
+        bench = BarrierBench(**self.KW)
+        res = bench.run(IMB_C, sizes=[8, 65536])
+        assert res.latency_us[0] == pytest.approx(res.latency_us[1], rel=0.05)
+
+    def test_mpijl_overhead_in_new_benches(self):
+        for bench_cls in (BcastBench, AllgatherBench):
+            bench = bench_cls(**self.KW)
+            jl = bench.run(MPI_JL, sizes=[8]).latency_us[0]
+            imb = bench.run(IMB_C, sizes=[8]).latency_us[0]
+            assert jl > imb, bench_cls.__name__
+
+
+class TestPingPing:
+    def test_pingping_at_least_pingpong(self):
+        """Full-duplex contention: PingPing >= PingPong latency."""
+        sizes = [1024, 65536]
+        pp = PingPong(repetitions=10).run(IMB_C, sizes=sizes)
+        pg = PingPing(repetitions=10).run(IMB_C, sizes=sizes)
+        for s in sizes:
+            assert pg.at_size(s) >= pp.at_size(s) * 0.95
+
+    def test_pingping_grows_with_size(self):
+        res = PingPing(repetitions=5).run(IMB_C, sizes=[64, 65536])
+        assert res.latency_us[1] > res.latency_us[0]

@@ -1,0 +1,62 @@
+"""Tests for pjsub job-script generation (the paper's scheduler lines)."""
+
+import pytest
+
+from repro.mpi import (
+    JobSpec,
+    collective_script,
+    parse_resources,
+    pingpong_script,
+)
+
+
+class TestPaperSetups:
+    def test_fig2_scheduler_line(self):
+        """Fig. 2 caption: -L "node=2" -mpi "max-proc-per-node=1"."""
+        script = pingpong_script()
+        assert '#PJM -L "node=2"' in script
+        assert '#PJM --mpi "max-proc-per-node=1"' in script
+
+    def test_fig3_scheduler_lines(self):
+        """Fig. 3 caption: node=4x6x16:torus:strict-io, rscgrp=small-torus,
+        proc=1536."""
+        script = collective_script("Allreduce")
+        assert '#PJM -L "node=4x6x16:torus:strict-io"' in script
+        assert '#PJM -L "rscgrp=small-torus"' in script
+        assert '#PJM --mpi "proc=1536"' in script
+
+    def test_llvm_flag_present(self):
+        """The §III-A environment variable appears in every script."""
+        for script in (pingpong_script(), collective_script("Reduce")):
+            assert "JULIA_LLVM_ARGS=-aarch64-sve-vector-bits-min=512" in script
+
+    def test_fujitsu_module(self):
+        assert "lang/tcsds-1.2.35" in pingpong_script()
+
+
+class TestRoundTrip:
+    def test_pingpong_roundtrip(self):
+        spec = parse_resources(pingpong_script())
+        assert spec.nodes == "2"
+        assert not spec.torus
+        assert spec.max_proc_per_node == 1
+        assert spec.ranks == 2
+
+    def test_collective_roundtrip(self):
+        spec = parse_resources(collective_script("Gatherv"))
+        assert spec.nodes == "4x6x16"
+        assert spec.torus
+        assert spec.ranks == 1536
+        assert spec.rscgrp == "small-torus"
+
+    def test_ranks_match_simulated_topology(self):
+        """The script's allocation equals the simulator's Fig. 3 default."""
+        from repro.mpi import TofuDTopology
+
+        spec = parse_resources(collective_script())
+        topo = TofuDTopology(global_shape=(4, 6, 16), ranks_per_node=4)
+        assert spec.ranks == topo.ranks
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_resources("#!/bin/bash\necho hi\n")

@@ -1,0 +1,179 @@
+"""Tests for non-blocking MPI: Isend/Irecv/Wait/Waitall and overlap."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Comm, DeadlockError, MPIWorld
+
+
+class TestBasics:
+    def test_isend_irecv_roundtrip(self):
+        def prog(comm: Comm):
+            other = 1 - comm.rank
+            sreq = yield comm.isend(other, nbytes=64, payload=comm.rank * 7)
+            rreq = yield comm.irecv(other)
+            got = yield comm.wait(rreq)
+            yield comm.wait(sreq)
+            return got
+
+        assert MPIWorld(nranks=2).run(prog) == [7, 0]
+
+    def test_wait_on_send_returns_none(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                req = yield comm.isend(1, nbytes=8, payload="x")
+                return (yield comm.wait(req))
+            return (yield comm.recv(0))
+
+        assert MPIWorld(nranks=2).run(prog) == [None, "x"]
+
+    def test_waitall_returns_in_request_order(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    yield comm.send(1, nbytes=8, payload=i, tag=i)
+                return None
+            reqs = []
+            for tag in (2, 0, 1):
+                reqs.append((yield comm.irecv(0, tag=tag)))
+            return (yield comm.waitall(reqs))
+
+        assert MPIWorld(nranks=2).run(prog)[1] == [2, 0, 1]
+
+    def test_irecv_matches_already_arrived_message(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=8, payload="early")
+                return None
+            yield comm.compute(1e-3)  # message arrives while computing
+            req = yield comm.irecv(0)
+            return (yield comm.wait(req))
+
+        assert MPIWorld(nranks=2).run(prog)[1] == "early"
+
+    def test_multiple_outstanding_irecvs_match_in_post_order(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=8, payload="a", tag=5)
+                yield comm.send(1, nbytes=8, payload="b", tag=5)
+                return None
+            r1 = yield comm.irecv(0, tag=5)
+            r2 = yield comm.irecv(0, tag=5)
+            return (yield comm.waitall([r1, r2]))
+
+        assert MPIWorld(nranks=2).run(prog)[1] == ["a", "b"]
+
+    def test_unknown_request_rejected(self):
+        def prog(comm: Comm):
+            yield comm.wait(42)
+
+        with pytest.raises(ValueError, match="unknown request"):
+            MPIWorld(nranks=1).run(prog)
+
+    def test_request_ids_unique_after_completion(self):
+        def prog(comm: Comm):
+            other = 1 - comm.rank
+            ids = []
+            for k in range(3):
+                s = yield comm.isend(other, nbytes=8, tag=k)
+                r = yield comm.irecv(other, tag=k)
+                yield comm.waitall([s, r])
+                ids.extend([s, r])
+            return len(set(ids))
+
+        assert MPIWorld(nranks=2).run(prog) == [6, 6]
+
+    def test_deadlocked_wait_detected(self):
+        def prog(comm: Comm):
+            req = yield comm.irecv(1 - comm.rank)
+            yield comm.wait(req)  # nobody ever sends
+
+        with pytest.raises(DeadlockError):
+            MPIWorld(nranks=2).run(prog)
+
+
+class TestSemantics:
+    def test_isend_does_not_block_on_rendezvous(self):
+        """A large Isend returns immediately; the blocking Send stalls
+        until the data has arrived."""
+        n = 1 << 20
+
+        def prog(comm: Comm, blocking):
+            if comm.rank == 0:
+                if blocking:
+                    yield comm.send(1, nbytes=n)
+                else:
+                    req = yield comm.isend(1, nbytes=n)
+                t_free = yield comm.now()
+                if not blocking:
+                    yield comm.wait(req)
+                return t_free
+            yield comm.recv(0)
+            return None
+
+        t_blocking = MPIWorld(nranks=2).run(prog, True)[0]
+        t_nonblocking = MPIWorld(nranks=2).run(prog, False)[0]
+        assert t_nonblocking < t_blocking / 2
+
+    def test_overlap_hides_communication(self):
+        """Compute issued between Isend/Irecv and Wait overlaps the wire
+        time — the reason non-blocking MPI exists."""
+        n = 1 << 20
+        work = 120e-6
+
+        def prog(comm: Comm, overlap):
+            other = 1 - comm.rank
+            sreq = yield comm.isend(other, nbytes=n, tag=1)
+            rreq = yield comm.irecv(other, tag=1)
+            if overlap:
+                yield comm.compute(work)
+                yield comm.waitall([sreq, rreq])
+            else:
+                yield comm.waitall([sreq, rreq])
+                yield comm.compute(work)
+            return (yield comm.now())
+
+        t_overlap = max(MPIWorld(nranks=2).run(prog, True))
+        t_serial = max(MPIWorld(nranks=2).run(prog, False))
+        assert t_overlap < t_serial - 0.8 * work
+
+    def test_numpy_payloads(self, rng):
+        data = rng.standard_normal(128)
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                req = yield comm.isend(1, nbytes=1024, payload=data)
+                yield comm.wait(req)
+                return None
+            req = yield comm.irecv(0)
+            return (yield comm.recv(0)) if False else (yield comm.wait(req))
+
+        out = MPIWorld(nranks=2).run(prog)[1]
+        assert np.array_equal(out, data)
+
+    def test_mixed_blocking_and_nonblocking(self):
+        """A blocking Recv and an Irecv on different tags coexist."""
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=8, payload="nb", tag=1)
+                yield comm.send(1, nbytes=8, payload="blk", tag=2)
+                return None
+            req = yield comm.irecv(0, tag=1)
+            blocking = yield comm.recv(0, tag=2)
+            nonblocking = yield comm.wait(req)
+            return (blocking, nonblocking)
+
+        assert MPIWorld(nranks=2).run(prog)[1] == ("blk", "nb")
+
+    def test_exchange_without_sendrecv(self):
+        """The classic deadlock-free exchange via non-blocking ops."""
+
+        def prog(comm: Comm):
+            other = 1 - comm.rank
+            rreq = yield comm.irecv(other)
+            sreq = yield comm.isend(other, nbytes=1 << 20, payload=comm.rank)
+            vals = yield comm.waitall([rreq, sreq])
+            return vals[0]
+
+        assert MPIWorld(nranks=2).run(prog) == [1, 0]

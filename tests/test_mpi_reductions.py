@@ -1,0 +1,136 @@
+"""Tests for repro.mpi.reductions — the §IV-B custom-operator limitation."""
+
+import operator
+
+import pytest
+
+from repro.mpi import (
+    BUILTIN_OPS,
+    Comm,
+    CustomOperatorUnsupported,
+    LAND,
+    MAX,
+    MIN,
+    MPIWorld,
+    OperatorSupport,
+    PROD,
+    SUM,
+    custom_op,
+    reduce_with_fallback,
+)
+from repro.mpi.bindings import IMB_C, MPI_JL
+
+
+def maxloc(a, b):
+    """A classic custom reduction: (value, index) argmax."""
+    return a if a[0] >= b[0] else b
+
+
+class TestOperatorSupport:
+    def test_builtins_work_everywhere(self):
+        for binding in (IMB_C, MPI_JL):
+            for arch in ("x86_64", "aarch64"):
+                support = OperatorSupport(binding, arch)
+                for op in BUILTIN_OPS:
+                    assert support.supports(op)
+
+    def test_custom_fails_only_for_julia_on_arm(self):
+        """The exact §IV-B matrix: MPI.jl x aarch64 is the broken cell."""
+        op = custom_op(maxloc)
+        matrix = {
+            (b.name, arch): OperatorSupport(b, arch).supports(op)
+            for b in (IMB_C, MPI_JL)
+            for arch in ("x86_64", "aarch64")
+        }
+        assert matrix == {
+            ("IMB-C", "x86_64"): True,
+            ("IMB-C", "aarch64"): True,
+            ("MPI.jl", "x86_64"): True,
+            ("MPI.jl", "aarch64"): False,
+        }
+
+    def test_validate_raises_with_pointer_to_issue(self):
+        support = OperatorSupport(MPI_JL, "aarch64")
+        with pytest.raises(CustomOperatorUnsupported, match="404"):
+            support.validate(custom_op(maxloc))
+
+    def test_validate_passes_builtins(self):
+        support = OperatorSupport(MPI_JL, "aarch64")
+        assert support.validate(SUM) is SUM
+
+
+class TestBuiltinOps:
+    def test_semantics(self):
+        assert SUM(2, 3) == 5
+        assert PROD(2, 3) == 6
+        assert MIN(2, 3) == 2
+        assert MAX(2, 3) == 3
+        assert LAND(1, 0) is False
+
+    def test_names_are_mpi_style(self):
+        assert SUM.name == "MPI_SUM"
+        assert all(op.name.startswith("MPI_") for op in BUILTIN_OPS)
+
+    def test_custom_op_flags(self):
+        op = custom_op(maxloc, name="maxloc", commutative=False)
+        assert not op.builtin
+        assert not op.commutative
+        assert op.name == "maxloc"
+
+
+class TestFallbackReduce:
+    def _run(self, support, nranks=7):
+        op = custom_op(maxloc)
+
+        def prog(comm: Comm):
+            value = (comm.rank * 5 % 11, comm.rank)
+            r = yield from reduce_with_fallback(
+                comm, value, op, support, root=0, nbytes=16
+            )
+            return r
+
+        return MPIWorld(nranks=nranks).run(prog)
+
+    def test_supported_path_uses_tree(self):
+        results = self._run(OperatorSupport(IMB_C, "aarch64"))
+        expect = max(((r * 5 % 11, r) for r in range(7)))
+        assert results[0] == expect
+        assert all(r is None for r in results[1:])
+
+    def test_fallback_path_same_answer(self):
+        """MPI.jl on ARM falls back to gather+local fold — same result."""
+        res_tree = self._run(OperatorSupport(IMB_C, "aarch64"))
+        res_fallback = self._run(OperatorSupport(MPI_JL, "aarch64"))
+        assert res_tree[0] == res_fallback[0]
+
+    def test_fallback_costs_more_at_scale(self):
+        """The workaround loses the tree's log p scaling at the root."""
+        op = custom_op(maxloc)
+
+        def latency(support, p):
+            def prog(comm: Comm):
+                yield from comm.barrier()
+                t0 = yield comm.now()
+                yield from reduce_with_fallback(
+                    comm, (comm.rank, comm.rank), op, support,
+                    root=0, nbytes=65536,
+                )
+                t1 = yield comm.now()
+                return t1 - t0
+
+            return max(MPIWorld(nranks=p).run(prog))
+
+        tree = latency(OperatorSupport(IMB_C, "aarch64"), 32)
+        gathered = latency(OperatorSupport(MPI_JL, "aarch64"), 32)
+        assert gathered > 2 * tree
+
+    def test_builtin_op_never_falls_back(self):
+        def prog(comm: Comm):
+            r = yield from reduce_with_fallback(
+                comm, comm.rank, SUM, OperatorSupport(MPI_JL, "aarch64"),
+                root=0, nbytes=8,
+            )
+            return r
+
+        results = MPIWorld(nranks=9).run(prog)
+        assert results[0] == sum(range(9))

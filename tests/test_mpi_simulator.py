@@ -1,0 +1,197 @@
+"""Tests for repro.mpi.simulator and comm — the discrete-event engine."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    Comm,
+    Compute,
+    DeadlockError,
+    MPIWorld,
+    Recv,
+    Send,
+)
+from repro.mpi.bindings import IMB_C, MPI_JL
+
+
+class TestPointToPoint:
+    def test_payload_delivered(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=8, payload={"x": 42})
+                return None
+            data = yield comm.recv(0)
+            return data
+
+        results = world.run(prog)
+        assert results[1] == {"x": 42}
+
+    def test_numpy_payload(self):
+        world = MPIWorld(nranks=2)
+        arr = np.arange(10.0)
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=80, payload=arr)
+                return None
+            return (yield comm.recv(0))
+
+        out = world.run(prog)[1]
+        assert np.array_equal(out, arr)
+
+    def test_tag_matching(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=4, payload="a", tag=1)
+                yield comm.send(1, nbytes=4, payload="b", tag=2)
+                return None
+            second = yield comm.recv(0, tag=2)
+            first = yield comm.recv(0, tag=1)
+            return (first, second)
+
+        assert world.run(prog)[1] == ("a", "b")
+
+    def test_fifo_per_source_tag(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield comm.send(1, nbytes=4, payload=i)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield comm.recv(0)))
+            return got
+
+        assert world.run(prog)[1] == [0, 1, 2, 3, 4]
+
+    def test_time_advances_with_messages(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            t0 = yield comm.now()
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=1024)
+            else:
+                yield comm.recv(0)
+            t1 = yield comm.now()
+            return t1 - t0
+
+        times = world.run(prog)
+        assert times[1] > 0  # receiver waited for wire time
+        assert times[1] > times[0]  # eager sender returned earlier
+
+    def test_rendezvous_blocks_sender(self):
+        world = MPIWorld(nranks=2)
+        big = 1024 * 1024  # rendezvous
+
+        def prog(comm: Comm):
+            t0 = yield comm.now()
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=big)
+            else:
+                yield comm.recv(0)
+            t1 = yield comm.now()
+            return t1 - t0
+
+        t_send, t_recv = world.run(prog)
+        # Synchronous send: sender's time includes the wire transfer.
+        assert t_send == pytest.approx(t_recv, rel=0.2)
+
+    def test_compute_advances_clock(self):
+        world = MPIWorld(nranks=1)
+
+        def prog(comm: Comm):
+            yield comm.compute(1e-3)
+            return (yield comm.now())
+
+        assert world.run(prog)[0] == pytest.approx(1e-3)
+
+    def test_deadlock_detected(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            # Both ranks receive first: classic deadlock.
+            yield comm.recv(1 - comm.rank)
+
+        with pytest.raises(DeadlockError, match="waiting"):
+            world.run(prog)
+
+    def test_self_send_rejected(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            yield comm.send(comm.rank, nbytes=4)
+
+        with pytest.raises(ValueError, match="self-send"):
+            world.run(prog)
+
+    def test_invalid_rank_rejected(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            yield comm.send(5, nbytes=4)
+
+        with pytest.raises(ValueError, match="invalid rank"):
+            world.run(prog)
+
+    def test_sendrecv_exchanges_without_deadlock(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            other = 1 - comm.rank
+            got = yield comm.sendrecv(
+                other, send_nbytes=8, source=other, send_payload=comm.rank
+            )
+            return got
+
+        assert world.run(prog) == [1, 0]
+
+    def test_per_rank_bindings(self):
+        """Mixed-language jobs: slower bindings slow the whole exchange."""
+
+        def prog(comm: Comm):
+            other = 1 - comm.rank
+            yield comm.sendrecv(other, send_nbytes=64, source=other)
+            return (yield comm.now())
+
+        t_pure_c = max(MPIWorld(nranks=2, binding=IMB_C).run(prog))
+        t_mixed = max(
+            MPIWorld(
+                nranks=2, binding=IMB_C, bindings_by_rank={1: MPI_JL}
+            ).run(prog)
+        )
+        t_pure_jl = max(MPIWorld(nranks=2, binding=MPI_JL).run(prog))
+        assert t_pure_c < t_mixed < t_pure_jl
+
+    def test_results_in_rank_order(self):
+        world = MPIWorld(nranks=8)
+
+        def prog(comm: Comm):
+            yield comm.compute(0.0)
+            return comm.rank * 10
+
+        assert world.run(prog) == [r * 10 for r in range(8)]
+
+    def test_engine_rejects_oversubscription(self):
+        from repro.mpi import Engine, TofuDNetwork, TofuDTopology
+
+        net = TofuDNetwork(TofuDTopology((1, 1, 2), ranks_per_node=1))
+        with pytest.raises(ValueError, match="exceed topology"):
+            Engine(5, net)
+
+    def test_unknown_op_rejected(self):
+        world = MPIWorld(nranks=1)
+
+        def prog(comm: Comm):
+            yield "not an op"
+
+        with pytest.raises(TypeError, match="unknown op"):
+            world.run(prog)

@@ -1,0 +1,114 @@
+"""Tests for EngineStats — message accounting inside the simulator."""
+
+import math
+import operator
+
+import pytest
+
+from repro.mpi import Comm, EngineStats, MPIWorld
+
+
+def stats_of(nranks, body, *args):
+    world = MPIWorld(nranks=nranks)
+    world.run(body, *args)
+    return world.last_stats
+
+
+class TestCounting:
+    def test_point_to_point_counts(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=100)
+            elif comm.rank == 1:
+                yield comm.recv(0)
+
+        st = stats_of(2, prog)
+        assert st.messages == 1
+        assert st.bytes_sent == 100
+        assert st.sends_by_rank == {0: 1}
+
+    def test_recursive_doubling_message_count(self):
+        """Power-of-two allreduce: exactly p * log2(p) messages."""
+
+        def prog(comm: Comm):
+            yield from comm.allreduce(
+                comm.rank, op=operator.add, nbytes=8,
+                algorithm="recursive_doubling",
+            )
+
+        for p in (4, 8, 16, 32):
+            st = stats_of(p, prog)
+            assert st.messages == p * int(math.log2(p)), p
+
+    def test_gatherv_message_count(self):
+        def prog(comm: Comm):
+            yield from comm.gatherv(comm.rank, root=0, nbytes=8)
+
+        st = stats_of(10, prog)
+        assert st.messages == 9  # everyone but the root sends once
+
+    def test_bcast_message_count(self):
+        def prog(comm: Comm):
+            yield from comm.bcast(comm.rank if comm.rank == 0 else None,
+                                  root=0, nbytes=8)
+
+        st = stats_of(16, prog)
+        assert st.messages == 15  # a tree delivers p-1 copies
+
+    def test_protocol_classification(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=100)            # eager
+                yield comm.send(1, nbytes=1 << 20)        # rendezvous
+            elif comm.rank == 1:
+                yield comm.recv(0)
+                yield comm.recv(0)
+
+        st = stats_of(2, prog)
+        assert st.eager_messages == 1
+        assert st.rendezvous_messages == 1
+
+    def test_shm_classification(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=64)
+            elif comm.rank == 1:
+                yield comm.recv(0)
+            # ranks 2,3 idle
+
+        world = MPIWorld(nranks=4, ranks_per_node=4, shape=(1, 1, 1))
+        world.run(prog)
+        assert world.last_stats.shm_messages == 1
+
+    def test_max_hops_recorded(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(comm.size - 1, nbytes=8)
+            elif comm.rank == comm.size - 1:
+                yield comm.recv(0)
+
+        world = MPIWorld(nranks=8, shape=(8, 1, 1))
+        world.run(prog)
+        assert world.last_stats.max_hops >= 1
+
+    def test_fresh_stats_per_run(self):
+        def prog(comm: Comm):
+            if comm.rank == 0:
+                yield comm.send(1, nbytes=8)
+            elif comm.rank == 1:
+                yield comm.recv(0)
+
+        world = MPIWorld(nranks=2)
+        world.run(prog)
+        first = world.last_stats.messages
+        world.run(prog)
+        assert world.last_stats.messages == first  # not accumulated
+
+    def test_record_direct(self):
+        st = EngineStats()
+        st.record(3, 128, "eager", 5)
+        st.record(3, 64, "shm", 0)
+        assert st.messages == 2
+        assert st.bytes_sent == 192
+        assert st.max_hops == 5
+        assert st.sends_by_rank[3] == 2

@@ -1,0 +1,139 @@
+"""Tests for repro.mpi.topology and network — TofuD torus and wire model."""
+
+import pytest
+
+from repro.mpi import TofuDNetwork, TofuDTopology
+from repro.mpi.bindings import IMB_C, MPI_JL
+
+
+class TestTopology:
+    def test_paper_allocation(self):
+        """The Fig. 3 scheduler line: node=4x6x16:torus, 1536 ranks."""
+        topo = TofuDTopology(global_shape=(4, 6, 16), ranks_per_node=4)
+        assert topo.nodes == 384
+        assert topo.ranks == 1536
+
+    def test_block_rank_placement(self):
+        topo = TofuDTopology(global_shape=(2, 2, 2), ranks_per_node=4)
+        assert topo.node_of_rank(0) == 0
+        assert topo.node_of_rank(3) == 0
+        assert topo.node_of_rank(4) == 1
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(3, 4)
+
+    def test_rank_out_of_range(self):
+        topo = TofuDTopology(global_shape=(2, 2, 2), ranks_per_node=1)
+        with pytest.raises(ValueError):
+            topo.node_of_rank(8)
+
+    def test_coords_roundtrip_unique(self):
+        topo = TofuDTopology(global_shape=(3, 4, 5), ranks_per_node=1)
+        coords = {topo.coords_of_node(n) for n in range(topo.nodes)}
+        assert len(coords) == topo.nodes
+
+    def test_local_axes_expansion(self):
+        topo = TofuDTopology(
+            global_shape=(2, 2, 2), ranks_per_node=1, use_local_axes=True
+        )
+        assert topo.nodes == 8 * 12  # 2x3x2 local group
+
+    def test_hops_symmetric_and_zero_on_node(self):
+        topo = TofuDTopology(global_shape=(4, 4, 4), ranks_per_node=2)
+        assert topo.hops(0, 1) == 0  # same node
+        for a, b in [(0, 10), (5, 100), (3, 77)]:
+            assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_torus_wraparound(self):
+        """Distance along a ring of 16 from 0 to 15 is 1, not 15."""
+        topo = TofuDTopology(global_shape=(16, 1, 1), ranks_per_node=1)
+        assert topo.hops(0, 15) == 1
+        assert topo.hops(0, 8) == 8
+
+    def test_triangle_inequality_sampled(self):
+        topo = TofuDTopology(global_shape=(4, 6, 16), ranks_per_node=1)
+        for a, b, c in [(0, 100, 200), (5, 50, 333), (17, 170, 300)]:
+            assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+    def test_for_ranks_factory(self):
+        topo = TofuDTopology.for_ranks(64, ranks_per_node=1)
+        assert topo.ranks >= 64
+        assert max(topo.global_shape) <= 8  # roughly cubic
+
+    def test_average_hops_positive(self):
+        topo = TofuDTopology(global_shape=(4, 4, 4), ranks_per_node=1)
+        assert topo.average_hops() > 1.0
+
+
+class TestNetwork:
+    def _net(self):
+        return TofuDNetwork(TofuDTopology((4, 4, 4), ranks_per_node=2))
+
+    def test_latency_components(self):
+        net = self._net()
+        t0 = net.wire_time(0, 2, 0)  # zero bytes, inter-node
+        assert t0.seconds == pytest.approx(
+            net.base_latency + t0.hops * net.per_hop_latency
+        )
+        assert t0.protocol == "eager"
+
+    def test_bandwidth_term(self):
+        net = self._net()
+        small = net.wire_time(0, 2, 1024).seconds
+        big = net.wire_time(0, 2, 1024 * 1024).seconds
+        assert big - small == pytest.approx(
+            (1024 * 1024 - 1024) / net.link_bandwidth + net.rendezvous_overhead
+        )
+
+    def test_protocol_switch_at_64k(self):
+        net = self._net()
+        assert net.protocol_for(0, 2, 64 * 1024) == "eager"
+        assert net.protocol_for(0, 2, 64 * 1024 + 1) == "rendezvous"
+
+    def test_intra_node_shared_memory(self):
+        net = self._net()
+        t = net.wire_time(0, 1, 4096)
+        assert t.protocol == "shm"
+        assert t.seconds < net.wire_time(0, 2, 4096).seconds
+
+    def test_more_hops_more_latency(self):
+        topo = TofuDTopology((8, 1, 1), ranks_per_node=1)
+        net = TofuDNetwork(topo)
+        near = net.wire_time(0, 1, 0).seconds
+        far = net.wire_time(0, 4, 0).seconds
+        assert far > near
+
+    def test_self_send_free(self):
+        net = self._net()
+        assert net.wire_time(3, 3, 100).seconds == 0.0
+
+    def test_peak_throughput_is_link_bandwidth(self):
+        net = self._net()
+        assert net.peak_throughput() == net.link_bandwidth
+
+
+class TestBindings:
+    def test_mpi_jl_small_message_overhead(self):
+        """MPI.jl pays extra below ~2 KiB; fades out by 8 KiB (Fig. 2)."""
+        assert MPI_JL.call_overhead(64) > IMB_C.call_overhead(64) + 0.1e-6
+        small = MPI_JL.call_overhead(1024)
+        fading = MPI_JL.call_overhead(4096)
+        gone = MPI_JL.call_overhead(4 * 2048)
+        assert small > fading > gone
+        assert gone == pytest.approx(MPI_JL.per_call_overhead)
+
+    def test_cache_avoidance_slows_copies(self):
+        """IMB's cold buffers copy slower than MPI.jl's warm ones for
+        anything that fits in cache — the <=64 KiB effect."""
+        for nbytes in (1024, 16 * 1024, 64 * 1024):
+            assert IMB_C.copy_time(nbytes) > MPI_JL.copy_time(nbytes)
+
+    def test_pipelined_rendezvous_drops_copy(self):
+        """Zero-copy RDMA path: only the call overhead remains."""
+        nbytes = 1024 * 1024
+        assert IMB_C.endpoint_time(nbytes, pipelined=True) == pytest.approx(
+            IMB_C.per_call_overhead
+        )
+        assert IMB_C.endpoint_time(nbytes, pipelined=False) > 10e-6
+
+    def test_zero_bytes_no_copy(self):
+        assert MPI_JL.copy_time(0) == 0.0

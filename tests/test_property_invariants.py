@@ -1,0 +1,213 @@
+"""Cross-module property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ftypes import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    CompensatedAccumulator,
+    quantize,
+    quantize_scalar,
+    two_sum,
+)
+from repro.mpi import TofuDNetwork, TofuDTopology
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e20, max_value=1e20)
+small_floats = st.floats(min_value=-1e4, max_value=1e4)
+
+
+class TestQuantizeProperties:
+    @given(finite, finite)
+    @settings(max_examples=200, deadline=None)
+    def test_monotonicity(self, a, b):
+        """x <= y implies Q(x) <= Q(y) — rounding preserves order."""
+        lo, hi = min(a, b), max(a, b)
+        for fmt in (FLOAT16, FLOAT32, BFLOAT16):
+            assert quantize_scalar(lo, fmt) <= quantize_scalar(hi, fmt)
+
+    @given(finite)
+    @settings(max_examples=200, deadline=None)
+    def test_sign_symmetry(self, x):
+        """Q(-x) == -Q(x) (round-to-nearest-even is odd)."""
+        for fmt in (FLOAT16, BFLOAT16):
+            assert quantize_scalar(-x, fmt) == -quantize_scalar(x, fmt)
+
+    @given(finite)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotence(self, x):
+        for fmt in (FLOAT16, FLOAT32, BFLOAT16):
+            q = quantize_scalar(x, fmt)
+            if math.isfinite(q):
+                assert quantize_scalar(q, fmt) == q
+
+    @given(finite)
+    @settings(max_examples=200, deadline=None)
+    def test_half_ulp_bound(self, x):
+        """|Q(x) - x| <= ulp(x)/2 for values in the normal range."""
+        fmt = FLOAT16
+        if not (fmt.min_normal <= abs(x) <= fmt.max_value):
+            return
+        q = quantize_scalar(x, fmt)
+        m, e = np.frexp(abs(x))
+        ulp = 2.0 ** (int(e) - 1 - fmt.mantissa_bits)
+        assert abs(q - x) <= ulp / 2 * (1 + 1e-12)
+
+
+class TestCompensationInvariant:
+    @given(
+        st.lists(small_floats, min_size=1, max_size=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_state_plus_compensation_tracks_exact_sum_f64(self, incs, x0):
+        """In float64 the accumulator's value+compensation equals the
+        exact running sum far more closely than the value alone ever
+        drifts: conservation of information in TwoSum."""
+        acc = CompensatedAccumulator(np.array([x0]))
+        exact = float(x0)
+        for d in incs:
+            acc.add(np.array([d]))
+            exact += d
+        recovered = float(acc.value[0]) + float(acc.compensation[0])
+        # value+compensation is exact up to one final rounding each step
+        assert recovered == pytest.approx(exact, rel=1e-13, abs=1e-10)
+
+    @given(small_floats, small_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_two_sum_identity_all_dtypes(self, a, b):
+        for dt in (np.float32, np.float64):
+            s, e = two_sum(dt(a), dt(b))
+            # the identity is exact in the wider float64 view
+            assert float(s) + float(e) == pytest.approx(
+                float(dt(a)) + float(dt(b)), rel=1e-6
+            )
+
+
+class TestTopologyProperties:
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hops_metric_axioms(self, gx, gy, gz, data):
+        topo = TofuDTopology(global_shape=(gx, gy, gz), ranks_per_node=1)
+        n = topo.ranks
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        c = data.draw(st.integers(0, n - 1))
+        # symmetry
+        assert topo.hops(a, b) == topo.hops(b, a)
+        # identity (same node, 1 rank per node)
+        assert topo.hops(a, a) == 0
+        # triangle inequality
+        assert topo.hops(a, c) <= topo.hops(a, b) + topo.hops(b, c)
+
+    @given(st.integers(1, 512), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_for_ranks_capacity(self, nranks, rpn):
+        topo = TofuDTopology.for_ranks(nranks, ranks_per_node=rpn)
+        assert topo.ranks >= nranks
+
+    @given(
+        st.integers(2, 5),
+        st.integers(0, 1 << 22),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wire_time_monotone_in_size(self, ext, nbytes):
+        topo = TofuDTopology(global_shape=(ext, 1, 1), ranks_per_node=1)
+        net = TofuDNetwork(topo)
+        t1 = net.wire_time(0, 1, nbytes).seconds
+        t2 = net.wire_time(0, 1, nbytes + 4096).seconds
+        # strictly more bytes is never faster, modulo the protocol
+        # switch whose handshake may be offset by zero-copy... the
+        # *wire* component alone is monotone:
+        w1 = net.wire_time(0, 1, nbytes)
+        w2 = net.wire_time(0, 1, nbytes + 4096)
+        assert w2.serial_seconds >= w1.serial_seconds
+
+
+class TestStreamKernelModelProperties:
+    @given(st.integers(4, 1 << 22))
+    @settings(max_examples=80, deadline=None)
+    def test_gflops_bounded_by_compute_roof(self, n):
+        from repro.blas import JULIA_GENERIC
+        from repro.ftypes import FLOAT64
+        from repro.machine import A64FX
+
+        g = JULIA_GENERIC.gflops("axpy", FLOAT64, n)
+        assert 0 < g <= A64FX.peak_flops_core(FLOAT64) / 1e9 + 1e-9
+
+    @given(st.integers(4, 1 << 20))
+    @settings(max_examples=80, deadline=None)
+    def test_precision_ordering_everywhere(self, n):
+        """At any size, fp16 >= fp32 >= fp64 GFLOPS for the same code."""
+        from repro.blas import JULIA_GENERIC
+        from repro.ftypes import FLOAT16, FLOAT32, FLOAT64
+
+        g16 = JULIA_GENERIC.gflops("axpy", FLOAT16, n)
+        g32 = JULIA_GENERIC.gflops("axpy", FLOAT32, n)
+        g64 = JULIA_GENERIC.gflops("axpy", FLOAT64, n)
+        assert g16 >= g32 * 0.999 >= g64 * 0.999
+
+
+class TestDispatchProperties:
+    @given(st.sampled_from(["float16", "float32", "float64"]),
+           st.floats(min_value=0.01, max_value=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_cbrt_cubes_back(self, dtname, x):
+        """cbrt(x)^3 ~ x within a few ulps at every format, through
+        whichever method dispatch selects."""
+        from repro.ftypes import cbrt
+
+        dt = np.dtype(dtname).type
+        v = dt(x)
+        r = cbrt(v)
+        back = float(r) ** 3
+        eps = float(np.finfo(dtname).eps)
+        assert back == pytest.approx(float(v), rel=8 * eps)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_dispatch_stable_under_kind(self, x):
+        """kind_of is consistent: the same value always selects the same
+        method (no flapping between generic and specialised)."""
+        from repro.ftypes import kind_of
+
+        a = np.float16(x)
+        assert kind_of(a) is kind_of(np.float16(x))
+
+
+class TestSherlogProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_histogram_counts_everything(self, values):
+        from repro.ftypes import ExponentHistogram
+
+        h = ExponentHistogram()
+        h.record(np.array(values))
+        assert h.total == len(values)
+        assert h.nonzero_recorded + h.zeros == len(values)
+
+    @given(st.integers(-20, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_shifts_histogram_exactly(self, shift):
+        """Recording s*x shifts every binade by log2(s) exactly — the
+        mechanism that makes power-of-two scalings analysable."""
+        from repro.ftypes import ExponentHistogram
+
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, 200)
+        h1, h2 = ExponentHistogram(), ExponentHistogram()
+        h1.record(x)
+        h2.record(x * 2.0**shift)
+        assert h2.counts == {e + shift: c for e, c in h1.counts.items()}

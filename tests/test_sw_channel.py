@@ -1,0 +1,155 @@
+"""Tests for the channel boundary condition and its operator set."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.shallowwaters import (
+    CHANNEL,
+    PERIODIC,
+    ChannelOps,
+    ShallowWaterModel,
+    ShallowWaterParams,
+    State,
+    tendencies,
+)
+from repro.shallowwaters.operators import _shift_north, _shift_south
+
+
+CHAN = ShallowWaterParams(
+    nx=32,
+    ny=16,
+    boundary="channel",
+    beta=2e-11,
+    wind_amplitude=3e-6,
+    drag=3e-6,
+    init_velocity=0.0,
+)
+
+
+class TestShiftHelpers:
+    def test_shift_south_zero_ghost(self):
+        a = np.arange(12.0).reshape(3, 4)
+        s = _shift_south(a, "zero")
+        assert np.array_equal(s[0], np.zeros(4))
+        assert np.array_equal(s[1], a[0])
+
+    def test_shift_south_reflect_ghost(self):
+        a = np.arange(12.0).reshape(3, 4)
+        s = _shift_south(a, "reflect")
+        assert np.array_equal(s[0], a[0])
+
+    def test_shift_north(self):
+        a = np.arange(12.0).reshape(3, 4)
+        n0 = _shift_north(a, "zero")
+        assert np.array_equal(n0[-1], np.zeros(4))
+        assert np.array_equal(n0[0], a[1])
+        nr = _shift_north(a, "reflect")
+        assert np.array_equal(nr[-1], a[-1])
+
+    def test_dtype_preserved(self):
+        a = np.ones((4, 4), np.float16)
+        assert _shift_north(a, "zero").dtype == np.float16
+
+
+class TestChannelOperators:
+    def test_no_flux_through_south_wall(self, rng):
+        """dy_v2eta with v[-1]=0: the first row's flux divergence uses
+        only the interior v."""
+        v = rng.standard_normal((8, 8))
+        d = ChannelOps.dy_v2eta(v)
+        assert np.array_equal(d[0], v[0])
+
+    def test_free_slip_vorticity_zero_at_north_wall(self, rng):
+        u = rng.standard_normal((8, 8))
+        z_y = ChannelOps.dy_u2q(u)
+        assert np.abs(z_y[-1]).max() == 0.0
+
+    def test_mass_conservation_channel(self, rng):
+        """Total divergence integrates to zero with wall fluxes blocked."""
+        u = rng.standard_normal((8, 10))
+        v = rng.standard_normal((8, 10))
+        v[-1, :] = 0.0  # wall row
+        div = ChannelOps.dx_u2eta(u) + ChannelOps.dy_v2eta(v)
+        assert abs(div.sum()) < 1e-10
+
+    def test_gradient_divergence_adjoint_in_y(self, rng):
+        """<v, d+y eta> = -<eta, d-y v> with wall ghosts, for wall-
+        respecting v (zero on the north wall row)."""
+        eta = rng.standard_normal((8, 10))
+        v = rng.standard_normal((8, 10))
+        v[-1, :] = 0.0
+        lhs = np.sum(v * ChannelOps.dy_eta2v(eta))
+        rhs = -np.sum(eta * ChannelOps.dy_v2eta(v))
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-12)
+
+    def test_dirichlet_biharmonic_damps_wall_flow(self):
+        v = np.zeros((8, 8))
+        v[4, :] = 1.0
+        d4 = ChannelOps.biharmonic_v(v)
+        assert d4.shape == v.shape
+        assert d4[4, 0] != 0.0
+
+    def test_neumann_laplacian_of_constant_zero(self):
+        u = np.full((6, 6), 2.5)
+        lap = ChannelOps._laplace(u, "reflect")
+        assert np.abs(lap).max() == 0.0
+
+
+class TestChannelModel:
+    def test_wind_spins_up_flow_from_rest(self):
+        res = ShallowWaterModel(CHAN).run(400, kind="rest", diag_every=100)
+        speeds = [h["u_rms"] for h in res.history]
+        assert speeds[0] > 0.0
+        assert speeds[-1] > speeds[0]  # still spinning up
+
+    def test_wall_v_stays_zero(self):
+        res = ShallowWaterModel(CHAN).run(300, kind="rest")
+        assert np.abs(np.asarray(res.state.v)[-1, :]).max() == 0.0
+
+    def test_no_wind_stays_at_rest(self):
+        p = replace(CHAN, wind_amplitude=0.0)
+        res = ShallowWaterModel(p).run(50, kind="rest")
+        assert np.abs(np.asarray(res.state.u)).max() == 0.0
+
+    def test_double_gyre_structure(self):
+        """The sinusoidal wind curl drives opposing gyres: zonal flow in
+        the two halves of the channel has opposite sign on average."""
+        res = ShallowWaterModel(CHAN).run(600, kind="rest")
+        u = np.asarray(res.state.u, dtype=np.float64)
+        ny = u.shape[0]
+        south = u[: ny // 2].mean()
+        north = u[ny // 2 :].mean()
+        assert south * north < 0
+
+    def test_channel_float16_matches_float64(self):
+        """Type-flexibility extends to the bounded domain."""
+        steps = 250
+        res64 = ShallowWaterModel(CHAN).run(steps, kind="rest")
+        p16 = CHAN.with_dtype("float16", scaling=1024.0,
+                              integration="compensated")
+        res16 = ShallowWaterModel(p16).run(steps, kind="rest")
+        from repro.shallowwaters import pattern_correlation
+
+        corr = pattern_correlation(res16.vorticity, res64.vorticity)
+        assert corr > 0.99
+
+    def test_periodic_unaffected_by_channel_code(self):
+        """Adding the channel must not change periodic results."""
+        p = ShallowWaterParams(nx=32, ny=16)
+        res = ShallowWaterModel(p).run(50)
+        u, v, eta = (np.asarray(a) for a in
+                     (res.state.u, res.state.v, res.state.eta))
+        c = p.coefficients().cast(np.dtype(np.float64))
+        d_per = tendencies(State(u, v, eta), c, PERIODIC)
+        d_def = tendencies(State(u, v, eta), c)
+        for a, b in zip(d_per, d_def):
+            assert np.array_equal(a, b)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError, match="unknown boundary"):
+            ShallowWaterParams(boundary="sphere")
+
+    def test_ops_property(self):
+        assert ShallowWaterParams().ops is PERIODIC
+        assert CHAN.ops is CHANNEL

@@ -1,0 +1,160 @@
+"""Tests for repro.shallowwaters.params and grid — configuration and the
+C-grid operator algebra (adjointness is what keeps the model stable)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra import numpy as hnp
+from hypothesis import strategies as st
+
+from repro.shallowwaters import ShallowWaterParams
+from repro.shallowwaters import grid
+
+fields = hnp.arrays(
+    np.float64,
+    (8, 12),
+    elements=st.floats(min_value=-10, max_value=10),
+)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        p = ShallowWaterParams()
+        assert p.dx == p.Lx / p.nx
+        assert p.Ly == p.dx * p.ny
+
+    def test_dt_from_cfl(self):
+        p = ShallowWaterParams()
+        c = math.sqrt(p.gravity * p.depth)
+        assert p.dt == pytest.approx(p.cfl * p.dx / c)
+
+    def test_scaling_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            ShallowWaterParams(scaling=1000.0)
+        ShallowWaterParams(scaling=1024.0)  # fine
+
+    def test_dtype_validated(self):
+        with pytest.raises(ValueError):
+            ShallowWaterParams(dtype="float128")
+
+    def test_grid_minimum(self):
+        with pytest.raises(ValueError):
+            ShallowWaterParams(nx=4)
+
+    def test_with_dtype_preserves_everything_else(self):
+        p = ShallowWaterParams(nx=64, ny=32, seed=7)
+        p16 = p.with_dtype("float16", scaling=512.0, integration="compensated")
+        assert p16.nx == 64 and p16.seed == 7
+        assert p16.dtype == "float16" and p16.scaling == 512.0
+        assert p.dtype == "float64"  # original untouched
+
+    def test_coefficients_ranges_fp16_safe(self):
+        """Every cast coefficient must be normal in Float16 (§III-B)."""
+        p = ShallowWaterParams(nx=128, ny=64, scaling=1024.0, dtype="float16")
+        c = p.coefficients().cast(np.dtype(np.float16))
+        from repro.ftypes import FLOAT16
+
+        for name in ("cz", "cg", "ch", "cr_hi", "cr_lo", "cb", "s", "inv_s"):
+            v = float(getattr(c, name))
+            assert v == 0.0 or abs(v) >= FLOAT16.min_normal, name
+            assert abs(v) <= FLOAT16.max_value, name
+
+    def test_drag_coefficient_split_exact(self):
+        p = ShallowWaterParams()
+        c = p.coefficients()
+        cast = c.cast(np.dtype(np.float64))
+        assert float(cast.cr_hi) * float(cast.cr_lo) == pytest.approx(
+            p.drag * p.dt, rel=1e-12
+        )
+
+    def test_coefficients_cast_dtype(self):
+        p = ShallowWaterParams()
+        c16 = p.coefficients().cast(np.dtype(np.float16))
+        assert c16.cz.dtype == np.float16
+        assert c16.cf_u.dtype == np.float16
+        assert c16.cf_u.shape == (p.ny, 1)  # broadcasts over x
+
+
+class TestGridOperators:
+    @given(fields)
+    @settings(max_examples=50, deadline=None)
+    def test_difference_operators_sum_to_zero(self, a):
+        """Periodic differences telescope: global sums vanish."""
+        for op in (grid.dx_eta2u, grid.dy_eta2v, grid.dx_u2eta,
+                   grid.dy_v2eta, grid.dx_v2q, grid.dy_u2q):
+            assert abs(op(a).sum()) < 1e-9 * max(1.0, abs(a).sum())
+
+    @given(fields, fields)
+    @settings(max_examples=50, deadline=None)
+    def test_gradient_divergence_adjoint(self, eta, u):
+        """<u, d+x eta> = -<eta, d-x u> — the energy-conservation identity."""
+        lhs = np.sum(u * grid.dx_eta2u(eta))
+        rhs = -np.sum(eta * grid.dx_u2eta(u))
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
+
+    @given(fields, fields)
+    @settings(max_examples=50, deadline=None)
+    def test_gradient_divergence_adjoint_y(self, eta, v):
+        lhs = np.sum(v * grid.dy_eta2v(eta))
+        rhs = -np.sum(eta * grid.dy_v2eta(v))
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-10)
+
+    def test_vorticity_of_gradient_is_zero(self, rng):
+        """curl(grad(phi)) == 0 discretely: the corner staggering is
+        consistent (this was the source of the instability bug)."""
+        phi = rng.standard_normal((16, 24))
+        u = grid.dx_eta2u(phi)  # grad_x at u-ish points
+        v = grid.dy_eta2v(phi)
+        # On the C-grid, curl of a discrete gradient vanishes identically
+        # only with matching stagger; use the q-corner operators:
+        zeta = grid.dx_v2q(v) - grid.dy_u2q(u)
+        # grad here lives on eta-staggering; the identity holds up to
+        # commuting rolls, which for periodic shifts is exact:
+        assert np.abs(zeta).max() < 1e-12 * max(1.0, np.abs(phi).max())
+
+    def test_averages_preserve_constants(self):
+        c = np.full((8, 8), 3.25)
+        for op in (grid.ax_eta2u, grid.ay_eta2v, grid.ax_u2eta,
+                   grid.ay_v2eta, grid.a4_q2u, grid.a4_q2v,
+                   grid.ax_v2q, grid.ay_u2q):
+            assert np.allclose(op(c), 3.25)
+
+    def test_averages_preserve_mean(self, rng):
+        a = rng.standard_normal((12, 10))
+        for op in (grid.ax_eta2u, grid.ay_eta2v, grid.a4_q2u, grid.a4_q2v):
+            assert op(a).mean() == pytest.approx(a.mean())
+
+    def test_laplace_of_constant_zero(self):
+        assert np.abs(grid.laplace(np.full((6, 6), 7.0))).max() == 0.0
+
+    def test_laplace_eigenfunction(self):
+        """Plane waves are eigenfunctions: del2 e^{ikx} = (2cos k - 2) e^{ikx}."""
+        nx = 16
+        x = np.arange(nx)
+        wave = np.cos(2 * np.pi * x / nx)[None, :].repeat(8, axis=0)
+        lam = 2 * np.cos(2 * np.pi / nx) - 2
+        got = grid.laplace(wave)
+        np.testing.assert_allclose(got, lam * wave, atol=1e-12)
+
+    def test_biharmonic_is_squared_laplacian(self, rng):
+        a = rng.standard_normal((10, 14))
+        np.testing.assert_allclose(
+            grid.biharmonic(a), grid.laplace(grid.laplace(a)), atol=1e-12
+        )
+
+    def test_dtype_preserved_fp16(self):
+        a = np.ones((8, 8), dtype=np.float16)
+        for op in (grid.dx_eta2u, grid.ax_eta2u, grid.laplace,
+                   grid.biharmonic, grid.a4_q2u):
+            assert op(a).dtype == np.float16
+
+    def test_biharmonic_damps_checkerboard(self):
+        """The grid-scale mode must be damped (its del4 has the largest
+        magnitude) — the role of the biharmonic term."""
+        nx = 8
+        checker = (-1.0) ** (np.add.outer(np.arange(nx), np.arange(nx)))
+        d4 = grid.biharmonic(checker)
+        # del2 checker = -8 checker, del4 = 64 checker
+        np.testing.assert_allclose(d4, 64 * checker, atol=1e-12)

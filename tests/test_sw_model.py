@@ -1,0 +1,303 @@
+"""Tests for the shallow-water RHS, integrator, model and diagnostics —
+the Fig. 4 claims made executable."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.shallowwaters import (
+    RK4Integrator,
+    ShallowWaterModel,
+    ShallowWaterParams,
+    State,
+    balanced_turbulence,
+    field_stats,
+    gaussian_vortex,
+    normalized_rmse,
+    pattern_correlation,
+    tendencies,
+    total_energy,
+)
+from repro.shallowwaters import diagnostics as diag
+
+
+SMALL = ShallowWaterParams(nx=32, ny=16)
+
+
+class TestForcing:
+    def test_balanced_turbulence_statistics(self):
+        u, v, eta = balanced_turbulence(SMALL)
+        rms = np.sqrt(np.mean(u**2 + v**2))
+        assert rms == pytest.approx(SMALL.init_velocity, rel=1e-6)
+        assert abs(eta.mean()) < 1e-12
+
+    def test_deterministic_per_seed(self):
+        u1, _, _ = balanced_turbulence(SMALL)
+        u2, _, _ = balanced_turbulence(SMALL)
+        u3, _, _ = balanced_turbulence(replace(SMALL, seed=9))
+        assert np.array_equal(u1, u2)
+        assert not np.array_equal(u1, u3)
+
+    def test_gaussian_vortex_shape(self):
+        u, v, eta = gaussian_vortex(SMALL, amplitude=0.5)
+        assert eta.shape == (SMALL.ny, SMALL.nx)
+        # peak minus the subtracted domain mean
+        assert 0.35 < eta.max() <= 0.5
+
+    def test_initial_divergence_exactly_zero(self):
+        """Streamfunction initialisation: discretely non-divergent."""
+        from repro.shallowwaters import grid
+
+        for maker in (balanced_turbulence, gaussian_vortex):
+            u, v, _ = maker(SMALL)
+            div = grid.dx_u2eta(u) + grid.dy_v2eta(v)
+            assert np.abs(div).max() < 1e-12 * max(1.0, np.abs(u).max())
+
+
+class TestRHS:
+    def test_state_validation(self):
+        a = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            State(a, a, np.zeros((4, 5)))
+        with pytest.raises(TypeError):
+            State(a, a, np.zeros((4, 4), np.float32))
+
+    def test_rest_state_stays_at_rest(self):
+        p = replace(SMALL, wind_amplitude=0.0)
+        c = p.coefficients().cast(np.dtype(np.float64))
+        z = State(np.zeros((16, 32)), np.zeros((16, 32)), np.zeros((16, 32)))
+        du, dv, deta = tendencies(z, c)
+        assert np.abs(du).max() == 0.0
+        assert np.abs(dv).max() == 0.0
+        assert np.abs(deta).max() == 0.0
+
+    def test_uniform_eta_no_pressure_force(self):
+        c = SMALL.coefficients().cast(np.dtype(np.float64))
+        z = State(
+            np.zeros((16, 32)), np.zeros((16, 32)), np.full((16, 32), 0.5)
+        )
+        du, dv, deta = tendencies(z, c)
+        assert np.abs(du).max() < 1e-15
+        assert np.abs(deta).max() < 1e-15
+
+    def test_scaling_equivariance(self):
+        """RHS(s*state; coeffs(s)) == s * RHS(state; coeffs(1)) in f64 —
+        the scaled system is the same dynamics, exactly."""
+        u, v, eta = balanced_turbulence(SMALL)
+        c1 = SMALL.coefficients().cast(np.dtype(np.float64))
+        p_s = replace(SMALL, scaling=1024.0)
+        cs = p_s.coefficients().cast(np.dtype(np.float64))
+        d1 = tendencies(State(u, v, eta), c1)
+        ds = tendencies(State(1024 * u, 1024 * v, 1024 * eta), cs)
+        for a, b in zip(d1, ds):
+            np.testing.assert_allclose(1024 * a, b, rtol=1e-10, atol=1e-13)
+
+    def test_dtype_flexibility(self):
+        """The identical RHS runs at all three formats (the paper's core
+        productivity claim)."""
+        u, v, eta = balanced_turbulence(SMALL)
+        for dt in (np.float16, np.float32, np.float64):
+            c = SMALL.coefficients().cast(np.dtype(dt))
+            s = State(u.astype(dt), v.astype(dt), eta.astype(dt))
+            du, dv, deta = tendencies(s, c)
+            assert du.dtype == dt and deta.dtype == dt
+            assert np.all(np.isfinite(du.astype(np.float64)))
+
+    def test_coriolis_antisymmetric_energy(self):
+        """The f-plane rotation terms alone inject no energy:
+        sum u*(f v_bar^u) - sum v*(f u_bar^v) == 0 exactly (the
+        transpose-consistent averaging identity)."""
+        from repro.shallowwaters.rhs import u_bar_v, v_bar_u
+
+        rng = np.random.default_rng(0)
+        u = rng.standard_normal((16, 32))
+        v = rng.standard_normal((16, 32))
+        power = np.sum(u * v_bar_u(v)) - np.sum(v * u_bar_v(u))
+        assert abs(power) < 1e-10 * (np.abs(u).sum() + np.abs(v).sum())
+
+
+class TestIntegrator:
+    def test_requires_bind(self):
+        integ = RK4Integrator(SMALL)
+        with pytest.raises(RuntimeError):
+            integ.step()
+
+    def test_dtype_check_on_bind(self):
+        integ = RK4Integrator(SMALL)  # float64
+        s32 = State(*(np.zeros((16, 32), np.float32) for _ in range(3)))
+        with pytest.raises(TypeError):
+            integ.bind(s32)
+
+    def test_mixed_mode_state_is_float32(self):
+        p = SMALL.with_dtype("float16", scaling=1024.0, integration="mixed")
+        integ = RK4Integrator(p)
+        assert integ.state_dtype == np.float32
+        assert integ.dtype == np.float16
+
+    def test_mixed_mode_rejects_float64(self):
+        with pytest.raises(ValueError):
+            RK4Integrator(SMALL.with_dtype("float64", integration="mixed"))
+
+    def test_one_step_changes_state(self):
+        m = ShallowWaterModel(SMALL)
+        integ = RK4Integrator(SMALL)
+        s0 = m.initial_state()
+        before = s0.u.copy()
+        integ.bind(s0)
+        after = integ.step()
+        assert not np.array_equal(after.u, before)
+
+    def test_rk4_order_of_accuracy(self):
+        """Halving dt (via cfl) must shrink the one-interval error ~16x.
+
+        Integrate the same physical time T with n and 2n steps at
+        different cfl; compare against a fine reference.
+        """
+        def run_with(cfl, T_steps_at_full):
+            p = replace(SMALL, cfl=cfl, init_velocity=0.1)
+            m = ShallowWaterModel(p)
+            steps = int(round(T_steps_at_full * 0.8 / cfl))
+            return m.run(steps).state, p
+
+        ref_state, _ = run_with(0.1, 10)
+        s1, p1 = run_with(0.8, 10)
+        s2, p2 = run_with(0.4, 10)
+        e1 = np.abs(np.asarray(s1.u) - np.asarray(ref_state.u)).max()
+        e2 = np.abs(np.asarray(s2.u) - np.asarray(ref_state.u)).max()
+        assert e2 < e1 / 8  # 4th order would be /16; allow slack
+
+
+class TestModelRuns:
+    def test_float64_stable_and_dissipative(self):
+        res = ShallowWaterModel(SMALL).run(300, diag_every=100)
+        energies = [h["ke"] + h["pe"] for h in res.history]
+        assert all(np.isfinite(e) for e in energies)
+        assert energies[-1] < energies[0]  # drag+biharmonic dissipate
+
+    def test_fig4_float16_matches_float64(self):
+        """The headline Fig. 4 claim at CI scale: pattern correlation of
+        the vorticity fields >= 0.99, nRMSE small."""
+        steps = 200
+        res64 = ShallowWaterModel(SMALL).run(steps)
+        p16 = SMALL.with_dtype("float16", scaling=1024.0,
+                               integration="compensated")
+        res16 = ShallowWaterModel(p16).run(steps)
+        corr = pattern_correlation(res16.vorticity, res64.vorticity)
+        err = normalized_rmse(res16.vorticity, res64.vorticity)
+        assert corr > 0.99
+        assert err < 0.05
+
+    def test_float32_essentially_exact(self):
+        steps = 150
+        res64 = ShallowWaterModel(SMALL).run(steps)
+        res32 = ShallowWaterModel(SMALL.with_dtype("float32")).run(steps)
+        assert pattern_correlation(res32.vorticity, res64.vorticity) > 0.9999
+
+    def test_compensation_improves_fp16(self):
+        """Compensated integration must not be worse than standard."""
+        steps = 250
+        ref = ShallowWaterModel(SMALL).run(steps)
+        errs = {}
+        for integ in ("standard", "compensated"):
+            p = SMALL.with_dtype("float16", scaling=1024.0, integration=integ)
+            res = ShallowWaterModel(p).run(steps)
+            errs[integ] = normalized_rmse(res.vorticity, ref.vorticity)
+        assert errs["compensated"] <= errs["standard"] * 1.05
+
+    def test_scaling_protects_under_ftz(self):
+        """abl1/§III-B: with subnormal flushing (the A64FX flag), the
+        scaled run is at least as accurate as the unscaled one."""
+        weak = replace(SMALL, init_velocity=0.02)
+        steps = 200
+        ref = ShallowWaterModel(weak).run(steps)
+        errs = {}
+        for s in (1.0, 1024.0):
+            p = replace(
+                weak.with_dtype("float16", scaling=s, integration="compensated"),
+                flush_subnormals=True,
+            )
+            res = ShallowWaterModel(p).run(steps)
+            errs[s] = normalized_rmse(res.vorticity, ref.vorticity)
+        assert errs[1024.0] <= errs[1.0]
+
+    def test_mixed_precision_runs(self):
+        p = SMALL.with_dtype("float16", scaling=1024.0, integration="mixed")
+        res = ShallowWaterModel(p).run(100)
+        assert np.all(np.isfinite(np.asarray(res.state.u, dtype=np.float64)))
+
+    def test_vortex_initial_condition(self):
+        res = ShallowWaterModel(SMALL).run(50, kind="vortex")
+        assert np.isfinite(res.stats()["ke"])
+
+    def test_unknown_initial_condition(self):
+        with pytest.raises(ValueError):
+            ShallowWaterModel(SMALL).initial_state("tsunami")
+
+    def test_history_recorded(self):
+        res = ShallowWaterModel(SMALL).run(40, diag_every=10)
+        assert len(res.history) == 4
+        assert res.history[0]["step"] == 10.0
+
+    def test_run_sherlog_returns_histogram(self):
+        hist = ShallowWaterModel(SMALL).run_sherlog(nsteps=3)
+        assert hist.total > 100_000
+        lo, hi = hist.exponent_range()
+        assert lo < hi
+
+
+class TestDiagnostics:
+    def test_unscale_roundtrip(self):
+        p = replace(SMALL, scaling=256.0)
+        m = ShallowWaterModel(p.with_dtype("float32", scaling=256.0))
+        s = m.initial_state()
+        un = diag.unscale(s, m.params)
+        u_ref, _, _ = balanced_turbulence(m.params)
+        np.testing.assert_allclose(un.u, u_ref, rtol=1e-5, atol=1e-8)
+
+    def test_energy_positive(self):
+        m = ShallowWaterModel(SMALL)
+        s = m.initial_state()
+        assert total_energy(s, SMALL) > 0
+
+    def test_pattern_correlation_properties(self, rng):
+        a = rng.standard_normal((8, 8))
+        assert pattern_correlation(a, a) == pytest.approx(1.0)
+        assert pattern_correlation(a, -a) == pytest.approx(-1.0)
+        assert abs(pattern_correlation(a, rng.standard_normal((8, 8)))) < 0.5
+
+    def test_normalized_rmse_zero_for_identical(self, rng):
+        a = rng.standard_normal((8, 8))
+        assert normalized_rmse(a, a) == 0.0
+
+    def test_field_stats_keys(self):
+        m = ShallowWaterModel(SMALL)
+        st = field_stats(m.initial_state(), SMALL)
+        for key in ("u_rms", "eta_rms", "ke", "pe", "enstrophy"):
+            assert key in st and np.isfinite(st[key])
+
+
+class TestFTZDisaster:
+    def test_unscaled_ftz_artificially_damps_weak_flow(self):
+        """§III-B's failure mode, made visible: with subnormal flushing
+        (the A64FX flag) and no scaling, a weak flow's tendencies fall
+        in Float16's subnormal range and get flushed — the simulation
+        loses energy it should keep.  The power-of-two scaling rescues
+        the same run."""
+        weak = replace(SMALL, init_velocity=0.004, drag=0.0,
+                       biharmonic_strength=0.02)
+        steps = 150
+        ref = ShallowWaterModel(weak).run(steps)
+        ke_ref = ref.stats()["ke"]
+
+        kes = {}
+        for s in (1.0, 1024.0):
+            p = replace(
+                weak.with_dtype("float16", scaling=s,
+                                integration="compensated"),
+                flush_subnormals=True,
+            )
+            kes[s] = ShallowWaterModel(p).run(steps).stats()["ke"]
+
+        err_unscaled = abs(kes[1.0] - ke_ref) / ke_ref
+        err_scaled = abs(kes[1024.0] - ke_ref) / ke_ref
+        assert err_scaled < err_unscaled

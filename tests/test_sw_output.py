@@ -1,0 +1,92 @@
+"""Tests for snapshot I/O and cross-precision restarts."""
+
+import numpy as np
+import pytest
+
+from repro.shallowwaters import (
+    ShallowWaterModel,
+    ShallowWaterParams,
+    load_snapshot,
+    pattern_correlation,
+    restart_state,
+    save_snapshot,
+)
+
+P64 = ShallowWaterParams(nx=32, ny=16)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        res = ShallowWaterModel(P64).run(20)
+        f = save_snapshot(tmp_path / "snap.npz", res.state, P64, step=20)
+        state, meta = load_snapshot(f)
+        assert np.array_equal(state.u, np.asarray(res.state.u))
+        assert meta["step"] == 20
+        assert meta["dtype"] == "float64"
+
+    def test_extension_appended(self, tmp_path):
+        res = ShallowWaterModel(P64).run(1)
+        f = save_snapshot(tmp_path / "noext", res.state, P64)
+        assert f.suffix == ".npz"
+        assert f.exists()
+
+    def test_same_config_restart_bit_exact(self, tmp_path):
+        res = ShallowWaterModel(P64).run(10)
+        f = save_snapshot(tmp_path / "s.npz", res.state, P64)
+        state = restart_state(f, P64)
+        assert np.array_equal(state.u, np.asarray(res.state.u))
+
+
+class TestCrossPrecisionRestart:
+    def test_float64_restart_into_float16(self, tmp_path):
+        """The paper's move: spin up at Float64, continue at Float16."""
+        spinup = ShallowWaterModel(P64).run(100)
+        f = save_snapshot(tmp_path / "restart.npz", spinup.state, P64)
+        p16 = P64.with_dtype("float16", scaling=1024.0,
+                             integration="compensated")
+        init16 = restart_state(f, p16)
+        assert init16.dtype == np.float16
+        # values: round(1024 * u64) in fp16
+        expect = (np.asarray(spinup.state.u) * 1024.0).astype(np.float16)
+        assert np.array_equal(init16.u, expect)
+
+        # and the restarted run stays on the Float64 trajectory
+        cont64 = ShallowWaterModel(P64).run(60, initial=spinup.state.copy())
+        cont16 = ShallowWaterModel(p16).run(60, initial=init16)
+        corr = pattern_correlation(cont16.vorticity, cont64.vorticity)
+        assert corr > 0.99
+
+    def test_float16_restart_into_float64(self, tmp_path):
+        p16 = P64.with_dtype("float16", scaling=1024.0,
+                             integration="compensated")
+        res16 = ShallowWaterModel(p16).run(30)
+        f = save_snapshot(tmp_path / "s.npz", res16.state, p16)
+        init64 = restart_state(f, P64)
+        assert init64.dtype == np.float64
+        # unscaling is exact: u64 == u16 / 1024 exactly
+        expect = np.asarray(res16.state.u, dtype=np.float64) / 1024.0
+        assert np.array_equal(init64.u, expect)
+
+    def test_mixed_mode_restart_dtype(self, tmp_path):
+        res = ShallowWaterModel(P64).run(5)
+        f = save_snapshot(tmp_path / "s.npz", res.state, P64)
+        pm = P64.with_dtype("float16", scaling=1024.0, integration="mixed")
+        init = restart_state(f, pm)
+        assert init.dtype == np.float32  # mixed mode keeps a wide state
+
+
+class TestValidation:
+    def test_grid_mismatch(self, tmp_path):
+        res = ShallowWaterModel(P64).run(1)
+        f = save_snapshot(tmp_path / "s.npz", res.state, P64)
+        with pytest.raises(ValueError, match="grid"):
+            restart_state(f, ShallowWaterParams(nx=64, ny=32))
+
+    def test_boundary_mismatch(self, tmp_path):
+        res = ShallowWaterModel(P64).run(1)
+        f = save_snapshot(tmp_path / "s.npz", res.state, P64)
+        from dataclasses import replace
+
+        chan = replace(P64, boundary="channel")
+        with pytest.raises(ValueError, match="boundary"):
+            restart_state(f, chan)

@@ -1,0 +1,99 @@
+"""Tests for repro.shallowwaters.perf — the Fig. 5 runtime model."""
+
+import pytest
+
+from repro.shallowwaters import (
+    ShallowWaterParams,
+    SWRuntimeModel,
+    VARIANTS,
+    speedup_sweep,
+)
+
+
+def params(nx, dtype, integ="standard", s=1.0):
+    return ShallowWaterParams(
+        nx=nx, ny=nx // 2, dtype=dtype, integration=integ, scaling=s
+    )
+
+
+class TestRuntimeModel:
+    M = SWRuntimeModel()
+
+    def test_float16_approaches_4x_large_problems(self):
+        """'approaches 4x speedups over Float64 for large problems'."""
+        p = params(3000, "float16", "compensated", 1024.0)
+        s = self.M.speedup_over_float64(p)
+        assert 3.4 < s < 4.0
+
+    def test_fig4_caption_3p6x(self):
+        """Fig. 4: 'The equivalent Float64 simulation ... ran 3.6x slower'."""
+        p16 = params(3000, "float16", "compensated", 1024.0)
+        p64 = params(3000, "float64")
+        ratio = self.M.time_per_step(p64) / self.M.time_per_step(p16)
+        assert ratio == pytest.approx(3.6, abs=0.4)
+
+    def test_float32_2x_wide_range(self):
+        """'Float32 simulations are 2x faster ... over a much wider range'."""
+        for nx in (768, 1536, 3000, 6000):
+            s = self.M.speedup_over_float64(params(nx, "float32"))
+            assert 1.9 < s < 2.4
+
+    def test_compensation_costs_about_5pct(self):
+        """'a compensated summation ... introduces a 5% overhead'."""
+        nx = 3000
+        plain = self.M.time_per_step(params(nx, "float16", "standard", 1024.0))
+        comp = self.M.time_per_step(params(nx, "float16", "compensated", 1024.0))
+        overhead = comp / plain - 1.0
+        assert 0.02 < overhead < 0.10
+
+    def test_compensated_beats_mixed(self):
+        """'clearly outperforms a mixed-precision approach'."""
+        nx = 3000
+        comp = self.M.time_per_step(params(nx, "float16", "compensated", 1024.0))
+        mixed = self.M.time_per_step(params(nx, "float16", "mixed", 1024.0))
+        assert comp < mixed
+
+    def test_mixed_still_beats_float32(self):
+        nx = 3000
+        mixed = self.M.speedup_over_float64(params(nx, "float16", "mixed", 1024.0))
+        f32 = self.M.speedup_over_float64(params(nx, "float32"))
+        assert mixed > f32
+
+    def test_small_problems_lose_speedup(self):
+        """Overhead-dominated small grids: speedup collapses toward 1."""
+        small = self.M.speedup_over_float64(params(32, "float16", "compensated", 1024.0))
+        large = self.M.speedup_over_float64(params(3000, "float16", "compensated", 1024.0))
+        assert small < 2.0 < large
+
+    def test_time_scales_linearly_at_large_n(self):
+        t1 = self.M.time_per_step(params(2048, "float64"))
+        t2 = self.M.time_per_step(params(4096, "float64"))
+        assert t2 / t1 == pytest.approx(4.0, rel=0.15)
+
+    def test_more_cores_faster(self):
+        m12 = SWRuntimeModel(cores=12)
+        p = params(3000, "float64")
+        assert m12.time_per_step(p) < self.M.time_per_step(p)
+
+
+class TestSweep:
+    def test_all_variants_present(self):
+        out = speedup_sweep([128, 1024])
+        assert set(out) == set(VARIANTS)
+        assert all(len(v) == 2 for v in out.values())
+
+    def test_fig5_ordering_at_large_size(self):
+        out = speedup_sweep([4096])
+        assert (
+            out["Float16 (no compensation)"][0]
+            > out["Float16"][0]
+            > out["Float16/32 mixed"][0]
+            > out["Float32"][0]
+            > 1.0
+        )
+
+    def test_float16_curve_rises_then_settles(self):
+        nxs = [64, 256, 1024, 4096]
+        vals = speedup_sweep(nxs)["Float16"]
+        assert vals[0] < vals[1]  # rising out of overhead
+        assert 3.4 < vals[-1] < 4.2  # settled near 4x

@@ -1,0 +1,134 @@
+"""Tests for repro.shallowwaters.tracer — conservative upwind advection."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.shallowwaters import (
+    RK4Integrator,
+    ShallowWaterModel,
+    ShallowWaterParams,
+    State,
+    TracerAdvection,
+    upwind_flux_divergence,
+)
+from repro.shallowwaters.operators import CHANNEL, PERIODIC
+
+P = ShallowWaterParams(nx=32, ny=16)
+
+
+def _advect(p, steps, q=None):
+    adv = TracerAdvection(p)
+    if q is None:
+        q = adv.initial_blob()
+    integ = RK4Integrator(p)
+    state = integ.bind(ShallowWaterModel(p).initial_state())
+    for _ in range(steps):
+        state = integ.step()
+        q = adv.step(q, state)
+    return adv, q
+
+
+class TestFluxForm:
+    def test_zero_velocity_no_change(self):
+        q = np.random.default_rng(0).uniform(0, 1, (8, 8))
+        zero = np.zeros_like(q)
+        div = upwind_flux_divergence(q, zero, zero, PERIODIC)
+        assert np.abs(div).max() == 0.0
+
+    def test_uniform_flow_translates_blob(self):
+        """One cell of uniform positive u moves tracer downstream."""
+        p = replace(P, nx=16, ny=8)
+        adv = TracerAdvection(p)
+        q = np.zeros((8, 16))
+        q[4, 4] = 1.0
+        u = np.ones_like(q)  # unscaled velocity in the divergence call
+        v = np.zeros_like(q)
+        div = upwind_flux_divergence(q, u, v, PERIODIC)
+        # donor cell loses, downstream cell gains
+        assert div[4, 4] < 0
+        assert div[4, 5] > 0
+        assert div[4, 3] == 0.0  # upwind: nothing moves backwards
+
+    def test_upwind_direction_negative_u(self):
+        q = np.zeros((4, 8))
+        q[2, 4] = 1.0
+        u = -np.ones_like(q)
+        div = upwind_flux_divergence(q, u, np.zeros_like(q), PERIODIC)
+        assert div[2, 4] < 0
+        assert div[2, 3] > 0
+
+    def test_mass_conservation_periodic(self, rng):
+        q = rng.uniform(0, 1, (12, 20))
+        u = rng.standard_normal((12, 20))
+        v = rng.standard_normal((12, 20))
+        div = upwind_flux_divergence(q, u, v, PERIODIC)
+        assert abs(div.sum()) < 1e-10
+
+    def test_mass_conservation_channel(self, rng):
+        q = rng.uniform(0, 1, (12, 20))
+        u = rng.standard_normal((12, 20))
+        v = rng.standard_normal((12, 20))
+        div = upwind_flux_divergence(q, u, v, CHANNEL)
+        assert abs(div.sum()) < 1e-10
+
+
+class TestTracerAdvection:
+    def test_mass_conserved_through_simulation(self):
+        adv, q = _advect(P, 150)
+        q0 = adv.initial_blob()
+        drift = abs(adv.total_mass(q) - adv.total_mass(q0))
+        assert drift < 1e-9 * adv.total_mass(q0)
+
+    def test_positivity_preserved(self):
+        """First-order upwind under CFL: no negative tracer."""
+        _, q = _advect(P, 150)
+        assert float(q.min()) > -1e-12
+
+    def test_maximum_not_amplified(self):
+        adv, q = _advect(P, 150)
+        assert float(q.max()) <= float(adv.initial_blob().max()) * (1 + 1e-6)
+
+    def test_blob_spreads(self):
+        """Upwind diffusion spreads the blob (variance grows)."""
+        adv, q = _advect(P, 200)
+        q0 = adv.initial_blob()
+        assert float((q > 0.01 * q.max()).sum()) > float(
+            (q0 > 0.01 * q0.max()).sum()
+        )
+
+    def test_float16_tracer_runs(self):
+        p16 = P.with_dtype("float16", scaling=1024.0, integration="compensated")
+        adv, q = _advect(p16, 80)
+        assert q.dtype == np.float16
+        assert np.isfinite(q.astype(np.float64)).all()
+
+    def test_channel_tracer_stays_in_domain(self):
+        chan = replace(
+            P, boundary="channel", wind_amplitude=3e-6, drag=3e-6,
+            init_velocity=0.0,
+        )
+        adv = TracerAdvection(chan)
+        q = adv.initial_blob(centre=(0.8, 0.5))  # near the north wall
+        integ = RK4Integrator(chan)
+        state = integ.bind(ShallowWaterModel(chan).initial_state("rest"))
+        m0 = adv.total_mass(q)
+        for _ in range(200):
+            state = integ.step()
+            q = adv.step(q, state)
+        assert adv.total_mass(q) == pytest.approx(m0, rel=1e-9)
+
+    def test_grid_mismatch_rejected(self):
+        adv = TracerAdvection(P)
+        small = np.zeros((4, 4))
+        state = State(*(np.zeros((P.ny, P.nx)) for _ in range(3)))
+        with pytest.raises(ValueError):
+            adv.step(small, state)
+
+    def test_initial_blob_parameters(self):
+        adv = TracerAdvection(P)
+        q = adv.initial_blob(centre=(0.25, 0.75), amplitude=2.0)
+        jmax, imax = np.unravel_index(np.argmax(q), q.shape)
+        assert abs(jmax / P.ny - 0.25) < 0.1
+        assert abs(imax / P.nx - 0.75) < 0.1
+        assert q.max() == pytest.approx(2.0, rel=0.05)
