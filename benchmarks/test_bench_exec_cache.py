@@ -1,0 +1,97 @@
+"""Execution-engine benchmarks: cache speedups and parallel parity.
+
+The acceptance bar for the engine (ISSUE 1):
+
+* a warm cached ``run_experiment("fig1", scale="ci")`` is >= 5x faster
+  than the cold run that populated the cache;
+* a warm ``run all`` at CI scale is >= 3x faster than cold;
+* ``--jobs 4`` produces byte-identical Outcome reports to the serial
+  path;
+* cache invalidation triggers on a parameter change.
+"""
+
+import time
+
+import pytest
+
+from repro.core.experiments import REGISTRY, run_experiment
+from repro.exec import Engine, ResultCache, source_fingerprint
+
+ALL_KEYS = list(REGISTRY)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+@pytest.fixture(autouse=True)
+def _primed_fingerprint():
+    # Hash the sources once up front so neither cold nor warm timing
+    # includes the (memoized) fingerprint computation.
+    source_fingerprint()
+
+
+class TestCacheSpeedup:
+    def test_warm_fig1_at_least_5x_faster_than_cold(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = Engine(jobs=1, cache=cache)
+
+        cold_outcome, cold = _timed(lambda: engine.run("fig1", scale="ci"))
+        # Warm hits are sub-millisecond; best-of-3 smooths fs jitter.
+        warm = min(
+            _timed(lambda: engine.run("fig1", scale="ci"))[1]
+            for _ in range(3)
+        )
+
+        assert cache.stats.misses == 1
+        assert cache.stats.hits >= 3
+        assert engine.run("fig1", scale="ci") == cold_outcome
+        assert warm * 5 <= cold, f"warm={warm:.6f}s cold={cold:.6f}s"
+
+    def test_warm_run_all_at_least_3x_faster_than_cold(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = Engine(jobs=1, cache=cache)
+
+        cold_outcomes, cold = _timed(
+            lambda: engine.run_many(ALL_KEYS, scale="ci")
+        )
+        warm_outcomes, warm = _timed(
+            lambda: engine.run_many(ALL_KEYS, scale="ci")
+        )
+
+        assert warm_outcomes == cold_outcomes
+        assert cache.stats.hits == len(ALL_KEYS)
+        assert warm * 3 <= cold, f"warm={warm:.4f}s cold={cold:.4f}s"
+
+    def test_parameter_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        engine = Engine(jobs=1, cache=cache)
+        engine.run("fig1", scale="ci")
+        engine.run("fig1", scale="ci", extra_params={"variant": 2})
+        assert cache.stats.invalidations == 1
+        # ... and the changed entry is itself cached now.
+        engine.run("fig1", scale="ci", extra_params={"variant": 2})
+        assert cache.stats.hits == 1
+
+
+class TestParallelParity:
+    def test_jobs4_run_all_byte_identical_to_serial(self):
+        serial = {k: run_experiment(k, "ci") for k in ALL_KEYS}
+        parallel = Engine(jobs=4).run_many(ALL_KEYS, scale="ci")
+        for key in ALL_KEYS:
+            assert parallel[key].report == serial[key].report, key
+            assert parallel[key] == serial[key], key
+
+    def test_stats_cover_every_task(self):
+        engine = Engine(jobs=4)
+        engine.run_many(ALL_KEYS, scale="ci")
+        by_key = {e.key: e for e in engine.stats.experiments}
+        assert set(by_key) == set(ALL_KEYS)
+        assert len(by_key["fig1"].tasks) == 57
+        assert all(
+            t.seconds >= 0
+            for e in engine.stats.experiments
+            for t in e.tasks
+        )

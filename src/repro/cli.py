@@ -5,21 +5,38 @@ Usage::
     python -m repro list                      # show registered experiments
     python -m repro run fig1 --scale ci       # run one, print the report
     python -m repro run all --scale ci        # run everything
+    python -m repro run all --jobs 4          # ... on a 4-process pool
+    python -m repro run all --cache --stats   # cached + engine metrics
+    python -m repro run all --stats --json    # machine-readable stats
     python -m repro claims fig5               # show the checked claims
+    python -m repro cache clear               # drop cached outcomes
 
-Exit status is non-zero if any claim fails, so the CLI doubles as a
-reproduction gate in CI.
+Every ``run`` goes through the execution engine in :mod:`repro.exec`;
+with the defaults (``--jobs 1``, no cache) its output is byte-identical
+to the original serial path.  Exit status is non-zero if any claim
+fails, so the CLI doubles as a reproduction gate in CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .core.experiments import REGISTRY, run_experiment
+from .core.experiments import REGISTRY
+from .exec import DEFAULT_CACHE_DIR, Engine, ResultCache
 
 __all__ = ["main", "build_parser"]
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one per CPU), got {jobs}"
+        )
+    return jobs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,9 +59,38 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress the rendered report"
     )
+    run_p.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="worker processes for sweep-point tasks "
+        "(default: 1 = in-process; 0 = one per CPU)",
+    )
+    run_p.add_argument(
+        "--cache", action="store_true",
+        help=f"reuse/store outcomes under {DEFAULT_CACHE_DIR}/ "
+        "(invalidated when parameters or repro sources change)",
+    )
+    run_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="cache directory (implies --cache when given)",
+    )
+    run_p.add_argument(
+        "--stats", action="store_true",
+        help="print per-task timings and cache hit/miss statistics",
+    )
+    run_p.add_argument(
+        "--json", action="store_true", dest="json_stats",
+        help="emit run statistics as JSON on stdout (suppresses reports)",
+    )
 
     claims_p = sub.add_parser("claims", help="show an experiment's claims")
     claims_p.add_argument("key")
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="cache directory",
+    )
 
     return ap
 
@@ -67,24 +113,56 @@ def _cmd_claims(key: str) -> int:
     return 0
 
 
-def _cmd_run(key: str, scale: str, quiet: bool) -> int:
+def _cmd_cache(action: str, cache_dir: str) -> int:
+    cache = ResultCache(cache_dir)
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached outcome(s) from {cache.directory}")
+    else:
+        print(f"{cache.directory}: {len(cache)} cached outcome(s)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    key = args.key
     keys = list(REGISTRY) if key == "all" else [key]
     if key != "all" and key not in REGISTRY:
         print(f"unknown experiment {key!r}", file=sys.stderr)
         return 2
+
+    use_cache = args.cache or args.cache_dir != DEFAULT_CACHE_DIR
+    engine = Engine(
+        jobs=args.jobs,
+        cache=ResultCache(args.cache_dir) if use_cache else None,
+    )
+    outcomes = engine.run_many(keys, scale=args.scale)
+
+    if args.json_stats:
+        doc = engine.stats.as_dict()
+        doc["scale"] = args.scale
+        for entry in doc["experiments"]:
+            entry["claims"] = [
+                {"text": text, "ok": ok}
+                for text, ok in outcomes[entry["key"]].claim_results
+            ]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if any(not o.passed for o in outcomes.values()) else 0
+
     failures = 0
     for k in keys:
-        outcome = run_experiment(k, scale=scale)
+        outcome = outcomes[k]
         status = "PASS" if outcome.passed else "FAIL"
         print(f"[{status}] {k} ({REGISTRY[k].artefact})")
         for text, ok in outcome.claim_results:
             print(f"    {'ok  ' if ok else 'FAIL'} {text}")
-        if not quiet:
+        if not args.quiet:
             print()
             print(outcome.report)
             print()
         if not outcome.passed:
             failures += 1
+    if args.stats:
+        print(engine.stats.render())
     return 1 if failures else 0
 
 
@@ -95,8 +173,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "claims":
         return _cmd_claims(args.key)
+    if args.command == "cache":
+        return _cmd_cache(args.action, args.cache_dir)
     if args.command == "run":
-        return _cmd_run(args.key, args.scale, args.quiet)
+        return _cmd_run(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -7,7 +7,13 @@
 """
 
 from .typeflex import FormatContext, TypeFlexKernel, typeflexible
-from .benchmark import Series, SweepResult, measure_gflops, measure_seconds
+from .benchmark import (
+    Series,
+    SweepResult,
+    WallTimer,
+    measure_gflops,
+    measure_seconds,
+)
 from .figures import (
     Fig4Result,
     fig1_axpy,
@@ -17,15 +23,18 @@ from .figures import (
     fig5_speedup,
     listing_muladd,
 )
-from .report import format_si, render_sweep, render_table
+from .report import format_si, render_run_stats, render_sweep, render_table
 from .calibration import CALIBRATIONS, Calibrated, validate_calibration
 from .experiments import (
     REGISTRY,
+    SCALES,
     Claim,
     Experiment,
     Outcome,
+    evaluate_outcome,
     paper_artefacts,
     run_experiment,
+    scale_params,
 )
 from .portability import (
     C_VENDOR,
@@ -47,6 +56,7 @@ __all__ = [
     "SweepResult",
     "measure_seconds",
     "measure_gflops",
+    "WallTimer",
     "fig1_axpy",
     "fig2_pingpong",
     "fig3_collectives",
@@ -56,6 +66,7 @@ __all__ = [
     "Fig4Result",
     "render_table",
     "render_sweep",
+    "render_run_stats",
     "format_si",
     "CompilerGeneration",
     "JULIA_1_6",
@@ -73,6 +84,9 @@ __all__ = [
     "Claim",
     "Outcome",
     "REGISTRY",
+    "SCALES",
+    "scale_params",
+    "evaluate_outcome",
     "run_experiment",
     "paper_artefacts",
 ]

@@ -19,7 +19,30 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["measure_seconds", "measure_gflops", "Series", "SweepResult"]
+__all__ = [
+    "measure_seconds",
+    "measure_gflops",
+    "Series",
+    "SweepResult",
+    "WallTimer",
+]
+
+
+def _autorange(func: Callable[[], Any], min_time: float) -> int:
+    """Iterations per timed batch so one batch spans >= ``min_time``.
+
+    Doubles the batch size until a timed batch accumulates ``min_time``
+    seconds — the explicit calibration step of the autorange loop, run
+    once so every repetition then times the *same* number of iterations.
+    """
+    iters = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            func()
+        if time.perf_counter() - t0 >= min_time:
+            return iters
+        iters *= 2
 
 
 def measure_seconds(
@@ -28,26 +51,27 @@ def measure_seconds(
     warmup: int = 1,
     min_time: float = 0.0,
 ) -> float:
-    """Best-of-``repeat`` wall-clock seconds for ``func()``.
+    """Best-of-``repeat`` per-iteration wall-clock seconds for ``func()``.
 
-    ``min_time`` re-runs the body in a loop until at least that much
-    time accumulates (for very fast bodies), dividing by iterations.
+    With ``min_time > 0`` the body is first autoranged once: the batch
+    size is calibrated so a timed batch spans at least ``min_time``
+    seconds, then *every* repetition times that same batch size and the
+    per-iteration time of the best batch is returned.  With
+    ``min_time == 0`` (default) each repetition times exactly one call.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
+    if min_time < 0.0:
+        raise ValueError("min_time must be >= 0")
     for _ in range(warmup):
         func()
+    iters = _autorange(func, min_time) if min_time > 0.0 else 1
     best = math.inf
     for _ in range(repeat):
-        iters = 0
         t0 = time.perf_counter()
-        while True:
+        for _ in range(iters):
             func()
-            iters += 1
-            elapsed = time.perf_counter() - t0
-            if elapsed >= min_time or min_time == 0.0:
-                break
-        best = min(best, elapsed / iters)
+        best = min(best, (time.perf_counter() - t0) / iters)
     return best
 
 
@@ -60,6 +84,33 @@ def measure_gflops(
     """GFLOPS of ``func()`` performing ``flops`` float operations."""
     seconds = measure_seconds(func, repeat=repeat, warmup=warmup)
     return flops / seconds / 1e9 if seconds > 0 else math.inf
+
+
+class WallTimer:
+    """Context-manager stopwatch: ``with WallTimer() as t: ...; t.seconds``.
+
+    The execution engine times tasks and whole runs with this; while
+    still running, ``seconds`` reads the elapsed time so far.
+    """
+
+    def __init__(self) -> None:
+        self._t0: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "WallTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._elapsed = time.perf_counter() - self._t0
+
+    @property
+    def seconds(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("WallTimer never started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._t0
+        return self._elapsed
 
 
 @dataclass

@@ -30,6 +30,9 @@ __all__ = [
     "Experiment",
     "Outcome",
     "REGISTRY",
+    "SCALES",
+    "scale_params",
+    "evaluate_outcome",
     "run_experiment",
     "paper_artefacts",
 ]
@@ -79,10 +82,82 @@ class Outcome:
 
 
 # ---------------------------------------------------------------------------
-# Registered experiments
+# Scale definitions
 # ---------------------------------------------------------------------------
-def _fig1(sizes) -> Dict[str, Any]:
-    return figures.fig1_axpy(sizes=sizes)
+#: Per-experiment, per-scale parameter sets.  The registry's runners are
+#: generated from this table, and the execution engine in
+#: :mod:`repro.exec` reads it to decompose each experiment into
+#: independent sweep-point tasks and to build cache keys — one source of
+#: truth for "what does 'ci' mean for fig2".
+SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "fig1": {
+        "ci": {"sizes": [2**k for k in range(4, 23)]},
+        "paper": {"sizes": [2**k for k in range(2, 23)]},
+    },
+    "fig2": {
+        "ci": {"sizes": [0, 64, 1024, 16384, 65536, 2**20], "repetitions": 8},
+        "paper": {
+            "sizes": [0] + [2**k for k in range(0, 23)],
+            "repetitions": 20,
+        },
+    },
+    "fig3": {
+        "ci": {"sizes": [4, 1024, 65536], "nranks": 96, "repetitions": 1},
+        "paper": {"sizes": [4, 1024, 65536], "nranks": 1536, "repetitions": 1},
+    },
+    "fig4": {
+        "ci": {"nx": 48, "ny": 24, "nsteps": 150, "scaling": 1024.0},
+        "paper": {"nx": 192, "ny": 96, "nsteps": 400, "scaling": 1024.0},
+    },
+    "fig5": {
+        "ci": {"nxs": [64, 256, 1024, 3000]},
+        "paper": {
+            "nxs": [32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2048,
+                    3000, 4096, 6000],
+        },
+    },
+    "lst1": {"ci": {}, "paper": {}},
+}
+
+#: Serial generator for each experiment, taking the SCALES parameters.
+_GENERATORS: Dict[str, Callable[..., Any]] = {
+    "fig1": lambda sizes: figures.fig1_axpy(sizes=sizes),
+    "fig2": lambda sizes, repetitions: figures.fig2_pingpong(
+        sizes=sizes, repetitions=repetitions
+    ),
+    "fig3": lambda sizes, nranks, repetitions: figures.fig3_collectives(
+        sizes=sizes, nranks=nranks, repetitions=repetitions
+    ),
+    "fig4": lambda nx, ny, nsteps, scaling: figures.fig4_turbulence(
+        nx=nx, ny=ny, nsteps=nsteps, scaling=scaling
+    ),
+    "fig5": lambda nxs: figures.fig5_speedup(nxs=nxs),
+    "lst1": lambda: figures.listing_muladd(),
+}
+
+
+def scale_params(key: str, scale: str) -> Dict[str, Any]:
+    """The parameter set behind ``REGISTRY[key].runners[scale]``."""
+    try:
+        scales = SCALES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; have {sorted(SCALES)}"
+        ) from None
+    try:
+        return dict(scales[scale])
+    except KeyError:
+        raise ValueError(
+            f"experiment {key!r} has no scale {scale!r}; "
+            f"available: {sorted(scales)}"
+        ) from None
+
+
+def _make_runners(key: str) -> Dict[str, Callable[[], Any]]:
+    return {
+        scale: (lambda key=key, scale=scale: _GENERATORS[key](**SCALES[key][scale]))
+        for scale in SCALES[key]
+    }
 
 
 def _fig1_claims() -> Tuple[Claim, ...]:
@@ -109,10 +184,6 @@ def _fig1_claims() -> Tuple[Claim, ...]:
     )
 
 
-def _fig2(sizes, reps) -> Dict[str, Any]:
-    return figures.fig2_pingpong(sizes=sizes, repetitions=reps)
-
-
 def _fig2_claims() -> Tuple[Claim, ...]:
     return (
         Claim(
@@ -137,12 +208,6 @@ def _fig2_claims() -> Tuple[Claim, ...]:
     )
 
 
-def _fig3(nranks) -> Dict[str, Any]:
-    return figures.fig3_collectives(
-        sizes=[4, 1024, 65536], nranks=nranks, repetitions=1
-    )
-
-
 def _fig3_claims() -> Tuple[Claim, ...]:
     def overhead_small(panels):
         return all(
@@ -161,10 +226,6 @@ def _fig3_claims() -> Tuple[Claim, ...]:
     )
 
 
-def _fig4(nx, ny, steps) -> Any:
-    return figures.fig4_turbulence(nx=nx, ny=ny, nsteps=steps)
-
-
 def _fig4_claims() -> Tuple[Claim, ...]:
     return (
         Claim(
@@ -176,10 +237,6 @@ def _fig4_claims() -> Tuple[Claim, ...]:
             lambda r: abs(r.f64_runtime_ratio - 3.6) < 0.5,
         ),
     )
-
-
-def _fig5(nxs) -> Any:
-    return figures.fig5_speedup(nxs=nxs)
 
 
 def _fig5_claims() -> Tuple[Claim, ...]:
@@ -206,10 +263,6 @@ def _fig5_claims() -> Tuple[Claim, ...]:
     )
 
 
-def _listing() -> Dict[str, str]:
-    return figures.listing_muladd()
-
-
 def _listing_claims() -> Tuple[Claim, ...]:
     return (
         Claim(
@@ -233,10 +286,7 @@ REGISTRY: Dict[str, Experiment] = {
         key="fig1",
         artefact="Fig. 1",
         description="axpy GFLOPS vs size, 3 precisions x 5 libraries",
-        runners={
-            "ci": lambda: _fig1([2**k for k in range(4, 23)]),
-            "paper": lambda: _fig1([2**k for k in range(2, 23)]),
-        },
+        runners=_make_runners("fig1"),
         claims=_fig1_claims(),
         render=_render_panels,
     ),
@@ -244,10 +294,7 @@ REGISTRY: Dict[str, Experiment] = {
         key="fig2",
         artefact="Fig. 2",
         description="PingPong latency/throughput, MPI.jl vs IMB-C",
-        runners={
-            "ci": lambda: _fig2([0, 64, 1024, 16384, 65536, 2**20], 8),
-            "paper": lambda: _fig2([0] + [2**k for k in range(0, 23)], 20),
-        },
+        runners=_make_runners("fig2"),
         claims=_fig2_claims(),
         render=_render_panels,
     ),
@@ -255,10 +302,7 @@ REGISTRY: Dict[str, Experiment] = {
         key="fig3",
         artefact="Fig. 3",
         description="Allreduce/Gatherv/Reduce latency at scale",
-        runners={
-            "ci": lambda: _fig3(96),
-            "paper": lambda: _fig3(1536),
-        },
+        runners=_make_runners("fig3"),
         claims=_fig3_claims(),
         render=_render_panels,
     ),
@@ -266,10 +310,7 @@ REGISTRY: Dict[str, Experiment] = {
         key="fig4",
         artefact="Fig. 4",
         description="Float16 turbulence vs Float64 + runtime ratio",
-        runners={
-            "ci": lambda: _fig4(48, 24, 150),
-            "paper": lambda: _fig4(192, 96, 400),
-        },
+        runners=_make_runners("fig4"),
         claims=_fig4_claims(),
         render=lambda r: r.summary(),
     ),
@@ -277,12 +318,7 @@ REGISTRY: Dict[str, Experiment] = {
         key="fig5",
         artefact="Fig. 5",
         description="speedups over Float64 vs problem size",
-        runners={
-            "ci": lambda: _fig5([64, 256, 1024, 3000]),
-            "paper": lambda: _fig5(
-                [32, 64, 128, 256, 384, 512, 768, 1024, 1536, 2048, 3000, 4096, 6000]
-            ),
-        },
+        runners=_make_runners("fig5"),
         claims=_fig5_claims(),
         render=render_sweep,
     ),
@@ -290,7 +326,7 @@ REGISTRY: Dict[str, Experiment] = {
         key="lst1",
         artefact="§IV-C listings",
         description="muladd Float16 lowering, native and software",
-        runners={"ci": _listing, "paper": _listing},
+        runners=_make_runners("lst1"),
         claims=_listing_claims(),
         render=lambda l: l["native"] + "\n\n" + l["widened"],
     ),
@@ -302,15 +338,18 @@ def paper_artefacts() -> List[str]:
     return [e.artefact for e in REGISTRY.values()]
 
 
-def run_experiment(key: str, scale: str = "ci") -> Outcome:
-    """Run one experiment and evaluate its claims."""
+def evaluate_outcome(key: str, result: Any) -> Outcome:
+    """Evaluate an experiment's claims against an already-computed result.
+
+    Shared by the serial :func:`run_experiment` path and the task-graph
+    engine in :mod:`repro.exec`, so both produce identical outcomes.
+    """
     try:
         exp = REGISTRY[key]
     except KeyError:
         raise KeyError(
             f"unknown experiment {key!r}; have {sorted(REGISTRY)}"
         ) from None
-    result = exp.run(scale)
     claim_results = [(c.text, bool(c.check(result))) for c in exp.claims]
     report = exp.render(result) if exp.render else repr(result)
     return Outcome(
@@ -319,3 +358,14 @@ def run_experiment(key: str, scale: str = "ci") -> Outcome:
         claim_results=claim_results,
         report=report,
     )
+
+
+def run_experiment(key: str, scale: str = "ci") -> Outcome:
+    """Run one experiment and evaluate its claims."""
+    try:
+        exp = REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; have {sorted(REGISTRY)}"
+        ) from None
+    return evaluate_outcome(key, exp.run(scale))

@@ -12,7 +12,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from .benchmark import Series, SweepResult
 
-__all__ = ["render_table", "render_sweep", "format_si"]
+__all__ = ["render_table", "render_sweep", "render_run_stats", "format_si"]
 
 
 def format_si(value: float, digits: int = 3) -> str:
@@ -43,6 +43,43 @@ def render_table(
 
     lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
     lines.extend(fmt_row(row) for row in srows)
+    return "\n".join(lines)
+
+
+def render_run_stats(stats) -> str:
+    """Render a :class:`repro.exec.engine.RunStats` as text tables.
+
+    One row per experiment (status, cache source, task count, summed
+    task seconds, slowest task), followed by the cache counters and, if
+    the scheduler fell back to in-process execution, the reason why.
+    Takes the stats object duck-typed to keep this module free of an
+    import on the exec layer.
+    """
+    rows = []
+    for e in stats.experiments:
+        slowest = max(e.tasks, key=lambda t: t.seconds) if e.tasks else None
+        rows.append([
+            e.key,
+            e.scale,
+            "PASS" if e.passed else "FAIL",
+            "cache" if e.cached else "run",
+            len(e.tasks),
+            f"{e.seconds:.3f}",
+            f"{slowest.label} ({slowest.seconds:.3f}s)" if slowest else "-",
+        ])
+    lines = [
+        f"experiment engine: jobs={stats.jobs}, "
+        f"wall={stats.total_seconds:.3f}s",
+        render_table(
+            ["experiment", "scale", "status", "source", "tasks",
+             "task s", "slowest task"],
+            rows,
+        ),
+    ]
+    if stats.cache is not None:
+        lines.append(str(stats.cache))
+    if getattr(stats, "fallback_reason", None):
+        lines.append(f"scheduler fallback: {stats.fallback_reason}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,57 @@
+"""Execution engine: scheduled, cached, observable experiment runs.
+
+The experiment layer's answer to "runs as fast as the hardware allows":
+
+* :mod:`repro.exec.tasks` — every registered experiment decomposed into
+  independent sweep-point tasks (the task graph);
+* :mod:`repro.exec.scheduler` — process-pool fan-out with deterministic
+  result ordering and a graceful in-process fallback;
+* :mod:`repro.exec.cache` — content-addressed on-disk outcome cache
+  keyed by experiment + scale + parameters + a fingerprint of the
+  ``repro`` sources;
+* :mod:`repro.exec.engine` — ties the three together and records
+  per-task timings and cache statistics (:class:`RunStats`).
+
+Usage::
+
+    from repro.exec import Engine, ResultCache
+
+    engine = Engine(jobs=4, cache=ResultCache())
+    outcomes = engine.run_many(["fig1", "fig4"], scale="ci")
+    print(engine.stats.render())
+"""
+
+from .tasks import Task, decompose, execute_task, merge_results
+from .scheduler import Scheduler, TaskResult, effective_jobs
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    source_fingerprint,
+)
+from .engine import (
+    Engine,
+    ExperimentStats,
+    RunStats,
+    TaskMetric,
+    run_experiment_cached,
+)
+
+__all__ = [
+    "Task",
+    "decompose",
+    "execute_task",
+    "merge_results",
+    "Scheduler",
+    "TaskResult",
+    "effective_jobs",
+    "CacheStats",
+    "ResultCache",
+    "source_fingerprint",
+    "DEFAULT_CACHE_DIR",
+    "Engine",
+    "ExperimentStats",
+    "RunStats",
+    "TaskMetric",
+    "run_experiment_cached",
+]

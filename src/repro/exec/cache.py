@@ -1,0 +1,202 @@
+"""Content-addressed on-disk cache for experiment outcomes.
+
+An experiment result is a pure function of (experiment key, scale,
+parameters, source code), so the cache key is a SHA-256 digest over all
+four.  The *source fingerprint* hashes every ``repro/**/*.py`` file, so
+editing any module of the package invalidates every cached outcome —
+conservative, but it can never serve a stale result after a refactor.
+
+Entries live as JSON under ``.repro-cache/`` (one file per
+experiment+scale, holding its digest); a digest mismatch on load counts
+as an *invalidation* (parameters or sources changed), a missing file as
+a plain *miss*.  :class:`CacheStats` keeps the hit/miss/invalidation
+counters the CLI's ``--stats`` table reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..core.experiments import Outcome
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "source_fingerprint",
+    "DEFAULT_CACHE_DIR",
+]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_CACHE_FORMAT_VERSION = 1
+
+_fingerprint_memo: Dict[str, str] = {}
+
+
+def source_fingerprint(refresh: bool = False) -> str:
+    """SHA-256 over every ``repro`` source file (memoized per process).
+
+    Any change to the package's Python sources changes the fingerprint
+    and therefore invalidates all cached outcomes.
+    """
+    root = str(Path(__file__).resolve().parent.parent)
+    if refresh or root not in _fingerprint_memo:
+        h = hashlib.sha256()
+        for path in sorted(Path(root).rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+        _fingerprint_memo[root] = h.hexdigest()
+    return _fingerprint_memo[root]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "writes": self.writes,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses, "
+            f"{self.invalidations} invalidations, {self.writes} writes"
+        )
+
+
+class ResultCache:
+    """JSON result store addressed by experiment content digest.
+
+    ``fingerprint`` can be injected for tests; by default it is the
+    package :func:`source_fingerprint`.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike = DEFAULT_CACHE_DIR,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.stats = CacheStats()
+        self._fingerprint = fingerprint
+
+    # -- keying -----------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint or source_fingerprint()
+
+    def digest(
+        self, experiment: str, scale: str, params: Optional[Dict[str, Any]] = None
+    ) -> str:
+        doc = {
+            "version": _CACHE_FORMAT_VERSION,
+            "experiment": experiment,
+            "scale": scale,
+            "params": params or {},
+            "fingerprint": self.fingerprint,
+        }
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def path_for(self, experiment: str, scale: str) -> Path:
+        return self.directory / f"{experiment}-{scale}.json"
+
+    # -- operations -------------------------------------------------------
+    def get(
+        self,
+        experiment: str,
+        scale: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Outcome]:
+        """Cached outcome, or None (counting a miss and, if a stale
+        entry was found, an invalidation)."""
+        path = self.path_for(experiment, scale)
+        try:
+            doc = json.loads(path.read_text())
+            stored_digest = doc["digest"]
+            outcome_doc = doc["outcome"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            # Corrupt entry: treat as stale.
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+        if stored_digest != self.digest(experiment, scale, params):
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            return None
+        self.stats.hits += 1
+        return _outcome_from_dict(outcome_doc)
+
+    def put(
+        self,
+        experiment: str,
+        scale: str,
+        outcome: Outcome,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Store an outcome (atomically replacing any previous entry)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(experiment, scale)
+        doc = {
+            "digest": self.digest(experiment, scale, params),
+            "experiment": experiment,
+            "scale": scale,
+            "params": params or {},
+            "outcome": _outcome_to_dict(outcome),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True))
+        tmp.replace(path)
+        self.stats.writes += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def _outcome_to_dict(outcome: Outcome) -> Dict[str, Any]:
+    return {
+        "key": outcome.key,
+        "passed": outcome.passed,
+        "claim_results": [[text, ok] for text, ok in outcome.claim_results],
+        "report": outcome.report,
+    }
+
+
+def _outcome_from_dict(doc: Dict[str, Any]) -> Outcome:
+    return Outcome(
+        key=doc["key"],
+        passed=bool(doc["passed"]),
+        claim_results=[(text, bool(ok)) for text, ok in doc["claim_results"]],
+        report=doc["report"],
+    )

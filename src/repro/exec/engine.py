@@ -1,0 +1,247 @@
+"""The experiment engine: task graph + scheduler + cache + metrics.
+
+``Engine`` is what ``repro run`` drives: it decomposes each requested
+experiment into sweep-point tasks, schedules them (optionally on a
+process pool), merges the payloads, evaluates the paper's claims, and
+records per-task and per-experiment wall-clock plus cache statistics
+into a :class:`RunStats` that renders through :mod:`repro.core.report`.
+
+When several experiments run together (``repro run all``) their tasks
+are flattened into a single scheduler submission, so a 4-way pool keeps
+working on fig4's simulations while fig3's message-size points drain —
+no per-experiment barrier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.benchmark import WallTimer
+from ..core.experiments import REGISTRY, Outcome, evaluate_outcome, scale_params
+from .cache import CacheStats, ResultCache
+from .scheduler import Scheduler, TaskResult
+from .tasks import Task, decompose, merge_results
+
+__all__ = [
+    "Engine",
+    "ExperimentStats",
+    "RunStats",
+    "TaskMetric",
+    "run_experiment_cached",
+]
+
+
+@dataclass
+class TaskMetric:
+    """Timing of one executed task."""
+
+    experiment: str
+    label: str
+    seconds: float
+    worker: str  # "inline" or "pool"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "label": self.label,
+            "seconds": self.seconds,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class ExperimentStats:
+    """Per-experiment execution record for one engine run."""
+
+    key: str
+    scale: str
+    cached: bool
+    passed: bool
+    seconds: float  # summed task work time (0.0 on a cache hit)
+    tasks: List[TaskMetric] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "scale": self.scale,
+            "cached": self.cached,
+            "passed": self.passed,
+            "seconds": self.seconds,
+            "ntasks": len(self.tasks),
+            "tasks": [t.as_dict() for t in self.tasks],
+        }
+
+
+@dataclass
+class RunStats:
+    """Everything ``--stats`` / ``--json`` reports about an engine run."""
+
+    jobs: int
+    experiments: List[ExperimentStats] = field(default_factory=list)
+    cache: Optional[CacheStats] = None
+    total_seconds: float = 0.0
+    fallback_reason: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "jobs": self.jobs,
+            "total_seconds": self.total_seconds,
+            "experiments": [e.as_dict() for e in self.experiments],
+        }
+        if self.cache is not None:
+            doc["cache"] = self.cache.as_dict()
+        if self.fallback_reason is not None:
+            doc["fallback_reason"] = self.fallback_reason
+        return doc
+
+    def render(self) -> str:
+        from ..core.report import render_run_stats
+
+        return render_run_stats(self)
+
+
+class Engine:
+    """Schedule, cache and account for experiment runs.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 (default) runs everything in-process,
+        0/None means one per CPU.
+    cache:
+        A :class:`ResultCache` to consult/fill, or None to always
+        recompute.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.scheduler = Scheduler(jobs=jobs)
+        self.cache = cache
+        self.stats = RunStats(
+            jobs=self.scheduler.jobs,
+            cache=cache.stats if cache is not None else None,
+        )
+
+    # -- single experiment ------------------------------------------------
+    def run(
+        self,
+        key: str,
+        scale: str = "ci",
+        extra_params: Optional[Dict[str, Any]] = None,
+    ) -> Outcome:
+        """Run (or fetch) one experiment; equivalent to the serial
+        :func:`repro.core.experiments.run_experiment`."""
+        return self.run_many([key], scale=scale, extra_params=extra_params)[key]
+
+    # -- many experiments, one scheduler submission -----------------------
+    def run_many(
+        self,
+        keys: Sequence[str],
+        scale: str = "ci",
+        extra_params: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Outcome]:
+        """Run several experiments, flattening their tasks into one
+        scheduler submission.  Returns outcomes keyed like ``keys``."""
+        with WallTimer() as wall:
+            outcomes: Dict[str, Outcome] = {}
+            pending: List[tuple] = []
+            for key in keys:
+                if key not in REGISTRY:
+                    raise KeyError(
+                        f"unknown experiment {key!r}; have {sorted(REGISTRY)}"
+                    )
+                cached = self._cache_get(key, scale, extra_params)
+                if cached is not None:
+                    outcomes[key] = cached
+                    self.stats.experiments.append(
+                        ExperimentStats(
+                            key=key, scale=scale, cached=True,
+                            passed=cached.passed, seconds=0.0,
+                        )
+                    )
+                else:
+                    pending.append((key, decompose(key, scale)))
+
+            all_tasks: List[Task] = [t for _, ts in pending for t in ts]
+            results = self.scheduler.map(all_tasks)
+            self.stats.fallback_reason = self.scheduler.fallback_reason
+
+            cursor = 0
+            for key, tasks in pending:
+                chunk = results[cursor:cursor + len(tasks)]
+                cursor += len(tasks)
+                outcomes[key] = self._finish(key, scale, chunk, extra_params)
+        self.stats.total_seconds += wall.seconds
+        return outcomes
+
+    # -- internals --------------------------------------------------------
+    def _cache_key_params(
+        self, key: str, scale: str, extra_params: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        params = scale_params(key, scale)
+        if extra_params:
+            params.update(extra_params)
+        return params
+
+    def _cache_get(
+        self, key: str, scale: str, extra_params: Optional[Dict[str, Any]]
+    ) -> Optional[Outcome]:
+        if self.cache is None:
+            return None
+        return self.cache.get(
+            key, scale, self._cache_key_params(key, scale, extra_params)
+        )
+
+    def _finish(
+        self,
+        key: str,
+        scale: str,
+        results: Sequence[TaskResult],
+        extra_params: Optional[Dict[str, Any]],
+    ) -> Outcome:
+        result = merge_results(key, scale, [r.value for r in results])
+        outcome = evaluate_outcome(key, result)
+        if self.cache is not None:
+            self.cache.put(
+                key, scale, outcome,
+                self._cache_key_params(key, scale, extra_params),
+            )
+        metrics = [
+            TaskMetric(
+                experiment=key,
+                label=r.task.label,
+                seconds=r.seconds,
+                worker=r.worker,
+            )
+            for r in results
+        ]
+        self.stats.experiments.append(
+            ExperimentStats(
+                key=key,
+                scale=scale,
+                cached=False,
+                passed=outcome.passed,
+                seconds=sum(m.seconds for m in metrics),
+                tasks=metrics,
+            )
+        )
+        return outcome
+
+
+def run_experiment_cached(
+    key: str,
+    scale: str = "ci",
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+    extra_params: Optional[Dict[str, Any]] = None,
+) -> Outcome:
+    """One-shot convenience: engine + cache for a single experiment."""
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return Engine(jobs=jobs, cache=cache).run(
+        key, scale=scale, extra_params=extra_params
+    )

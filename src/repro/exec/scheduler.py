@@ -1,0 +1,134 @@
+"""Task scheduler: process-pool fan-out with a serial fallback.
+
+The scheduler maps :class:`~repro.exec.tasks.Task` lists onto a
+``concurrent.futures.ProcessPoolExecutor`` when ``jobs > 1``, preserving
+submission order so results are deterministic regardless of completion
+order.  It degrades gracefully to in-process execution when:
+
+* ``jobs == 1`` (the default serial path — no pool, no overhead);
+* running under pytest-xdist (nested pools fight over workers);
+* the platform refuses to give us a pool (sandboxes without semaphores);
+* the pool breaks mid-run (worker OOM-killed) — remaining tasks rerun
+  inline rather than failing the experiment.
+
+Each task is timed where it runs, so per-task wall-clock lands in the
+engine's metrics either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from .tasks import Task, execute_task
+
+__all__ = ["Scheduler", "TaskResult", "effective_jobs"]
+
+
+@dataclass
+class TaskResult:
+    """One executed task: payload plus where/how long it ran."""
+
+    task: Task
+    value: Any
+    seconds: float
+    worker: str  # "inline" or "pool"
+
+
+def effective_jobs(jobs: Optional[int]) -> int:
+    """Resolve a ``--jobs`` value: None/0 means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+    return jobs
+
+
+def _under_pytest_xdist() -> bool:
+    return "PYTEST_XDIST_WORKER" in os.environ
+
+
+def _timed_execute(task: Task) -> tuple:
+    t0 = time.perf_counter()
+    value = execute_task(task)
+    return value, time.perf_counter() - t0
+
+
+def _worker_init(paths: List[str]) -> None:  # pragma: no cover - worker side
+    for p in paths:
+        if p not in sys.path:
+            sys.path.append(p)
+
+
+class Scheduler:
+    """Run task lists, in parallel when asked and possible.
+
+    ``fallback_reason`` records why the last :meth:`map` call ran
+    inline, if it did — surfaced in ``--stats`` so a silent fallback is
+    still observable.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1) -> None:
+        self.jobs = effective_jobs(jobs)
+        self.fallback_reason: Optional[str] = None
+
+    # -- internals --------------------------------------------------------
+    def _run_inline(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        out = []
+        for task in tasks:
+            value, seconds = _timed_execute(task)
+            out.append(TaskResult(task, value, seconds, worker="inline"))
+        return out
+
+    def _mp_context(self):
+        # fork keeps the already-imported numpy/repro hot in workers;
+        # fall back to the platform default (spawn on macOS/Windows).
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def _run_pool(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._mp_context(),
+            initializer=_worker_init,
+            initargs=(list(sys.path),),
+        ) as pool:
+            futures = [pool.submit(_timed_execute, t) for t in tasks]
+            out = []
+            for task, future in zip(tasks, futures):
+                value, seconds = future.result()
+                out.append(TaskResult(task, value, seconds, worker="pool"))
+        return out
+
+    # -- public -----------------------------------------------------------
+    def map(self, tasks: Sequence[Task]) -> List[TaskResult]:
+        """Execute all tasks; results come back in submission order."""
+        self.fallback_reason = None
+        if not tasks:
+            return []
+        if self.jobs <= 1:
+            return self._run_inline(tasks)
+        if len(tasks) == 1:
+            self.fallback_reason = "single task"
+            return self._run_inline(tasks)
+        if _under_pytest_xdist():
+            self.fallback_reason = "pytest-xdist worker"
+            return self._run_inline(tasks)
+        try:
+            return self._run_pool(tasks)
+        except BrokenProcessPool:
+            self.fallback_reason = "process pool broke mid-run"
+            return self._run_inline(tasks)
+        except (OSError, PermissionError, ValueError, ImportError) as exc:
+            # No semaphores / fork refused / restricted sandbox.
+            self.fallback_reason = f"process pool unavailable ({exc})"
+            return self._run_inline(tasks)

@@ -1,0 +1,168 @@
+"""Task graph: experiments decomposed into independent sweep points.
+
+Every registered experiment is a *sweep* over independent points — per
+(precision, size) axpy panels for Fig. 1, per-message-size PingPong
+points for Fig. 2, per-(collective, size) worlds for Fig. 3, one
+simulation per precision for Fig. 4, one grid size per point for
+Fig. 5.  :func:`decompose` turns ``(experiment, scale)`` into a flat
+list of :class:`Task` objects, :func:`execute_task` runs one of them
+(in-process or inside a pool worker — tasks are plain picklable data),
+and :func:`merge_results` reassembles the payloads into exactly the
+result object the serial generator returns.
+
+The invariant the tests pin down::
+
+    merge_results(key, scale, [execute_task(t) for t in decompose(key, scale)])
+        == REGISTRY[key].run(scale)           # byte-identical reports
+
+because both sides are built from the same ``figN_*_point`` /
+``assemble_figN`` halves in :mod:`repro.core.figures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from ..core import figures
+from ..core.experiments import SCALES, scale_params
+
+__all__ = ["Task", "decompose", "execute_task", "merge_results"]
+
+
+@dataclass
+class Task:
+    """One independent unit of experiment work (picklable)."""
+
+    experiment: str
+    scale: str
+    index: int  # position within the experiment's task list
+    kind: str  # executor name, e.g. "fig1_point"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for metrics tables."""
+        args = ",".join(f"{k}={v}" for k, v in self.params.items() if not
+                        isinstance(v, (list, tuple)))
+        return f"{self.experiment}[{args}]" if args else self.experiment
+
+
+#: kind -> callable executed with ``**task.params``.
+_EXECUTORS = {
+    "fig1_point": figures.fig1_axpy_point,
+    "fig2_point": figures.fig2_pingpong_point,
+    "fig3_point": figures.fig3_collectives_point,
+    "fig4_field": figures.fig4_field,
+    "fig4_ratio": figures.fig4_runtime_ratio,
+    "fig5_point": figures.fig5_speedup_point,
+    "lst1_listing": figures.listing_muladd,
+}
+
+_FIG1_FORMATS = ("Float16", "Float32", "Float64")
+
+
+def decompose(key: str, scale: str = "ci") -> List[Task]:
+    """Decompose one registered experiment into independent tasks.
+
+    Tasks are returned in a deterministic order that
+    :func:`merge_results` relies on; indices are contiguous from 0.
+    """
+    params = scale_params(key, scale)
+    tasks: List[Task] = []
+
+    def add(kind: str, **task_params: Any) -> None:
+        tasks.append(
+            Task(
+                experiment=key,
+                scale=scale,
+                index=len(tasks),
+                kind=kind,
+                params=task_params,
+            )
+        )
+
+    if key == "fig1":
+        for fmt in _FIG1_FORMATS:
+            for n in params["sizes"]:
+                add("fig1_point", fmt=fmt, n=n)
+    elif key == "fig2":
+        for n in params["sizes"]:
+            add("fig2_point", nbytes=n, repetitions=params["repetitions"])
+    elif key == "fig3":
+        for bench in figures.FIG3_BENCHES:
+            for n in params["sizes"]:
+                add(
+                    "fig3_point",
+                    bench=bench,
+                    nbytes=n,
+                    nranks=params["nranks"],
+                    repetitions=params["repetitions"],
+                )
+    elif key == "fig4":
+        add(
+            "fig4_field",
+            nx=params["nx"], ny=params["ny"], nsteps=params["nsteps"],
+            dtype="float64",
+        )
+        add(
+            "fig4_field",
+            nx=params["nx"], ny=params["ny"], nsteps=params["nsteps"],
+            dtype="float16", scaling=params["scaling"],
+            integration="compensated",
+        )
+        add("fig4_ratio", scaling=params["scaling"])
+    elif key == "fig5":
+        for nx in params["nxs"]:
+            add("fig5_point", nx=nx)
+    elif key == "lst1":
+        add("lst1_listing")
+    else:  # new experiment registered without a decomposition
+        raise KeyError(
+            f"no task decomposition for experiment {key!r}; "
+            f"known: {sorted(SCALES)}"
+        )
+    return tasks
+
+
+def execute_task(task: Task) -> Any:
+    """Run one task and return its payload (called in pool workers)."""
+    try:
+        fn = _EXECUTORS[task.kind]
+    except KeyError:
+        raise KeyError(f"unknown task kind {task.kind!r}") from None
+    return fn(**task.params)
+
+
+def merge_results(key: str, scale: str, payloads: Sequence[Any]) -> Any:
+    """Reassemble task payloads into the serial generator's result.
+
+    ``payloads`` must be in :func:`decompose` order (the scheduler
+    guarantees deterministic ordering regardless of completion order).
+    """
+    params = scale_params(key, scale)
+    if key == "fig1":
+        sizes = params["sizes"]
+        points = {
+            fmt: list(payloads[i * len(sizes):(i + 1) * len(sizes)])
+            for i, fmt in enumerate(_FIG1_FORMATS)
+        }
+        return figures.assemble_fig1(sizes, list(_FIG1_FORMATS), points)
+    if key == "fig2":
+        return figures.assemble_fig2(params["sizes"], list(payloads))
+    if key == "fig3":
+        sizes = params["sizes"]
+        points = {
+            bench: list(payloads[i * len(sizes):(i + 1) * len(sizes)])
+            for i, bench in enumerate(figures.FIG3_BENCHES)
+        }
+        return figures.assemble_fig3(sizes, params["nranks"], points)
+    if key == "fig4":
+        z64, z16, ratio = payloads
+        return figures.assemble_fig4(z64, z16, ratio)
+    if key == "fig5":
+        return figures.assemble_fig5(params["nxs"], list(payloads))
+    if key == "lst1":
+        (listing,) = payloads
+        return listing
+    raise KeyError(f"no merge rule for experiment {key!r}")

@@ -28,7 +28,6 @@ paper tells about Julia.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -45,21 +44,65 @@ __all__ = [
 
 
 MIN_EXP, MAX_EXP = -1100, 1100  # histogram support (covers float64 + slack)
+_SPAN = MAX_EXP - MIN_EXP + 1
 
 
-@dataclass
 class ExponentHistogram:
     """Histogram of base-2 exponents of every recorded value.
 
     Bucket ``e`` counts values with ``floor(log2(|x|)) == e``.  Zeros,
     NaNs and infinities are tallied separately.
+
+    Internally the buckets are one fixed-span ``int64`` array (one slot
+    per binade from ``MIN_EXP`` to ``MAX_EXP``) so that :meth:`record` —
+    which runs on *every* ufunc result of a :class:`Sherlog` array — is
+    a single ``np.bincount`` accumulation rather than a Python dict
+    loop.  The :attr:`counts` dict view is preserved for callers.
     """
 
-    counts: Dict[int, int] = field(default_factory=dict)
-    zeros: int = 0
-    nans: int = 0
-    infs: int = 0
-    total: int = 0
+    __slots__ = ("_bins", "zeros", "nans", "infs", "total")
+
+    def __init__(
+        self,
+        counts: Optional[Dict[int, int]] = None,
+        zeros: int = 0,
+        nans: int = 0,
+        infs: int = 0,
+        total: int = 0,
+    ) -> None:
+        self._bins = np.zeros(_SPAN, dtype=np.int64)
+        if counts:
+            for e, c in counts.items():
+                self._bins[int(e) - MIN_EXP] = int(c)
+        self.zeros = zeros
+        self.nans = nans
+        self.infs = infs
+        self.total = total
+
+    @property
+    def counts(self) -> Dict[int, int]:
+        """Nonempty buckets as ``{exponent: count}`` (ascending)."""
+        (nz,) = np.nonzero(self._bins)
+        return {
+            int(i) + MIN_EXP: int(self._bins[i]) for i in nz
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentHistogram(counts={self.counts!r}, zeros={self.zeros}, "
+            f"nans={self.nans}, infs={self.infs}, total={self.total})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExponentHistogram):
+            return NotImplemented
+        return (
+            bool(np.array_equal(self._bins, other._bins))
+            and self.zeros == other.zeros
+            and self.nans == other.nans
+            and self.infs == other.infs
+            and self.total == other.total
+        )
 
     def record(self, values: np.ndarray) -> None:
         """Record all elements of ``values`` (any float dtype)."""
@@ -71,34 +114,37 @@ class ExponentHistogram:
         self.nans += int(np.isnan(v).sum())
         self.infs += int(np.isinf(v).sum())
         fv = v[finite]
-        zero = fv == 0.0
-        self.zeros += int(zero.sum())
-        nz = fv[~zero]
+        nonzero = fv != 0.0
+        nz = fv[nonzero]
+        self.zeros += int(fv.size - nz.size)
         if nz.size == 0:
             return
         exps = np.frexp(np.abs(nz))[1] - 1  # floor(log2|x|)
-        exps = np.clip(exps, MIN_EXP, MAX_EXP)
-        uniq, cnt = np.unique(exps, return_counts=True)
-        for e, c in zip(uniq.tolist(), cnt.tolist()):
-            self.counts[int(e)] = self.counts.get(int(e), 0) + int(c)
+        offsets = np.clip(exps, MIN_EXP, MAX_EXP).astype(np.int64) - MIN_EXP
+        self._bins += np.bincount(offsets, minlength=_SPAN)
 
     # -- queries ----------------------------------------------------------
     @property
     def nonzero_recorded(self) -> int:
-        return sum(self.counts.values())
+        return int(self._bins.sum())
 
     def exponent_range(self) -> tuple[int, int]:
         """(min, max) recorded exponent; raises if nothing recorded."""
-        if not self.counts:
+        (nz,) = np.nonzero(self._bins)
+        if nz.size == 0:
             raise ValueError("no nonzero values recorded")
-        return min(self.counts), max(self.counts)
+        return int(nz[0]) + MIN_EXP, int(nz[-1]) + MIN_EXP
 
     def fraction_in(self, lo_exp: int, hi_exp: int) -> float:
         """Fraction of nonzero values with exponent in [lo_exp, hi_exp]."""
         n = self.nonzero_recorded
-        if n == 0:
+        if n == 0 or hi_exp < lo_exp:
             return 0.0
-        inside = sum(c for e, c in self.counts.items() if lo_exp <= e <= hi_exp)
+        lo = max(int(lo_exp), MIN_EXP) - MIN_EXP
+        hi = min(int(hi_exp), MAX_EXP) - MIN_EXP
+        if hi < 0 or lo > _SPAN - 1:
+            return 0.0
+        inside = int(self._bins[lo:hi + 1].sum())
         return inside / n
 
     def subnormal_fraction(self, fmt: FloatFormat | str = FLOAT16) -> float:
@@ -124,20 +170,17 @@ class ExponentHistogram:
         """Exponent below which a fraction ``q`` of nonzero values lie."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
-        if not self.counts:
-            raise ValueError("no nonzero values recorded")
-        n = self.nonzero_recorded
-        acc = 0
-        for e in sorted(self.counts):
-            acc += self.counts[e]
-            if acc >= q * n:
-                return e
-        return max(self.counts)
+        lo, hi = self.exponent_range()  # raises when nothing recorded
+        target = q * self.nonzero_recorded
+        if target <= 0.0:
+            return lo
+        cum = np.cumsum(self._bins)
+        idx = int(np.searchsorted(cum, target, side="left"))
+        return min(idx + MIN_EXP, hi)
 
     def merge(self, other: "ExponentHistogram") -> None:
         """Fold another histogram into this one (e.g. from a second run)."""
-        for e, c in other.counts.items():
-            self.counts[e] = self.counts.get(e, 0) + c
+        self._bins += other._bins
         self.zeros += other.zeros
         self.nans += other.nans
         self.infs += other.infs

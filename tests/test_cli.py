@@ -19,6 +19,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig1", "--scale", "huge"])
 
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["run", "fig1"])
+        assert args.jobs == 1
+        assert not args.cache
+        assert not args.stats
+        assert not args.json_stats
+
+    def test_engine_flags_parse(self):
+        args = build_parser().parse_args(
+            ["run", "all", "--jobs", "4", "--cache", "--stats", "--json"]
+        )
+        assert args.jobs == 4 and args.cache and args.stats and args.json_stats
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -52,3 +65,52 @@ class TestCommands:
         assert main(["run", "fig5", "--quiet"]) == 0
         out = capsys.readouterr().out
         assert out.count("ok  ") == 4  # four claims hold
+
+
+class TestEngineCommands:
+    def test_jobs_output_byte_identical_to_serial(self, capsys):
+        assert main(["run", "fig5", "--quiet"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig5", "--quiet", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_stats_table_printed(self, capsys):
+        assert main(["run", "fig5", "--quiet", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment engine: jobs=1" in out
+        assert "slowest task" in out
+
+    def test_cache_flag_hits_on_second_run(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["run", "fig5", "--quiet", "--cache-dir", cache_dir,
+                     "--stats"]) == 0
+        cold = capsys.readouterr().out
+        assert "0 hits, 1 misses" in cold
+        assert main(["run", "fig5", "--quiet", "--cache-dir", cache_dir,
+                     "--stats"]) == 0
+        warm = capsys.readouterr().out
+        assert "1 hits, 0 misses" in warm
+        assert "cache" in warm
+
+    def test_json_stats_parse_and_carry_claims(self, tmp_path, capsys):
+        import json
+
+        assert main(["run", "fig5", "--json", "--cache-dir",
+                     str(tmp_path / "c")]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["jobs"] == 1
+        assert doc["scale"] == "ci"
+        (fig5,) = doc["experiments"]
+        assert fig5["key"] == "fig5" and fig5["ntasks"] == 4
+        assert all(c["ok"] for c in fig5["claims"])
+        assert doc["cache"]["misses"] == 1
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["run", "fig5", "--quiet", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "1 cached outcome(s)" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out

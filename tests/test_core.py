@@ -1,5 +1,7 @@
 """Tests for repro.core — typeflex kernels, benchmark harness, report."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -95,6 +97,66 @@ class TestBenchmarkHarness:
     def test_measure_seconds_validates(self):
         with pytest.raises(ValueError):
             measure_seconds(lambda: None, repeat=0)
+
+    def test_min_time_zero_runs_once_per_repetition(self):
+        calls = [0]
+
+        def body():
+            calls[0] += 1
+
+        measure_seconds(body, repeat=3, warmup=2, min_time=0.0)
+        assert calls[0] == 2 + 3  # warmup + exactly one call per repetition
+
+    def test_min_time_same_batch_size_every_repetition(self, monkeypatch):
+        """The autorange calibration happens once; every repetition then
+        times the same number of iterations (the min_time/repeat
+        interaction the seed got wrong).  A fake steady clock makes the
+        call pattern exact: calibration batches of 1, 2 and 4 calls,
+        then three timed batches of 4."""
+        import repro.core.benchmark as bm
+
+        clock = [0.0]
+        monkeypatch.setattr(bm.time, "perf_counter", lambda: clock[0])
+        calls = [0]
+
+        def body():  # exactly 1 ms per call on the fake clock
+            clock[0] += 0.001
+            calls[0] += 1
+
+        t = bm.measure_seconds(body, repeat=3, warmup=0, min_time=0.0035)
+        assert calls[0] == (1 + 2 + 4) + 3 * 4
+        assert t == pytest.approx(0.001)
+
+    def test_min_time_returns_per_iteration_time(self):
+        t = measure_seconds(lambda: None, repeat=2, warmup=0, min_time=0.01)
+        assert t < 0.01  # per-iteration, not the accumulated window
+
+    def test_autorange_doubles_until_window_filled(self):
+        from repro.core.benchmark import _autorange
+
+        assert _autorange(lambda: None, 0.0) == 1
+        assert _autorange(lambda: time.sleep(0.002), 0.001) == 1
+        assert _autorange(lambda: None, 0.001) > 1
+
+    def test_negative_min_time_rejected(self):
+        with pytest.raises(ValueError):
+            measure_seconds(lambda: None, min_time=-1.0)
+
+    def test_walltimer_measures_elapsed(self):
+        from repro.core.benchmark import WallTimer
+
+        with WallTimer() as t:
+            time.sleep(0.005)
+            assert t.seconds > 0  # readable while running
+        frozen = t.seconds
+        assert frozen >= 0.005
+        assert t.seconds == frozen  # frozen after exit
+
+    def test_walltimer_unstarted_raises(self):
+        from repro.core.benchmark import WallTimer
+
+        with pytest.raises(RuntimeError):
+            WallTimer().seconds
 
     def test_measure_gflops(self):
         g = measure_gflops(lambda: np.dot(np.ones(1000), np.ones(1000)),

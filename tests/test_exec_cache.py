@@ -1,0 +1,118 @@
+"""Tests for repro.exec.cache — the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.core.experiments import Outcome, run_experiment, scale_params
+from repro.exec import Engine, ResultCache, source_fingerprint
+
+
+@pytest.fixture
+def cache(tmp_path):
+    # A fixed injected fingerprint keeps the (hashing of ~100 source
+    # files) out of unit tests; integration paths use the real one.
+    return ResultCache(tmp_path / "cache", fingerprint="test-fp")
+
+
+def _outcome(key="fig9", passed=True):
+    return Outcome(
+        key=key,
+        passed=passed,
+        claim_results=[("claim A", True), ("claim B", passed)],
+        report="line1\nline2",
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, cache):
+        assert cache.get("fig9", "ci") is None
+        cache.put("fig9", "ci", _outcome())
+        got = cache.get("fig9", "ci")
+        assert got == _outcome()
+        assert isinstance(got.claim_results[0], tuple)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+        assert cache.stats.invalidations == 0
+
+    def test_param_change_invalidates(self, cache):
+        cache.put("fig9", "ci", _outcome(), params={"sizes": [1, 2]})
+        assert cache.get("fig9", "ci", params={"sizes": [1, 2, 3]}) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+
+    def test_scales_are_separate_entries(self, cache):
+        cache.put("fig9", "ci", _outcome())
+        assert cache.get("fig9", "paper") is None
+        cache.put("fig9", "paper", _outcome(passed=False))
+        assert cache.get("fig9", "ci").passed
+        assert not cache.get("fig9", "paper").passed
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        a = ResultCache(tmp_path, fingerprint="fp-a")
+        a.put("fig9", "ci", _outcome())
+        b = ResultCache(tmp_path, fingerprint="fp-b")
+        assert b.get("fig9", "ci") is None
+        assert b.stats.invalidations == 1
+
+    def test_corrupt_entry_is_invalidated(self, cache):
+        path = cache.put("fig9", "ci", _outcome())
+        path.write_text("{not json")
+        assert cache.get("fig9", "ci") is None
+        assert cache.stats.invalidations == 1
+
+    def test_put_overwrites_stale_entry(self, cache):
+        cache.put("fig9", "ci", _outcome(passed=False), params={"v": 1})
+        cache.put("fig9", "ci", _outcome(passed=True), params={"v": 2})
+        assert len(cache) == 1
+        assert cache.get("fig9", "ci", params={"v": 2}).passed
+
+    def test_clear(self, cache):
+        cache.put("fig9", "ci", _outcome())
+        cache.put("fig8", "ci", _outcome("fig8"))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.clear() == 0  # idempotent on a missing directory
+
+    def test_entries_are_stable_json(self, cache):
+        path = cache.put("fig9", "ci", _outcome())
+        doc = json.loads(path.read_text())
+        assert doc["experiment"] == "fig9"
+        assert doc["outcome"]["report"] == "line1\nline2"
+        assert doc["digest"] == cache.digest("fig9", "ci")
+
+
+class TestSourceFingerprint:
+    def test_stable_within_process(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 64
+
+    def test_refresh_recomputes_same_value(self):
+        assert source_fingerprint(refresh=True) == source_fingerprint()
+
+
+class TestEngineCaching:
+    def test_warm_hit_returns_equal_outcome(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = Engine(jobs=1, cache=cache)
+        cold = engine.run("fig5", "ci")
+        warm = engine.run("fig5", "ci")
+        assert cold == warm == run_experiment("fig5", "ci")
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        cached_stats = engine.stats.experiments[-1]
+        assert cached_stats.cached and cached_stats.tasks == []
+
+    def test_extra_params_invalidate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = Engine(jobs=1, cache=cache)
+        engine.run("fig5", "ci")
+        engine.run("fig5", "ci", extra_params={"salt": 1})
+        assert cache.stats.invalidations == 1
+
+    def test_cache_key_includes_scale_params(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        ci = cache.digest("fig5", "ci", scale_params("fig5", "ci"))
+        paper = cache.digest("fig5", "paper", scale_params("fig5", "paper"))
+        assert ci != paper

@@ -1,0 +1,172 @@
+"""Tests for repro.exec — task graph, scheduler, engine parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments import REGISTRY, evaluate_outcome, run_experiment
+from repro.core.report import render_sweep
+from repro.exec import (
+    Engine,
+    Scheduler,
+    Task,
+    decompose,
+    effective_jobs,
+    execute_task,
+    merge_results,
+)
+
+FAST_KEYS = ["fig1", "fig5", "lst1"]  # sub-10ms at CI scale
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("key", list(REGISTRY))
+    def test_every_experiment_decomposes(self, key):
+        tasks = decompose(key, "ci")
+        assert tasks, key
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        assert all(t.experiment == key and t.scale == "ci" for t in tasks)
+
+    def test_sweeps_split_into_points(self):
+        # fig1: 3 formats x 19 CI sizes; fig2: 6 message sizes;
+        # fig3: 3 collectives x 3 sizes; fig4: 2 simulations + 1 ratio.
+        assert len(decompose("fig1", "ci")) == 57
+        assert len(decompose("fig2", "ci")) == 6
+        assert len(decompose("fig3", "ci")) == 9
+        assert len(decompose("fig4", "ci")) == 3
+        assert len(decompose("lst1", "ci")) == 1
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            decompose("fig99", "ci")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ValueError, match="no scale"):
+            decompose("fig1", "galactic")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown task kind"):
+            execute_task(Task("x", "ci", 0, "nope"))
+
+    def test_task_labels_are_informative(self):
+        labels = [t.label for t in decompose("fig1", "ci")]
+        assert "fig1[fmt=Float16,n=16]" in labels
+
+
+class TestMergeParity:
+    """decompose -> execute -> merge must equal the serial generator."""
+
+    @pytest.mark.parametrize("key", FAST_KEYS)
+    def test_outcome_identical_to_serial(self, key):
+        payloads = [execute_task(t) for t in decompose(key, "ci")]
+        merged = evaluate_outcome(key, merge_results(key, "ci", payloads))
+        assert merged == run_experiment(key, "ci")
+
+    def test_fig4_merge_matches_serial(self):
+        # One CI fig4 run is ~1s; reuse a single serial run as oracle.
+        serial = run_experiment("fig4", "ci")
+        payloads = [execute_task(t) for t in decompose("fig4", "ci")]
+        merged = evaluate_outcome("fig4", merge_results("fig4", "ci", payloads))
+        assert merged == serial
+
+    def test_fig1_panels_render_identically(self):
+        from repro.core.figures import fig1_axpy
+        from repro.core.experiments import scale_params
+
+        payloads = [execute_task(t) for t in decompose("fig1", "ci")]
+        merged = merge_results("fig1", "ci", payloads)
+        direct = fig1_axpy(**scale_params("fig1", "ci"))
+        assert {k: render_sweep(v) for k, v in merged.items()} == {
+            k: render_sweep(v) for k, v in direct.items()
+        }
+
+
+class TestScheduler:
+    def test_effective_jobs(self):
+        assert effective_jobs(1) == 1
+        assert effective_jobs(4) == 4
+        assert effective_jobs(None) >= 1
+        assert effective_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            effective_jobs(-1)
+
+    def test_serial_runs_inline(self):
+        s = Scheduler(jobs=1)
+        results = s.map(decompose("fig5", "ci"))
+        assert [r.worker for r in results] == ["inline"] * 4
+        assert all(r.seconds >= 0 for r in results)
+
+    def test_results_keep_submission_order(self):
+        s = Scheduler(jobs=2)
+        tasks = decompose("fig1", "ci")
+        results = s.map(tasks)
+        assert [r.task.index for r in results] == list(range(len(tasks)))
+
+    def test_pool_matches_inline(self):
+        tasks = decompose("fig5", "ci")
+        inline = [r.value for r in Scheduler(jobs=1).map(tasks)]
+        pooled = [r.value for r in Scheduler(jobs=2).map(tasks)]
+        assert inline == pooled
+
+    def test_single_task_stays_inline(self):
+        s = Scheduler(jobs=4)
+        results = s.map(decompose("lst1", "ci"))
+        assert results[0].worker == "inline"
+        assert s.fallback_reason == "single task"
+
+    def test_xdist_forces_inline(self, monkeypatch):
+        monkeypatch.setenv("PYTEST_XDIST_WORKER", "gw0")
+        s = Scheduler(jobs=4)
+        results = s.map(decompose("fig5", "ci"))
+        assert [r.worker for r in results] == ["inline"] * 4
+        assert s.fallback_reason == "pytest-xdist worker"
+
+    def test_empty_task_list(self):
+        assert Scheduler(jobs=4).map([]) == []
+
+
+class TestEngine:
+    @pytest.mark.parametrize("key", FAST_KEYS)
+    def test_engine_serial_equals_run_experiment(self, key):
+        assert Engine(jobs=1).run(key, "ci") == run_experiment(key, "ci")
+
+    def test_engine_parallel_reports_byte_identical(self):
+        serial = Engine(jobs=1).run_many(FAST_KEYS, "ci")
+        parallel = Engine(jobs=2).run_many(FAST_KEYS, "ci")
+        for key in FAST_KEYS:
+            assert serial[key] == parallel[key], key
+            assert serial[key].report == parallel[key].report
+
+    def test_engine_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            Engine().run("fig99")
+
+    def test_stats_record_tasks_and_wall_clock(self):
+        engine = Engine(jobs=1)
+        engine.run_many(["fig1", "fig5"], "ci")
+        stats = engine.stats
+        assert stats.jobs == 1
+        assert [e.key for e in stats.experiments] == ["fig1", "fig5"]
+        fig1 = stats.experiments[0]
+        assert not fig1.cached and fig1.passed
+        assert len(fig1.tasks) == 57
+        assert all(t.seconds >= 0 for t in fig1.tasks)
+        assert fig1.seconds == pytest.approx(
+            sum(t.seconds for t in fig1.tasks)
+        )
+        assert stats.total_seconds > 0
+
+    def test_stats_as_dict_and_render(self):
+        engine = Engine(jobs=1)
+        engine.run("fig5", "ci")
+        doc = engine.stats.as_dict()
+        assert doc["jobs"] == 1
+        assert doc["experiments"][0]["key"] == "fig5"
+        assert doc["experiments"][0]["ntasks"] == 4
+        text = engine.stats.render()
+        assert "fig5" in text and "jobs=1" in text
+
+    def test_engine_accumulates_across_runs(self):
+        engine = Engine(jobs=1)
+        engine.run("fig5", "ci")
+        engine.run("lst1", "ci")
+        assert [e.key for e in engine.stats.experiments] == ["fig5", "lst1"]

@@ -128,6 +128,101 @@ class TestSherlogArrays:
         assert float(np.asarray(x)[0]) == 2.0
 
 
+def _reference_record(values):
+    """The seed's dict/zip implementation of ExponentHistogram.record,
+    kept as the equivalence oracle for the vectorised np.bincount path."""
+    from repro.ftypes.sherlog import MIN_EXP, MAX_EXP
+
+    counts, zeros, nans, infs, total = {}, 0, 0, 0, 0
+    v = np.asarray(values, dtype=np.float64).ravel()
+    if v.size:
+        total += v.size
+        finite = np.isfinite(v)
+        nans += int(np.isnan(v).sum())
+        infs += int(np.isinf(v).sum())
+        fv = v[finite]
+        zero = fv == 0.0
+        zeros += int(zero.sum())
+        nz = fv[~zero]
+        if nz.size:
+            exps = np.clip(np.frexp(np.abs(nz))[1] - 1, MIN_EXP, MAX_EXP)
+            uniq, cnt = np.unique(exps, return_counts=True)
+            for e, c in zip(uniq.tolist(), cnt.tolist()):
+                counts[int(e)] = counts.get(int(e), 0) + int(c)
+    return counts, zeros, nans, infs, total
+
+
+class TestVectorisedEquivalence:
+    """The np.bincount record/merge must match the dict-loop original."""
+
+    def _mixed_values(self, rng):
+        vals = np.concatenate([
+            10.0 ** rng.uniform(-320, 308, 5000),  # full float64 range
+            np.zeros(17),
+            np.full(3, np.nan),
+            np.array([np.inf, -np.inf]),
+            rng.normal(size=1000) * 1e-40,  # deep subnormal-range hits
+            np.array([5e-324, 1.7e308]),  # extreme binades
+        ])
+        rng.shuffle(vals)
+        return vals
+
+    def test_record_matches_reference(self, rng):
+        vals = self._mixed_values(rng)
+        h = ExponentHistogram()
+        h.record(vals)
+        counts, zeros, nans, infs, total = _reference_record(vals)
+        assert h.counts == counts
+        assert (h.zeros, h.nans, h.infs, h.total) == (zeros, nans, infs, total)
+
+    def test_incremental_record_matches_one_shot(self, rng):
+        vals = self._mixed_values(rng)
+        whole, chunked = ExponentHistogram(), ExponentHistogram()
+        whole.record(vals)
+        for chunk in np.array_split(vals, 13):
+            chunked.record(chunk)
+        assert whole == chunked
+
+    def test_merge_matches_reference(self, rng):
+        a_vals = self._mixed_values(rng)
+        b_vals = 10.0 ** rng.uniform(-40, 30, 2000)
+        a, b, both = (ExponentHistogram() for _ in range(3))
+        a.record(a_vals)
+        b.record(b_vals)
+        a.merge(b)
+        both.record(np.concatenate([a_vals, b_vals]))
+        assert a == both
+
+    def test_queries_match_reference(self, rng):
+        vals = self._mixed_values(rng)
+        h = ExponentHistogram()
+        h.record(vals)
+        counts, *_ = _reference_record(vals)
+        n = sum(counts.values())
+        assert h.nonzero_recorded == n
+        assert h.exponent_range() == (min(counts), max(counts))
+        for lo, hi in [(-30, 30), (-1200, -1000), (1000, 1200), (5, -5)]:
+            expect = (
+                sum(c for e, c in counts.items() if lo <= e <= hi) / n
+                if lo <= hi else 0.0
+            )
+            assert h.fraction_in(lo, hi) == expect
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            acc, expect = 0, max(counts)
+            for e in sorted(counts):
+                acc += counts[e]
+                if acc >= q * n:
+                    expect = e
+                    break
+            assert h.percentile_exponent(q) == expect, q
+
+    def test_constructor_accepts_counts_dict(self):
+        h = ExponentHistogram(counts={-3: 2, 7: 5}, zeros=1, total=8)
+        assert h.counts == {-3: 2, 7: 5}
+        assert h.nonzero_recorded == 7
+        assert h.zeros == 1 and h.total == 8
+
+
 class TestSuggestScaling:
     def test_power_of_two(self):
         h = ExponentHistogram()
