@@ -1,0 +1,102 @@
+"""Fault-injection benchmarks: overhead, drift, and resilience bounds.
+
+The acceptance bar for the fault layer:
+
+* the fault-free path pays nothing for the feature — a ``faults=None``
+  PingPong sweep stays byte-identical to one on a plan-free build and
+  within noise of its wall-clock;
+* injected faults actually move the paper's curves: a lossy plan
+  inflates PingPong latency, a straggler plan slows Allreduce;
+* fault decisions are pure — hammering the same plan query returns one
+  answer at memo-free speed (> 100k decisions/s);
+* a fail-stop plan surfaces RankFailedError in bounded virtual time
+  instead of hanging the benchmark loop.
+"""
+
+import time
+
+import pytest
+
+from repro.mpi import (
+    AllreduceBench,
+    FaultPlan,
+    MPIWorld,
+    PingPong,
+    RankFailedError,
+    parse_fault_spec,
+)
+from repro.mpi.bindings import IMB_C
+
+SIZES = (1024, 16384, 65536)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+class TestFaultFreeOverhead:
+    def test_none_plan_is_byte_identical_and_cheap(self):
+        base, t_base = _timed(
+            lambda: PingPong(repetitions=4).run(IMB_C, sizes=SIZES)
+        )
+        noop, t_noop = _timed(
+            lambda: PingPong(repetitions=4).run(
+                IMB_C, sizes=SIZES, faults=None
+            )
+        )
+        assert noop.latency_us == base.latency_us
+        # Generous bound: the hook is a None check, not a hash.
+        assert t_noop < max(10 * t_base, t_base + 0.5)
+
+
+class TestFaultsMoveTheCurves:
+    def test_lossy_inflates_pingpong(self):
+        base = PingPong(repetitions=4).run(IMB_C, sizes=SIZES)
+        lossy = PingPong(repetitions=4).run(
+            IMB_C, sizes=SIZES, faults=parse_fault_spec("lossy:0.2", seed=1)
+        )
+        assert max(
+            f / b for f, b in zip(lossy.latency_us, base.latency_us)
+        ) > 1.05
+
+    def test_straggler_slows_allreduce(self):
+        bench = AllreduceBench(
+            nranks=8, ranks_per_node=4, shape=None, repetitions=2
+        )
+        base = bench.run(IMB_C, sizes=(65536,))
+        slow = bench.run(
+            IMB_C, sizes=(65536,),
+            faults=FaultPlan(seed=0, straggler_fraction=1.0,
+                             straggler_factor=3.0),
+        )
+        assert slow.latency_us[-1] / base.latency_us[-1] > 1.5
+
+
+class TestDecisionThroughput:
+    def test_pure_decisions_are_fast(self):
+        plan = FaultPlan(seed=1, loss_rate=0.1, straggler_fraction=0.25,
+                         link_degrade_fraction=0.25)
+        n = 20_000
+        _, seconds = _timed(lambda: [
+            (plan.is_lost(0, 1, i * 1e-6, 0), plan.is_straggler(i),
+             plan.link_is_degraded(0, i))
+            for i in range(n)
+        ])
+        assert 3 * n / seconds > 100_000  # decisions per second
+
+
+class TestBoundedFailure:
+    def test_failstop_raises_quickly_not_hangs(self):
+        plan = FaultPlan(failed_ranks=(1,), recv_timeout=1e-3)
+        world = MPIWorld(nranks=2, faults=plan)
+
+        def prog(comm):
+            for _ in range(1000):
+                yield comm.recv(1 - comm.rank)
+
+        (_, seconds) = _timed(
+            lambda: pytest.raises(RankFailedError, world.run, prog)
+        )
+        assert seconds < 5.0

@@ -8,13 +8,20 @@ Usage::
     python -m repro run all --jobs 4          # ... on a 4-process pool
     python -m repro run all --cache --stats   # cached + engine metrics
     python -m repro run all --stats --json    # machine-readable stats
+    python -m repro run all --faults lossy --seed 7   # fault injection
+    python -m repro faults --seed 42          # fault-severity drift sweep
     python -m repro claims fig5               # show the checked claims
     python -m repro cache clear               # drop cached outcomes
 
 Every ``run`` goes through the execution engine in :mod:`repro.exec`;
-with the defaults (``--jobs 1``, no cache) its output is byte-identical
-to the original serial path.  Exit status is non-zero if any claim
-fails, so the CLI doubles as a reproduction gate in CI.
+with the defaults (``--jobs 1``, no cache, ``--faults off``) its output
+is byte-identical to the original serial path.  Exit status is non-zero
+if any claim fails, so the CLI doubles as a reproduction gate in CI.
+``--faults SPEC --seed N`` injects a deterministic fault plan (degraded
+links, message loss, stragglers, rank failure) into every simulated MPI
+world; ``--task-timeout``/``--retries`` bound and retry sweep-point
+tasks so one bad point degrades its experiment instead of killing the
+run.
 """
 
 from __future__ import annotations
@@ -28,6 +35,10 @@ from .core.experiments import REGISTRY
 from .exec import DEFAULT_CACHE_DIR, Engine, ResultCache
 
 __all__ = ["main", "build_parser"]
+
+
+def _experiment_names() -> str:
+    return ", ".join(sorted(REGISTRY)) + " (or 'all')"
 
 
 def _jobs_arg(value: str) -> int:
@@ -81,6 +92,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="json_stats",
         help="emit run statistics as JSON on stdout (suppresses reports)",
     )
+    run_p.add_argument(
+        "--faults", default="off", metavar="SPEC",
+        help="fault-injection spec: off, a preset "
+        "(degraded, lossy, straggler, failstop) with optional "
+        "':severity' multiplier, or 'key=value,...' overrides "
+        "(default: off)",
+    )
+    run_p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fault-plan seed; same seed + spec => identical injected "
+        "faults, regardless of --jobs (default: 0)",
+    )
+    run_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-task wall-clock bound in seconds (pool mode); an "
+        "expired task degrades its experiment instead of hanging",
+    )
+    run_p.add_argument(
+        "--retries", type=int, default=1, metavar="K",
+        help="fresh-pool retries after a worker crash (default: 1)",
+    )
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="sweep fault severities and report drift from the "
+        "fault-free baseline",
+    )
+    faults_p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="fault-plan seed (default: 0)",
+    )
+    faults_p.add_argument(
+        "--severities", default="off,degraded,lossy,straggler,failstop",
+        metavar="LIST", help="comma-separated fault specs to sweep "
+        "(default: off,degraded,lossy,straggler,failstop)",
+    )
+    faults_p.add_argument(
+        "--nranks", type=int, default=16, metavar="N",
+        help="simulated MPI world size (default: 16)",
+    )
+    faults_p.add_argument(
+        "--repetitions", type=int, default=2, metavar="N",
+        help="benchmark repetitions per point (default: 2)",
+    )
+    faults_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the drift report as JSON on stdout",
+    )
 
     claims_p = sub.add_parser("claims", help="show an experiment's claims")
     claims_p.add_argument("key")
@@ -106,7 +165,10 @@ def _cmd_claims(key: str) -> int:
     try:
         exp = REGISTRY[key]
     except KeyError:
-        print(f"unknown experiment {key!r}", file=sys.stderr)
+        print(
+            f"unknown experiment {key!r}; valid names: {_experiment_names()}",
+            file=sys.stderr,
+        )
         return 2
     for c in exp.claims:
         print(f"- {c.text}")
@@ -120,21 +182,65 @@ def _cmd_cache(action: str, cache_dir: str) -> int:
         print(f"removed {removed} cached outcome(s) from {cache.directory}")
     else:
         print(f"{cache.directory}: {len(cache)} cached outcome(s)")
+        corrupt = cache.corrupt_entries()
+        if corrupt:
+            print(f"{len(corrupt)} quarantined corrupt entr"
+                  f"{'y' if len(corrupt) == 1 else 'ies'}:")
+            for path in corrupt:
+                print(f"  {path}")
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .core.report import render_fault_sweep
+    from .mpi.faults import fault_drift_report, parse_fault_spec
+
+    severities = [s.strip() for s in args.severities.split(",") if s.strip()]
+    try:
+        for spec in severities:
+            parse_fault_spec(spec, seed=args.seed)
+    except ValueError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    doc = fault_drift_report(
+        seed=args.seed,
+        severities=severities,
+        nranks=args.nranks,
+        repetitions=args.repetitions,
+    )
+    if args.json_doc:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_fault_sweep(doc))
+    errors = sum(
+        1 for entry in doc["severities"].values() if entry.get("error")
+    )
+    return 1 if errors == len(severities) else 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     key = args.key
     keys = list(REGISTRY) if key == "all" else [key]
     if key != "all" and key not in REGISTRY:
-        print(f"unknown experiment {key!r}", file=sys.stderr)
+        print(
+            f"unknown experiment {key!r}; valid names: {_experiment_names()}",
+            file=sys.stderr,
+        )
         return 2
 
     use_cache = args.cache or args.cache_dir != DEFAULT_CACHE_DIR
-    engine = Engine(
-        jobs=args.jobs,
-        cache=ResultCache(args.cache_dir) if use_cache else None,
-    )
+    try:
+        engine = Engine(
+            jobs=args.jobs,
+            cache=ResultCache(args.cache_dir) if use_cache else None,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            fault_spec=args.faults,
+            fault_seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
     outcomes = engine.run_many(keys, scale=args.scale)
 
     if args.json_stats:
@@ -175,6 +281,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_claims(args.key)
     if args.command == "cache":
         return _cmd_cache(args.action, args.cache_dir)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "run":
         return _cmd_run(args)
     return 2  # pragma: no cover - argparse enforces choices

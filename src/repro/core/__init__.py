@@ -23,7 +23,8 @@ from .figures import (
     fig5_speedup,
     listing_muladd,
 )
-from .report import format_si, render_run_stats, render_sweep, render_table
+from .report import (format_si, render_fault_sweep, render_run_stats,
+                     render_sweep, render_table)
 from .calibration import CALIBRATIONS, Calibrated, validate_calibration
 from .experiments import (
     REGISTRY,
@@ -32,6 +33,7 @@ from .experiments import (
     Experiment,
     Outcome,
     evaluate_outcome,
+    failed_outcome,
     paper_artefacts,
     run_experiment,
     scale_params,
@@ -67,6 +69,7 @@ __all__ = [
     "render_table",
     "render_sweep",
     "render_run_stats",
+    "render_fault_sweep",
     "format_si",
     "CompilerGeneration",
     "JULIA_1_6",
@@ -87,6 +90,7 @@ __all__ = [
     "SCALES",
     "scale_params",
     "evaluate_outcome",
+    "failed_outcome",
     "run_experiment",
     "paper_artefacts",
 ]

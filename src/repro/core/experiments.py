@@ -33,6 +33,7 @@ __all__ = [
     "SCALES",
     "scale_params",
     "evaluate_outcome",
+    "failed_outcome",
     "run_experiment",
     "paper_artefacts",
 ]
@@ -357,6 +358,30 @@ def evaluate_outcome(key: str, result: Any) -> Outcome:
         passed=all(ok for _, ok in claim_results),
         claim_results=claim_results,
         report=report,
+    )
+
+
+def failed_outcome(key: str, failures: List[Tuple[str, str]]) -> Outcome:
+    """Degraded outcome for an experiment whose tasks could not run.
+
+    ``failures`` is a list of ``(task label, error)`` pairs.  The
+    resilient execution engine uses this when a sweep point crashes,
+    times out, or its worker dies: the experiment reports
+    ``passed=False`` with a per-task diagnostic instead of aborting the
+    whole run (and its siblings' completed work) with a traceback.
+    """
+    claim_results = [
+        (f"task {label} completed ({error})", False)
+        for label, error in failures
+    ]
+    lines = [f"experiment {key!r} degraded: "
+             f"{len(failures)} task(s) failed to produce a result"]
+    lines.extend(f"  {label}: {error}" for label, error in failures)
+    return Outcome(
+        key=key,
+        passed=False,
+        claim_results=claim_results,
+        report="\n".join(lines),
     )
 
 

@@ -12,7 +12,13 @@ from typing import Iterable, List, Optional, Sequence
 
 from .benchmark import Series, SweepResult
 
-__all__ = ["render_table", "render_sweep", "render_run_stats", "format_si"]
+__all__ = [
+    "render_table",
+    "render_sweep",
+    "render_run_stats",
+    "render_fault_sweep",
+    "format_si",
+]
 
 
 def format_si(value: float, digits: int = 3) -> str:
@@ -67,19 +73,72 @@ def render_run_stats(stats) -> str:
             f"{e.seconds:.3f}",
             f"{slowest.label} ({slowest.seconds:.3f}s)" if slowest else "-",
         ])
-    lines = [
+    header = (
         f"experiment engine: jobs={stats.jobs}, "
-        f"wall={stats.total_seconds:.3f}s",
+        f"wall={stats.total_seconds:.3f}s"
+    )
+    if getattr(stats, "fault_spec", None):
+        header += (
+            f", faults={stats.fault_spec} (seed {stats.fault_seed})"
+        )
+    lines = [
+        header,
         render_table(
             ["experiment", "scale", "status", "source", "tasks",
              "task s", "slowest task"],
             rows,
         ),
     ]
+    failures = [
+        (t.label, t.error)
+        for e in stats.experiments
+        for t in e.tasks
+        if getattr(t, "error", None)
+    ]
+    if failures:
+        lines.append(f"task failures ({len(failures)}):")
+        lines.extend(f"  {label}: {error}" for label, error in failures)
     if stats.cache is not None:
         lines.append(str(stats.cache))
     if getattr(stats, "fallback_reason", None):
         lines.append(f"scheduler fallback: {stats.fallback_reason}")
+    return "\n".join(lines)
+
+
+def render_fault_sweep(doc) -> str:
+    """Render a :func:`repro.mpi.faults.fault_drift_report` document.
+
+    One row per severity: PingPong latency inflation and Allreduce
+    slowdown over the fault-free baseline, failed-rank coverage, and
+    the resilience error surfaced (if the run could not complete).
+    """
+    def ratio(v) -> str:
+        return f"{v:.2f}x" if v is not None else "-"
+
+    rows = []
+    for name, entry in doc["severities"].items():
+        failed = entry.get("failed_ranks") or []
+        stragglers = entry.get("straggler_ranks") or []
+        rows.append([
+            name,
+            ratio(entry.get("pingpong_inflation")),
+            ratio(entry.get("allreduce_slowdown")),
+            f"{len(failed)}/{doc['nranks']}",
+            len(stragglers),
+            "error" if entry.get("error") else "ok",
+        ])
+    lines = [
+        f"fault severity sweep: seed={doc['seed']}, "
+        f"nranks={doc['nranks']}, sizes={doc['sizes']}",
+        render_table(
+            ["severity", "pingpong", "allreduce", "failed", "stragglers",
+             "status"],
+            rows,
+        ),
+    ]
+    for name, entry in doc["severities"].items():
+        if entry.get("error"):
+            lines.append(f"{name}: {entry['error']}")
     return "\n".join(lines)
 
 

@@ -57,12 +57,15 @@ def source_fingerprint(refresh: bool = False) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation counters for one :class:`ResultCache`."""
+    """Hit/miss/invalidation/corruption counters for one
+    :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     writes: int = 0
+    #: undecodable entries found (and quarantined as ``*.corrupt``).
+    corrupt: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -70,13 +73,17 @@ class CacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "writes": self.writes,
+            "corrupt": self.corrupt,
         }
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"cache: {self.hits} hits, {self.misses} misses, "
             f"{self.invalidations} invalidations, {self.writes} writes"
         )
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt (quarantined)"
+        return text
 
 
 class ResultCache:
@@ -134,9 +141,12 @@ class ResultCache:
             self.stats.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, OSError):
-            # Corrupt entry: treat as stale.
+            # Corrupt entry: quarantine it for post-mortem (truncated
+            # write, disk fault, concurrent clobber) instead of leaving
+            # it to shadow future lookups as a silent invalidation.
             self.stats.misses += 1
-            self.stats.invalidations += 1
+            self.stats.corrupt += 1
+            self._quarantine(path)
             return None
         if stored_digest != self.digest(experiment, scale, params):
             self.stats.misses += 1
@@ -168,14 +178,33 @@ class ResultCache:
         self.stats.writes += 1
         return path
 
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Rename a corrupt entry to ``<name>.corrupt`` (best-effort)."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            if target.exists():
+                target.unlink()
+            path.rename(target)
+        except OSError:  # pragma: no cover - racing unlink/rename
+            return None
+        return target
+
+    def corrupt_entries(self) -> list:
+        """Quarantined entry paths awaiting post-mortem."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json.corrupt"))
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry (including quarantined ones);
+        returns the number removed."""
         if not self.directory.is_dir():
             return 0
         removed = 0
-        for path in self.directory.glob("*.json"):
-            path.unlink()
-            removed += 1
+        for pattern in ("*.json", "*.json.corrupt"):
+            for path in self.directory.glob(pattern):
+                path.unlink()
+                removed += 1
         return removed
 
     def __len__(self) -> int:

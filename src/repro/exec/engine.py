@@ -19,7 +19,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.benchmark import WallTimer
-from ..core.experiments import REGISTRY, Outcome, evaluate_outcome, scale_params
+from ..core.experiments import (
+    REGISTRY,
+    Outcome,
+    evaluate_outcome,
+    failed_outcome,
+    scale_params,
+)
+from ..mpi.faults import parse_fault_spec
 from .cache import CacheStats, ResultCache
 from .scheduler import Scheduler, TaskResult
 from .tasks import Task, decompose, merge_results
@@ -35,20 +42,27 @@ __all__ = [
 
 @dataclass
 class TaskMetric:
-    """Timing of one executed task."""
+    """Timing (and, on failure, diagnostic) of one executed task."""
 
     experiment: str
     label: str
     seconds: float
     worker: str  # "inline" or "pool"
+    error: Optional[str] = None
+    attempts: int = 1
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "experiment": self.experiment,
             "label": self.label,
             "seconds": self.seconds,
             "worker": self.worker,
         }
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.attempts != 1:
+            doc["attempts"] = self.attempts
+        return doc
 
 
 @dataclass
@@ -61,6 +75,7 @@ class ExperimentStats:
     passed: bool
     seconds: float  # summed task work time (0.0 on a cache hit)
     tasks: List[TaskMetric] = field(default_factory=list)
+    failed_tasks: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -70,6 +85,7 @@ class ExperimentStats:
             "passed": self.passed,
             "seconds": self.seconds,
             "ntasks": len(self.tasks),
+            "failed_tasks": self.failed_tasks,
             "tasks": [t.as_dict() for t in self.tasks],
         }
 
@@ -83,17 +99,26 @@ class RunStats:
     cache: Optional[CacheStats] = None
     total_seconds: float = 0.0
     fallback_reason: Optional[str] = None
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
+
+    @property
+    def failed_tasks(self) -> int:
+        return sum(e.failed_tasks for e in self.experiments)
 
     def as_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
             "jobs": self.jobs,
             "total_seconds": self.total_seconds,
+            "failed_tasks": self.failed_tasks,
             "experiments": [e.as_dict() for e in self.experiments],
         }
         if self.cache is not None:
             doc["cache"] = self.cache.as_dict()
         if self.fallback_reason is not None:
             doc["fallback_reason"] = self.fallback_reason
+        if self.fault_spec is not None:
+            doc["faults"] = {"spec": self.fault_spec, "seed": self.fault_seed}
         return doc
 
     def render(self) -> str:
@@ -113,18 +138,45 @@ class Engine:
     cache:
         A :class:`ResultCache` to consult/fill, or None to always
         recompute.
+    task_timeout:
+        Per-task wall-clock bound in seconds (enforced in pool mode);
+        an expired task degrades its experiment instead of hanging the
+        run.
+    retries:
+        Fresh-pool retries (with exponential backoff) after a worker
+        crash breaks the pool.
+    fault_spec / fault_seed:
+        Deterministic fault-injection plan threaded to every task
+        (see :mod:`repro.mpi.faults`); ``None``/"off" disables it and
+        keeps output byte-identical to the fault-free path.
     """
 
     def __init__(
         self,
         jobs: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
+        task_timeout: Optional[float] = None,
+        retries: int = 1,
+        fault_spec: Optional[str] = None,
+        fault_seed: int = 0,
     ) -> None:
-        self.scheduler = Scheduler(jobs=jobs)
+        self.scheduler = Scheduler(
+            jobs=jobs, task_timeout=task_timeout, retries=retries
+        )
         self.cache = cache
+        # Validate eagerly (and normalise "off" to None) so a bad spec
+        # fails the run before any work is scheduled.
+        self.fault_spec = (
+            fault_spec
+            if parse_fault_spec(fault_spec, seed=fault_seed) is not None
+            else None
+        )
+        self.fault_seed = fault_seed
         self.stats = RunStats(
             jobs=self.scheduler.jobs,
             cache=cache.stats if cache is not None else None,
+            fault_spec=self.fault_spec,
+            fault_seed=fault_seed,
         )
 
     # -- single experiment ------------------------------------------------
@@ -165,7 +217,14 @@ class Engine:
                         )
                     )
                 else:
-                    pending.append((key, decompose(key, scale)))
+                    pending.append((
+                        key,
+                        decompose(
+                            key, scale,
+                            fault_spec=self.fault_spec,
+                            fault_seed=self.fault_seed,
+                        ),
+                    ))
 
             all_tasks: List[Task] = [t for _, ts in pending for t in ts]
             results = self.scheduler.map(all_tasks)
@@ -186,6 +245,12 @@ class Engine:
         params = scale_params(key, scale)
         if extra_params:
             params.update(extra_params)
+        if self.fault_spec is not None:
+            # Faulted outcomes must never shadow (or be shadowed by)
+            # fault-free ones: the plan is part of the content address.
+            params["__faults__"] = {
+                "spec": self.fault_spec, "seed": self.fault_seed,
+            }
         return params
 
     def _cache_get(
@@ -204,19 +269,29 @@ class Engine:
         results: Sequence[TaskResult],
         extra_params: Optional[Dict[str, Any]],
     ) -> Outcome:
-        result = merge_results(key, scale, [r.value for r in results])
-        outcome = evaluate_outcome(key, result)
-        if self.cache is not None:
-            self.cache.put(
-                key, scale, outcome,
-                self._cache_key_params(key, scale, extra_params),
-            )
+        failures = [(r.task.label, r.error) for r in results if r.failed]
+        if failures:
+            # Failure isolation: a crashed/timed-out sweep point
+            # degrades this experiment to a diagnostic outcome; other
+            # experiments in the run are untouched, and the bad result
+            # never reaches the cache.
+            outcome = failed_outcome(key, failures)
+        else:
+            result = merge_results(key, scale, [r.value for r in results])
+            outcome = evaluate_outcome(key, result)
+            if self.cache is not None:
+                self.cache.put(
+                    key, scale, outcome,
+                    self._cache_key_params(key, scale, extra_params),
+                )
         metrics = [
             TaskMetric(
                 experiment=key,
                 label=r.task.label,
                 seconds=r.seconds,
                 worker=r.worker,
+                error=r.error,
+                attempts=r.attempts,
             )
             for r in results
         ]
@@ -228,6 +303,7 @@ class Engine:
                 passed=outcome.passed,
                 seconds=sum(m.seconds for m in metrics),
                 tasks=metrics,
+                failed_tasks=len(failures),
             )
         )
         return outcome

@@ -1,4 +1,4 @@
-"""Task scheduler: process-pool fan-out with a serial fallback.
+"""Task scheduler: process-pool fan-out with failure isolation.
 
 The scheduler maps :class:`~repro.exec.tasks.Task` lists onto a
 ``concurrent.futures.ProcessPoolExecutor`` when ``jobs > 1``, preserving
@@ -7,9 +7,21 @@ order.  It degrades gracefully to in-process execution when:
 
 * ``jobs == 1`` (the default serial path — no pool, no overhead);
 * running under pytest-xdist (nested pools fight over workers);
-* the platform refuses to give us a pool (sandboxes without semaphores);
-* the pool breaks mid-run (worker OOM-killed) — remaining tasks rerun
-  inline rather than failing the experiment.
+* the platform refuses to give us a pool (sandboxes without semaphores).
+
+Failures are *isolated per task* rather than fail-stop:
+
+* a task that raises lands in its :class:`TaskResult` as ``error`` —
+  completed siblings keep their values and the run continues;
+* ``task_timeout`` bounds each task's wall-clock in pool mode; an
+  expired task is recorded as timed out, its workers are torn down, and
+  unaffected tasks move to a fresh pool (inline execution cannot be
+  preempted, so the timeout is only enforced when ``jobs > 1``);
+* a broken pool (worker OOM-killed or crashed) retries the unfinished
+  tasks on a fresh pool with exponential backoff up to ``retries``
+  times; a task that keeps killing its worker is eventually marked
+  failed instead of being rerun in-process where it could take the
+  parent down with it.
 
 Each task is timed where it runs, so per-task wall-clock lands in the
 engine's metrics either way.
@@ -22,6 +34,7 @@ import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
@@ -33,12 +46,22 @@ __all__ = ["Scheduler", "TaskResult", "effective_jobs"]
 
 @dataclass
 class TaskResult:
-    """One executed task: payload plus where/how long it ran."""
+    """One executed task: payload plus where/how long it ran.
+
+    ``error`` is None for a successful task; otherwise a one-line
+    ``ExcType: message`` diagnostic (the payload is None then).
+    """
 
     task: Task
     value: Any
     seconds: float
     worker: str  # "inline" or "pool"
+    error: Optional[str] = None
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 def effective_jobs(jobs: Optional[int]) -> int:
@@ -60,6 +83,10 @@ def _timed_execute(task: Task) -> tuple:
     return value, time.perf_counter() - t0
 
 
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
 def _worker_init(paths: List[str]) -> None:  # pragma: no cover - worker side
     for p in paths:
         if p not in sys.path:
@@ -70,20 +97,46 @@ class Scheduler:
     """Run task lists, in parallel when asked and possible.
 
     ``fallback_reason`` records why the last :meth:`map` call ran
-    inline, if it did — surfaced in ``--stats`` so a silent fallback is
-    still observable.
+    inline (or gave up on the pool), if it did — surfaced in
+    ``--stats`` so a silent fallback is still observable.
+    ``task_timeout`` is the per-task wall-clock bound (pool mode only);
+    ``retries`` bounds fresh-pool retries after a broken pool, with
+    ``backoff * 2**attempt`` seconds between them.
     """
 
-    def __init__(self, jobs: Optional[int] = 1) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        task_timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff: float = 0.25,
+    ) -> None:
         self.jobs = effective_jobs(jobs)
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive or None")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.backoff = backoff
         self.fallback_reason: Optional[str] = None
 
     # -- internals --------------------------------------------------------
     def _run_inline(self, tasks: Sequence[Task]) -> List[TaskResult]:
         out = []
         for task in tasks:
-            value, seconds = _timed_execute(task)
-            out.append(TaskResult(task, value, seconds, worker="inline"))
+            t0 = time.perf_counter()
+            try:
+                value, seconds = _timed_execute(task)
+            except Exception as exc:
+                out.append(
+                    TaskResult(
+                        task, None, time.perf_counter() - t0,
+                        worker="inline", error=_format_error(exc),
+                    )
+                )
+            else:
+                out.append(TaskResult(task, value, seconds, worker="inline"))
         return out
 
     def _mp_context(self):
@@ -94,19 +147,60 @@ class Scheduler:
             "fork" if "fork" in methods else None
         )
 
-    def _run_pool(self, tasks: Sequence[Task]) -> List[TaskResult]:
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """Tear down a pool whose task blew its deadline.
+
+        The executor has no public kill switch and ``shutdown(wait=True)``
+        would block on the runaway task, so terminate the worker
+        processes directly; unfinished siblings are retried elsewhere.
+        """
+        for proc in list((getattr(pool, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+
+    def _run_pool(
+        self, tasks: Sequence[Task]
+    ) -> List[Optional[TaskResult]]:
+        """One pool attempt; ``None`` entries need a retry (pool broke
+        before their future resolved, through no fault of their own)."""
         workers = min(self.jobs, len(tasks))
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._mp_context(),
             initializer=_worker_init,
             initargs=(list(sys.path),),
-        ) as pool:
+        )
+        out: List[Optional[TaskResult]] = [None] * len(tasks)
+        broken = False
+        try:
             futures = [pool.submit(_timed_execute, t) for t in tasks]
-            out = []
-            for task, future in zip(tasks, futures):
-                value, seconds = future.result()
-                out.append(TaskResult(task, value, seconds, worker="pool"))
+            for i, (task, future) in enumerate(zip(tasks, futures)):
+                if broken:
+                    future.cancel()
+                    continue
+                try:
+                    value, seconds = future.result(timeout=self.task_timeout)
+                    out[i] = TaskResult(task, value, seconds, worker="pool")
+                except FuturesTimeoutError:
+                    out[i] = TaskResult(
+                        task, None, float(self.task_timeout), worker="pool",
+                        error=f"TimeoutError: task exceeded "
+                        f"--task-timeout {self.task_timeout:g}s",
+                    )
+                    self._kill_workers(pool)
+                    broken = True
+                except BrokenProcessPool:
+                    broken = True  # this and later unfinished tasks retry
+                except Exception as exc:
+                    out[i] = TaskResult(
+                        task, None, 0.0, worker="pool",
+                        error=_format_error(exc),
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         return out
 
     # -- public -----------------------------------------------------------
@@ -123,12 +217,50 @@ class Scheduler:
         if _under_pytest_xdist():
             self.fallback_reason = "pytest-xdist worker"
             return self._run_inline(tasks)
-        try:
-            return self._run_pool(tasks)
-        except BrokenProcessPool:
-            self.fallback_reason = "process pool broke mid-run"
-            return self._run_inline(tasks)
-        except (OSError, PermissionError, ValueError, ImportError) as exc:
-            # No semaphores / fork refused / restricted sandbox.
-            self.fallback_reason = f"process pool unavailable ({exc})"
-            return self._run_inline(tasks)
+
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        attempt = 0
+        while pending:
+            try:
+                if attempt == 0:
+                    chunk = self._run_pool([tasks[i] for i in pending])
+                else:
+                    # Retry after a broken pool: one single-worker pool
+                    # per task, so a deterministic crasher only takes
+                    # itself down and its siblings complete normally.
+                    chunk = [self._run_pool([tasks[i]])[0] for i in pending]
+            except (OSError, PermissionError, ValueError, ImportError) as exc:
+                # No semaphores / fork refused / restricted sandbox.
+                self.fallback_reason = f"process pool unavailable ({exc})"
+                for i, r in zip(pending, self._run_inline(
+                        [tasks[i] for i in pending])):
+                    results[i] = r
+                return results  # type: ignore[return-value]
+            still = []
+            for i, r in zip(pending, chunk):
+                if r is None:
+                    still.append(i)
+                else:
+                    r.attempts = attempt + 1
+                    results[i] = r
+            pending = still
+            if not pending:
+                break
+            if attempt >= self.retries:
+                self.fallback_reason = (
+                    "process pool broke mid-run; retries exhausted"
+                )
+                for i in pending:
+                    results[i] = TaskResult(
+                        tasks[i], None, 0.0, worker="pool",
+                        attempts=attempt + 1,
+                        error="BrokenProcessPool: worker crashed and "
+                        f"{self.retries} retr"
+                        f"{'y was' if self.retries == 1 else 'ies were'} "
+                        "exhausted",
+                    )
+                break
+            time.sleep(self.backoff * (2 ** attempt))
+            attempt += 1
+        return results  # type: ignore[return-value]

@@ -22,7 +22,7 @@ because both sides are built from the same ``figN_*_point`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core import figures
 from ..core.experiments import SCALES, scale_params
@@ -32,13 +32,21 @@ __all__ = ["Task", "decompose", "execute_task", "merge_results"]
 
 @dataclass
 class Task:
-    """One independent unit of experiment work (picklable)."""
+    """One independent unit of experiment work (picklable).
+
+    ``fault_spec``/``fault_seed`` carry the run's fault-injection plan
+    as plain data, so a pool worker reconstructs exactly the same
+    deterministic :class:`~repro.mpi.faults.FaultPlan` the serial path
+    uses — faulted runs stay byte-identical across ``--jobs`` values.
+    """
 
     experiment: str
     scale: str
     index: int  # position within the experiment's task list
     kind: str  # executor name, e.g. "fig1_point"
     params: Dict[str, Any] = field(default_factory=dict)
+    fault_spec: Optional[str] = None
+    fault_seed: int = 0
 
     @property
     def label(self) -> str:
@@ -62,11 +70,18 @@ _EXECUTORS = {
 _FIG1_FORMATS = ("Float16", "Float32", "Float64")
 
 
-def decompose(key: str, scale: str = "ci") -> List[Task]:
+def decompose(
+    key: str,
+    scale: str = "ci",
+    fault_spec: Optional[str] = None,
+    fault_seed: int = 0,
+) -> List[Task]:
     """Decompose one registered experiment into independent tasks.
 
     Tasks are returned in a deterministic order that
     :func:`merge_results` relies on; indices are contiguous from 0.
+    A non-None ``fault_spec`` is stamped onto every task so
+    :func:`execute_task` activates the fault plan around execution.
     """
     params = scale_params(key, scale)
     tasks: List[Task] = []
@@ -79,6 +94,8 @@ def decompose(key: str, scale: str = "ci") -> List[Task]:
                 index=len(tasks),
                 kind=kind,
                 params=task_params,
+                fault_spec=fault_spec,
+                fault_seed=fault_seed,
             )
         )
 
@@ -126,11 +143,22 @@ def decompose(key: str, scale: str = "ci") -> List[Task]:
 
 
 def execute_task(task: Task) -> Any:
-    """Run one task and return its payload (called in pool workers)."""
+    """Run one task and return its payload (called in pool workers).
+
+    When the task carries a fault spec, the deterministic fault plan is
+    activated for the duration of the task — every simulated MPI world
+    the figure code builds picks it up.
+    """
     try:
         fn = _EXECUTORS[task.kind]
     except KeyError:
         raise KeyError(f"unknown task kind {task.kind!r}") from None
+    if task.fault_spec:
+        from ..mpi.faults import active_plan, parse_fault_spec
+
+        plan = parse_fault_spec(task.fault_spec, seed=task.fault_seed)
+        with active_plan(plan):
+            return fn(**task.params)
     return fn(**task.params)
 
 

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from .bindings import BindingProfile, IMB_C, MPI_JL
 from .comm import Comm, MPIWorld
+from .faults import FaultPlan
 from .simulator import Now
 
 __all__ = [
@@ -107,11 +108,13 @@ class PingPong:
         self,
         binding: BindingProfile,
         sizes: Optional[Sequence[int]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> BenchResult:
         sizes = list(sizes if sizes is not None else default_message_sizes())
         result = BenchResult("PingPong", binding.name, nranks=2)
         for nbytes in sizes:
-            world = MPIWorld(nranks=2, ranks_per_node=1, shape=(2, 1, 1), binding=binding)
+            world = MPIWorld(nranks=2, ranks_per_node=1, shape=(2, 1, 1),
+                             binding=binding, faults=faults)
             # Warmup folded into the measured loop start; the simulator
             # is deterministic, so a separate warmup run is only needed
             # to mirror IMB's procedure.
@@ -148,6 +151,7 @@ class _CollectiveBench:
         self,
         binding: BindingProfile,
         sizes: Optional[Sequence[int]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> BenchResult:
         sizes = list(
             sizes if sizes is not None else default_message_sizes(1024 * 1024)
@@ -159,6 +163,7 @@ class _CollectiveBench:
                 ranks_per_node=self.ranks_per_node,
                 shape=self.shape,
                 binding=binding,
+                faults=faults,
             )
             times = world.run(self._program, nbytes, self.repetitions)
             # IMB reports t_max over ranks.
@@ -270,12 +275,14 @@ class PingPing:
         self,
         binding: BindingProfile,
         sizes: Optional[Sequence[int]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> BenchResult:
         sizes = list(sizes if sizes is not None else default_message_sizes())
         result = BenchResult("PingPing", binding.name, nranks=2)
         for nbytes in sizes:
             world = MPIWorld(
-                nranks=2, ranks_per_node=1, shape=(2, 1, 1), binding=binding
+                nranks=2, ranks_per_node=1, shape=(2, 1, 1), binding=binding,
+                faults=faults,
             )
             times = world.run(self._program, nbytes, self.repetitions)
             result.sizes.append(nbytes)

@@ -23,10 +23,11 @@ MPI.jl.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from .bindings import BindingProfile, IMB_C
+from .faults import FaultPlan, get_active_plan
 from .collectives import (
     allreduce_auto,
     scatterv_linear,
@@ -170,18 +171,29 @@ class MPIWorld:
         binding: BindingProfile = IMB_C,
         network: Optional[TofuDNetwork] = None,
         bindings_by_rank: Optional[Dict[int, BindingProfile]] = None,
+        faults: Optional[FaultPlan] = None,
+        recv_timeout: Optional[float] = None,
     ):
+        # Explicit plan wins; otherwise inherit the process-wide active
+        # plan (how `repro run --faults` reaches worlds built deep
+        # inside the figure generators).  None = fault-free, bit-for-bit
+        # the pre-fault behaviour.
+        plan = faults if faults is not None else get_active_plan()
         if network is not None:
+            if plan is not None and network.faults is None:
+                network = replace(network, faults=plan)
             self.network = network
         else:
             if shape is not None:
                 topo = TofuDTopology(global_shape=shape, ranks_per_node=ranks_per_node)
             else:
                 topo = TofuDTopology.for_ranks(nranks, ranks_per_node)
-            self.network = TofuDNetwork(topo)
+            self.network = TofuDNetwork(topo, faults=plan)
         self.nranks = nranks
         self.binding = binding
         self.bindings_by_rank = bindings_by_rank
+        self.faults = self.network.faults
+        self.recv_timeout = recv_timeout
 
     def run(self, program: Callable[..., Generator], *args: Any) -> List[Any]:
         """Run ``program(comm, *args)`` on every rank; returns results.
@@ -193,6 +205,8 @@ class MPIWorld:
             self.network,
             binding=self.binding,
             bindings_by_rank=self.bindings_by_rank,
+            faults=self.faults,
+            recv_timeout=self.recv_timeout,
         )
         results = engine.run(
             lambda r, n, *a: program(Comm(rank=r, size=n), *a), *args

@@ -18,7 +18,9 @@ they are a property of the *binding* (MPI.jl vs IMB C), not the network.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from .faults import FaultPlan
 from .topology import TofuDTopology
 
 __all__ = ["TofuDNetwork", "WireTiming"]
@@ -64,6 +66,9 @@ class TofuDNetwork:
     #: intra-node latency and bandwidth.
     shm_latency: float = 0.2e-6
     shm_bandwidth: float = 20e9
+    #: deterministic fault model; degraded links multiply latency and
+    #: divide bandwidth per (seeded) node pair.  None = healthy network.
+    faults: Optional[FaultPlan] = None
 
     # ------------------------------------------------------------------
     def protocol_for(self, src: int, dst: int, nbytes: int) -> str:
@@ -85,6 +90,13 @@ class TofuDNetwork:
         if protocol == "rendezvous":
             lat += self.rendezvous_overhead
         ser = nbytes / self.link_bandwidth
+        if self.faults is not None and self.faults.any_link_faults:
+            lat_mult, ser_mult = self.faults.link_multipliers(
+                self.topology.node_of_rank(src),
+                self.topology.node_of_rank(dst),
+            )
+            lat *= lat_mult
+            ser *= ser_mult
         return WireTiming(lat + ser, hops, protocol, lat, ser)
 
     def peak_throughput(self) -> float:

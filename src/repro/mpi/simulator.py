@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from .bindings import BindingProfile, IMB_C
+from .faults import FaultPlan
 from .network import TofuDNetwork
 from .topology import TofuDTopology
 
@@ -49,6 +50,7 @@ __all__ = [
     "Compute",
     "Now",
     "DeadlockError",
+    "RankFailedError",
     "Engine",
     "EngineStats",
     "RankProgram",
@@ -134,6 +136,27 @@ class DeadlockError(RuntimeError):
     """No runnable event but ranks are still blocked."""
 
 
+class RankFailedError(RuntimeError):
+    """A communication partner failed (or a timeout expired waiting on
+    it); raised instead of letting the simulation hang in deadlock.
+
+    Carries the observing rank, the peer it was waiting on (if known),
+    and the virtual time of detection for post-mortem diagnostics.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: Optional[int] = None,
+        peer: Optional[int] = None,
+        time: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.peer = peer
+        self.time = time
+
+
 @dataclass
 class EngineStats:
     """Aggregate traffic statistics of one simulation run.
@@ -151,6 +174,13 @@ class EngineStats:
     max_hops: int = 0
     #: per-rank counts of messages sent.
     sends_by_rank: Dict[int, int] = field(default_factory=dict)
+    #: fault-layer counters: transmissions lost in transit, timeout-based
+    #: retransmissions charged to the virtual clock, receive/send
+    #: timeouts that fired, and ranks failed at start of run.
+    messages_lost: int = 0
+    retransmits: int = 0
+    timeouts: int = 0
+    failed_ranks: int = 0
 
     def record(self, src: int, nbytes: int, protocol: str, hops: int) -> None:
         self.messages += 1
@@ -211,6 +241,10 @@ class _RankState:
     blocked_on: Optional[Tuple[int, ...]] = None
     #: monotonic request-id source (ids stay unique across completions).
     next_req_id: int = 0
+    #: hard-failed rank (never executes; traffic to it is dropped).
+    failed: bool = False
+    #: bumped every resume; lets timeout events detect stale waits.
+    wait_epoch: int = 0
 
 
 class Engine:
@@ -222,6 +256,8 @@ class Engine:
         network: TofuDNetwork,
         binding: BindingProfile = IMB_C,
         bindings_by_rank: Optional[Dict[int, BindingProfile]] = None,
+        faults: Optional[FaultPlan] = None,
+        recv_timeout: Optional[float] = None,
     ):
         if nranks < 1:
             raise ValueError("need at least one rank")
@@ -232,6 +268,16 @@ class Engine:
             )
         self.nranks = nranks
         self.network = network
+        #: the fault model: explicit argument wins, else whatever plan
+        #: the network itself was built with (one plan, two layers).
+        self.faults = faults if faults is not None else network.faults
+        #: virtual-clock bound on blocked receives/waits; a wait that
+        #: outlives it raises RankFailedError instead of deadlocking.
+        self.recv_timeout = (
+            recv_timeout
+            if recv_timeout is not None
+            else (self.faults.recv_timeout if self.faults else None)
+        )
         self._binding_default = binding
         self._bindings = bindings_by_rank or {}
         self._events: List[Tuple[float, int, Callable[[], None]]] = []
@@ -253,6 +299,66 @@ class Engine:
     def _schedule(self, time: float, fn: Callable[[], None]) -> None:
         heapq.heappush(self._events, (time, next(self._seq), fn))
 
+    # -- fault helpers -----------------------------------------------------
+    def _cpu(self, rank: int, seconds: float) -> float:
+        """Local work time, inflated for straggler ranks."""
+        if self.faults is not None:
+            return seconds * self.faults.compute_factor(rank)
+        return seconds
+
+    def _rank_failed(self, rank: int) -> bool:
+        return self._states[rank].failed if self._states else False
+
+    def _retransmit_delay(self, src: int, dest: int, t: float) -> float:
+        """Virtual time lost to dropped transmissions before one lands.
+
+        Each lost attempt charges the transport's retransmit timeout;
+        attempts are capped so a run stays finite even at loss_rate 1.
+        """
+        plan = self.faults
+        if plan is None or plan.loss_rate <= 0.0:
+            return 0.0
+        delay = 0.0
+        for attempt in range(plan.max_retransmits):
+            if not plan.is_lost(src, dest, t, attempt):
+                break
+            delay += plan.retransmit_timeout
+            self.stats.messages_lost += 1
+            self.stats.retransmits += 1
+        return delay
+
+    def _arm_timeout(self, rank: int, t: float) -> None:
+        """Bound a blocked wait: if the rank is still blocked (same wait
+        epoch) when the timeout expires, raise RankFailedError."""
+        if self.recv_timeout is None:
+            return
+        state = self._states[rank]
+        epoch = state.wait_epoch
+        deadline = t + self.recv_timeout
+
+        def _check() -> None:
+            st = self._states[rank]
+            if st.done or st.wait_epoch != epoch:
+                return
+            if st.waiting is None and st.blocked_on is None:
+                return  # completion already scheduled, not yet resumed
+            self.stats.timeouts += 1
+            what = st.waiting if st.waiting is not None else st.blocked_on
+            peer: Optional[int] = None
+            if st.waiting is not None:
+                peer = st.waiting[0]
+            hint = ""
+            if peer is not None and 0 <= peer < self.nranks and \
+                    self._rank_failed(peer):
+                hint = f"; rank {peer} has failed"
+            raise RankFailedError(
+                f"rank {rank} timed out after {self.recv_timeout:g}s "
+                f"waiting on {what} at t={deadline:.3e}{hint}",
+                rank=rank, peer=peer, time=deadline,
+            )
+
+        self._schedule(deadline, _check)
+
     # ------------------------------------------------------------------
     def run(self, program: RankProgram, *args: Any) -> List[Any]:
         """Instantiate ``program(rank, nranks, *args)`` per rank and run.
@@ -264,7 +370,18 @@ class Engine:
             for r in range(self.nranks)
         ]
         for r in range(self.nranks):
-            self._schedule(0.0, lambda r=r: self._advance(r, None))
+            if self.faults is not None and self.faults.is_failed(r):
+                # Fail-stop: the rank never executes; its result stays
+                # None and every message to it is dropped on the floor.
+                self._states[r].failed = True
+                self._states[r].done = True
+                self.stats.failed_ranks += 1
+            else:
+                self._schedule(0.0, lambda r=r: self._advance(r, None))
+        if self.nranks and self.stats.failed_ranks == self.nranks:
+            raise RankFailedError(
+                f"all {self.nranks} ranks failed before start", time=0.0
+            )
         self._loop()
         return [s.result for s in self._states]
 
@@ -285,6 +402,7 @@ class Engine:
     def _advance(self, rank: int, value: Any) -> None:
         """Resume a rank's generator with ``value`` and act on its yield."""
         state = self._states[rank]
+        state.wait_epoch += 1
         try:
             op = state.gen.send(value)
         except StopIteration as stop:
@@ -298,6 +416,12 @@ class Engine:
         t = state.time
         if isinstance(op, Send):
             resume_at = self._do_send(rank, t, op.dest, op.tag, op.nbytes, op.payload)
+            if resume_at is None:
+                # Rendezvous send to a failed rank: the sender blocks on
+                # a pull that never comes (timeout/deadlock take over).
+                state.waiting = (op.dest, op.tag)
+                self._arm_timeout(rank, t)
+                return
             state.time = resume_at
             self._schedule(resume_at, lambda: self._advance(rank, None))
         elif isinstance(op, Recv):
@@ -306,6 +430,10 @@ class Engine:
             send_done = self._do_send(
                 rank, t, op.dest, op.send_tag, op.send_nbytes, op.send_payload
             )
+            if send_done is None:
+                state.waiting = (op.dest, op.send_tag)
+                self._arm_timeout(rank, t)
+                return
             self._post_recv(rank, op.source, op.recv_tag, floor=send_done)
         elif isinstance(op, Isend):
             req = self._new_request(rank, "send")
@@ -319,7 +447,8 @@ class Engine:
                 req.done_time = arrival
                 self._wake_if_ready(rank)
 
-            self._schedule(arrival, _complete_send)
+            if arrival != float("inf"):  # never completes: dest failed
+                self._schedule(arrival, _complete_send)
             self._schedule(free_at, lambda: self._advance(rank, req.req_id))
         elif isinstance(op, Irecv):
             if not (0 <= op.source < self.nranks):
@@ -334,7 +463,7 @@ class Engine:
                 self._fill_recv_request(req, msg)
             else:
                 state.irecv_posted.append(req)
-            post_done = t + self.binding(rank).per_call_overhead
+            post_done = t + self._cpu(rank, self.binding(rank).per_call_overhead)
             state.time = post_done
             self._schedule(post_done, lambda: self._advance(rank, req.req_id))
         elif isinstance(op, (Wait, Waitall)):
@@ -344,10 +473,12 @@ class Engine:
                     raise ValueError(f"unknown request id {rid}")
             state.blocked_on = ids
             self._wake_if_ready(rank)
+            if state.blocked_on is not None:
+                self._arm_timeout(rank, t)
         elif isinstance(op, Compute):
             if op.seconds < 0:
                 raise ValueError("negative compute time")
-            state.time = t + op.seconds
+            state.time = t + self._cpu(rank, op.seconds)
             self._schedule(state.time, lambda: self._advance(rank, None))
         elif isinstance(op, Now):
             self._schedule(t, lambda: self._advance(rank, t))
@@ -390,7 +521,9 @@ class Engine:
             t = max(t, r.done_time)
             if r.kind == "recv":
                 # copy-out happens at completion time, serially on the CPU
-                t += prof.endpoint_time(r.nbytes, pipelined=r.pipelined)
+                t += self._cpu(
+                    rank, prof.endpoint_time(r.nbytes, pipelined=r.pipelined)
+                )
             payloads.append(r.payload if r.kind == "recv" else None)
         state.time = t
         for rid in ids:
@@ -401,8 +534,13 @@ class Engine:
     # ------------------------------------------------------------------
     def _do_send(
         self, src: int, t: float, dest: int, tag: int, nbytes: int, payload: Any
-    ) -> float:
-        """Inject a message; returns the time the sender becomes free."""
+    ) -> Optional[float]:
+        """Inject a message; returns the time the sender becomes free.
+
+        Returns None when the sender blocks forever (rendezvous send to
+        a failed rank) — the caller parks the rank for the timeout (or
+        deadlock) machinery to reap.
+        """
         if not (0 <= dest < self.nranks):
             raise ValueError(f"send to invalid rank {dest}")
         if dest == src:
@@ -410,7 +548,18 @@ class Engine:
         prof = self.binding(src)
         wire = self.network.wire_time(src, dest, nbytes)
         pipelined = wire.protocol == "rendezvous"
-        inject_done = t + prof.endpoint_time(nbytes, pipelined=pipelined)
+        t += self._retransmit_delay(src, dest, t)
+        inject_done = t + self._cpu(
+            src, prof.endpoint_time(nbytes, pipelined=pipelined)
+        )
+        if self._rank_failed(dest):
+            # Traffic to a failed rank vanishes.  Eager sends are
+            # fire-and-forget; a rendezvous sender waits on a pull that
+            # never comes.
+            self.stats.messages_lost += 1
+            if wire.protocol == "rendezvous":
+                return None
+            return inject_done
         head_at_dest = inject_done + wire.latency_seconds
         if wire.protocol == "shm":
             arrival = head_at_dest + wire.serial_seconds
@@ -449,7 +598,15 @@ class Engine:
         prof = self.binding(src)
         wire = self.network.wire_time(src, dest, nbytes)
         pipelined = wire.protocol == "rendezvous"
-        inject_done = t + prof.endpoint_time(nbytes, pipelined=pipelined)
+        t += self._retransmit_delay(src, dest, t)
+        inject_done = t + self._cpu(
+            src, prof.endpoint_time(nbytes, pipelined=pipelined)
+        )
+        if self._rank_failed(dest):
+            # The request's "arrival" never comes; a Wait on it hits the
+            # timeout machinery (or the deadlock backstop).
+            self.stats.messages_lost += 1
+            return inject_done, float("inf")
         head_at_dest = inject_done + wire.latency_seconds
         if wire.protocol == "shm":
             arrival = head_at_dest + wire.serial_seconds
@@ -498,13 +655,14 @@ class Engine:
             self._complete_recv(rank, msg)
         else:
             state.waiting = key
+            self._arm_timeout(rank, state.recv_floor)
 
     def _complete_recv(self, rank: int, msg: _Message) -> None:
         state = self._states[rank]
         state.waiting = None
         prof = self.binding(rank)
-        done = max(state.recv_floor, msg.arrival) + prof.endpoint_time(
-            msg.nbytes, pipelined=msg.pipelined
+        done = max(state.recv_floor, msg.arrival) + self._cpu(
+            rank, prof.endpoint_time(msg.nbytes, pipelined=msg.pipelined)
         )
         state.time = done
         self._schedule(done, lambda: self._advance(rank, msg.payload))

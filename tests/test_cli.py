@@ -60,6 +60,14 @@ class TestCommands:
 
     def test_run_unknown(self, capsys):
         assert main(["run", "fig42"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line error, no traceback
+        for key in ("fig1", "fig2", "fig3", "fig4", "fig5", "lst1", "all"):
+            assert key in err
+
+    def test_claims_unknown_lists_valid_names(self, capsys):
+        assert main(["claims", "fig42"]) == 2
+        assert "fig5" in capsys.readouterr().err
 
     def test_run_fig5_ci(self, capsys):
         assert main(["run", "fig5", "--quiet"]) == 0
@@ -114,3 +122,68 @@ class TestEngineCommands:
         assert "1 cached outcome(s)" in capsys.readouterr().out
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert "removed 1" in capsys.readouterr().out
+
+    def test_cache_info_reports_quarantined_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        cache_dir.mkdir()
+        (cache_dir / "fig5-ci.json.corrupt").write_text("{broken")
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined corrupt entry" in out
+        assert "fig5-ci.json.corrupt" in out
+
+
+class TestFaultCommands:
+    def test_bad_fault_spec_exits_2(self, capsys):
+        assert main(["run", "fig5", "--faults", "bogus"]) == 2
+        assert "unknown fault preset" in capsys.readouterr().err
+
+    def test_faults_off_is_byte_identical(self, capsys):
+        assert main(["run", "fig5", "--quiet"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "fig5", "--quiet", "--faults", "off",
+                     "--seed", "7"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_faulted_run_deterministic_across_jobs(self, capsys):
+        codes, outs = [], []
+        for jobs in ("1", "2"):
+            codes.append(main(["run", "fig2", "--faults", "lossy",
+                               "--seed", "1", "--jobs", jobs]))
+            outs.append(capsys.readouterr().out)
+        assert codes[0] == codes[1]
+        assert outs[0] == outs[1]
+
+    def test_stats_header_names_the_fault_plan(self, capsys):
+        main(["run", "fig5", "--quiet", "--stats", "--faults",
+              "straggler", "--seed", "3"])
+        assert "faults=straggler (seed 3)" in capsys.readouterr().out
+
+    def test_json_stats_carry_fault_plan(self, capsys):
+        import json
+
+        main(["run", "lst1", "--json", "--faults", "lossy", "--seed", "5"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["faults"] == {"spec": "lossy", "seed": 5}
+
+    def test_faults_subcommand_renders_sweep(self, capsys):
+        assert main(["faults", "--seed", "1", "--nranks", "4",
+                     "--repetitions", "1",
+                     "--severities", "off,straggler"]) == 0
+        out = capsys.readouterr().out
+        assert "fault severity sweep: seed=1" in out
+        assert "straggler" in out and "pingpong" in out
+
+    def test_faults_subcommand_json(self, capsys):
+        import json
+
+        assert main(["faults", "--seed", "1", "--nranks", "2",
+                     "--repetitions", "1", "--severities", "off",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 1
+        assert "off" in doc["severities"]
+
+    def test_faults_subcommand_bad_spec(self, capsys):
+        assert main(["faults", "--severities", "off,bogus"]) == 2
+        assert "bad fault spec" in capsys.readouterr().err

@@ -56,11 +56,26 @@ class TestResultCache:
         assert b.get("fig9", "ci") is None
         assert b.stats.invalidations == 1
 
-    def test_corrupt_entry_is_invalidated(self, cache):
+    def test_corrupt_entry_is_quarantined(self, cache):
         path = cache.put("fig9", "ci", _outcome())
         path.write_text("{not json")
         assert cache.get("fig9", "ci") is None
-        assert cache.stats.invalidations == 1
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        # The corrupt file is renamed aside for post-mortem, so the next
+        # lookup is a clean miss rather than another decode failure.
+        assert not path.exists()
+        quarantined = cache.corrupt_entries()
+        assert quarantined == [path.with_name(path.name + ".corrupt")]
+        assert cache.get("fig9", "ci") is None
+        assert cache.stats.corrupt == 1
+
+    def test_clear_removes_quarantined_entries(self, cache):
+        path = cache.put("fig9", "ci", _outcome())
+        path.write_text("{not json")
+        cache.get("fig9", "ci")
+        assert cache.clear() == 1
+        assert cache.corrupt_entries() == []
 
     def test_put_overwrites_stale_entry(self, cache):
         cache.put("fig9", "ci", _outcome(passed=False), params={"v": 1})

@@ -124,6 +124,20 @@ class TestPointToPoint:
         with pytest.raises(DeadlockError, match="waiting"):
             world.run(prog)
 
+    def test_deadlock_diagnostics_name_blocked_ranks(self):
+        world = MPIWorld(nranks=2)
+
+        def prog(comm: Comm):
+            # Mismatched tags: both receives block forever.
+            yield comm.recv(1 - comm.rank, tag=comm.rank + 1)
+
+        with pytest.raises(DeadlockError) as err:
+            world.run(prog)
+        msg = str(err.value)
+        # Every blocked rank is named with the (peer, tag) it waits on.
+        assert "rank 0 waiting on (1, 1)" in msg
+        assert "rank 1 waiting on (0, 2)" in msg
+
     def test_self_send_rejected(self):
         world = MPIWorld(nranks=2)
 
