@@ -9,6 +9,8 @@ Usage::
     python -m repro run all --cache --stats   # cached + engine metrics
     python -m repro run all --stats --json    # machine-readable stats
     python -m repro run all --faults lossy --seed 7   # fault injection
+    python -m repro run fig3 --trace out.json # record spans + sim events
+    python -m repro trace summarize out.json  # inspect a recorded trace
     python -m repro faults --seed 42          # fault-severity drift sweep
     python -m repro claims fig5               # show the checked claims
     python -m repro cache clear               # drop cached outcomes
@@ -21,7 +23,10 @@ if any claim fails, so the CLI doubles as a reproduction gate in CI.
 links, message loss, stragglers, rank failure) into every simulated MPI
 world; ``--task-timeout``/``--retries`` bound and retry sweep-point
 tasks so one bad point degrades its experiment instead of killing the
-run.
+run.  ``--trace FILE`` records an observability trace (wall spans,
+virtual-clock simulator events, metrics) without touching stdout — the
+file opens in ``chrome://tracing`` (or, with a ``.jsonl`` suffix, greps
+cleanly) and ``repro trace summarize`` renders it as text.
 """
 
 from __future__ import annotations
@@ -113,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1, metavar="K",
         help="fresh-pool retries after a worker crash (default: 1)",
     )
+    run_p.add_argument(
+        "--trace", default=None, metavar="FILE", dest="trace_path",
+        help="record an observability trace to FILE (Chrome trace JSON; "
+        "a .jsonl suffix selects flat JSONL); stdout is unchanged",
+    )
 
     faults_p = sub.add_parser(
         "faults",
@@ -139,6 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument(
         "--json", action="store_true", dest="json_doc",
         help="emit the drift report as JSON on stdout",
+    )
+    faults_p.add_argument(
+        "--trace", default=None, metavar="FILE", dest="trace_path",
+        help="record the sweep's observability trace to FILE "
+        "(Chrome trace JSON, or JSONL with a .jsonl suffix)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="inspect recorded observability traces"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    summ_p = trace_sub.add_parser(
+        "summarize", help="summarize a trace file written by --trace"
+    )
+    summ_p.add_argument("file", help="trace file (.json or .jsonl)")
+    summ_p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="slowest spans to show (default: 10)",
+    )
+    summ_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the summary as JSON on stdout",
     )
 
     claims_p = sub.add_parser("claims", help="show an experiment's claims")
@@ -191,6 +223,33 @@ def _cmd_cache(action: str, cache_dir: str) -> int:
     return 0
 
 
+def _probe_trace_path(path: str) -> int:
+    """Fail fast on an unwritable ``--trace`` destination: 0 if the file
+    can be opened for writing, 2 (usage error) otherwise — checked
+    *before* any experiment work so a typo'd path costs nothing."""
+    try:
+        with open(path, "a"):
+            pass
+    except OSError as exc:
+        print(f"cannot write trace to {path!r}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _write_trace_file(recorder, path: str) -> int:
+    """Write a recorder to ``path``; 0 on success, 2 on an unwritable
+    path (usage error, reported on stderr — stdout is never touched)."""
+    from .obs import write_trace
+
+    try:
+        write_trace(recorder, path)
+    except OSError as exc:
+        print(f"cannot write trace to {path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(f"trace written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .core.report import render_fault_sweep
     from .mpi.faults import fault_drift_report, parse_fault_spec
@@ -202,20 +261,64 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad fault spec: {exc}", file=sys.stderr)
         return 2
-    doc = fault_drift_report(
-        seed=args.seed,
-        severities=severities,
-        nranks=args.nranks,
-        repetitions=args.repetitions,
-    )
+    recorder = None
+    if args.trace_path is not None:
+        from .obs import TraceRecorder, recording, trace_span
+
+        status = _probe_trace_path(args.trace_path)
+        if status:
+            return status
+        recorder = TraceRecorder()
+        with recording(recorder):
+            with trace_span(
+                "fault_sweep", category="sweep",
+                seed=args.seed, severities=",".join(severities),
+            ):
+                doc = fault_drift_report(
+                    seed=args.seed,
+                    severities=severities,
+                    nranks=args.nranks,
+                    repetitions=args.repetitions,
+                )
+    else:
+        doc = fault_drift_report(
+            seed=args.seed,
+            severities=severities,
+            nranks=args.nranks,
+            repetitions=args.repetitions,
+        )
     if args.json_doc:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(render_fault_sweep(doc))
+    if recorder is not None:
+        status = _write_trace_file(recorder, args.trace_path)
+        if status:
+            return status
     errors = sum(
         1 for entry in doc["severities"].values() if entry.get("error")
     )
     return 1 if errors == len(severities) else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.report import render_trace_summary
+    from .obs import load_trace, summarize_trace
+
+    try:
+        doc = load_trace(args.file)
+    except OSError as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"not a trace file {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(doc, top=args.top)
+    if args.json_doc:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_trace_summary(summary))
+    return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -228,6 +331,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    recorder = None
+    if args.trace_path is not None:
+        from .obs import TraceRecorder
+
+        status = _probe_trace_path(args.trace_path)
+        if status:
+            return status
+        recorder = TraceRecorder()
+
     use_cache = args.cache or args.cache_dir != DEFAULT_CACHE_DIR
     try:
         engine = Engine(
@@ -237,11 +349,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retries=args.retries,
             fault_spec=args.faults,
             fault_seed=args.seed,
+            recorder=recorder,
         )
     except ValueError as exc:
         print(f"bad fault spec: {exc}", file=sys.stderr)
         return 2
     outcomes = engine.run_many(keys, scale=args.scale)
+
+    if recorder is not None:
+        engine.stats.publish_metrics(recorder.metrics)
+        status = _write_trace_file(recorder, args.trace_path)
+        if status:
+            return status
 
     if args.json_stats:
         doc = engine.stats.as_dict()
@@ -283,6 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args.action, args.cache_dir)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "run":
         return _cmd_run(args)
     return 2  # pragma: no cover - argparse enforces choices

@@ -17,6 +17,7 @@ __all__ = [
     "render_sweep",
     "render_run_stats",
     "render_fault_sweep",
+    "render_trace_summary",
     "format_si",
 ]
 
@@ -139,6 +140,63 @@ def render_fault_sweep(doc) -> str:
     for name, entry in doc["severities"].items():
         if entry.get("error"):
             lines.append(f"{name}: {entry['error']}")
+    return "\n".join(lines)
+
+
+def render_trace_summary(doc) -> str:
+    """Render a :func:`repro.obs.summarize_trace` document as text.
+
+    Wall side first (span count, wall seconds, slowest spans), then the
+    virtual side (event counts by kind, ranks, virtual makespan), then
+    every metric.  Duck-typed on the summary dict to keep this module
+    free of an import on the obs layer.
+    """
+    lines = [
+        f"trace: {doc['nspans']} span(s) over "
+        f"{doc['wall_seconds']:.3f}s wall; "
+        f"{doc['nevents']} virtual event(s) on {doc['ranks']} rank(s), "
+        f"virtual makespan {format_si(doc['virtual_seconds'])}s"
+    ]
+    if doc.get("top_spans"):
+        rows = [
+            [s["name"], s.get("cat", "span"), f"{s['seconds']:.4f}"]
+            for s in doc["top_spans"]
+        ]
+        lines.append("slowest spans:")
+        lines.append(render_table(["span", "category", "seconds"], rows))
+    if doc.get("events_by_kind"):
+        rows = [[k, v] for k, v in doc["events_by_kind"].items()]
+        lines.append("virtual events:")
+        lines.append(render_table(["kind", "count"], rows))
+    metrics = doc.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    scalar_rows = [
+        [name, "counter", format_si(value)]
+        for name, value in sorted(counters.items())
+    ] + [
+        [name, "gauge", format_si(value)]
+        for name, value in sorted(gauges.items())
+    ]
+    if scalar_rows:
+        lines.append("metrics:")
+        lines.append(render_table(["metric", "kind", "value"], scalar_rows))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        rows = []
+        for name, h in sorted(histograms.items()):
+            count = h.get("count", 0)
+            mean = h.get("sum", 0.0) / count if count else 0.0
+            rows.append([
+                name,
+                count,
+                format_si(mean),
+                format_si(h["min"]) if h.get("min") is not None else "-",
+                format_si(h["max"]) if h.get("max") is not None else "-",
+            ])
+        lines.append("histograms:")
+        lines.append(render_table(["histogram", "count", "mean", "min",
+                                   "max"], rows))
     return "\n".join(lines)
 
 

@@ -15,6 +15,7 @@ no per-experiment barrier.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -27,6 +28,7 @@ from ..core.experiments import (
     scale_params,
 )
 from ..mpi.faults import parse_fault_spec
+from ..obs import MetricsRegistry, TraceRecorder
 from .cache import CacheStats, ResultCache
 from .scheduler import Scheduler, TaskResult
 from .tasks import Task, decompose, merge_results
@@ -126,6 +128,28 @@ class RunStats:
 
         return render_run_stats(self)
 
+    def publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Absorb these counters into a :class:`MetricsRegistry` —
+        the one API the ad-hoc stats bags feed when tracing is on."""
+        registry.gauge("exec.jobs").set(self.jobs)
+        registry.counter("exec.experiments").inc(len(self.experiments))
+        registry.counter("exec.experiments.cached").inc(
+            sum(1 for e in self.experiments if e.cached)
+        )
+        registry.counter("exec.experiments.failed").inc(
+            sum(1 for e in self.experiments if not e.passed)
+        )
+        registry.counter("exec.tasks").inc(
+            sum(len(e.tasks) for e in self.experiments)
+        )
+        registry.counter("exec.tasks.failed").inc(self.failed_tasks)
+        for e in self.experiments:
+            for t in e.tasks:
+                registry.histogram("exec.task_seconds").observe(t.seconds)
+        if self.cache is not None:
+            for name, value in self.cache.as_dict().items():
+                registry.counter(f"cache.{name}").inc(value)
+
 
 class Engine:
     """Schedule, cache and account for experiment runs.
@@ -149,6 +173,12 @@ class Engine:
         Deterministic fault-injection plan threaded to every task
         (see :mod:`repro.mpi.faults`); ``None``/"off" disables it and
         keeps output byte-identical to the fault-free path.
+    recorder:
+        A :class:`~repro.obs.TraceRecorder` to collect spans (one per
+        task, one per experiment, cache hit/miss annotated), the MPI
+        simulator's virtual-clock event track, and metrics; ``None``
+        (default) keeps tracing off and the run byte-identical to the
+        untraced path.
     """
 
     def __init__(
@@ -159,11 +189,13 @@ class Engine:
         retries: int = 1,
         fault_spec: Optional[str] = None,
         fault_seed: int = 0,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         self.scheduler = Scheduler(
             jobs=jobs, task_timeout=task_timeout, retries=retries
         )
         self.cache = cache
+        self.recorder = recorder
         # Validate eagerly (and normalise "off" to None) so a bad spec
         # fails the run before any work is scheduled.
         self.fault_spec = (
@@ -210,6 +242,12 @@ class Engine:
                 cached = self._cache_get(key, scale, extra_params)
                 if cached is not None:
                     outcomes[key] = cached
+                    with self._span(
+                        f"experiment:{key}", category="experiment",
+                        key=key, scale=scale, cache="hit",
+                        passed=cached.passed,
+                    ):
+                        pass  # zero-work span: the outcome came cached
                     self.stats.experiments.append(
                         ExperimentStats(
                             key=key, scale=scale, cached=True,
@@ -223,11 +261,18 @@ class Engine:
                             key, scale,
                             fault_spec=self.fault_spec,
                             fault_seed=self.fault_seed,
+                            trace=self.recorder is not None,
                         ),
                     ))
 
             all_tasks: List[Task] = [t for _, ts in pending for t in ts]
-            results = self.scheduler.map(all_tasks)
+            with self._span(
+                "schedule", category="engine",
+                ntasks=len(all_tasks), jobs=self.scheduler.jobs,
+            ) as sched_attrs:
+                results = self.scheduler.map(all_tasks)
+                if self.scheduler.fallback_reason is not None:
+                    sched_attrs["fallback"] = self.scheduler.fallback_reason
             self.stats.fallback_reason = self.scheduler.fallback_reason
 
             cursor = 0
@@ -239,6 +284,12 @@ class Engine:
         return outcomes
 
     # -- internals --------------------------------------------------------
+    def _span(self, name: str, category: str = "engine", **attrs: Any):
+        """Span on this engine's recorder, or a no-op context."""
+        if self.recorder is None:
+            return nullcontext(attrs)
+        return self.recorder.span(name, category=category, **attrs)
+
     def _cache_key_params(
         self, key: str, scale: str, extra_params: Optional[Dict[str, Any]]
     ) -> Dict[str, Any]:
@@ -269,21 +320,34 @@ class Engine:
         results: Sequence[TaskResult],
         extra_params: Optional[Dict[str, Any]],
     ) -> Outcome:
+        if self.recorder is not None:
+            # Fold each task's recorder document in deterministic task
+            # order — completion order played no part, so the virtual
+            # event track is identical for any --jobs value.
+            for r in results:
+                self.recorder.merge(r.trace)
         failures = [(r.task.label, r.error) for r in results if r.failed]
-        if failures:
-            # Failure isolation: a crashed/timed-out sweep point
-            # degrades this experiment to a diagnostic outcome; other
-            # experiments in the run are untouched, and the bad result
-            # never reaches the cache.
-            outcome = failed_outcome(key, failures)
-        else:
-            result = merge_results(key, scale, [r.value for r in results])
-            outcome = evaluate_outcome(key, result)
-            if self.cache is not None:
-                self.cache.put(
-                    key, scale, outcome,
-                    self._cache_key_params(key, scale, extra_params),
-                )
+        with self._span(
+            f"experiment:{key}", category="experiment",
+            key=key, scale=scale,
+            cache="miss" if self.cache is not None else "off",
+        ) as exp_attrs:
+            if failures:
+                # Failure isolation: a crashed/timed-out sweep point
+                # degrades this experiment to a diagnostic outcome; other
+                # experiments in the run are untouched, and the bad result
+                # never reaches the cache.
+                outcome = failed_outcome(key, failures)
+            else:
+                result = merge_results(key, scale, [r.value for r in results])
+                outcome = evaluate_outcome(key, result)
+                if self.cache is not None:
+                    self.cache.put(
+                        key, scale, outcome,
+                        self._cache_key_params(key, scale, extra_params),
+                    )
+            exp_attrs["passed"] = outcome.passed
+            exp_attrs["failed_tasks"] = len(failures)
         metrics = [
             TaskMetric(
                 experiment=key,

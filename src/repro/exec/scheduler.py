@@ -39,6 +39,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
+from ..obs import TraceRecorder, recording
 from .tasks import Task, execute_task
 
 __all__ = ["Scheduler", "TaskResult", "effective_jobs"]
@@ -50,6 +51,10 @@ class TaskResult:
 
     ``error`` is None for a successful task; otherwise a one-line
     ``ExcType: message`` diagnostic (the payload is None then).
+    ``trace`` is the task-local recorder document (span, virtual-clock
+    events, metrics) when the task asked for tracing — recorded where
+    the task ran and shipped back as plain data, so pool and inline
+    execution produce identical traces.
     """
 
     task: Task
@@ -58,6 +63,7 @@ class TaskResult:
     worker: str  # "inline" or "pool"
     error: Optional[str] = None
     attempts: int = 1
+    trace: Optional[dict] = None
 
     @property
     def failed(self) -> bool:
@@ -78,9 +84,29 @@ def _under_pytest_xdist() -> bool:
 
 
 def _timed_execute(task: Task) -> tuple:
+    """Run one task; returns ``(value, seconds, trace_doc_or_None)``.
+
+    When the task asks for tracing, a task-local recorder is installed
+    for the duration — the MPI simulator and machine models the figure
+    code drives report into it — and its plain-data snapshot rides back
+    with the result (across the process boundary in pool mode).
+    """
+    if not task.trace:
+        t0 = time.perf_counter()
+        value = execute_task(task)
+        return value, time.perf_counter() - t0, None
+    recorder = TraceRecorder()
     t0 = time.perf_counter()
-    value = execute_task(task)
-    return value, time.perf_counter() - t0
+    with recording(recorder):
+        with recorder.span(
+            task.label,
+            category="task",
+            experiment=task.experiment,
+            kind=task.kind,
+            index=task.index,
+        ):
+            value = execute_task(task)
+    return value, time.perf_counter() - t0, recorder.as_dict()
 
 
 def _format_error(exc: BaseException) -> str:
@@ -127,7 +153,7 @@ class Scheduler:
         for task in tasks:
             t0 = time.perf_counter()
             try:
-                value, seconds = _timed_execute(task)
+                value, seconds, trace = _timed_execute(task)
             except Exception as exc:
                 out.append(
                     TaskResult(
@@ -136,7 +162,11 @@ class Scheduler:
                     )
                 )
             else:
-                out.append(TaskResult(task, value, seconds, worker="inline"))
+                out.append(
+                    TaskResult(
+                        task, value, seconds, worker="inline", trace=trace
+                    )
+                )
         return out
 
     def _mp_context(self):
@@ -182,8 +212,12 @@ class Scheduler:
                     future.cancel()
                     continue
                 try:
-                    value, seconds = future.result(timeout=self.task_timeout)
-                    out[i] = TaskResult(task, value, seconds, worker="pool")
+                    value, seconds, trace = future.result(
+                        timeout=self.task_timeout
+                    )
+                    out[i] = TaskResult(
+                        task, value, seconds, worker="pool", trace=trace
+                    )
                 except FuturesTimeoutError:
                     out[i] = TaskResult(
                         task, None, float(self.task_timeout), worker="pool",

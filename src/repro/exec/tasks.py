@@ -38,6 +38,9 @@ class Task:
     as plain data, so a pool worker reconstructs exactly the same
     deterministic :class:`~repro.mpi.faults.FaultPlan` the serial path
     uses — faulted runs stay byte-identical across ``--jobs`` values.
+    ``trace`` asks the executing worker to record a task-local
+    :class:`~repro.obs.TraceRecorder` (span + virtual events + metrics)
+    and ship it back with the result.
     """
 
     experiment: str
@@ -47,6 +50,7 @@ class Task:
     params: Dict[str, Any] = field(default_factory=dict)
     fault_spec: Optional[str] = None
     fault_seed: int = 0
+    trace: bool = False
 
     @property
     def label(self) -> str:
@@ -75,13 +79,15 @@ def decompose(
     scale: str = "ci",
     fault_spec: Optional[str] = None,
     fault_seed: int = 0,
+    trace: bool = False,
 ) -> List[Task]:
     """Decompose one registered experiment into independent tasks.
 
     Tasks are returned in a deterministic order that
     :func:`merge_results` relies on; indices are contiguous from 0.
     A non-None ``fault_spec`` is stamped onto every task so
-    :func:`execute_task` activates the fault plan around execution.
+    :func:`execute_task` activates the fault plan around execution;
+    ``trace=True`` stamps every task to record and return a trace.
     """
     params = scale_params(key, scale)
     tasks: List[Task] = []
@@ -96,6 +102,7 @@ def decompose(
                 params=task_params,
                 fault_spec=fault_spec,
                 fault_seed=fault_seed,
+                trace=trace,
             )
         )
 

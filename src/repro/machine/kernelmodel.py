@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..ftypes.formats import FloatFormat
+from ..obs.trace import get_recorder
 from .memory import MemoryHierarchy
 from .roofline import KernelTraffic
 from .specs import A64FX, ChipSpec
@@ -138,7 +139,7 @@ class StreamKernelModel:
 
         startup_t = profile.startup_cycles / self.chip.clock_hz
         total = startup_t + max(compute_t, memory_t)
-        return KernelTiming(
+        timing = KernelTiming(
             seconds=total,
             startup_seconds=startup_t,
             compute_seconds=compute_t,
@@ -146,6 +147,16 @@ class StreamKernelModel:
             flops=total_flops,
             level_name=self.memory.effective_bandwidth(ws).level_name,
         )
+        rec = get_recorder()
+        if rec is not None:
+            m = rec.metrics
+            m.counter("kernel.calls").inc()
+            m.counter(f"kernel.calls.{kernel.name}").inc()
+            m.counter("kernel.flops").inc(total_flops)
+            m.counter("kernel.bytes").inc(load_bytes + store_bytes)
+            m.counter(f"kernel.bound.{timing.bound}").inc()
+            m.histogram("kernel.gflops").observe(timing.gflops)
+        return timing
 
     def gflops_curve(
         self,

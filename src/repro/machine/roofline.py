@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ftypes.formats import FloatFormat
+from ..obs.trace import get_recorder
 from .memory import MemoryHierarchy
 from .specs import A64FX, ChipSpec
 
@@ -102,6 +103,12 @@ class Roofline:
 
         attainable = min(compute_roof, memory_roof)
         bound = "compute" if compute_roof <= memory_roof else "memory"
+        rec = get_recorder()
+        if rec is not None:
+            m = rec.metrics
+            m.counter("roofline.evaluations").inc()
+            m.counter(f"roofline.bound.{bound}").inc()
+            m.histogram("roofline.ceiling_gflops").observe(attainable / 1e9)
         return RooflinePoint(
             flops_per_second=attainable,
             compute_roof=compute_roof,

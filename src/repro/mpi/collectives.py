@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Generator, List, Optional
 
-from .simulator import Compute, Recv, Send, SendRecv
+from .simulator import Compute, Mark, Recv, Send, SendRecv
 
 __all__ = [
     "barrier_dissemination",
@@ -182,6 +182,7 @@ def allreduce_recursive_doubling(
         new_rank = rank - rem
 
     if new_rank is not None:
+        yield Mark("allreduce.exchange", info={"rounds": k, "nbytes": nbytes})
         for round_ in range(k):
             partner_new = new_rank ^ (1 << round_)
             partner = (
@@ -225,6 +226,7 @@ def allreduce_ring(
     right = (rank + 1) % size
     left = (rank - 1) % size
     # Reduce-scatter phase: p-1 shifted chunk exchanges.
+    yield Mark("ring.reduce_scatter", info={"steps": size - 1, "chunk": chunk})
     for step in range(size - 1):
         got = yield SendRecv(
             dest=right,
@@ -236,6 +238,7 @@ def allreduce_ring(
         )
         yield Compute(_reduce_time(chunk))
     # Allgather phase.
+    yield Mark("ring.allgather", info={"steps": size - 1, "chunk": chunk})
     for step in range(size - 1):
         got = yield SendRecv(
             dest=right,
@@ -299,6 +302,7 @@ def allreduce_rabenseifner(
     if new_rank is not None:
         # Reduce-scatter by recursive halving: exchanged chunk shrinks
         # by half each round.
+        yield Mark("rabenseifner.reduce_scatter", info={"rounds": k})
         chunk = nbytes
         for round_ in range(k):
             chunk = max(1, chunk // 2) if nbytes else 0
@@ -312,6 +316,7 @@ def allreduce_rabenseifner(
             )
             yield Compute(_reduce_time(chunk))
         # Allgather by recursive doubling: chunk grows back.
+        yield Mark("rabenseifner.allgather", info={"rounds": k})
         for round_ in range(k):
             partner = old_rank(new_rank ^ (1 << round_))
             yield SendRecv(
@@ -475,6 +480,7 @@ def gatherv_linear(
     if size == 1:
         return [value]
     if rank == root:
+        yield Mark("gatherv.gather", info={"sources": size - 1, "nbytes": nbytes})
         out: List[Any] = [None] * size
         out[root] = value
         for src in range(size):

@@ -34,6 +34,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from ..obs.trace import get_recorder
 from .bindings import BindingProfile, IMB_C
 from .faults import FaultPlan
 from .network import TofuDNetwork
@@ -49,6 +50,7 @@ __all__ = [
     "Waitall",
     "Compute",
     "Now",
+    "Mark",
     "DeadlockError",
     "RankFailedError",
     "Engine",
@@ -127,6 +129,17 @@ class Compute:
 @dataclass(frozen=True)
 class Now:
     pass
+
+
+@dataclass(frozen=True)
+class Mark:
+    """Zero-cost trace annotation: records a virtual-clock phase mark
+    (collective phase boundaries, algorithm switches) when tracing is
+    on and is a plain no-op otherwise — it never advances the clock, so
+    yielding it cannot change any simulated timing."""
+
+    name: str
+    info: Any = None
 
 
 RankProgram = Callable[..., Generator]
@@ -290,7 +303,13 @@ class Engine:
         # on the destination link, which makes fan-in patterns (linear
         # Gatherv) bandwidth-bound at the root.
         self._ingress_free: List[float] = [0.0] * nranks
+        #: per-rank ingress-link busy seconds (serialisation charged to
+        #: each destination) — the per-link utilisation the trace reports.
+        self._ingress_busy: List[float] = [0.0] * nranks
         self.stats = EngineStats()
+        #: recorder captured at construction; every event guard is a
+        #: None check, so untraced runs pay (near) nothing.
+        self._trace = get_recorder()
 
     # ------------------------------------------------------------------
     def binding(self, rank: int) -> BindingProfile:
@@ -319,12 +338,19 @@ class Engine:
         if plan is None or plan.loss_rate <= 0.0:
             return 0.0
         delay = 0.0
+        attempts = 0
         for attempt in range(plan.max_retransmits):
             if not plan.is_lost(src, dest, t, attempt):
                 break
             delay += plan.retransmit_timeout
+            attempts += 1
             self.stats.messages_lost += 1
             self.stats.retransmits += 1
+        if delay > 0.0 and self._trace is not None:
+            self._trace.event(
+                "retransmit", src, t,
+                dest=dest, attempts=attempts, seconds=delay,
+            )
         return delay
 
     def _arm_timeout(self, rank: int, t: float) -> None:
@@ -343,6 +369,11 @@ class Engine:
             if st.waiting is None and st.blocked_on is None:
                 return  # completion already scheduled, not yet resumed
             self.stats.timeouts += 1
+            if self._trace is not None:
+                self._trace.event(
+                    "timeout", rank, deadline,
+                    timeout=self.recv_timeout,
+                )
             what = st.waiting if st.waiting is not None else st.blocked_on
             peer: Optional[int] = None
             if st.waiting is not None:
@@ -376,6 +407,8 @@ class Engine:
                 self._states[r].failed = True
                 self._states[r].done = True
                 self.stats.failed_ranks += 1
+                if self._trace is not None:
+                    self._trace.event("rank_failed", r, 0.0)
             else:
                 self._schedule(0.0, lambda r=r: self._advance(r, None))
         if self.nranks and self.stats.failed_ranks == self.nranks:
@@ -383,7 +416,30 @@ class Engine:
                 f"all {self.nranks} ranks failed before start", time=0.0
             )
         self._loop()
+        if self._trace is not None:
+            self._publish_metrics()
         return [s.result for s in self._states]
+
+    def _publish_metrics(self) -> None:
+        """Absorb this world's :class:`EngineStats` (and the per-rank
+        ingress-link utilisation) into the recorder's metrics registry.
+        Counters add across worlds, so a whole sweep aggregates."""
+        m = self._trace.metrics
+        s = self.stats
+        m.counter("mpi.messages").inc(s.messages)
+        m.counter("mpi.bytes_sent").inc(s.bytes_sent)
+        m.counter("mpi.messages.eager").inc(s.eager_messages)
+        m.counter("mpi.messages.rendezvous").inc(s.rendezvous_messages)
+        m.counter("mpi.messages.shm").inc(s.shm_messages)
+        m.counter("mpi.messages.lost").inc(s.messages_lost)
+        m.counter("mpi.retransmits").inc(s.retransmits)
+        m.counter("mpi.timeouts").inc(s.timeouts)
+        m.counter("mpi.failed_ranks").inc(s.failed_ranks)
+        busy = [b for b in self._ingress_busy if b > 0.0]
+        for b in busy:
+            m.histogram("mpi.ingress_busy_seconds").observe(b)
+        if busy:
+            m.counter("mpi.ingress_busy_seconds.total").inc(sum(busy))
 
     def _loop(self) -> None:
         while self._events:
@@ -478,10 +534,22 @@ class Engine:
         elif isinstance(op, Compute):
             if op.seconds < 0:
                 raise ValueError("negative compute time")
-            state.time = t + self._cpu(rank, op.seconds)
+            seconds = self._cpu(rank, op.seconds)
+            if self._trace is not None and seconds > 0.0:
+                self._trace.event("compute", rank, t, seconds=seconds)
+            state.time = t + seconds
             self._schedule(state.time, lambda: self._advance(rank, None))
         elif isinstance(op, Now):
             self._schedule(t, lambda: self._advance(rank, t))
+        elif isinstance(op, Mark):
+            if self._trace is not None:
+                if op.info is None:
+                    self._trace.event("mark", rank, t, label=op.name)
+                else:
+                    self._trace.event(
+                        "mark", rank, t, label=op.name, info=op.info
+                    )
+            self._schedule(t, lambda: self._advance(rank, None))
         else:
             raise TypeError(f"rank {rank} yielded unknown op {op!r}")
 
@@ -557,6 +625,11 @@ class Engine:
             # fire-and-forget; a rendezvous sender waits on a pull that
             # never comes.
             self.stats.messages_lost += 1
+            if self._trace is not None:
+                self._trace.event(
+                    "send", src, t, dest=dest, nbytes=nbytes,
+                    protocol=wire.protocol, lost=True,
+                )
             if wire.protocol == "rendezvous":
                 return None
             return inject_done
@@ -567,6 +640,7 @@ class Engine:
             start_ingest = max(head_at_dest, self._ingress_free[dest])
             arrival = start_ingest + wire.serial_seconds
             self._ingress_free[dest] = arrival
+            self._ingress_busy[dest] += wire.serial_seconds
         msg = _Message(
             src=src,
             tag=tag,
@@ -576,6 +650,11 @@ class Engine:
             pipelined=pipelined,
         )
         self.stats.record(src, nbytes, wire.protocol, wire.hops)
+        if self._trace is not None:
+            self._trace.event(
+                "send", src, t, dest=dest, nbytes=nbytes,
+                protocol=wire.protocol, hops=wire.hops, arrival=arrival,
+            )
         self._schedule(arrival, lambda: self._deliver(dest, msg))
         if wire.protocol == "rendezvous":
             # Synchronous: the sender's buffer is in flight until the
@@ -606,6 +685,11 @@ class Engine:
             # The request's "arrival" never comes; a Wait on it hits the
             # timeout machinery (or the deadlock backstop).
             self.stats.messages_lost += 1
+            if self._trace is not None:
+                self._trace.event(
+                    "send", src, t, dest=dest, nbytes=nbytes,
+                    protocol=wire.protocol, lost=True,
+                )
             return inject_done, float("inf")
         head_at_dest = inject_done + wire.latency_seconds
         if wire.protocol == "shm":
@@ -614,6 +698,7 @@ class Engine:
             start_ingest = max(head_at_dest, self._ingress_free[dest])
             arrival = start_ingest + wire.serial_seconds
             self._ingress_free[dest] = arrival
+            self._ingress_busy[dest] += wire.serial_seconds
         msg = _Message(
             src=src,
             tag=tag,
@@ -623,6 +708,11 @@ class Engine:
             pipelined=pipelined,
         )
         self.stats.record(src, nbytes, wire.protocol, wire.hops)
+        if self._trace is not None:
+            self._trace.event(
+                "send", src, t, dest=dest, nbytes=nbytes,
+                protocol=wire.protocol, hops=wire.hops, arrival=arrival,
+            )
         self._schedule(arrival, lambda: self._deliver(dest, msg))
         return inject_done, arrival
 
@@ -665,4 +755,8 @@ class Engine:
             rank, prof.endpoint_time(msg.nbytes, pipelined=msg.pipelined)
         )
         state.time = done
+        if self._trace is not None:
+            self._trace.event(
+                "recv", rank, done, source=msg.src, nbytes=msg.nbytes,
+            )
         self._schedule(done, lambda: self._advance(rank, msg.payload))

@@ -1,0 +1,70 @@
+"""Observability layer: spans, virtual-clock event traces, metrics.
+
+``repro.obs`` is how you see *inside* a run.  It is zero-dependency and
+off by default — with no recorder installed every instrumentation point
+is a cheap None check and the repo's output stays byte-identical.
+
+* :mod:`repro.obs.trace` — :func:`trace_span` / :class:`TraceRecorder`:
+  wall-clock spans around tasks and experiments, plus the
+  virtual-clock event records the MPI discrete-event simulator emits
+  (sends, receives, computes, retransmits, phase marks).  The virtual
+  track is a pure function of (seed, config): stable across ``--jobs``.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters, gauges
+  and log2-bucket histograms with associative merge, absorbing the
+  engine/cache/simulator counter bags behind one API.
+* :mod:`repro.obs.export` — Chrome ``chrome://tracing`` JSON, flat
+  JSONL, and the text summary behind ``repro trace summarize``.
+
+Usage::
+
+    from repro.obs import TraceRecorder, recording, write_trace
+
+    rec = TraceRecorder()
+    with recording(rec):
+        engine = Engine(jobs=4, recorder=rec)
+        engine.run_many(["fig2", "fig3"])
+    write_trace(rec, "out.json")          # open in chrome://tracing
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    Span,
+    TraceRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+    trace_span,
+    virtual_event,
+)
+from .export import (
+    VIRTUAL_PID,
+    WALL_PID,
+    chrome_trace,
+    jsonl_lines,
+    load_trace,
+    summarize_trace,
+    virtual_track,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "trace_span",
+    "virtual_event",
+    "WALL_PID",
+    "VIRTUAL_PID",
+    "chrome_trace",
+    "jsonl_lines",
+    "virtual_track",
+    "write_trace",
+    "load_trace",
+    "summarize_trace",
+]

@@ -1,0 +1,226 @@
+"""Metrics registry: counters, gauges and histograms behind one API.
+
+The repo accumulated ad-hoc counter bags as it grew — the simulator's
+:class:`~repro.mpi.simulator.EngineStats`, the result cache's
+:class:`~repro.exec.cache.CacheStats`, the execution engine's
+:class:`~repro.exec.engine.RunStats` — each with its own ``as_dict`` and
+merge story.  :class:`MetricsRegistry` is the common substrate those
+feed into when observability is on: a named set of
+
+* :class:`Counter` — monotone non-negative accumulator (messages sent,
+  bytes moved, cache hits).  ``inc`` rejects negative amounts, so a
+  counter can never go down; merging registries adds counters.
+* :class:`Gauge` — last-written value (jobs in use, ceiling GFLOPS).
+* :class:`Histogram` — log2-bucketed distribution with count/sum/min/
+  max (task seconds, per-rank ingress busy time).  Merging adds bucket
+  counts, so a histogram split across process-pool workers equals the
+  histogram of the whole run.
+
+Everything is plain data: ``as_dict``/``merge`` round-trip through JSON
+so pool workers ship their registry back to the parent inside the task
+result, and the parent's merge is associative and commutative — the
+property tests in ``tests/test_obs_property.py`` pin that down.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotone non-negative accumulator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        if value < 0:
+            raise ValueError(f"counter {name!r} cannot start negative")
+        self.name = name
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot be decremented (got {amount})"
+            )
+        self.value += amount
+
+    def as_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (not merged additively: last merge wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative observations.
+
+    Bucket ``k`` counts observations in ``[2**(k-1), 2**k)`` (bucket 0
+    holds everything below 1, including 0); exact for the additivity
+    that matters here — merging two histograms gives the histogram of
+    the union of their observations.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        if value < 1.0:
+            return 0
+        return int(math.floor(math.log2(value))) + 1
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(
+                f"histogram {self.name!r} takes non-negative values, "
+                f"got {value}"
+            )
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        b = self.bucket_of(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def merge_dict(self, doc: Dict[str, Any]) -> None:
+        self.count += int(doc.get("count", 0))
+        self.total += float(doc.get("sum", 0.0))
+        for bound in ("min", "max"):
+            other = doc.get(bound)
+            if other is None:
+                continue
+            mine = getattr(self, bound)
+            pick = min if bound == "min" else max
+            setattr(self, bound, other if mine is None else pick(mine, other))
+        for k, v in (doc.get("buckets") or {}).items():
+            k = int(k)
+            self.buckets[k] = self.buckets.get(k, 0) + int(v)
+
+
+class MetricsRegistry:
+    """Thread-safe named collection of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the existing instrument afterwards (asking for the same name with a
+    different kind is an error — one name, one meaning).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+    def _check_unique(self, name: str, kind: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for other_kind, table in owners.items():
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._check_unique(name, "counter")
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._check_unique(name, "gauge")
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._check_unique(name, "histogram")
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    # -- bulk views --------------------------------------------------------
+    def counters(self) -> Iterable[Tuple[str, float]]:
+        return sorted((n, c.value) for n, c in self._counters.items())
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable snapshot (sorted, so byte-stable)."""
+        with self._lock:
+            return {
+                "counters": {
+                    n: self._counters[n].value for n in sorted(self._counters)
+                },
+                "gauges": {
+                    n: self._gauges[n].value for n in sorted(self._gauges)
+                },
+                "histograms": {
+                    n: self._histograms[n].as_dict()
+                    for n in sorted(self._histograms)
+                },
+            }
+
+    def merge(self, other: "MetricsRegistry | Dict[str, Any]") -> None:
+        """Fold another registry (or its ``as_dict``) into this one.
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins, matching single-registry semantics).
+        """
+        doc = other.as_dict() if isinstance(other, MetricsRegistry) else other
+        for name, value in (doc.get("counters") or {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in (doc.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_doc in (doc.get("histograms") or {}).items():
+            with self._lock:
+                if name not in self._histograms:
+                    self._check_unique(name, "histogram")
+                    self._histograms[name] = Histogram(name)
+                hist = self._histograms[name]
+            hist.merge_dict(hist_doc)
+
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)

@@ -17,6 +17,15 @@ def small_sw_params():
     return ShallowWaterParams(nx=32, ny=16)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate tests/golden/*.json figure snapshots from the "
+        "current code instead of comparing against them (inspect "
+        "`git diff tests/golden/` before committing)",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running test (full-scale experiment)"

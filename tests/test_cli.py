@@ -187,3 +187,91 @@ class TestFaultCommands:
     def test_faults_subcommand_bad_spec(self, capsys):
         assert main(["faults", "--severities", "off,bogus"]) == 2
         assert "bad fault spec" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    def test_run_trace_writes_file_and_notes_on_stderr(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "t.json"
+        assert main(["run", "lst1", "--quiet", "--trace", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert path.exists()
+        assert f"trace written to {path}" in captured.err
+        assert "trace" not in captured.out  # stdout untouched
+
+    def test_run_trace_with_json_stats_keeps_stdout_pure_json(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "t.json"
+        assert main(["run", "fig5", "--json", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # still exactly one JSON document
+        assert doc["experiments"][0]["key"] == "fig5"
+        assert path.exists()
+
+    def test_run_trace_unwritable_path_exits_2_before_running(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "no-such-dir" / "t.json"
+        assert main(["run", "fig5", "--quiet", "--trace", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot write trace" in captured.err
+        assert captured.out == ""  # failed fast: no experiment ran
+
+    def test_faults_trace_unwritable_path_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "no-such-dir" / "t.json"
+        assert main(["faults", "--nranks", "2", "--repetitions", "1",
+                     "--severities", "off", "--trace", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot write trace" in captured.err
+        assert captured.out == ""
+
+    def test_faults_trace_with_json_doc(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        assert main(["faults", "--nranks", "2", "--repetitions", "1",
+                     "--severities", "off,degraded", "--json",
+                     "--trace", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "degraded" in doc["severities"]
+        lines = path.read_text().splitlines()
+        assert any('"type": "event"' in line for line in lines)
+
+    def test_trace_summarize_renders_run_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["run", "fig2", "--quiet", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out
+        assert "send" in out and "recv" in out
+        assert "mpi.messages" in out
+
+    def test_trace_summarize_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        assert main(["run", "lst1", "--quiet", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["nspans"] >= 1
+        assert "metrics" in doc
+
+    def test_trace_summarize_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_summarize_not_a_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "not a trace file" in capsys.readouterr().err
+
+    def test_trace_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])

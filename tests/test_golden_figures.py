@@ -1,0 +1,140 @@
+"""Golden-figure regression tests: Figs. 1/2/3/5 sweep data, snapshotted.
+
+Every curve the repo reproduces is a pure function of its models, so the
+ci-scale sweep data can be pinned byte-for-byte: these tests compare the
+current figure output against the committed snapshots in
+``tests/golden/*.json`` and fail with a per-point diff when any value
+drifts.  That turns "a model change silently bent Fig. 3" into a red
+test naming the exact curve and point.
+
+Updating the snapshots (after an *intentional* model change)::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_figures.py \
+        --update-golden
+    git diff tests/golden/      # inspect the drift, then commit it
+
+The comparison allows a tiny relative tolerance (1e-9) so snapshots
+survive libm differences between platforms; anything larger is a real
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.core.benchmark import SweepResult
+from repro.core.experiments import REGISTRY
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Experiments with sweep-shaped results worth pinning (fig4 returns
+#: arrays, lst1 a listing — both covered by their own tests).
+GOLDEN_KEYS = ["fig1", "fig2", "fig3", "fig5"]
+
+#: Relative tolerance for value comparison: generous enough for libm
+#: variation across CI platforms, far below any real model change.
+RTOL = 1e-9
+
+
+def _sweep_doc(result: Any) -> Dict[str, Any]:
+    """Serialise a SweepResult (or a dict of panels) to plain JSON data."""
+    if isinstance(result, SweepResult):
+        return {
+            "title": result.title,
+            "xlabel": result.xlabel,
+            "ylabel": result.ylabel,
+            "series": {
+                label: {"x": list(s.x), "y": list(s.y)}
+                for label, s in result.series.items()
+            },
+        }
+    return {name: _sweep_doc(panel) for name, panel in result.items()}
+
+
+def _flatten(doc: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts/lists to ``path -> leaf`` for diffing."""
+    out: Dict[str, Any] = {}
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            out.update(_flatten(v, f"{prefix}/{k}"))
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            out.update(_flatten(v, f"{prefix}[{i}]"))
+    else:
+        out[prefix] = doc
+    return out
+
+
+def _close(a: Any, b: Any) -> bool:
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if a == b:
+            return True
+        scale = max(abs(a), abs(b))
+        return abs(a - b) <= RTOL * scale
+    return a == b
+
+
+def _diff(golden: Dict[str, Any], current: Dict[str, Any]) -> List[str]:
+    """Readable per-point drift report between two flattened docs."""
+    gold_flat = _flatten(golden)
+    cur_flat = _flatten(current)
+    lines: List[str] = []
+    for path in sorted(set(gold_flat) - set(cur_flat)):
+        lines.append(f"  {path}: in golden, missing from current run")
+    for path in sorted(set(cur_flat) - set(gold_flat)):
+        lines.append(f"  {path}: new in current run, not in golden")
+    for path in sorted(set(gold_flat) & set(cur_flat)):
+        g, c = gold_flat[path], cur_flat[path]
+        if _close(g, c):
+            continue
+        note = ""
+        if isinstance(g, (int, float)) and isinstance(c, (int, float)):
+            scale = max(abs(g), abs(c))
+            rel = abs(g - c) / scale if scale else 0.0
+            note = f"  (rel drift {rel:.2e})"
+        lines.append(f"  {path}: golden {g!r} != current {c!r}{note}")
+    return lines
+
+
+def _golden_path(key: str) -> Path:
+    return GOLDEN_DIR / f"{key}.json"
+
+
+@pytest.mark.parametrize("key", GOLDEN_KEYS)
+def test_golden_figure(key: str, request: pytest.FixtureRequest) -> None:
+    doc = _sweep_doc(REGISTRY[key].run("ci"))
+    path = _golden_path(key)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        f"`pytest {__file__} --update-golden` and commit the result"
+    )
+    golden = json.loads(path.read_text())
+    drift = _diff(golden, doc)
+    assert not drift, (
+        f"{key} drifted from tests/golden/{key}.json "
+        f"({len(drift)} point(s)):\n" + "\n".join(drift) +
+        "\n(intentional? regenerate with --update-golden and commit)"
+    )
+
+
+def test_golden_snapshots_all_committed() -> None:
+    """Every pinned experiment has a committed snapshot (catches a
+    forgotten --update-golden on a freshly added key)."""
+    missing = [k for k in GOLDEN_KEYS if not _golden_path(k).exists()]
+    assert not missing, f"missing golden snapshots for: {missing}"
+
+
+def test_golden_snapshot_is_deterministic() -> None:
+    """Two runs of the same sweep serialise identically — the property
+    that makes snapshot testing sound in the first place."""
+    a = json.dumps(_sweep_doc(REGISTRY["fig5"].run("ci")), sort_keys=True)
+    b = json.dumps(_sweep_doc(REGISTRY["fig5"].run("ci")), sort_keys=True)
+    assert a == b

@@ -1,0 +1,119 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        m = MetricsRegistry()
+        c = m.counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_same_name_returns_same_instrument(self):
+        m = MetricsRegistry()
+        assert m.counter("n") is m.counter("n")
+
+    def test_rejects_negative_increment(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError):
+            m.counter("n").inc(-1)
+
+    def test_name_kind_collision_is_an_error(self):
+        m = MetricsRegistry()
+        m.counter("x")
+        with pytest.raises(ValueError):
+            m.gauge("x")
+        with pytest.raises(ValueError):
+            m.histogram("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        m = MetricsRegistry()
+        g = m.gauge("jobs")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucket_layout(self):
+        assert Histogram.bucket_of(0.0) == 0
+        assert Histogram.bucket_of(0.5) == 0
+        assert Histogram.bucket_of(1.0) == 1
+        assert Histogram.bucket_of(1.9) == 1
+        assert Histogram.bucket_of(2.0) == 2
+        assert Histogram.bucket_of(1024.0) == 11
+
+    def test_observe_tracks_count_sum_min_max(self):
+        h = Histogram("h")
+        for v in (1.0, 3.0, 0.25):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 4.25
+        assert h.min == 0.25 and h.max == 3.0
+        assert h.mean == pytest.approx(4.25 / 3)
+
+    def test_rejects_negative_observation(self):
+        with pytest.raises(ValueError):
+            Histogram("h").observe(-0.1)
+
+    def test_merge_equals_union_of_observations(self):
+        a, b, union = Histogram("h"), Histogram("h"), Histogram("h")
+        for v in (0.5, 2.0):
+            a.observe(v)
+            union.observe(v)
+        for v in (8.0, 0.1):
+            b.observe(v)
+            union.observe(v)
+        a.merge_dict(b.as_dict())
+        assert a.as_dict() == union.as_dict()
+
+
+class TestRegistry:
+    def test_as_dict_is_sorted_and_json_stable(self):
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a").inc()
+        m.histogram("h").observe(2.0)
+        text = json.dumps(m.as_dict(), sort_keys=True)
+        assert json.loads(text) == m.as_dict()
+        assert list(m.as_dict()["counters"]) == ["a", "b"]
+
+    def test_merge_adds_counters_overwrites_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        a.gauge("g").set(1)
+        b.counter("n").inc(2)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.counter("n").value == 3
+        assert a.gauge("g").value == 9
+
+    def test_merge_accepts_plain_dict(self):
+        a = MetricsRegistry()
+        a.merge({"counters": {"n": 4}, "gauges": {},
+                 "histograms": {"h": {"count": 1, "sum": 2.0, "min": 2.0,
+                                      "max": 2.0, "buckets": {"2": 1}}}})
+        assert a.counter("n").value == 4
+        assert a.as_dict()["histograms"]["h"]["count"] == 1
+
+    def test_round_trips_through_json(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(3)
+        a.histogram("h").observe(1.5)
+        b = MetricsRegistry()
+        b.merge(json.loads(json.dumps(a.as_dict())))
+        assert b.as_dict() == a.as_dict()
+
+    def test_is_empty(self):
+        m = MetricsRegistry()
+        assert m.is_empty()
+        m.counter("n")
+        assert not m.is_empty()
