@@ -2,6 +2,13 @@
 
 import sys
 
-from .cli import main
+try:
+    from .cli import main
 
-sys.exit(main())
+    code = main()
+except KeyboardInterrupt:
+    # Ctrl-C while the CLI (and the engine stack behind it) is still
+    # importing: exit quietly, the way main() does once it is running.
+    print("interrupted", file=sys.stderr)
+    code = 130
+sys.exit(code)

@@ -11,6 +11,10 @@ Usage::
     python -m repro run all --faults lossy --seed 7   # fault injection
     python -m repro run fig3 --trace out.json # record spans + sim events
     python -m repro trace summarize out.json  # inspect a recorded trace
+    python -m repro run all --journal run.jnl # crash-safe write-ahead log
+    python -m repro run all --resume run.jnl  # restore + finish the rest
+    python -m repro journal show run.jnl      # inspect a journal
+    python -m repro journal verify run.jnl    # checksum/torn-tail check
     python -m repro faults --seed 42          # fault-severity drift sweep
     python -m repro claims fig5               # show the checked claims
     python -m repro cache clear               # drop cached outcomes
@@ -27,19 +31,79 @@ run.  ``--trace FILE`` records an observability trace (wall spans,
 virtual-clock simulator events, metrics) without touching stdout — the
 file opens in ``chrome://tracing`` (or, with a ``.jsonl`` suffix, greps
 cleanly) and ``repro trace summarize`` renders it as text.
+
+Robustness: ``--journal FILE`` appends an fsync'd, checksummed record
+of every task dispatch/completion, so a SIGKILL/OOM mid-run loses no
+finished work; ``--resume FILE`` restores the completed sweep points
+and only dispatches the remainder (figures byte-identical to an
+uninterrupted run).  SIGINT/SIGTERM trigger a graceful drain — stop
+dispatching, give in-flight tasks ``--grace`` seconds, flush
+journal/trace — and exit with the resumable status 75 (``EX_TEMPFAIL``)
+instead of a traceback; a second signal force-quits.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
+import threading
 from typing import List, Optional
 
 from .core.experiments import REGISTRY
-from .exec import DEFAULT_CACHE_DIR, Engine, ResultCache
+from .exec import (
+    DEFAULT_CACHE_DIR,
+    RESUMABLE_EXIT_CODE,
+    Engine,
+    JournalError,
+    JournalWriter,
+    ResultCache,
+    journal_summary,
+    load_journal,
+    verify_journal,
+)
 
 __all__ = ["main", "build_parser"]
+
+
+class _GracefulShutdown:
+    """SIGINT/SIGTERM → drain instead of dying.
+
+    The first signal sets :attr:`event` (which the scheduler polls to
+    stop dispatching and drain in-flight tasks); a second signal raises
+    :class:`KeyboardInterrupt` to force-quit.  Handlers are restored on
+    exit; outside the main thread (no signal access) the event still
+    works as a manual cancel hook.
+    """
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self._old: dict = {}
+
+    def _handle(self, signum, frame) -> None:
+        if self.event.is_set():
+            raise KeyboardInterrupt  # second signal: force-quit
+        self.event.set()
+        print(
+            "interrupt: draining (in-flight tasks get a grace period; "
+            "signal again to force-quit)",
+            file=sys.stderr,
+        )
+
+    def __enter__(self) -> "_GracefulShutdown":
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._old[sig] = signal.signal(sig, self._handle)
+            except ValueError:  # not the main thread
+                break
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sig, old in self._old.items():
+            signal.signal(sig, old)
+        self._old.clear()
 
 
 def _experiment_names() -> str:
@@ -122,6 +186,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="FILE", dest="trace_path",
         help="record an observability trace to FILE (Chrome trace JSON; "
         "a .jsonl suffix selects flat JSONL); stdout is unchanged",
+    )
+    journal_group = run_p.add_mutually_exclusive_group()
+    journal_group.add_argument(
+        "--journal", default=None, metavar="FILE", dest="journal_path",
+        help="append a crash-safe write-ahead log of every task "
+        "dispatch/completion to FILE (fsync'd, checksummed JSONL)",
+    )
+    journal_group.add_argument(
+        "--resume", default=None, metavar="FILE", dest="resume_path",
+        help="resume an interrupted run from its journal: completed "
+        "sweep points are restored, the rest executed, and new "
+        "records appended to the same FILE",
+    )
+    run_p.add_argument(
+        "--grace", type=float, default=5.0, metavar="S",
+        help="seconds to let in-flight tasks finish after SIGINT/SIGTERM "
+        "before the pool is terminated (default: 5)",
+    )
+    run_p.add_argument(
+        "--watchdog", type=float, default=None, metavar="S",
+        help="kill the pool and journal in-flight tasks as interrupted "
+        "if no worker heartbeat lands for S seconds (pool mode only)",
+    )
+
+    journal_p = sub.add_parser(
+        "journal", help="inspect or verify crash-safe run journals"
+    )
+    journal_sub = journal_p.add_subparsers(dest="journal_command",
+                                           required=True)
+    show_p = journal_sub.add_parser(
+        "show", help="run metadata and per-task status from a journal"
+    )
+    show_p.add_argument("file", help="journal file written by --journal")
+    show_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the journal summary as JSON on stdout",
+    )
+    verify_p = journal_sub.add_parser(
+        "verify",
+        help="integrity-check a journal (checksums, torn tail); exit 0 "
+        "when clean, 1 when corrupt records were skipped",
+    )
+    verify_p.add_argument("file", help="journal file written by --journal")
+    verify_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the verification document as JSON on stdout",
     )
 
     faults_p = sub.add_parser(
@@ -223,15 +333,24 @@ def _cmd_cache(action: str, cache_dir: str) -> int:
     return 0
 
 
-def _probe_trace_path(path: str) -> int:
-    """Fail fast on an unwritable ``--trace`` destination: 0 if the file
-    can be opened for writing, 2 (usage error) otherwise — checked
-    *before* any experiment work so a typo'd path costs nothing."""
+def _probe_output_path(path: str, what: str = "trace",
+                       must_exist: bool = False) -> int:
+    """Fail fast on a bad output destination: 0 if the file can be
+    opened for appending (and, with ``must_exist``, already exists), 2
+    (usage error) otherwise — checked *before* any experiment work so a
+    typo'd ``--trace``/``--journal``/``--resume`` path costs nothing.
+
+    Probing with ``"a"`` never truncates an existing file, so it is
+    safe to point at a journal that will be resumed from."""
     try:
+        if must_exist:
+            with open(path, "r"):
+                pass
         with open(path, "a"):
             pass
     except OSError as exc:
-        print(f"cannot write trace to {path!r}: {exc}", file=sys.stderr)
+        verb = "read" if must_exist else "write"
+        print(f"cannot {verb} {what} at {path!r}: {exc}", file=sys.stderr)
         return 2
     return 0
 
@@ -262,31 +381,34 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"bad fault spec: {exc}", file=sys.stderr)
         return 2
     recorder = None
-    if args.trace_path is not None:
-        from .obs import TraceRecorder, recording, trace_span
+    with _GracefulShutdown() as shutdown:
+        if args.trace_path is not None:
+            from .obs import TraceRecorder, recording, trace_span
 
-        status = _probe_trace_path(args.trace_path)
-        if status:
-            return status
-        recorder = TraceRecorder()
-        with recording(recorder):
-            with trace_span(
-                "fault_sweep", category="sweep",
-                seed=args.seed, severities=",".join(severities),
-            ):
-                doc = fault_drift_report(
-                    seed=args.seed,
-                    severities=severities,
-                    nranks=args.nranks,
-                    repetitions=args.repetitions,
-                )
-    else:
-        doc = fault_drift_report(
-            seed=args.seed,
-            severities=severities,
-            nranks=args.nranks,
-            repetitions=args.repetitions,
-        )
+            status = _probe_output_path(args.trace_path)
+            if status:
+                return status
+            recorder = TraceRecorder()
+            with recording(recorder):
+                with trace_span(
+                    "fault_sweep", category="sweep",
+                    seed=args.seed, severities=",".join(severities),
+                ):
+                    doc = fault_drift_report(
+                        seed=args.seed,
+                        severities=severities,
+                        nranks=args.nranks,
+                        repetitions=args.repetitions,
+                        cancel=shutdown.event.is_set,
+                    )
+        else:
+            doc = fault_drift_report(
+                seed=args.seed,
+                severities=severities,
+                nranks=args.nranks,
+                repetitions=args.repetitions,
+                cancel=shutdown.event.is_set,
+            )
     if args.json_doc:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
@@ -295,6 +417,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         status = _write_trace_file(recorder, args.trace_path)
         if status:
             return status
+    if doc.get("interrupted"):
+        print(
+            "fault sweep interrupted: partial results above "
+            f"({len(doc['severities'])}/{len(severities)} severities)",
+            file=sys.stderr,
+        )
+        return RESUMABLE_EXIT_CODE
     errors = sum(
         1 for entry in doc["severities"].values() if entry.get("error")
     )
@@ -305,20 +434,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .core.report import render_trace_summary
     from .obs import load_trace, summarize_trace
 
-    try:
-        doc = load_trace(args.file)
-    except OSError as exc:
-        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
-        return 2
-    except (ValueError, KeyError) as exc:
-        print(f"not a trace file {args.file!r}: {exc}", file=sys.stderr)
-        return 2
-    summary = summarize_trace(doc, top=args.top)
+    with _GracefulShutdown() as shutdown:
+        try:
+            doc = load_trace(args.file)
+            interrupted = shutdown.event.is_set()
+            summary = (
+                {"interrupted": True} if interrupted
+                else summarize_trace(doc, top=args.top)
+            )
+        except OSError as exc:
+            print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"not a trace file {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            # Force-quit (second signal) mid-load/summarize: still exit
+            # with a marker document instead of a traceback.
+            interrupted, summary = True, {"interrupted": True}
     if args.json_doc:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
-        print(render_trace_summary(summary))
-    return 0
+        if interrupted:
+            print("trace summary interrupted: no results")
+        else:
+            print(render_trace_summary(summary))
+    return RESUMABLE_EXIT_CODE if interrupted else 0
+
+
+def _resume_mismatch(meta: dict, keys: List[str], scale: str,
+                     fault_spec: Optional[str], fault_seed: int
+                     ) -> Optional[str]:
+    """Why a journal cannot resume this run (None when it can).
+
+    Resuming under different experiments, scale or fault plan would
+    splice incompatible sweep points into one figure, so any mismatch
+    is a usage error — rerun with the journal's own settings."""
+    if meta.get("keys") != keys:
+        return f"journal ran {meta.get('keys')}, requested {keys}"
+    if meta.get("scale") != scale:
+        return f"journal scale {meta.get('scale')!r}, requested {scale!r}"
+    if meta.get("fault_spec") != fault_spec:
+        return (f"journal fault spec {meta.get('fault_spec')!r}, "
+                f"requested {fault_spec!r}")
+    if meta.get("fault_seed", 0) != fault_seed:
+        return (f"journal fault seed {meta.get('fault_seed')}, "
+                f"requested {fault_seed}")
+    return None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -331,16 +493,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    # Probe every output destination before any experiment work runs, so
+    # a typo'd --trace/--journal/--resume path costs nothing.
     recorder = None
     if args.trace_path is not None:
         from .obs import TraceRecorder
 
-        status = _probe_trace_path(args.trace_path)
+        status = _probe_output_path(args.trace_path)
         if status:
             return status
         recorder = TraceRecorder()
+    if args.journal_path is not None:
+        status = _probe_output_path(args.journal_path, "journal")
+        if status:
+            return status
+    if args.resume_path is not None:
+        status = _probe_output_path(args.resume_path, "journal",
+                                    must_exist=True)
+        if status:
+            return status
+
+    resume_state = None
+    journal_path = args.journal_path
+    if args.resume_path is not None:
+        try:
+            resume_state = load_journal(args.resume_path)
+        except JournalError as exc:
+            print(f"cannot resume from {args.resume_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # A resumed run keeps appending to the same write-ahead log, so
+        # a second crash resumes from the union of both segments.
+        journal_path = args.resume_path
 
     use_cache = args.cache or args.cache_dir != DEFAULT_CACHE_DIR
+    shutdown = _GracefulShutdown()
     try:
         engine = Engine(
             jobs=args.jobs,
@@ -350,11 +537,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fault_spec=args.faults,
             fault_seed=args.seed,
             recorder=recorder,
+            resume_state=resume_state,
+            cancel_event=shutdown.event,
+            grace=args.grace,
+            heartbeat_timeout=args.watchdog,
         )
     except ValueError as exc:
         print(f"bad fault spec: {exc}", file=sys.stderr)
         return 2
-    outcomes = engine.run_many(keys, scale=args.scale)
+
+    if resume_state is not None:
+        mismatch = _resume_mismatch(
+            resume_state.meta or {}, keys, args.scale,
+            engine.fault_spec, args.seed,
+        )
+        if mismatch:
+            print(
+                f"journal {args.resume_path!r} does not match this run: "
+                f"{mismatch}",
+                file=sys.stderr,
+            )
+            return 2
+
+    writer = None
+    if journal_path is not None:
+        try:
+            writer = JournalWriter(journal_path)
+        except OSError as exc:
+            print(f"cannot write journal at {journal_path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        engine.journal = writer
+
+    try:
+        with shutdown:
+            outcomes = engine.run_many(keys, scale=args.scale)
+    except KeyboardInterrupt:
+        # Second signal (force-quit) escaped the scheduler's drain:
+        # still exit with the resumable status, not a traceback — the
+        # journal already holds every fsync'd completion.
+        outcomes = {}
+        engine.stats.interrupted = True
+    finally:
+        if writer is not None:
+            writer.close()
+    interrupted = engine.stats.interrupted
 
     if recorder is not None:
         engine.stats.publish_metrics(recorder.metrics)
@@ -362,20 +589,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if status:
             return status
 
+    if engine.stats.resume is not None:
+        r = engine.stats.resume
+        note = (
+            f"resumed from {args.resume_path}: {r['restored']} task(s) "
+            f"restored, {r['executed']} executed"
+        )
+        if r["stale"]:
+            note += f", {r['stale']} stale (source changed)"
+        print(note, file=sys.stderr)
+    if interrupted:
+        if journal_path is not None:
+            hint = f"; resume with: repro run {key} --resume {journal_path}"
+        else:
+            hint = " (no --journal: completed work was not saved)"
+        print(
+            f"run interrupted: {engine.stats.interrupted_tasks} task(s) "
+            f"unfinished{hint}",
+            file=sys.stderr,
+        )
+
     if args.json_stats:
         doc = engine.stats.as_dict()
         doc["scale"] = args.scale
         for entry in doc["experiments"]:
-            entry["claims"] = [
-                {"text": text, "ok": ok}
-                for text, ok in outcomes[entry["key"]].claim_results
-            ]
+            outcome = outcomes.get(entry["key"])
+            if outcome is not None:
+                entry["claims"] = [
+                    {"text": text, "ok": ok}
+                    for text, ok in outcome.claim_results
+                ]
         print(json.dumps(doc, indent=2, sort_keys=True))
+        if interrupted:
+            return RESUMABLE_EXIT_CODE
         return 1 if any(not o.passed for o in outcomes.values()) else 0
 
     failures = 0
     for k in keys:
-        outcome = outcomes[k]
+        outcome = outcomes.get(k)
+        if outcome is None:  # cut short by the shutdown: no verdict
+            print(f"[....] {k} ({REGISTRY[k].artefact}) — interrupted")
+            continue
         status = "PASS" if outcome.passed else "FAIL"
         print(f"[{status}] {k} ({REGISTRY[k].artefact})")
         for text, ok in outcome.claim_results:
@@ -388,24 +642,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
             failures += 1
     if args.stats:
         print(engine.stats.render())
+    if interrupted:
+        return RESUMABLE_EXIT_CODE
     return 1 if failures else 0
+
+
+def _cmd_journal(args: argparse.Namespace) -> int:
+    from .core.report import render_journal
+
+    reader = (
+        journal_summary if args.journal_command == "show" else verify_journal
+    )
+    try:
+        doc = reader(args.file)
+    except OSError as exc:
+        print(f"cannot read journal at {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    except JournalError as exc:
+        print(f"not a journal {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    if args.json_doc:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_journal(doc))
+    if args.journal_command == "verify":
+        return 0 if doc["ok"] else 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "claims":
-        return _cmd_claims(args.key)
-    if args.command == "cache":
-        return _cmd_cache(args.action, args.cache_dir)
-    if args.command == "faults":
-        return _cmd_faults(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "run":
-        return _cmd_run(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "claims":
+            return _cmd_claims(args.key)
+        if args.command == "cache":
+            return _cmd_cache(args.action, args.cache_dir)
+        if args.command == "faults":
+            return _cmd_faults(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "journal":
+            return _cmd_journal(args)
+        if args.command == "run":
+            return _cmd_run(args)
+    except BrokenPipeError:
+        # `repro journal show run.jsonl | head` closes stdout early;
+        # die quietly like POSIX tools do instead of tracebacking.
+        # Point the fd at devnull so interpreter shutdown doesn't trip
+        # over the same broken pipe while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + signal.SIGPIPE
+    except KeyboardInterrupt:
+        # Ctrl-C outside a drain scope (startup, teardown, or a second
+        # force-quit signal): no traceback, conventional 130.
+        print("interrupted", file=sys.stderr)
+        return 128 + signal.SIGINT
     return 2  # pragma: no cover - argparse enforces choices
 
 

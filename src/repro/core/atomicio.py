@@ -1,0 +1,165 @@
+"""Durable filesystem primitives: atomic writes and advisory locks.
+
+Everything that persists run state — cache entries, traces, journal
+segments, golden snapshots — funnels through these helpers so a crash
+(SIGKILL, OOM, power loss) can never leave a *torn* file behind:
+
+* :func:`atomic_write_text` writes to a process-unique temp file in the
+  target directory, flushes and ``fsync``\\ s it, atomically renames it
+  over the destination with :func:`os.replace`, and finally ``fsync``\\ s
+  the parent directory so the rename itself is durable.  Readers see
+  either the old complete file or the new complete file, never a prefix.
+* :func:`durable_append` flushes and ``fsync``\\ s an open file after an
+  append — the write-ahead-log primitive :mod:`repro.exec.journal`
+  builds on.
+* :class:`FileLock` is an advisory ``fcntl.flock`` lock (shared or
+  exclusive) so concurrent ``repro`` processes sharing one cache
+  directory serialise their metadata operations.  On platforms without
+  ``fcntl`` it degrades to a no-op (the atomic renames above still keep
+  individual files consistent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional, Union
+
+try:  # POSIX only; Windows falls back to lock-free atomic renames.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "atomic_write_text",
+    "canonical_json",
+    "durable_append",
+    "fsync_dir",
+    "FileLock",
+]
+
+
+def fsync_dir(directory: Union[str, os.PathLike]) -> None:
+    """``fsync`` a directory so a just-created/renamed entry survives a
+    crash.  Best-effort: some filesystems refuse O_RDONLY on dirs."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystem
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: Union[str, os.PathLike],
+    text: str,
+    durable: bool = True,
+) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory (same filesystem,
+    so the rename is atomic) under a process-unique dotted name, and is
+    removed on any failure.  ``durable=True`` additionally ``fsync``\\ s
+    the temp file before the rename and the directory after it, closing
+    the power-loss window where the rename exists but the data doesn't.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(tmp, "w") as f:
+            f.write(text)
+            if durable:
+                f.flush()
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+    return path
+
+
+def durable_append(fileobj, text: str) -> None:
+    """Append ``text`` to an open file and force it to stable storage
+    (flush + ``fsync``) before returning — the WAL append primitive."""
+    fileobj.write(text)
+    fileobj.flush()
+    os.fsync(fileobj.fileno())
+
+
+class FileLock:
+    """Advisory inter-process lock (``fcntl.flock``) on a lock file.
+
+    Usage::
+
+        with FileLock(cache_dir / ".lock"):
+            ... read-modify-write the shared directory ...
+
+    ``shared=True`` takes a read (LOCK_SH) lock; the default is an
+    exclusive (LOCK_EX) lock.  Blocks until granted.  Reentrant use in
+    one process is not supported (don't nest).  Platforms without
+    ``fcntl`` get a no-op lock — atomic renames remain the last line of
+    defence there.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], shared: bool = False) -> None:
+        self.path = Path(path)
+        self.shared = shared
+        self._fd: Optional[int] = None
+
+    def acquire(self, blocking: bool = True) -> bool:
+        """Take the lock; with ``blocking=False`` return False instead
+        of waiting when another process (or fd) already holds it."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return True
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+        op = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
+        if not blocking:
+            op |= fcntl.LOCK_NB
+        try:
+            fcntl.flock(fd, op)
+        except BlockingIOError:
+            os.close(fd)
+            return False
+        except BaseException:  # pragma: no cover - interrupted acquire
+            os.close(fd)
+            raise
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+def canonical_json(doc: Any) -> str:
+    """The one JSON encoding used for digests and checksums: sorted
+    keys, no whitespace — byte-stable for any equal document."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))

@@ -18,6 +18,7 @@ __all__ = [
     "render_run_stats",
     "render_fault_sweep",
     "render_trace_summary",
+    "render_journal",
     "format_si",
 ]
 
@@ -103,6 +104,20 @@ def render_run_stats(stats) -> str:
         lines.append(str(stats.cache))
     if getattr(stats, "fallback_reason", None):
         lines.append(f"scheduler fallback: {stats.fallback_reason}")
+    resume = getattr(stats, "resume", None)
+    if resume:
+        note = (
+            f"resume: {resume['restored']} task(s) restored from journal, "
+            f"{resume['executed']} executed"
+        )
+        if resume.get("stale"):
+            note += f" ({resume['stale']} stale: source changed)"
+        lines.append(note)
+    if getattr(stats, "interrupted", False):
+        lines.append(
+            f"run interrupted: {stats.interrupted_tasks} task(s) "
+            "unfinished (resumable)"
+        )
     return "\n".join(lines)
 
 
@@ -128,9 +143,14 @@ def render_fault_sweep(doc) -> str:
             len(stragglers),
             "error" if entry.get("error") else "ok",
         ])
-    lines = [
+    header = (
         f"fault severity sweep: seed={doc['seed']}, "
-        f"nranks={doc['nranks']}, sizes={doc['sizes']}",
+        f"nranks={doc['nranks']}, sizes={doc['sizes']}"
+    )
+    if doc.get("interrupted"):
+        header += " (interrupted: partial results)"
+    lines = [
+        header,
         render_table(
             ["severity", "pingpong", "allreduce", "failed", "stragglers",
              "status"],
@@ -140,6 +160,62 @@ def render_fault_sweep(doc) -> str:
     for name, entry in doc["severities"].items():
         if entry.get("error"):
             lines.append(f"{name}: {entry['error']}")
+    return "\n".join(lines)
+
+
+def render_journal(doc) -> str:
+    """Render a journal inspection document as text.
+
+    Accepts either the ``repro journal verify`` document (integrity
+    counters only) or the richer ``repro journal show`` one (adds run
+    metadata and the per-task table when present).  Duck-typed on the
+    dict to keep this module free of an import on the exec layer.
+    """
+    tasks = doc.get("tasks") or {}
+    status = "complete" if doc.get("complete") else "resumable"
+    lines = [
+        f"journal {doc['path']}: {status}, "
+        f"{doc.get('records', 0)} record(s) over {doc.get('runs', 0)} "
+        f"run segment(s)"
+    ]
+    counts = ", ".join(
+        f"{tasks.get(k, 0)} {k}"
+        for k in ("completed", "failed", "interrupted", "pending")
+    )
+    lines.append(f"tasks: {counts}")
+    if doc.get("keys") is not None:
+        meta = f"run: {' '.join(doc['keys'])} --scale {doc.get('scale')}"
+        if doc.get("jobs") is not None:
+            meta += f" --jobs {doc['jobs']}"
+        if doc.get("fault_spec"):
+            meta += (f" --faults {doc['fault_spec']} "
+                     f"--seed {doc.get('fault_seed', 0)}")
+        if doc.get("resumed"):
+            meta += "  (resumed)"
+        lines.append(meta)
+    integrity = []
+    if doc.get("corrupt_records"):
+        integrity.append(f"{doc['corrupt_records']} corrupt record(s) "
+                         "skipped")
+    if doc.get("torn_tail"):
+        integrity.append("torn tail dropped (crash mid-append)")
+    lines.append(
+        "integrity: " + ("; ".join(integrity) if integrity else "ok")
+    )
+    entries = doc.get("entries")
+    if entries:
+        rows = [
+            [
+                e.get("label", "-"),
+                e.get("status", "-"),
+                f"{e['seconds']:.3f}" if e.get("seconds") is not None
+                else "-",
+                e.get("worker") or e.get("error") or e.get("reason") or "-",
+            ]
+            for e in entries
+        ]
+        lines.append(render_table(["task", "status", "seconds", "detail"],
+                                  rows))
     return "\n".join(lines)
 
 

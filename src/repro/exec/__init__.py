@@ -10,7 +10,10 @@ The experiment layer's answer to "runs as fast as the hardware allows":
   keyed by experiment + scale + parameters + a fingerprint of the
   ``repro`` sources;
 * :mod:`repro.exec.engine` — ties the three together and records
-  per-task timings and cache statistics (:class:`RunStats`).
+  per-task timings and cache statistics (:class:`RunStats`);
+* :mod:`repro.exec.journal` — crash-safe write-ahead log of every
+  dispatch/completion; ``--journal`` records, ``--resume`` restores
+  completed sweep points and re-runs only the remainder.
 
 Usage::
 
@@ -29,6 +32,16 @@ from .cache import (
     ResultCache,
     source_fingerprint,
 )
+from .journal import (
+    RESUMABLE_EXIT_CODE,
+    JournalError,
+    JournalState,
+    JournalWriter,
+    journal_summary,
+    load_journal,
+    task_key,
+    verify_journal,
+)
 from .engine import (
     Engine,
     ExperimentStats,
@@ -38,6 +51,14 @@ from .engine import (
 )
 
 __all__ = [
+    "RESUMABLE_EXIT_CODE",
+    "JournalError",
+    "JournalState",
+    "JournalWriter",
+    "journal_summary",
+    "load_journal",
+    "task_key",
+    "verify_journal",
     "Task",
     "decompose",
     "execute_task",

@@ -11,6 +11,14 @@ experiment+scale, holding its digest); a digest mismatch on load counts
 as an *invalidation* (parameters or sources changed), a missing file as
 a plain *miss*.  :class:`CacheStats` keeps the hit/miss/invalidation
 counters the CLI's ``--stats`` table reports.
+
+Crash and concurrency hardening: entries are written via
+:func:`repro.core.atomicio.atomic_write_text` (process-unique temp
+file, fsync, atomic rename, directory fsync), so a SIGKILL or power
+loss can never leave a torn entry behind; every directory-mutating
+operation additionally holds an advisory ``flock`` on
+``<dir>/.lock``, so concurrent ``repro`` processes sharing one cache
+directory serialise instead of clobbering each other.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..core.atomicio import FileLock, atomic_write_text
 from ..core.experiments import Outcome
 
 __all__ = [
@@ -93,6 +102,9 @@ class ResultCache:
     package :func:`source_fingerprint`.
     """
 
+    #: lock-file name (never globbed as an entry).
+    LOCK_NAME = ".lock"
+
     def __init__(
         self,
         directory: str | os.PathLike = DEFAULT_CACHE_DIR,
@@ -101,6 +113,11 @@ class ResultCache:
         self.directory = Path(directory)
         self.stats = CacheStats()
         self._fingerprint = fingerprint
+
+    def _lock(self) -> FileLock:
+        """Advisory exclusive lock serialising cache mutations across
+        processes; held only for the duration of one operation."""
+        return FileLock(self.directory / self.LOCK_NAME)
 
     # -- keying -----------------------------------------------------------
     @property
@@ -133,21 +150,25 @@ class ResultCache:
         """Cached outcome, or None (counting a miss and, if a stale
         entry was found, an invalidation)."""
         path = self.path_for(experiment, scale)
-        try:
-            doc = json.loads(path.read_text())
-            stored_digest = doc["digest"]
-            outcome_doc = doc["outcome"]
-        except FileNotFoundError:
+        if not self.directory.is_dir():
             self.stats.misses += 1
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
-            # Corrupt entry: quarantine it for post-mortem (truncated
-            # write, disk fault, concurrent clobber) instead of leaving
-            # it to shadow future lookups as a silent invalidation.
-            self.stats.misses += 1
-            self.stats.corrupt += 1
-            self._quarantine(path)
-            return None
+        with self._lock():
+            try:
+                doc = json.loads(path.read_text())
+                stored_digest = doc["digest"]
+                outcome_doc = doc["outcome"]
+            except FileNotFoundError:
+                self.stats.misses += 1
+                return None
+            except (json.JSONDecodeError, KeyError, TypeError, OSError):
+                # Corrupt entry: quarantine it for post-mortem (truncated
+                # write, disk fault, concurrent clobber) instead of leaving
+                # it to shadow future lookups as a silent invalidation.
+                self.stats.misses += 1
+                self.stats.corrupt += 1
+                self._quarantine(path)
+                return None
         if stored_digest != self.digest(experiment, scale, params):
             self.stats.misses += 1
             self.stats.invalidations += 1
@@ -162,7 +183,9 @@ class ResultCache:
         outcome: Outcome,
         params: Optional[Dict[str, Any]] = None,
     ) -> Path:
-        """Store an outcome (atomically replacing any previous entry)."""
+        """Store an outcome: atomic rename + fsync (file *and*
+        directory), under the cache lock — a crash mid-store leaves
+        either the old entry or the new one, never a torn file."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(experiment, scale)
         doc = {
@@ -172,9 +195,8 @@ class ResultCache:
             "params": params or {},
             "outcome": _outcome_to_dict(outcome),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(doc, sort_keys=True))
-        tmp.replace(path)
+        with self._lock():
+            atomic_write_text(path, json.dumps(doc, sort_keys=True))
         self.stats.writes += 1
         return path
 
@@ -197,14 +219,18 @@ class ResultCache:
 
     def clear(self) -> int:
         """Delete every cache entry (including quarantined ones);
-        returns the number removed."""
+        returns the number removed.  Stale temp files left by a killed
+        process are swept too (not counted — they were never entries)."""
         if not self.directory.is_dir():
             return 0
         removed = 0
-        for pattern in ("*.json", "*.json.corrupt"):
-            for path in self.directory.glob(pattern):
+        with self._lock():
+            for pattern in ("*.json", "*.json.corrupt"):
+                for path in self.directory.glob(pattern):
+                    path.unlink()
+                    removed += 1
+            for path in self.directory.glob(".*.tmp"):
                 path.unlink()
-                removed += 1
         return removed
 
     def __len__(self) -> int:

@@ -14,10 +14,11 @@ no per-experiment barrier.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.benchmark import WallTimer
 from ..core.experiments import (
@@ -29,7 +30,8 @@ from ..core.experiments import (
 )
 from ..mpi.faults import parse_fault_spec
 from ..obs import MetricsRegistry, TraceRecorder
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, ResultCache, source_fingerprint
+from .journal import JournalState, JournalWriter, task_key
 from .scheduler import Scheduler, TaskResult
 from .tasks import Task, decompose, merge_results
 
@@ -78,9 +80,12 @@ class ExperimentStats:
     seconds: float  # summed task work time (0.0 on a cache hit)
     tasks: List[TaskMetric] = field(default_factory=list)
     failed_tasks: int = 0
+    #: tasks drained by a graceful shutdown / watchdog — resumable,
+    #: so the experiment has no outcome rather than a failed one.
+    interrupted_tasks: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "key": self.key,
             "scale": self.scale,
             "cached": self.cached,
@@ -90,6 +95,9 @@ class ExperimentStats:
             "failed_tasks": self.failed_tasks,
             "tasks": [t.as_dict() for t in self.tasks],
         }
+        if self.interrupted_tasks:
+            doc["interrupted_tasks"] = self.interrupted_tasks
+        return doc
 
 
 @dataclass
@@ -103,10 +111,22 @@ class RunStats:
     fallback_reason: Optional[str] = None
     fault_spec: Optional[str] = None
     fault_seed: int = 0
+    #: restored/executed/stale task counts when the run resumed from a
+    #: journal (reported by ``--stats`` and ``repro journal show`` —
+    #: deliberately *not* by ``--json``, whose output must stay
+    #: byte-identical to an uninterrupted run).
+    resume: Optional[Dict[str, int]] = None
+    #: True after a graceful shutdown or watchdog trip — the run is
+    #: incomplete but resumable from its journal.
+    interrupted: bool = False
 
     @property
     def failed_tasks(self) -> int:
         return sum(e.failed_tasks for e in self.experiments)
+
+    @property
+    def interrupted_tasks(self) -> int:
+        return sum(e.interrupted_tasks for e in self.experiments)
 
     def as_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
@@ -121,6 +141,8 @@ class RunStats:
             doc["fallback_reason"] = self.fallback_reason
         if self.fault_spec is not None:
             doc["faults"] = {"spec": self.fault_spec, "seed": self.fault_seed}
+        if self.interrupted:
+            doc["interrupted"] = True
         return doc
 
     def render(self) -> str:
@@ -149,6 +171,14 @@ class RunStats:
         if self.cache is not None:
             for name, value in self.cache.as_dict().items():
                 registry.counter(f"cache.{name}").inc(value)
+        if self.resume is not None:
+            for name, value in self.resume.items():
+                registry.counter(f"exec.resume.{name}").inc(value)
+        if self.interrupted:
+            registry.counter("exec.interrupted").inc(1)
+            registry.counter("exec.tasks.interrupted").inc(
+                self.interrupted_tasks
+            )
 
 
 class Engine:
@@ -179,6 +209,18 @@ class Engine:
         simulator's virtual-clock event track, and metrics; ``None``
         (default) keeps tracing off and the run byte-identical to the
         untraced path.
+    journal:
+        A :class:`~repro.exec.journal.JournalWriter`: every dispatch
+        and completion is appended (fsync'd) before the run proceeds,
+        so a crash at any point leaves a resumable record.
+    resume_state:
+        A loaded :class:`~repro.exec.journal.JournalState`: completed
+        sweep points whose source fingerprint still matches are
+        restored without re-execution (stale ones re-run), and the
+        merged figures are byte-identical to an uninterrupted run.
+    cancel_event / grace / heartbeat_timeout:
+        Graceful-shutdown plumbing, threaded to the scheduler — see
+        :class:`~repro.exec.scheduler.Scheduler`.
     """
 
     def __init__(
@@ -190,12 +232,21 @@ class Engine:
         fault_spec: Optional[str] = None,
         fault_seed: int = 0,
         recorder: Optional[TraceRecorder] = None,
+        journal: Optional[JournalWriter] = None,
+        resume_state: Optional[JournalState] = None,
+        cancel_event: Optional[threading.Event] = None,
+        grace: float = 5.0,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         self.scheduler = Scheduler(
-            jobs=jobs, task_timeout=task_timeout, retries=retries
+            jobs=jobs, task_timeout=task_timeout, retries=retries,
+            cancel_event=cancel_event, grace=grace,
+            heartbeat_timeout=heartbeat_timeout,
         )
         self.cache = cache
         self.recorder = recorder
+        self.journal = journal
+        self.resume_state = resume_state
         # Validate eagerly (and normalise "off" to None) so a bad spec
         # fails the run before any work is scheduled.
         self.fault_spec = (
@@ -265,30 +316,159 @@ class Engine:
                         ),
                     ))
 
-            all_tasks: List[Task] = [t for _, ts in pending for t in ts]
-            with self._span(
-                "schedule", category="engine",
-                ntasks=len(all_tasks), jobs=self.scheduler.jobs,
-            ) as sched_attrs:
-                results = self.scheduler.map(all_tasks)
-                if self.scheduler.fallback_reason is not None:
-                    sched_attrs["fallback"] = self.scheduler.fallback_reason
+            # -- resume: restore journalled sweep points ------------------
+            restored: Dict[Tuple[str, int], TaskResult] = {}
+            n_stale = 0
+            fingerprint = source_fingerprint()
+            if self.resume_state is not None:
+                restored, n_stale = self._restore(pending, fingerprint)
+
+            to_run: List[Task] = [
+                t for key, ts in pending for t in ts
+                if (key, t.index) not in restored
+            ]
+
+            # -- write-ahead: the journal knows the plan before any work --
+            if self.journal is not None:
+                self.journal.run_start(
+                    list(keys), scale, self.scheduler.jobs, fingerprint,
+                    fault_spec=self.fault_spec, fault_seed=self.fault_seed,
+                    resumed=self.resume_state is not None,
+                )
+                for t in to_run:
+                    self.journal.task_dispatch(t)
+
+            # Journal each result the moment the scheduler knows it
+            # (streaming, fsync'd) — a SIGKILL mid-run then loses only
+            # the in-flight tasks, never the finished ones.
+            if self.journal is not None:
+                self.scheduler.on_result = self._journal_result
+            try:
+                with self._span(
+                    "schedule", category="engine",
+                    ntasks=len(to_run), jobs=self.scheduler.jobs,
+                ) as sched_attrs:
+                    results_run = self.scheduler.map(to_run)
+                    if self.scheduler.fallback_reason is not None:
+                        sched_attrs["fallback"] = (
+                            self.scheduler.fallback_reason
+                        )
+            finally:
+                self.scheduler.on_result = None
             self.stats.fallback_reason = self.scheduler.fallback_reason
 
-            cursor = 0
+            it = iter(results_run)
             for key, tasks in pending:
-                chunk = results[cursor:cursor + len(tasks)]
-                cursor += len(tasks)
-                outcomes[key] = self._finish(key, scale, chunk, extra_params)
+                chunk = [
+                    restored[(key, t.index)]
+                    if (key, t.index) in restored else next(it)
+                    for t in tasks
+                ]
+                if any(r.interrupted for r in chunk):
+                    self._finish_interrupted(key, scale, chunk)
+                else:
+                    outcomes[key] = self._finish(
+                        key, scale, chunk, extra_params
+                    )
+
+            if self.resume_state is not None:
+                self.stats.resume = {
+                    "restored": len(restored),
+                    "executed": len(to_run),
+                    "stale": n_stale,
+                }
+            self.stats.interrupted = (
+                self.stats.interrupted or self.scheduler.interrupted
+            )
+            if self.journal is not None:
+                self.journal.run_end(
+                    "interrupted" if self.stats.interrupted else "complete"
+                )
         self.stats.total_seconds += wall.seconds
         return outcomes
 
     # -- internals --------------------------------------------------------
+    def _journal_result(self, r: TaskResult) -> None:
+        """Scheduler ``on_result`` hook: append one fsync'd completion
+        record per task, in completion order."""
+        if r.interrupted:
+            self.journal.task_interrupted(r.task, r.error or "interrupted")
+        elif r.failed:
+            self.journal.task_failed(r.task, r)
+        else:
+            self.journal.task_done(r.task, r)
+
     def _span(self, name: str, category: str = "engine", **attrs: Any):
         """Span on this engine's recorder, or a no-op context."""
         if self.recorder is None:
             return nullcontext(attrs)
         return self.recorder.span(name, category=category, **attrs)
+
+    def _restore(
+        self, pending: Sequence[tuple], fingerprint: str
+    ) -> Tuple[Dict[Tuple[str, int], TaskResult], int]:
+        """Rebuild :class:`TaskResult`\\ s for every journalled sweep
+        point that is still valid: same task key *and* same source
+        fingerprint.  A stale or undecodable record forces
+        re-execution — the journal can degrade work, never results."""
+        restored: Dict[Tuple[str, int], TaskResult] = {}
+        n_stale = 0
+        for key, tasks in pending:
+            for t in tasks:
+                rec = self.resume_state.record_for(t)
+                if rec is None:
+                    continue
+                if rec.get("fingerprint") != fingerprint:
+                    n_stale += 1
+                    continue
+                try:
+                    value = self.resume_state.restore_payload(task_key(t))
+                except Exception:
+                    n_stale += 1  # torn/corrupt payload: recompute
+                    continue
+                restored[(key, t.index)] = TaskResult(
+                    t, value, rec.get("seconds", 0.0),
+                    worker=rec.get("worker", "journal"),
+                    trace=rec.get("trace"),
+                )
+        with self._span(
+            "journal:restore", category="journal",
+            restored=len(restored), stale=n_stale,
+        ):
+            pass
+        return restored, n_stale
+
+    def _finish_interrupted(
+        self, key: str, scale: str, results: Sequence[TaskResult]
+    ) -> None:
+        """Account for an experiment cut short by a shutdown: no
+        outcome, nothing cached — just honest statistics, so the
+        journal + stats agree on what remains to resume."""
+        self.stats.interrupted = True
+        metrics = [
+            TaskMetric(
+                experiment=key, label=r.task.label, seconds=r.seconds,
+                worker=r.worker, error=r.error, attempts=r.attempts,
+            )
+            for r in results
+        ]
+        with self._span(
+            f"experiment:{key}", category="experiment",
+            key=key, scale=scale, interrupted=True,
+        ):
+            pass
+        self.stats.experiments.append(
+            ExperimentStats(
+                key=key,
+                scale=scale,
+                cached=False,
+                passed=False,
+                seconds=sum(m.seconds for m in metrics),
+                tasks=metrics,
+                failed_tasks=sum(1 for r in results if r.failed),
+                interrupted_tasks=sum(1 for r in results if r.interrupted),
+            )
+        )
 
     def _cache_key_params(
         self, key: str, scale: str, extra_params: Optional[Dict[str, Any]]

@@ -31,18 +31,26 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
 import sys
+import tempfile
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..obs import TraceRecorder, recording
 from .tasks import Task, execute_task
 
 __all__ = ["Scheduler", "TaskResult", "effective_jobs"]
+
+#: How often pool workers refresh their heartbeat file, and how often
+#: the parent polls futures when a cancel event or watchdog is armed.
+_HEARTBEAT_INTERVAL_S = 0.25
+_POLL_INTERVAL_S = 0.1
 
 
 @dataclass
@@ -51,6 +59,10 @@ class TaskResult:
 
     ``error`` is None for a successful task; otherwise a one-line
     ``ExcType: message`` diagnostic (the payload is None then).
+    ``interrupted`` marks a task that never got to finish — a graceful
+    shutdown drained it or the watchdog declared its worker hung; such
+    a task is *resumable* (journalled as interrupted, re-dispatched by
+    ``--resume``), unlike a failed one.
     ``trace`` is the task-local recorder document (span, virtual-clock
     events, metrics) when the task asked for tracing — recorded where
     the task ran and shipped back as plain data, so pool and inline
@@ -64,10 +76,11 @@ class TaskResult:
     error: Optional[str] = None
     attempts: int = 1
     trace: Optional[dict] = None
+    interrupted: bool = False
 
     @property
     def failed(self) -> bool:
-        return self.error is not None
+        return self.error is not None and not self.interrupted
 
 
 def effective_jobs(jobs: Optional[int]) -> int:
@@ -113,10 +126,30 @@ def _format_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _worker_init(paths: List[str]) -> None:  # pragma: no cover - worker side
+def _heartbeat_loop(hb_dir: str) -> None:  # pragma: no cover - worker side
+    """Daemon thread in each pool worker: touch a per-pid heartbeat file
+    every :data:`_HEARTBEAT_INTERVAL_S` so the parent's watchdog can
+    tell a live worker from a hung/stopped one."""
+    path = os.path.join(hb_dir, f"hb-{os.getpid()}")
+    while True:
+        try:
+            with open(path, "w") as f:
+                f.write(str(time.time()))
+        except OSError:
+            return  # heartbeat dir removed: the run is over
+        time.sleep(_HEARTBEAT_INTERVAL_S)
+
+
+def _worker_init(
+    paths: List[str], hb_dir: Optional[str] = None
+) -> None:  # pragma: no cover - worker side
     for p in paths:
         if p not in sys.path:
             sys.path.append(p)
+    if hb_dir is not None:
+        threading.Thread(
+            target=_heartbeat_loop, args=(hb_dir,), daemon=True
+        ).start()
 
 
 class Scheduler:
@@ -128,6 +161,17 @@ class Scheduler:
     ``task_timeout`` is the per-task wall-clock bound (pool mode only);
     ``retries`` bounds fresh-pool retries after a broken pool, with
     ``backoff * 2**attempt`` seconds between them.
+
+    Graceful shutdown: when ``cancel_event`` (a :class:`threading.Event`,
+    typically set by a SIGINT/SIGTERM handler) fires mid-map, the
+    scheduler *drains* — no new task starts, in-flight tasks get
+    ``grace`` seconds to finish, then the pool is terminated and every
+    unfinished task comes back with ``interrupted=True`` so the journal
+    can record it as resumable rather than lost.  ``heartbeat_timeout``
+    arms a watchdog: pool workers heartbeat every
+    :data:`_HEARTBEAT_INTERVAL_S` seconds, and a worker silent for
+    longer than the timeout is declared hung — its pool is torn down
+    and unfinished tasks are marked interrupted (not failed).
     """
 
     def __init__(
@@ -136,36 +180,98 @@ class Scheduler:
         task_timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.25,
+        cancel_event: Optional[threading.Event] = None,
+        grace: float = 5.0,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         self.jobs = effective_jobs(jobs)
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive or None")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if grace < 0:
+            raise ValueError("grace must be >= 0")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive or None")
         self.task_timeout = task_timeout
         self.retries = retries
         self.backoff = backoff
+        self.cancel_event = cancel_event
+        self.grace = grace
+        self.heartbeat_timeout = heartbeat_timeout
         self.fallback_reason: Optional[str] = None
+        self.interrupted = False
+        #: Streaming hook: called exactly once per task with its final
+        #: :class:`TaskResult`, *the moment it is known* (completion
+        #: order, not submission order).  The engine points this at the
+        #: journal so a completion is on stable storage before the next
+        #: task is awaited — the write-ahead-log contract; a batch
+        #: "journal everything after map()" would lose every finished
+        #: task to a SIGKILL mid-run.
+        self.on_result: Optional[Callable[[TaskResult], None]] = None
+
+    def _cancelled(self) -> bool:
+        return self.cancel_event is not None and self.cancel_event.is_set()
+
+    def _emit(self, result: TaskResult) -> TaskResult:
+        if self.on_result is not None:
+            self.on_result(result)
+        return result
+
+    @staticmethod
+    def _interrupted_result(
+        task: Task, reason: str, worker: str = "pool"
+    ) -> TaskResult:
+        return TaskResult(
+            task, None, 0.0, worker=worker,
+            error=f"Interrupted: {reason}", interrupted=True,
+        )
 
     # -- internals --------------------------------------------------------
     def _run_inline(self, tasks: Sequence[Task]) -> List[TaskResult]:
-        out = []
-        for task in tasks:
+        out: List[TaskResult] = []
+        for i, task in enumerate(tasks):
+            if self._cancelled():
+                self.interrupted = True
+                # Drain: the task that was running finished (inline
+                # execution is never preempted mid-task — that is its
+                # grace period); everything not yet started is handed
+                # back interrupted for the journal to record.
+                out.extend(
+                    self._emit(self._interrupted_result(
+                        t, "graceful shutdown (not started)",
+                        worker="inline",
+                    ))
+                    for t in tasks[i:]
+                )
+                break
             t0 = time.perf_counter()
             try:
                 value, seconds, trace = _timed_execute(task)
+            except KeyboardInterrupt:
+                # No signal handler installed (library use): treat the
+                # interrupt as a shutdown request — this task and the
+                # rest come back interrupted instead of exploding.
+                self.interrupted = True
+                out.extend(
+                    self._emit(self._interrupted_result(
+                        t, "KeyboardInterrupt", worker="inline"
+                    ))
+                    for t in tasks[i:]
+                )
+                break
             except Exception as exc:
                 out.append(
-                    TaskResult(
+                    self._emit(TaskResult(
                         task, None, time.perf_counter() - t0,
                         worker="inline", error=_format_error(exc),
-                    )
+                    ))
                 )
             else:
                 out.append(
-                    TaskResult(
+                    self._emit(TaskResult(
                         task, value, seconds, worker="inline", trace=trace
-                    )
+                    ))
                 )
         return out
 
@@ -191,56 +297,193 @@ class Scheduler:
             except Exception:  # pragma: no cover - already-dead workers
                 pass
 
+    def _heartbeat_stale(self, hb_dir: str, started: float) -> bool:
+        """True when the watchdog should fire: some worker's heartbeat
+        file (or, early on, its first heartbeat) is overdue."""
+        assert self.heartbeat_timeout is not None
+        now = time.time()
+        beats = []
+        try:
+            with os.scandir(hb_dir) as it:
+                beats = [e.stat().st_mtime for e in it
+                         if e.name.startswith("hb-")]
+        except OSError:  # pragma: no cover - hb dir vanished
+            return False
+        if not beats:
+            # No worker has beaten yet: only stale once startup itself
+            # has blown the timeout.
+            return now - started > self.heartbeat_timeout
+        return now - min(beats) > self.heartbeat_timeout
+
+    def _drain(
+        self,
+        tasks: Sequence[Task],
+        futures: List,
+        out: List[Optional[TaskResult]],
+        pool: ProcessPoolExecutor,
+        reason: str,
+        grace: Optional[float] = None,
+    ) -> None:
+        """Graceful shutdown of one pool attempt: cancel what has not
+        started, give in-flight tasks ``grace`` seconds, then terminate
+        the workers.  Every unfinished slot is filled with an
+        ``interrupted`` result — nothing is silently lost."""
+        self.interrupted = True
+        for i, (task, fut) in enumerate(zip(tasks, futures)):
+            if out[i] is None and fut.cancel():
+                out[i] = self._emit(self._interrupted_result(
+                    task, f"{reason} (not started)"
+                ))
+        deadline = time.monotonic() + (self.grace if grace is None else grace)
+        killed = False
+        for i, (task, fut) in enumerate(zip(tasks, futures)):
+            if out[i] is not None:
+                continue
+            try:
+                value, seconds, trace = fut.result(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+                out[i] = self._emit(TaskResult(
+                    task, value, seconds, worker="pool", trace=trace
+                ))
+            except FuturesTimeoutError:
+                if not killed:
+                    self._kill_workers(pool)
+                    killed = True
+                out[i] = self._emit(self._interrupted_result(
+                    task, f"{reason} (grace period expired)"
+                ))
+            except BrokenProcessPool:
+                out[i] = self._emit(self._interrupted_result(task, reason))
+            except Exception as exc:
+                out[i] = self._emit(TaskResult(
+                    task, None, 0.0, worker="pool",
+                    error=_format_error(exc),
+                ))
+
     def _run_pool(
         self, tasks: Sequence[Task]
     ) -> List[Optional[TaskResult]]:
         """One pool attempt; ``None`` entries need a retry (pool broke
         before their future resolved, through no fault of their own)."""
         workers = min(self.jobs, len(tasks))
+        # The poll loop (and its heartbeat/cancel checks) only runs when
+        # someone armed it; otherwise the blocking fast path below is
+        # byte-for-byte the pre-shutdown behaviour.
+        monitored = (
+            self.cancel_event is not None or self.heartbeat_timeout is not None
+        )
+        hb_dir = (
+            tempfile.mkdtemp(prefix="repro-hb-")
+            if self.heartbeat_timeout is not None else None
+        )
         pool = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._mp_context(),
             initializer=_worker_init,
-            initargs=(list(sys.path),),
+            initargs=(list(sys.path), hb_dir),
         )
         out: List[Optional[TaskResult]] = [None] * len(tasks)
         broken = False
+        started = time.time()
         try:
             futures = [pool.submit(_timed_execute, t) for t in tasks]
             for i, (task, future) in enumerate(zip(tasks, futures)):
                 if broken:
                     future.cancel()
                     continue
-                try:
-                    value, seconds, trace = future.result(
-                        timeout=self.task_timeout
+                if self.interrupted:
+                    break  # _drain already filled the remaining slots
+                if not monitored:
+                    try:
+                        value, seconds, trace = future.result(
+                            timeout=self.task_timeout
+                        )
+                        out[i] = self._emit(TaskResult(
+                            task, value, seconds, worker="pool", trace=trace
+                        ))
+                    except FuturesTimeoutError:
+                        out[i] = self._emit(self._timeout_result(task))
+                        self._kill_workers(pool)
+                        broken = True
+                    except BrokenProcessPool:
+                        broken = True  # unfinished tasks retry elsewhere
+                    except Exception as exc:
+                        out[i] = self._emit(TaskResult(
+                            task, None, 0.0, worker="pool",
+                            error=_format_error(exc),
+                        ))
+                    continue
+                # Monitored wait: poll so cancel/watchdog can cut in.
+                wait_deadline = (
+                    None if self.task_timeout is None
+                    else time.monotonic() + self.task_timeout
+                )
+                while out[i] is None and not broken and not self.interrupted:
+                    if self._cancelled():
+                        self._drain(
+                            tasks, futures, out, pool, "graceful shutdown"
+                        )
+                        break
+                    if hb_dir is not None and self._heartbeat_stale(
+                            hb_dir, started):
+                        # Hung worker: nothing more will finish — kill
+                        # the pool and journal the rest as interrupted.
+                        self._kill_workers(pool)
+                        self._drain(
+                            tasks, futures, out, pool,
+                            "watchdog: worker heartbeat stale", grace=0.5,
+                        )
+                        break
+                    remaining = (
+                        None if wait_deadline is None
+                        else wait_deadline - time.monotonic()
                     )
-                    out[i] = TaskResult(
-                        task, value, seconds, worker="pool", trace=trace
+                    if remaining is not None and remaining <= 0:
+                        out[i] = self._emit(self._timeout_result(task))
+                        self._kill_workers(pool)
+                        broken = True
+                        break
+                    slice_s = (
+                        _POLL_INTERVAL_S if remaining is None
+                        else min(_POLL_INTERVAL_S, remaining)
                     )
-                except FuturesTimeoutError:
-                    out[i] = TaskResult(
-                        task, None, float(self.task_timeout), worker="pool",
-                        error=f"TimeoutError: task exceeded "
-                        f"--task-timeout {self.task_timeout:g}s",
-                    )
-                    self._kill_workers(pool)
-                    broken = True
-                except BrokenProcessPool:
-                    broken = True  # this and later unfinished tasks retry
-                except Exception as exc:
-                    out[i] = TaskResult(
-                        task, None, 0.0, worker="pool",
-                        error=_format_error(exc),
-                    )
+                    try:
+                        value, seconds, trace = future.result(timeout=slice_s)
+                        out[i] = self._emit(TaskResult(
+                            task, value, seconds, worker="pool", trace=trace
+                        ))
+                    except FuturesTimeoutError:
+                        continue  # poll again
+                    except BrokenProcessPool:
+                        broken = True
+                    except Exception as exc:
+                        out[i] = self._emit(TaskResult(
+                            task, None, 0.0, worker="pool",
+                            error=_format_error(exc),
+                        ))
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+            if hb_dir is not None:
+                shutil.rmtree(hb_dir, ignore_errors=True)
         return out
+
+    def _timeout_result(self, task: Task) -> TaskResult:
+        return TaskResult(
+            task, None, float(self.task_timeout), worker="pool",
+            error=f"TimeoutError: task exceeded "
+            f"--task-timeout {self.task_timeout:g}s",
+        )
 
     # -- public -----------------------------------------------------------
     def map(self, tasks: Sequence[Task]) -> List[TaskResult]:
-        """Execute all tasks; results come back in submission order."""
+        """Execute all tasks; results come back in submission order.
+
+        After a graceful shutdown or watchdog trip, ``interrupted`` is
+        True and the affected tasks carry ``interrupted=True`` — they
+        are resumable, not failed."""
         self.fallback_reason = None
+        self.interrupted = False
         if not tasks:
             return []
         if self.jobs <= 1:
@@ -281,19 +524,28 @@ class Scheduler:
             pending = still
             if not pending:
                 break
+            if self._cancelled():
+                # Shutdown arrived between retry attempts: hand the
+                # still-unfinished tasks back as interrupted.
+                self.interrupted = True
+                for i in pending:
+                    results[i] = self._emit(self._interrupted_result(
+                        tasks[i], "graceful shutdown (retry abandoned)"
+                    ))
+                break
             if attempt >= self.retries:
                 self.fallback_reason = (
                     "process pool broke mid-run; retries exhausted"
                 )
                 for i in pending:
-                    results[i] = TaskResult(
+                    results[i] = self._emit(TaskResult(
                         tasks[i], None, 0.0, worker="pool",
                         attempts=attempt + 1,
                         error="BrokenProcessPool: worker crashed and "
                         f"{self.retries} retr"
                         f"{'y was' if self.retries == 1 else 'ies were'} "
                         "exhausted",
-                    )
+                    ))
                 break
             time.sleep(self.backoff * (2 ** attempt))
             attempt += 1

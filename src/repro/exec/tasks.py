@@ -59,6 +59,21 @@ class Task:
                         isinstance(v, (list, tuple)))
         return f"{self.experiment}[{args}]" if args else self.experiment
 
+    def identity(self) -> Dict[str, Any]:
+        """Everything that determines this task's payload — and nothing
+        that doesn't (``trace`` changes what rides alongside the result,
+        never the result itself).  The run journal digests this document
+        to recognise the same sweep point across process lifetimes."""
+        return {
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "index": self.index,
+            "kind": self.kind,
+            "params": self.params,
+            "fault_spec": self.fault_spec,
+            "fault_seed": self.fault_seed,
+        }
+
 
 #: kind -> callable executed with ``**task.params``.
 _EXECUTORS = {

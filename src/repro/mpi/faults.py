@@ -31,7 +31,9 @@ from __future__ import annotations
 import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple,
+)
 
 __all__ = [
     "FaultPlan",
@@ -330,6 +332,7 @@ def fault_drift_report(
     nranks: int = 16,
     sizes: Sequence[int] = (1024, 65536),
     repetitions: int = 2,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> Dict[str, Any]:
     """Sweep fault severities; report drift from the fault-free baseline.
 
@@ -338,6 +341,12 @@ def fault_drift_report(
     headline collective), their inflation/slowdown ratios over the
     ``off`` baseline, the failed-rank coverage, and any resilience error
     the run surfaced (:class:`RankFailedError` diagnostics).
+
+    ``cancel`` is polled between severities (the CLI wires it to its
+    SIGINT/SIGTERM handler): when it returns True — or a
+    ``KeyboardInterrupt`` lands mid-severity — the sweep stops early
+    and the partial document carries ``"interrupted": True`` instead of
+    raising, so already-measured severities are never thrown away.
     """
     # Imported here: benchsuite -> comm -> simulator -> network -> faults.
     from .benchsuite import AllreduceBench, PingPong
@@ -356,6 +365,9 @@ def fault_drift_report(
         "severities": {},
     }
     for name in names:
+        if cancel is not None and cancel():
+            doc["interrupted"] = True
+            break
         plan = parse_fault_spec(name, seed=seed)
         entry: Dict[str, Any] = {
             "spec": name,
@@ -367,28 +379,36 @@ def fault_drift_report(
             "error": None,
         }
         try:
-            pp = PingPong(repetitions=repetitions).run(
-                IMB_C, sizes=sizes, faults=plan
+            try:
+                pp = PingPong(repetitions=repetitions).run(
+                    IMB_C, sizes=sizes, faults=plan
+                )
+                entry["pingpong_us"] = {
+                    str(s): lat for s, lat in zip(pp.sizes, pp.latency_us)
+                }
+            except (RankFailedError, DeadlockError) as exc:
+                entry["error"] = f"PingPong: {exc}"
+            bench = AllreduceBench(
+                nranks=nranks, ranks_per_node=4, shape=None,
+                repetitions=repetitions,
             )
-            entry["pingpong_us"] = {
-                str(s): lat for s, lat in zip(pp.sizes, pp.latency_us)
-            }
-        except (RankFailedError, DeadlockError) as exc:
-            entry["error"] = f"PingPong: {exc}"
-        bench = AllreduceBench(
-            nranks=nranks, ranks_per_node=4, shape=None,
-            repetitions=repetitions,
-        )
-        try:
-            ar = bench.run(IMB_C, sizes=sizes[-1:], faults=plan)
-            entry["allreduce_us"] = ar.latency_us[-1]
-        except (RankFailedError, DeadlockError) as exc:
-            prev = entry["error"]
-            msg = f"Allreduce: {exc}"
-            entry["error"] = f"{prev}; {msg}" if prev else msg
+            try:
+                ar = bench.run(IMB_C, sizes=sizes[-1:], faults=plan)
+                entry["allreduce_us"] = ar.latency_us[-1]
+            except (RankFailedError, DeadlockError) as exc:
+                prev = entry["error"]
+                msg = f"Allreduce: {exc}"
+                entry["error"] = f"{prev}; {msg}" if prev else msg
+        except KeyboardInterrupt:
+            # Mid-severity interrupt: drop the half-measured point and
+            # return everything finished so far as a partial document.
+            doc["interrupted"] = True
+            break
         doc["severities"][name] = entry
 
-    base = doc["severities"]["off"]
+    base = doc["severities"].get("off") or {
+        "pingpong_us": None, "allreduce_us": None,
+    }
     base_pp = base["pingpong_us"] or {}
     for entry in doc["severities"].values():
         pp = entry["pingpong_us"] or {}

@@ -151,14 +151,19 @@ def virtual_track(doc: Doc) -> List[Doc]:
 # ---------------------------------------------------------------------------
 def write_trace(trace: Union[TraceRecorder, Doc], path: Union[str, Path]) -> Path:
     """Write a trace to disk; ``.jsonl`` suffix selects JSONL, anything
-    else the Chrome Trace Event JSON."""
+    else the Chrome Trace Event JSON.  The write is atomic and fsync'd
+    (temp file + rename), so a crash mid-flush can never leave a torn
+    trace behind — the file either exists complete or not at all."""
+    # Imported here so ``import repro.obs`` stays dependency-free (the
+    # core package init pulls in the whole figure stack).
+    from ..core.atomicio import atomic_write_text
+
     path = Path(path)
     if path.suffix == ".jsonl":
         text = "\n".join(jsonl_lines(trace)) + "\n"
     else:
         text = json.dumps(chrome_trace(trace), sort_keys=True)
-    path.write_text(text)
-    return path
+    return atomic_write_text(path, text)
 
 
 def load_trace(path: Union[str, Path]) -> Doc:

@@ -275,3 +275,94 @@ class TestTraceCommands:
     def test_trace_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
+
+
+class TestJournalCommands:
+    def test_journal_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["journal"])
+
+    def test_journal_and_resume_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fig1", "--journal", str(tmp_path / "j"),
+                 "--resume", str(tmp_path / "j")]
+            )
+
+    def test_journal_unwritable_path_exits_2_before_running(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "no-such-dir" / "run.jsonl"
+        assert main(["run", "fig5", "--quiet", "--journal", str(bad)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot write journal" in captured.err
+        assert captured.out == ""  # failed fast: no experiment ran
+
+    def test_resume_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", "fig5", "--quiet",
+                     "--resume", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_journal_off_output_is_byte_identical(self, tmp_path, capsys):
+        assert main(["run", "fig2", "--quiet"]) == 0
+        plain = capsys.readouterr().out
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "fig2", "--quiet", "--journal", str(path)]) == 0
+        journalled = capsys.readouterr().out
+        assert journalled == plain
+
+    def test_run_journal_writes_verifiable_journal(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "fig5", "--quiet", "--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["journal", "verify", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["complete"]
+        assert doc["tasks"]["completed"] > 0 and doc["tasks"]["pending"] == 0
+
+    def test_journal_show_renders_run(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "fig5", "--quiet", "--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["journal", "show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "complete" in out
+
+    def test_journal_show_not_a_journal_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not a journal\n")
+        assert main(["journal", "show", str(bad)]) == 2
+        assert "not a journal" in capsys.readouterr().err
+
+    def test_journal_verify_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["journal", "verify", str(tmp_path / "nope")]) == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+    def test_resume_complete_journal_restores_everything(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "fig5", "--quiet", "--journal", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "fig5", "--quiet", "--resume", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "restored" in captured.err
+
+    def test_resume_scale_mismatch_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "fig2", "--quiet", "--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig2", "--quiet", "--scale", "paper",
+                     "--resume", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "does not match" in err or "mismatch" in err
+
+    def test_resume_experiment_mismatch_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "fig2", "--quiet", "--journal", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig5", "--quiet", "--resume", str(path)]) == 2

@@ -1,9 +1,11 @@
 """Tests for repro.exec.cache — the content-addressed result cache."""
 
 import json
+import os
 
 import pytest
 
+from repro.core.atomicio import FileLock, atomic_write_text
 from repro.core.experiments import Outcome, run_experiment, scale_params
 from repro.exec import Engine, ResultCache, source_fingerprint
 
@@ -97,6 +99,75 @@ class TestResultCache:
         assert doc["experiment"] == "fig9"
         assert doc["outcome"]["report"] == "line1\nline2"
         assert doc["digest"] == cache.digest("fig9", "ci")
+
+
+class TestCrashConsistency:
+    """Regression: a crash mid-store must never leave a torn entry that
+    poisons later lookups — stores are atomic (temp + rename + fsync)
+    and a truncated entry found on disk is quarantined on load."""
+
+    def test_truncated_entry_quarantined_on_load(self, cache):
+        path = cache.put("fig9", "ci", _outcome())
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # torn write
+        assert cache.get("fig9", "ci") is None
+        assert cache.stats.corrupt == 1
+        assert cache.corrupt_entries() == [
+            path.with_name(path.name + ".corrupt")
+        ]
+        # The slot is reusable immediately.
+        cache.put("fig9", "ci", _outcome())
+        assert cache.get("fig9", "ci") == _outcome()
+
+    def test_store_leaves_no_temp_files(self, cache):
+        cache.put("fig9", "ci", _outcome())
+        assert list(cache.directory.glob(".*.tmp")) == []
+
+    def test_clear_sweeps_stale_temp_files(self, cache):
+        cache.put("fig9", "ci", _outcome())
+        # Simulate a process killed between temp-write and rename.
+        (cache.directory / f".orphan.json.{os.getpid()}.tmp").write_text("x")
+        assert cache.clear() == 1  # temp droppings are not entries
+        assert list(cache.directory.glob(".*.tmp")) == []
+
+    def test_get_does_not_create_cache_dir(self, tmp_path):
+        cache = ResultCache(tmp_path / "never", fingerprint="fp")
+        assert cache.get("fig9", "ci") is None
+        assert not (tmp_path / "never").exists()
+
+    def test_atomic_write_failure_leaves_no_temp(self, tmp_path):
+        target = tmp_path / "sub" / "x.json"
+        target.parent.mkdir()
+        with pytest.raises(TypeError):
+            atomic_write_text(target, object())  # not str: write blows up
+        assert list(target.parent.iterdir()) == []
+
+
+class TestFileLock:
+    def test_exclusive_lock_blocks_second_acquire(self, tmp_path):
+        lock_path = tmp_path / ".lock"
+        a = FileLock(lock_path)
+        b = FileLock(lock_path)
+        with a:
+            assert a.held
+            assert not b.acquire(blocking=False)
+        assert not a.held
+        assert b.acquire(blocking=False)
+        b.release()
+
+    def test_lock_reentrant_after_release(self, tmp_path):
+        lock = FileLock(tmp_path / ".lock")
+        for _ in range(3):
+            with lock:
+                assert lock.held
+            assert not lock.held
+
+    def test_cache_lock_file_not_an_entry(self, cache):
+        cache.put("fig9", "ci", _outcome())
+        assert (cache.directory / ResultCache.LOCK_NAME).exists()
+        assert len(cache) == 1  # .lock is never counted or cleared
+        cache.clear()
+        assert (cache.directory / ResultCache.LOCK_NAME).exists()
 
 
 class TestSourceFingerprint:

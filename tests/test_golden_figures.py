@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Tuple
 
 import pytest
 
+from repro.core.atomicio import atomic_write_text
 from repro.core.benchmark import SweepResult
 from repro.core.experiments import REGISTRY
 
@@ -110,7 +111,9 @@ def test_golden_figure(key: str, request: pytest.FixtureRequest) -> None:
     path = _golden_path(key)
     if request.config.getoption("--update-golden"):
         GOLDEN_DIR.mkdir(exist_ok=True)
-        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        # Atomic + fsync'd: a crash mid-regeneration can't tear a
+        # committed snapshot in half.
+        atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
         pytest.skip(f"regenerated {path}")
     assert path.exists(), (
         f"missing golden snapshot {path}; generate it with "
