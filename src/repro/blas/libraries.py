@@ -33,6 +33,8 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from ..ftypes.formats import FLOAT16, FLOAT32, FLOAT64, FloatFormat, format_from_dtype
+from ..guard.contracts import Contract
+from ..guard.monitor import get_guard
 from ..machine.kernelmodel import (
     ImplementationProfile,
     KernelTiming,
@@ -53,6 +55,17 @@ __all__ = [
     "ALL_LIBRARIES",
     "get_library",
 ]
+
+
+#: Modelled GFLOP/s may touch the roofline exactly (efficiency 1.0);
+#: the tolerance only absorbs the division's rounding.
+_ROOFLINE_CONTRACT = Contract(
+    name="blas_roofline",
+    kind="upper_bound",
+    tolerance=1e-9,
+    description="modelled GFLOP/s must not exceed the chip's "
+    "single-core roofline for the format",
+)
 
 
 class UnsupportedRoutineError(NotImplementedError):
@@ -89,8 +102,22 @@ class BLASLibrary:
         return model.kernel_time(kernel_traffic(routine), fmt, n, self.profile)
 
     def gflops(self, routine: str, fmt: FloatFormat, n: int) -> float:
-        """Modelled GFLOPS — one point of a Fig. 1 series."""
-        return self.timing(routine, fmt, n).gflops
+        """Modelled GFLOPS — one point of a Fig. 1 series.
+
+        Under an active guard the value is checked against the chip's
+        single-core roofline: a modelled library can never beat the
+        silicon it models, so exceeding ``peak_flops_core`` flags a
+        mis-calibrated profile.
+        """
+        value = self.timing(routine, fmt, n).gflops
+        monitor = get_guard()
+        if monitor is not None:
+            roofline = self.chip.peak_flops_core(fmt) / 1e9
+            monitor.check(
+                "blas.gflops", _ROOFLINE_CONTRACT, value, reference=roofline,
+                library=self.name, routine=routine, fmt=fmt.name, n=n,
+            )
+        return value
 
     # -- executable routines (compute with numpy, time with the model) --
     def axpy(self, a: float, x: np.ndarray, y: np.ndarray) -> KernelTiming:

@@ -15,6 +15,9 @@ Usage::
     python -m repro run all --resume run.jnl  # restore + finish the rest
     python -m repro journal show run.jnl      # inspect a journal
     python -m repro journal verify run.jnl    # checksum/torn-tail check
+    python -m repro run fig4 --guard observe  # numerical sentinels on
+    python -m repro run fig4 --guard repair --guard-inject overflow16
+    python -m repro guard report guard.json   # inspect a guard report
     python -m repro faults --seed 42          # fault-severity drift sweep
     python -m repro claims fig5               # show the checked claims
     python -m repro cache clear               # drop cached outcomes
@@ -31,6 +34,20 @@ run.  ``--trace FILE`` records an observability trace (wall spans,
 virtual-clock simulator events, metrics) without touching stdout — the
 file opens in ``chrome://tracing`` (or, with a ``.jsonl`` suffix, greps
 cleanly) and ``repro trace summarize`` renders it as text.
+
+Numerical guardrails: ``--guard observe|strict|repair`` turns on the
+:mod:`repro.guard` subsystem — vectorised NaN/Inf/overflow/subnormal
+sentinels inside ShallowWaters stepping, roofline contracts on modelled
+BLAS GFLOP/s, virtual-clock monotonicity and reduction-payload checks
+in the MPI simulator.  ``observe`` records without changing a byte of
+output; ``strict`` fails a task on the first violation (a structured
+numerical error, distinct from a crash); ``repair`` rescues failing
+ShallowWaters points through the paper's scale → compensated → promote
+ladder and annotates the result as ``degraded`` with the full
+remediation chain.  ``--guard-inject overflow16`` plants a synthetic
+Float16 overflow to exercise the machinery; ``--guard-out FILE`` writes
+the guard report as JSON and ``repro guard report`` renders it (or
+digs the same data out of a ``--journal`` file).
 
 Robustness: ``--journal FILE`` appends an fsync'd, checksummed record
 of every task dispatch/completion, so a SIGKILL/OOM mid-run loses no
@@ -55,15 +72,18 @@ from typing import List, Optional
 from .core.experiments import REGISTRY
 from .exec import (
     DEFAULT_CACHE_DIR,
+    GUARD_INJECTIONS,
     RESUMABLE_EXIT_CODE,
     Engine,
     JournalError,
     JournalWriter,
     ResultCache,
+    guard_summary,
     journal_summary,
     load_journal,
     verify_journal,
 )
+from .guard import GUARD_MODES
 
 __all__ = ["main", "build_parser"]
 
@@ -117,6 +137,13 @@ def _jobs_arg(value: str) -> int:
             f"must be >= 0 (0 = one per CPU), got {jobs}"
         )
     return jobs
+
+
+def _cadence_arg(value: str) -> int:
+    cadence = int(value)
+    if cadence < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {cadence}")
+    return cadence
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,6 +227,31 @@ def build_parser() -> argparse.ArgumentParser:
         "records appended to the same FILE",
     )
     run_p.add_argument(
+        "--guard", default="off", choices=list(GUARD_MODES),
+        dest="guard_mode",
+        help="numerical guardrails: observe records sentinel/contract "
+        "events without changing anything, strict fails a task on the "
+        "first violation, repair additionally rescues ShallowWaters "
+        "points through the scale/compensated/promote ladder "
+        "(default: off)",
+    )
+    run_p.add_argument(
+        "--guard-cadence", type=_cadence_arg, default=16, metavar="N",
+        help="simulation steps between guard sentinel probes "
+        "(default: 16)",
+    )
+    run_p.add_argument(
+        "--guard-inject", default=None, choices=list(GUARD_INJECTIONS),
+        help="inject a synthetic numerical fault (overflow16: run the "
+        "Fig. 4 Float16 point with an overflowing scaling) to exercise "
+        "the guard end to end",
+    )
+    run_p.add_argument(
+        "--guard-out", default=None, metavar="FILE",
+        help="write the run's guard report (events, violations, "
+        "remediation chains) to FILE as JSON; requires --guard",
+    )
+    run_p.add_argument(
         "--grace", type=float, default=5.0, metavar="S",
         help="seconds to let in-flight tasks finish after SIGINT/SIGTERM "
         "before the pool is terminated (default: 5)",
@@ -232,6 +284,23 @@ def build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument(
         "--json", action="store_true", dest="json_doc",
         help="emit the verification document as JSON on stdout",
+    )
+
+    guard_p = sub.add_parser(
+        "guard", help="inspect numerical-guard reports"
+    )
+    guard_sub = guard_p.add_subparsers(dest="guard_command", required=True)
+    greport_p = guard_sub.add_parser(
+        "report",
+        help="render the guard events/remediation chains from a "
+        "--guard-out JSON file or a --journal run journal",
+    )
+    greport_p.add_argument(
+        "file", help="guard report (--guard-out) or journal (--journal) file"
+    )
+    greport_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the guard report as JSON on stdout",
     )
 
     faults_p = sub.add_parser(
@@ -463,13 +532,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _resume_mismatch(meta: dict, keys: List[str], scale: str,
-                     fault_spec: Optional[str], fault_seed: int
+                     fault_spec: Optional[str], fault_seed: int,
+                     guard_meta: Optional[dict] = None,
                      ) -> Optional[str]:
     """Why a journal cannot resume this run (None when it can).
 
-    Resuming under different experiments, scale or fault plan would
-    splice incompatible sweep points into one figure, so any mismatch
-    is a usage error — rerun with the journal's own settings."""
+    Resuming under different experiments, scale, fault plan or guard
+    settings would splice incompatible sweep points into one figure, so
+    any mismatch is a usage error — rerun with the journal's own
+    settings."""
     if meta.get("keys") != keys:
         return f"journal ran {meta.get('keys')}, requested {keys}"
     if meta.get("scale") != scale:
@@ -480,6 +551,9 @@ def _resume_mismatch(meta: dict, keys: List[str], scale: str,
     if meta.get("fault_seed", 0) != fault_seed:
         return (f"journal fault seed {meta.get('fault_seed')}, "
                 f"requested {fault_seed}")
+    if meta.get("guard") != guard_meta:
+        return (f"journal guard settings {meta.get('guard')!r}, "
+                f"requested {guard_meta!r}")
     return None
 
 
@@ -512,6 +586,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                     must_exist=True)
         if status:
             return status
+    if args.guard_out is not None:
+        if args.guard_mode == "off":
+            print(
+                "--guard-out needs an active guard; add "
+                "--guard observe|strict|repair",
+                file=sys.stderr,
+            )
+            return 2
+        status = _probe_output_path(args.guard_out, "guard report")
+        if status:
+            return status
 
     resume_state = None
     journal_path = args.journal_path
@@ -541,6 +626,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cancel_event=shutdown.event,
             grace=args.grace,
             heartbeat_timeout=args.watchdog,
+            guard_mode=args.guard_mode,
+            guard_cadence=args.guard_cadence,
+            guard_inject=args.guard_inject,
         )
     except ValueError as exc:
         print(f"bad fault spec: {exc}", file=sys.stderr)
@@ -549,7 +637,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if resume_state is not None:
         mismatch = _resume_mismatch(
             resume_state.meta or {}, keys, args.scale,
-            engine.fault_spec, args.seed,
+            engine.fault_spec, args.seed, engine.guard_meta(),
         )
         if mismatch:
             print(
@@ -588,6 +676,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         status = _write_trace_file(recorder, args.trace_path)
         if status:
             return status
+    if args.guard_out is not None:
+        report = engine.stats.guard_report() or {"mode": args.guard_mode}
+        try:
+            with open(args.guard_out, "w") as f:
+                json.dump(report, f, indent=2, sort_keys=True)
+                f.write("\n")
+        except OSError as exc:
+            print(f"cannot write guard report to {args.guard_out!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"guard report written to {args.guard_out}", file=sys.stderr)
 
     if engine.stats.resume is not None:
         r = engine.stats.resume
@@ -647,6 +746,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_guard(args: argparse.Namespace) -> int:
+    from .core.report import render_guard_report
+
+    # A --guard-out file is one JSON object with a top-level "mode";
+    # anything else is read as a run journal.
+    try:
+        with open(args.file) as f:
+            text = f.read()
+    except OSError as exc:
+        print(f"cannot read guard report at {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    doc = None
+    try:
+        parsed = json.loads(text)
+        if isinstance(parsed, dict) and "mode" in parsed:
+            doc = parsed
+    except ValueError:
+        pass
+    if doc is None:
+        try:
+            doc = guard_summary(args.file)
+        except JournalError as exc:
+            print(
+                f"not a guard report or journal {args.file!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.json_doc:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_guard_report(doc))
+    return 0
+
+
 def _cmd_journal(args: argparse.Namespace) -> int:
     from .core.report import render_journal
 
@@ -687,6 +821,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "journal":
             return _cmd_journal(args)
+        if args.command == "guard":
+            return _cmd_guard(args)
         if args.command == "run":
             return _cmd_run(args)
     except BrokenPipeError:

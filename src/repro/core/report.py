@@ -19,6 +19,7 @@ __all__ = [
     "render_fault_sweep",
     "render_trace_summary",
     "render_journal",
+    "render_guard_report",
     "format_si",
 ]
 
@@ -63,10 +64,11 @@ def render_run_stats(stats) -> str:
     Takes the stats object duck-typed to keep this module free of an
     import on the exec layer.
     """
+    guarded = bool(getattr(stats, "guard_mode", None))
     rows = []
     for e in stats.experiments:
         slowest = max(e.tasks, key=lambda t: t.seconds) if e.tasks else None
-        rows.append([
+        row = [
             e.key,
             e.scale,
             "PASS" if e.passed else "FAIL",
@@ -74,7 +76,10 @@ def render_run_stats(stats) -> str:
             len(e.tasks),
             f"{e.seconds:.3f}",
             f"{slowest.label} ({slowest.seconds:.3f}s)" if slowest else "-",
-        ])
+        ]
+        if guarded:
+            row.append(_experiment_guard_cell(e.tasks))
+        rows.append(row)
     header = (
         f"experiment engine: jobs={stats.jobs}, "
         f"wall={stats.total_seconds:.3f}s"
@@ -83,14 +88,16 @@ def render_run_stats(stats) -> str:
         header += (
             f", faults={stats.fault_spec} (seed {stats.fault_seed})"
         )
-    lines = [
-        header,
-        render_table(
-            ["experiment", "scale", "status", "source", "tasks",
-             "task s", "slowest task"],
-            rows,
-        ),
-    ]
+    if guarded:
+        header += f", guard={stats.guard_mode} (cadence {stats.guard_cadence}"
+        if getattr(stats, "guard_inject", None):
+            header += f", inject {stats.guard_inject}"
+        header += ")"
+    headers = ["experiment", "scale", "status", "source", "tasks",
+               "task s", "slowest task"]
+    if guarded:
+        headers.append("guard")
+    lines = [header, render_table(headers, rows)]
     failures = [
         (t.label, t.error)
         for e in stats.experiments
@@ -113,11 +120,94 @@ def render_run_stats(stats) -> str:
         if resume.get("stale"):
             note += f" ({resume['stale']} stale: source changed)"
         lines.append(note)
+    if guarded:
+        lines.append(
+            f"guard: {stats.guard_events} event(s), "
+            f"{stats.guard_violations} violation(s), "
+            f"{stats.degraded_tasks} degraded task(s)"
+        )
+        for e in stats.experiments:
+            for t in e.tasks:
+                if getattr(t, "degraded", False):
+                    lines.append("  " + _degraded_line(
+                        t.label, t.guard.get("remediation") or {}
+                    ))
     if getattr(stats, "interrupted", False):
         lines.append(
             f"run interrupted: {stats.interrupted_tasks} task(s) "
             "unfinished (resumable)"
         )
+    return "\n".join(lines)
+
+
+def _experiment_guard_cell(tasks) -> str:
+    """The guard column for one experiment's row: event/degraded counts,
+    or ``clean`` when every guarded task came through untouched."""
+    events = sum(
+        len((t.guard or {}).get("events", ())) for t in tasks
+    )
+    degraded = sum(1 for t in tasks if getattr(t, "degraded", False))
+    if not events and not degraded:
+        return "clean"
+    cell = f"{events} ev"
+    if degraded:
+        cell += f", {degraded} degraded"
+    return cell
+
+
+def _degraded_line(label: str, remediation: dict) -> str:
+    """One-line remediation chain for a rescued task."""
+    steps = " -> ".join(
+        entry["step"]
+        for entry in remediation.get("chain", ())
+        if entry.get("applied")
+    ) or "none"
+    line = f"{label}: degraded via {steps}"
+    if remediation.get("exhausted"):
+        line += " (exhausted)"
+    return line
+
+
+def render_guard_report(doc) -> str:
+    """Render a guard report document as text.
+
+    Accepts the ``RunStats.guard_report()`` / ``--guard-out`` shape and
+    the journal-derived :func:`repro.exec.journal.guard_summary` shape
+    (they are the same).  Duck-typed on the dict to keep this module
+    free of an import on the exec layer.
+    """
+    mode = doc.get("mode", "off")
+    header = f"guard: mode={mode}"
+    if doc.get("cadence") is not None:
+        header += f", cadence={doc['cadence']}"
+    if doc.get("inject"):
+        header += f", inject={doc['inject']}"
+    if mode == "off" and not doc.get("tasks"):
+        return header + " (no guard data recorded)"
+    lines = [
+        header,
+        f"{doc.get('events', 0)} event(s), "
+        f"{doc.get('violations', 0)} violation(s), "
+        f"{doc.get('degraded_tasks', 0)} degraded task(s)",
+    ]
+    for entry in doc.get("tasks") or ():
+        guard = entry.get("guard") or {}
+        if entry.get("degraded"):
+            lines.append("  " + _degraded_line(
+                entry.get("label", "-"), guard.get("remediation") or {}
+            ))
+        else:
+            lines.append(
+                f"  {entry.get('label', '-')}: "
+                f"{len(guard.get('events', ()))} event(s), "
+                f"{guard.get('violations', 0)} violation(s)"
+            )
+        for ev in guard.get("events", ()):
+            step = f" @step {ev['step']}" if ev.get("step") is not None else ""
+            lines.append(
+                f"    [{ev.get('severity', '?')}] {ev.get('site', '?')}"
+                f"/{ev.get('name', '?')}{step}: {ev.get('message', '')}"
+            )
     return "\n".join(lines)
 
 

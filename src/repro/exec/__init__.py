@@ -24,7 +24,7 @@ Usage::
     print(engine.stats.render())
 """
 
-from .tasks import Task, decompose, execute_task, merge_results
+from .tasks import GUARD_INJECTIONS, Task, decompose, execute_task, merge_results
 from .scheduler import Scheduler, TaskResult, effective_jobs
 from .cache import (
     DEFAULT_CACHE_DIR,
@@ -37,6 +37,7 @@ from .journal import (
     JournalError,
     JournalState,
     JournalWriter,
+    guard_summary,
     journal_summary,
     load_journal,
     task_key,
@@ -55,10 +56,12 @@ __all__ = [
     "JournalError",
     "JournalState",
     "JournalWriter",
+    "guard_summary",
     "journal_summary",
     "load_journal",
     "task_key",
     "verify_journal",
+    "GUARD_INJECTIONS",
     "Task",
     "decompose",
     "execute_task",

@@ -28,12 +28,13 @@ from ..core.experiments import (
     failed_outcome,
     scale_params,
 )
+from ..guard.monitor import parse_guard_mode
 from ..mpi.faults import parse_fault_spec
 from ..obs import MetricsRegistry, TraceRecorder
 from .cache import CacheStats, ResultCache, source_fingerprint
 from .journal import JournalState, JournalWriter, task_key
 from .scheduler import Scheduler, TaskResult
-from .tasks import Task, decompose, merge_results
+from .tasks import GUARD_INJECTIONS, Task, decompose, merge_results
 
 __all__ = [
     "Engine",
@@ -54,6 +55,15 @@ class TaskMetric:
     worker: str  # "inline" or "pool"
     error: Optional[str] = None
     attempts: int = 1
+    #: guard document (events + remediation chain) for guarded tasks
+    #: whose monitor saw anything; None otherwise, keeping unguarded
+    #: stats output byte-identical.
+    guard: Optional[Dict[str, Any]] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the task only completed via the remediation chain."""
+        return bool(self.guard and self.guard.get("remediation"))
 
     def as_dict(self) -> Dict[str, Any]:
         doc = {
@@ -66,6 +76,10 @@ class TaskMetric:
             doc["error"] = self.error
         if self.attempts != 1:
             doc["attempts"] = self.attempts
+        if self.guard is not None:
+            doc["guard"] = self.guard
+        if self.degraded:
+            doc["degraded"] = True
         return doc
 
 
@@ -119,6 +133,12 @@ class RunStats:
     #: True after a graceful shutdown or watchdog trip — the run is
     #: incomplete but resumable from its journal.
     interrupted: bool = False
+    #: active ``--guard`` mode (None keeps every output byte-identical
+    #: to a guard-free run), its sentinel cadence, and any synthetic
+    #: numerical-fault injection.
+    guard_mode: Optional[str] = None
+    guard_cadence: int = 16
+    guard_inject: Optional[str] = None
 
     @property
     def failed_tasks(self) -> int:
@@ -127,6 +147,52 @@ class RunStats:
     @property
     def interrupted_tasks(self) -> int:
         return sum(e.interrupted_tasks for e in self.experiments)
+
+    def _guarded_metrics(self) -> List[TaskMetric]:
+        return [
+            t for e in self.experiments for t in e.tasks if t.guard is not None
+        ]
+
+    @property
+    def degraded_tasks(self) -> int:
+        return sum(1 for t in self._guarded_metrics() if t.degraded)
+
+    @property
+    def guard_events(self) -> int:
+        return sum(
+            len(t.guard.get("events", ())) for t in self._guarded_metrics()
+        )
+
+    @property
+    def guard_violations(self) -> int:
+        return sum(
+            int(t.guard.get("violations", 0)) for t in self._guarded_metrics()
+        )
+
+    def guard_report(self) -> Optional[Dict[str, Any]]:
+        """Aggregate guard document (``--guard-out`` / ``repro guard
+        report``): run-level summary plus every task's guard record."""
+        if self.guard_mode is None:
+            return None
+        doc: Dict[str, Any] = {
+            "mode": self.guard_mode,
+            "cadence": self.guard_cadence,
+            "events": self.guard_events,
+            "violations": self.guard_violations,
+            "degraded_tasks": self.degraded_tasks,
+            "tasks": [
+                {
+                    "experiment": t.experiment,
+                    "label": t.label,
+                    "degraded": t.degraded,
+                    "guard": t.guard,
+                }
+                for t in self._guarded_metrics()
+            ],
+        }
+        if self.guard_inject is not None:
+            doc["inject"] = self.guard_inject
+        return doc
 
     def as_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {
@@ -143,6 +209,17 @@ class RunStats:
             doc["faults"] = {"spec": self.fault_spec, "seed": self.fault_seed}
         if self.interrupted:
             doc["interrupted"] = True
+        if self.guard_mode is not None:
+            guard: Dict[str, Any] = {
+                "mode": self.guard_mode,
+                "cadence": self.guard_cadence,
+                "events": self.guard_events,
+                "violations": self.guard_violations,
+                "degraded_tasks": self.degraded_tasks,
+            }
+            if self.guard_inject is not None:
+                guard["inject"] = self.guard_inject
+            doc["guard"] = guard
         return doc
 
     def render(self) -> str:
@@ -178,6 +255,14 @@ class RunStats:
             registry.counter("exec.interrupted").inc(1)
             registry.counter("exec.tasks.interrupted").inc(
                 self.interrupted_tasks
+            )
+        if self.guard_mode is not None:
+            registry.counter("guard.run.events").inc(self.guard_events)
+            registry.counter("guard.run.violations").inc(
+                self.guard_violations
+            )
+            registry.counter("guard.run.degraded_tasks").inc(
+                self.degraded_tasks
             )
 
 
@@ -221,6 +306,11 @@ class Engine:
     cancel_event / grace / heartbeat_timeout:
         Graceful-shutdown plumbing, threaded to the scheduler — see
         :class:`~repro.exec.scheduler.Scheduler`.
+    guard_mode / guard_cadence / guard_inject:
+        The run's ``--guard`` setting (``None``/"off" disables guards
+        and keeps output byte-identical), the sentinel check cadence,
+        and an optional synthetic numerical-fault injection from
+        :data:`~repro.exec.tasks.GUARD_INJECTIONS`.
     """
 
     def __init__(
@@ -237,6 +327,9 @@ class Engine:
         cancel_event: Optional[threading.Event] = None,
         grace: float = 5.0,
         heartbeat_timeout: Optional[float] = None,
+        guard_mode: Optional[str] = None,
+        guard_cadence: int = 16,
+        guard_inject: Optional[str] = None,
     ) -> None:
         self.scheduler = Scheduler(
             jobs=jobs, task_timeout=task_timeout, retries=retries,
@@ -255,11 +348,24 @@ class Engine:
             else None
         )
         self.fault_seed = fault_seed
+        self.guard_mode = parse_guard_mode(guard_mode)
+        if guard_cadence < 1:
+            raise ValueError("guard cadence must be >= 1")
+        self.guard_cadence = guard_cadence
+        if guard_inject is not None and guard_inject not in GUARD_INJECTIONS:
+            raise ValueError(
+                f"unknown guard injection {guard_inject!r}; "
+                f"expected one of {', '.join(GUARD_INJECTIONS)}"
+            )
+        self.guard_inject = guard_inject
         self.stats = RunStats(
             jobs=self.scheduler.jobs,
             cache=cache.stats if cache is not None else None,
             fault_spec=self.fault_spec,
             fault_seed=fault_seed,
+            guard_mode=self.guard_mode,
+            guard_cadence=guard_cadence,
+            guard_inject=guard_inject,
         )
 
     # -- single experiment ------------------------------------------------
@@ -313,6 +419,9 @@ class Engine:
                             fault_spec=self.fault_spec,
                             fault_seed=self.fault_seed,
                             trace=self.recorder is not None,
+                            guard_mode=self.guard_mode,
+                            guard_cadence=self.guard_cadence,
+                            guard_inject=self.guard_inject,
                         ),
                     ))
 
@@ -334,6 +443,7 @@ class Engine:
                     list(keys), scale, self.scheduler.jobs, fingerprint,
                     fault_spec=self.fault_spec, fault_seed=self.fault_seed,
                     resumed=self.resume_state is not None,
+                    guard=self.guard_meta(),
                 )
                 for t in to_run:
                     self.journal.task_dispatch(t)
@@ -388,6 +498,19 @@ class Engine:
         return outcomes
 
     # -- internals --------------------------------------------------------
+    def guard_meta(self) -> Optional[Dict[str, Any]]:
+        """Guard settings for the journal's run header; None when guards
+        are fully off (keeps guard-free journals byte-identical)."""
+        if self.guard_mode is None and self.guard_inject is None:
+            return None
+        meta: Dict[str, Any] = {
+            "mode": self.guard_mode or "off",
+            "cadence": self.guard_cadence,
+        }
+        if self.guard_inject is not None:
+            meta["inject"] = self.guard_inject
+        return meta
+
     def _journal_result(self, r: TaskResult) -> None:
         """Scheduler ``on_result`` hook: append one fsync'd completion
         record per task, in completion order."""
@@ -430,6 +553,7 @@ class Engine:
                     t, value, rec.get("seconds", 0.0),
                     worker=rec.get("worker", "journal"),
                     trace=rec.get("trace"),
+                    guard=rec.get("guard"),
                 )
         with self._span(
             "journal:restore", category="journal",
@@ -449,6 +573,7 @@ class Engine:
             TaskMetric(
                 experiment=key, label=r.task.label, seconds=r.seconds,
                 worker=r.worker, error=r.error, attempts=r.attempts,
+                guard=r.guard,
             )
             for r in results
         ]
@@ -482,6 +607,12 @@ class Engine:
             params["__faults__"] = {
                 "spec": self.fault_spec, "seed": self.fault_seed,
             }
+        if self.guard_mode == "repair" or self.guard_inject is not None:
+            # Repair can change payloads (remediation) and an injection
+            # always does — both are part of the content address.
+            # observe/strict never alter a successful result, so their
+            # cache keys stay identical to an unguarded run.
+            params["__guard__"] = self.guard_meta()
         return params
 
     def _cache_get(
@@ -536,6 +667,7 @@ class Engine:
                 worker=r.worker,
                 error=r.error,
                 attempts=r.attempts,
+                guard=r.guard,
             )
             for r in results
         ]

@@ -62,6 +62,7 @@ __all__ = [
     "load_journal",
     "verify_journal",
     "journal_summary",
+    "guard_summary",
 ]
 
 #: Exit status of a gracefully-interrupted (and therefore resumable)
@@ -108,7 +109,9 @@ def decode_record(line: str) -> Dict[str, Any]:
 def task_key(task: Task) -> str:
     """Content digest identifying one task's *payload*: everything that
     determines the result (experiment, scale, index, kind, params,
-    fault plan), nothing that doesn't (the ``trace`` flag)."""
+    fault plan, and the guard settings when — and only when — the mode
+    can remediate the payload), nothing that doesn't (the ``trace``
+    flag, observe/strict guard modes)."""
     return hashlib.sha256(canonical_json(task.identity()).encode()).hexdigest()
 
 
@@ -172,8 +175,9 @@ class JournalWriter:
         fault_spec: Optional[str] = None,
         fault_seed: int = 0,
         resumed: bool = False,
+        guard: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.append({
+        doc: Dict[str, Any] = {
             "type": "run_start",
             "version": JOURNAL_FORMAT_VERSION,
             "keys": list(keys),
@@ -183,7 +187,13 @@ class JournalWriter:
             "fault_spec": fault_spec,
             "fault_seed": fault_seed,
             "resumed": resumed,
-        })
+        }
+        if guard is not None:
+            # Only present for guarded/injected runs: a guard-free
+            # journal stays byte-identical to earlier versions, and
+            # resume validation can demand matching guard settings.
+            doc["guard"] = guard
+        self.append(doc)
 
     def task_dispatch(self, task: Task) -> None:
         self.append({
@@ -212,6 +222,11 @@ class JournalWriter:
         }
         if result.trace is not None:
             doc["trace"] = result.trace
+        if getattr(result, "guard", None) is not None:
+            # The guard document (events + remediation chain) is part of
+            # the durable record, so ``--resume`` replays remediation
+            # decisions byte-identically instead of re-deriving them.
+            doc["guard"] = result.guard
         self.append(doc)
 
     def task_failed(self, task: Task, result: Any) -> None:
@@ -394,4 +409,45 @@ def journal_summary(path: Union[str, os.PathLike]) -> Dict[str, Any]:
             "reason": rec.get("reason"),
         })
     doc["entries"] = entries
+    return doc
+
+
+def guard_summary(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """The ``repro guard report`` document for a journal file.
+
+    Same shape as ``RunStats.guard_report()`` so one renderer serves
+    both a live run's ``--guard-out`` file and a post-mortem journal.
+    A guard-free journal yields ``{"mode": "off"}``.
+    """
+    state = load_journal(path)
+    meta_guard = (state.meta or {}).get("guard") or {}
+    doc: Dict[str, Any] = {"mode": meta_guard.get("mode", "off")}
+    if "cadence" in meta_guard:
+        doc["cadence"] = meta_guard["cadence"]
+    if "inject" in meta_guard:
+        doc["inject"] = meta_guard["inject"]
+    tasks: List[Dict[str, Any]] = []
+    events = violations = degraded = 0
+    recs = sorted(
+        state.completed.values(),
+        key=lambda r: (r.get("experiment", ""), r.get("index", 0)),
+    )
+    for rec in recs:
+        guard = rec.get("guard")
+        if guard is None:
+            continue
+        events += len(guard.get("events", ()))
+        violations += guard.get("violations", 0)
+        is_degraded = "remediation" in guard
+        degraded += is_degraded
+        tasks.append({
+            "experiment": rec.get("experiment"),
+            "label": rec.get("label"),
+            "degraded": is_degraded,
+            "guard": guard,
+        })
+    doc.update(
+        events=events, violations=violations,
+        degraded_tasks=degraded, tasks=tasks,
+    )
     return doc

@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
+from ..guard.monitor import GuardConfig, GuardMonitor, guarding
 from ..obs import TraceRecorder, recording
 from .tasks import Task, execute_task
 
@@ -67,6 +68,9 @@ class TaskResult:
     events, metrics) when the task asked for tracing — recorded where
     the task ran and shipped back as plain data, so pool and inline
     execution produce identical traces.
+    ``guard`` is the task-local guard document (sentinel/contract
+    events, remediation chain) when the task ran under ``--guard`` and
+    the monitor saw anything — same ship-back-as-data discipline.
     """
 
     task: Task
@@ -76,6 +80,7 @@ class TaskResult:
     error: Optional[str] = None
     attempts: int = 1
     trace: Optional[dict] = None
+    guard: Optional[dict] = None
     interrupted: bool = False
 
     @property
@@ -97,20 +102,32 @@ def _under_pytest_xdist() -> bool:
 
 
 def _timed_execute(task: Task) -> tuple:
-    """Run one task; returns ``(value, seconds, trace_doc_or_None)``.
+    """Run one task; returns ``(value, seconds, trace_doc, guard_doc)``.
 
     When the task asks for tracing, a task-local recorder is installed
     for the duration — the MPI simulator and machine models the figure
     code drives report into it — and its plain-data snapshot rides back
-    with the result (across the process boundary in pool mode).
+    with the result (across the process boundary in pool mode).  When
+    the task carries a guard mode, a task-local
+    :class:`~repro.guard.GuardMonitor` is installed the same way; its
+    document (``None`` for a clean task) rides back alongside.
     """
+    monitor = (
+        GuardMonitor(GuardConfig(
+            mode=task.guard_mode, cadence=task.guard_cadence
+        ))
+        if getattr(task, "guard_mode", None)
+        else None
+    )
     if not task.trace:
         t0 = time.perf_counter()
-        value = execute_task(task)
-        return value, time.perf_counter() - t0, None
+        with guarding(monitor):
+            value = execute_task(task)
+        seconds = time.perf_counter() - t0
+        return value, seconds, None, monitor.as_dict() if monitor else None
     recorder = TraceRecorder()
     t0 = time.perf_counter()
-    with recording(recorder):
+    with recording(recorder), guarding(monitor):
         with recorder.span(
             task.label,
             category="task",
@@ -119,7 +136,11 @@ def _timed_execute(task: Task) -> tuple:
             index=task.index,
         ):
             value = execute_task(task)
-    return value, time.perf_counter() - t0, recorder.as_dict()
+    seconds = time.perf_counter() - t0
+    return (
+        value, seconds, recorder.as_dict(),
+        monitor.as_dict() if monitor else None,
+    )
 
 
 def _format_error(exc: BaseException) -> str:
@@ -247,7 +268,7 @@ class Scheduler:
                 break
             t0 = time.perf_counter()
             try:
-                value, seconds, trace = _timed_execute(task)
+                value, seconds, trace, guard = _timed_execute(task)
             except KeyboardInterrupt:
                 # No signal handler installed (library use): treat the
                 # interrupt as a shutdown request — this task and the
@@ -270,7 +291,8 @@ class Scheduler:
             else:
                 out.append(
                     self._emit(TaskResult(
-                        task, value, seconds, worker="inline", trace=trace
+                        task, value, seconds, worker="inline", trace=trace,
+                        guard=guard,
                     ))
                 )
         return out
@@ -340,11 +362,12 @@ class Scheduler:
             if out[i] is not None:
                 continue
             try:
-                value, seconds, trace = fut.result(
+                value, seconds, trace, guard = fut.result(
                     timeout=max(0.0, deadline - time.monotonic())
                 )
                 out[i] = self._emit(TaskResult(
-                    task, value, seconds, worker="pool", trace=trace
+                    task, value, seconds, worker="pool", trace=trace,
+                    guard=guard,
                 ))
             except FuturesTimeoutError:
                 if not killed:
@@ -396,11 +419,12 @@ class Scheduler:
                     break  # _drain already filled the remaining slots
                 if not monitored:
                     try:
-                        value, seconds, trace = future.result(
+                        value, seconds, trace, guard = future.result(
                             timeout=self.task_timeout
                         )
                         out[i] = self._emit(TaskResult(
-                            task, value, seconds, worker="pool", trace=trace
+                            task, value, seconds, worker="pool", trace=trace,
+                            guard=guard,
                         ))
                     except FuturesTimeoutError:
                         out[i] = self._emit(self._timeout_result(task))
@@ -449,9 +473,12 @@ class Scheduler:
                         else min(_POLL_INTERVAL_S, remaining)
                     )
                     try:
-                        value, seconds, trace = future.result(timeout=slice_s)
+                        value, seconds, trace, guard = future.result(
+                            timeout=slice_s
+                        )
                         out[i] = self._emit(TaskResult(
-                            task, value, seconds, worker="pool", trace=trace
+                            task, value, seconds, worker="pool", trace=trace,
+                            guard=guard,
                         ))
                     except FuturesTimeoutError:
                         continue  # poll again

@@ -26,8 +26,25 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..core import figures
 from ..core.experiments import SCALES, scale_params
+from ..guard.monitor import get_guard
+from ..guard.policy import REMEDIABLE_KINDS, escalate
 
-__all__ = ["Task", "decompose", "execute_task", "merge_results"]
+__all__ = [
+    "GUARD_INJECTIONS",
+    "Task",
+    "decompose",
+    "execute_task",
+    "merge_results",
+]
+
+#: Synthetic numerical-fault injections (``--guard-inject``).  Applied at
+#: decomposition time — the injected parameters *are* the task's params,
+#: so caches, journals, and resume validation stay consistent for free.
+#: ``overflow16``: run the Fig. 4 Float16 point with an oversized scaling
+#: (2^14) and plain integration, which overflows to Inf at every scale.
+GUARD_INJECTIONS = ("overflow16",)
+
+_OVERFLOW16_SCALING = 16384.0
 
 
 @dataclass
@@ -40,7 +57,11 @@ class Task:
     uses — faulted runs stay byte-identical across ``--jobs`` values.
     ``trace`` asks the executing worker to record a task-local
     :class:`~repro.obs.TraceRecorder` (span + virtual events + metrics)
-    and ship it back with the result.
+    and ship it back with the result.  ``guard_mode``/``guard_cadence``
+    carry the run's ``--guard`` setting the same way ``fault_spec``
+    carries the fault plan: the worker builds its own
+    :class:`~repro.guard.GuardMonitor` from them, so guarded runs stay
+    deterministic across ``--jobs`` values.
     """
 
     experiment: str
@@ -51,6 +72,8 @@ class Task:
     fault_spec: Optional[str] = None
     fault_seed: int = 0
     trace: bool = False
+    guard_mode: Optional[str] = None
+    guard_cadence: int = 16
 
     @property
     def label(self) -> str:
@@ -63,8 +86,15 @@ class Task:
         """Everything that determines this task's payload — and nothing
         that doesn't (``trace`` changes what rides alongside the result,
         never the result itself).  The run journal digests this document
-        to recognise the same sweep point across process lifetimes."""
-        return {
+        to recognise the same sweep point across process lifetimes.
+
+        Guard settings enter the identity only in ``repair`` mode — the
+        one mode that can change a payload (by remediating it).
+        ``observe``/``strict`` never alter a successful result, so their
+        task identities (and hence cache keys, journal digests, and
+        resume compatibility) match an unguarded run exactly.
+        """
+        doc = {
             "experiment": self.experiment,
             "scale": self.scale,
             "index": self.index,
@@ -73,6 +103,12 @@ class Task:
             "fault_spec": self.fault_spec,
             "fault_seed": self.fault_seed,
         }
+        if self.guard_mode == "repair":
+            doc["guard"] = {
+                "mode": self.guard_mode,
+                "cadence": self.guard_cadence,
+            }
+        return doc
 
 
 #: kind -> callable executed with ``**task.params``.
@@ -95,6 +131,9 @@ def decompose(
     fault_spec: Optional[str] = None,
     fault_seed: int = 0,
     trace: bool = False,
+    guard_mode: Optional[str] = None,
+    guard_cadence: int = 16,
+    guard_inject: Optional[str] = None,
 ) -> List[Task]:
     """Decompose one registered experiment into independent tasks.
 
@@ -102,8 +141,16 @@ def decompose(
     :func:`merge_results` relies on; indices are contiguous from 0.
     A non-None ``fault_spec`` is stamped onto every task so
     :func:`execute_task` activates the fault plan around execution;
-    ``trace=True`` stamps every task to record and return a trace.
+    ``trace=True`` stamps every task to record and return a trace;
+    ``guard_mode``/``guard_cadence`` stamp the run's ``--guard``
+    setting.  ``guard_inject`` applies a synthetic numerical fault from
+    :data:`GUARD_INJECTIONS` by rewriting the affected task's params.
     """
+    if guard_inject is not None and guard_inject not in GUARD_INJECTIONS:
+        raise ValueError(
+            f"unknown guard injection {guard_inject!r}; "
+            f"expected one of {', '.join(GUARD_INJECTIONS)}"
+        )
     params = scale_params(key, scale)
     tasks: List[Task] = []
 
@@ -118,6 +165,8 @@ def decompose(
                 fault_spec=fault_spec,
                 fault_seed=fault_seed,
                 trace=trace,
+                guard_mode=guard_mode,
+                guard_cadence=guard_cadence,
             )
         )
 
@@ -144,12 +193,22 @@ def decompose(
             nx=params["nx"], ny=params["ny"], nsteps=params["nsteps"],
             dtype="float64",
         )
-        add(
-            "fig4_field",
-            nx=params["nx"], ny=params["ny"], nsteps=params["nsteps"],
-            dtype="float16", scaling=params["scaling"],
-            integration="compensated",
-        )
+        if guard_inject == "overflow16":
+            # Synthetic overflow: an oversized scaling pushes the state
+            # past Float16's floatmax within the first few steps.
+            add(
+                "fig4_field",
+                nx=params["nx"], ny=params["ny"], nsteps=params["nsteps"],
+                dtype="float16", scaling=_OVERFLOW16_SCALING,
+                integration="standard",
+            )
+        else:
+            add(
+                "fig4_field",
+                nx=params["nx"], ny=params["ny"], nsteps=params["nsteps"],
+                dtype="float16", scaling=params["scaling"],
+                integration="compensated",
+            )
         add("fig4_ratio", scaling=params["scaling"])
     elif key == "fig5":
         for nx in params["nxs"]:
@@ -170,18 +229,36 @@ def execute_task(task: Task) -> Any:
     When the task carries a fault spec, the deterministic fault plan is
     activated for the duration of the task — every simulated MPI world
     the figure code builds picks it up.
+
+    Under an active ``repair`` guard, remediable tasks route through the
+    :func:`~repro.guard.policy.escalate` rescue ladder: a numerical
+    failure re-runs the point with scaling, then compensated
+    integration, then promoted to Float32 — all inside this (worker)
+    process, so the remediation chain is a pure function of the task
+    and identical at any ``--jobs``.
     """
     try:
         fn = _EXECUTORS[task.kind]
     except KeyError:
         raise KeyError(f"unknown task kind {task.kind!r}") from None
-    if task.fault_spec:
-        from ..mpi.faults import active_plan, parse_fault_spec
 
-        plan = parse_fault_spec(task.fault_spec, seed=task.fault_seed)
-        with active_plan(plan):
-            return fn(**task.params)
-    return fn(**task.params)
+    def call(params: Dict[str, Any]) -> Any:
+        if task.fault_spec:
+            from ..mpi.faults import active_plan, parse_fault_spec
+
+            plan = parse_fault_spec(task.fault_spec, seed=task.fault_seed)
+            with active_plan(plan):
+                return fn(**params)
+        return fn(**params)
+
+    monitor = get_guard()
+    if (
+        monitor is None
+        or monitor.mode != "repair"
+        or task.kind not in REMEDIABLE_KINDS
+    ):
+        return call(task.params)
+    return escalate(task.label, task.params, call, monitor)
 
 
 def merge_results(key: str, scale: str, payloads: Sequence[Any]) -> Any:

@@ -20,19 +20,133 @@ Three roles here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .formats import FLOAT16, FloatFormat, lookup_format
+from .sherlog import MAX_EXP, MIN_EXP, _SPAN
 
 __all__ = [
+    "ExponentClassification",
+    "classify_exponents",
     "subnormal_mask",
     "count_subnormals",
     "subnormal_fraction",
     "flush_to_zero",
     "SubnormalPenaltyModel",
 ]
+
+
+@dataclass(frozen=True)
+class ExponentClassification:
+    """Per-binade census of an array against a target float format.
+
+    Produced by :func:`classify_exponents` with the same binning as
+    :class:`~repro.ftypes.sherlog.ExponentHistogram`: bucket ``e`` counts
+    finite nonzero values with ``floor(log2(|x|)) == e``; zeros, NaNs and
+    infinities are tallied separately.  ``subnormal``/``overflow`` count
+    values whose exponent falls below/above the *normal* exponent range
+    of ``fmt`` — exactly the elements ``subnormal_mask`` flags (for
+    nonzero finite data ``|x| < min_normal  ⟺  exponent < min_exponent``).
+    """
+
+    fmt: FloatFormat
+    total: int
+    zeros: int
+    nans: int
+    infs: int
+    #: finite nonzero values below ``fmt.min_exponent`` (subnormal/underflow).
+    subnormal: int
+    #: finite nonzero values above ``fmt.max_exponent`` (would overflow).
+    overflow: int
+    #: (min, max) recorded exponent over finite nonzero values, or None.
+    exponent_range: Optional[Tuple[int, int]]
+    #: fixed-span binade histogram (sherlog layout: index 0 == MIN_EXP).
+    bins: np.ndarray = field(repr=False)
+
+    @property
+    def nonzero_finite(self) -> int:
+        return int(self.bins.sum())
+
+    def count_in(self, lo_exp: int, hi_exp: int) -> int:
+        """Finite nonzero values with exponent in ``[lo_exp, hi_exp]``."""
+        if hi_exp < lo_exp:
+            return 0
+        lo = max(int(lo_exp), MIN_EXP) - MIN_EXP
+        hi = min(int(hi_exp), MAX_EXP) - MIN_EXP
+        if hi < 0 or lo > _SPAN - 1:
+            return 0
+        return int(self.bins[lo:hi + 1].sum())
+
+    def fraction_in(self, lo_exp: int, hi_exp: int) -> float:
+        n = self.nonzero_finite
+        return self.count_in(lo_exp, hi_exp) / n if n else 0.0
+
+    @property
+    def subnormal_fraction(self) -> float:
+        """Subnormal share of *all* elements (matches ``subnormal_fraction``)."""
+        return self.subnormal / self.total if self.total else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of ``fmt``'s normal binades the data actually spans.
+
+        The sherlog "exponent-range occupancy" signal: near 1.0 the
+        format has no headroom left in either direction; small values
+        mean the distribution sits comfortably inside the format.
+        """
+        if self.exponent_range is None:
+            return 0.0
+        lo, hi = self.exponent_range
+        lo = max(lo, self.fmt.min_exponent)
+        hi = min(hi, self.fmt.max_exponent)
+        if hi < lo:
+            return 0.0
+        span = self.fmt.max_exponent - self.fmt.min_exponent + 1
+        return (hi - lo + 1) / span
+
+
+def classify_exponents(
+    x: np.ndarray, fmt: FloatFormat | str | None = None
+) -> ExponentClassification:
+    """Vectorised exponent census of ``x`` relative to ``fmt``.
+
+    One ``np.frexp`` + ``np.bincount`` pass, mirroring
+    :meth:`ExponentHistogram.record` so sentinel probes and sherlog
+    histograms agree binade-for-binade.  ``fmt`` defaults to the array's
+    own format.  The input is never modified.
+    """
+    f = lookup_format(fmt) if fmt is not None else lookup_format(np.asarray(x).dtype)
+    v = np.asarray(x, dtype=np.float64).ravel()
+    total = v.size
+    nans = int(np.isnan(v).sum())
+    infs = int(np.isinf(v).sum())
+    nz = v[np.isfinite(v) & (v != 0.0)]
+    zeros = total - nans - infs - nz.size
+    if nz.size == 0:
+        bins = np.zeros(_SPAN, dtype=np.int64)
+        return ExponentClassification(
+            fmt=f, total=total, zeros=zeros, nans=nans, infs=infs,
+            subnormal=0, overflow=0, exponent_range=None, bins=bins,
+        )
+    exps = np.frexp(np.abs(nz))[1] - 1  # floor(log2|x|), as in sherlog
+    offsets = np.clip(exps, MIN_EXP, MAX_EXP).astype(np.int64) - MIN_EXP
+    bins = np.bincount(offsets, minlength=_SPAN)
+    (occupied,) = np.nonzero(bins)
+    lo, hi = int(occupied[0]) + MIN_EXP, int(occupied[-1]) + MIN_EXP
+    cls = ExponentClassification(
+        fmt=f, total=total, zeros=zeros, nans=nans, infs=infs,
+        subnormal=0, overflow=0, exponent_range=(lo, hi), bins=bins,
+    )
+    object.__setattr__(
+        cls, "subnormal", cls.count_in(MIN_EXP, f.min_exponent - 1)
+    )
+    object.__setattr__(
+        cls, "overflow", cls.count_in(f.max_exponent + 1, MAX_EXP)
+    )
+    return cls
 
 
 def subnormal_mask(x: np.ndarray, fmt: FloatFormat | str | None = None) -> np.ndarray:
@@ -47,13 +161,12 @@ def subnormal_mask(x: np.ndarray, fmt: FloatFormat | str | None = None) -> np.nd
 
 def count_subnormals(x: np.ndarray, fmt: FloatFormat | str | None = None) -> int:
     """Number of elements of ``x`` that are subnormal in ``fmt``."""
-    return int(subnormal_mask(x, fmt).sum())
+    return classify_exponents(x, fmt).subnormal
 
 
 def subnormal_fraction(x: np.ndarray, fmt: FloatFormat | str | None = None) -> float:
     """Fraction of elements of ``x`` that are subnormal in ``fmt``."""
-    n = np.asarray(x).size
-    return count_subnormals(x, fmt) / n if n else 0.0
+    return classify_exponents(x, fmt).subnormal_fraction
 
 
 def flush_to_zero(x: np.ndarray, fmt: FloatFormat | str | None = None) -> np.ndarray:

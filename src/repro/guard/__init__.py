@@ -1,0 +1,71 @@
+"""repro.guard — runtime numerical-robustness subsystem.
+
+The paper's reduced-precision story (§III-B, Figs. 4–5) is about
+numerical fragility: Float16 ShallowWaters overflows to Inf/NaN and
+drowns in subnormals unless multiplicative scaling and compensated
+integration rescue it.  This package turns that from a post-mortem
+(garbage in a figure) into a runtime discipline:
+
+* :mod:`~repro.guard.sentinels` — cheap vectorised health probes
+  (NaN/Inf, overflow-risk headroom, subnormal census, exponent-range
+  occupancy) sharing one classifier with the sherlog workflow;
+* :mod:`~repro.guard.contracts` — declarative invariant contracts with
+  tolerances, recorded as structured :class:`GuardEvent` s;
+* :mod:`~repro.guard.monitor` — the active-guard plumbing and the
+  ``observe``/``strict``/``repair`` mode policy;
+* :mod:`~repro.guard.policy` — the ``scale → compensated → promote``
+  remediation ladder that degrades a failing sweep point gracefully
+  instead of failing the run.
+
+Guards are strictly opt-in: with no active monitor every
+instrumentation site is a single ``None`` check and all outputs are
+byte-identical to an unguarded build.
+"""
+
+from .contracts import (
+    CONTRACT_KINDS,
+    Contract,
+    GuardEvent,
+    GuardViolation,
+    SEVERITIES,
+)
+from .monitor import (
+    GUARD_MODES,
+    GuardConfig,
+    GuardMonitor,
+    get_guard,
+    guarding,
+    parse_guard_mode,
+    set_guard,
+)
+from .policy import (
+    REMEDIABLE_KINDS,
+    REMEDIATION_ORDER,
+    RESCUE_SCALING,
+    escalate,
+    remediate_params,
+)
+from .sentinels import FieldHealth, probe, probe_value
+
+__all__ = [
+    "CONTRACT_KINDS",
+    "Contract",
+    "FieldHealth",
+    "GUARD_MODES",
+    "GuardConfig",
+    "GuardEvent",
+    "GuardMonitor",
+    "GuardViolation",
+    "REMEDIABLE_KINDS",
+    "REMEDIATION_ORDER",
+    "RESCUE_SCALING",
+    "SEVERITIES",
+    "escalate",
+    "get_guard",
+    "guarding",
+    "parse_guard_mode",
+    "probe",
+    "probe_value",
+    "remediate_params",
+    "set_guard",
+]

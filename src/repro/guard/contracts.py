@@ -1,0 +1,148 @@
+"""Guard events, violations, and declarative invariant contracts.
+
+The guard subsystem reports everything it sees as :class:`GuardEvent`
+records — plain, JSON-serialisable, and free of wall-clock data so the
+same simulation produces byte-identical event streams at any ``--jobs``.
+A :class:`GuardViolation` is the error raised when a violated contract
+or a fatal sentinel (NaN/Inf) escalates under ``strict``/``repair``
+mode; it subclasses :class:`FloatingPointError` so existing numerical
+failure paths (e.g. :meth:`ShallowWaterModel.run`'s blow-up handling,
+the exec engine's per-task error capture) treat it like any other
+numerical blow-up — but the distinct type and structured message make a
+*numerically* failed task distinguishable from a crashed one.
+
+Contracts are declarative: a :class:`Contract` names the invariant,
+picks one of three comparison kinds, and carries a relative tolerance.
+Evaluation returns ``None`` (holds) or a violation message; recording
+and escalation policy live in :mod:`repro.guard.monitor`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "CONTRACT_KINDS",
+    "Contract",
+    "GuardEvent",
+    "GuardViolation",
+    "SEVERITIES",
+]
+
+#: Event severities, mildest first.  ``violation`` escalates under
+#: ``strict``/``repair``; the rest are always record-only.
+SEVERITIES = ("info", "warning", "violation")
+
+#: Supported contract comparison kinds.
+CONTRACT_KINDS = ("finite", "upper_bound", "non_decreasing")
+
+
+class GuardViolation(FloatingPointError):
+    """A numerical invariant was violated under an escalating guard mode.
+
+    Carries the originating :class:`GuardEvent` so handlers (the
+    remediation policy, the exec engine's error capture) can inspect
+    what tripped without parsing the message.
+    """
+
+    def __init__(self, message: str, event: Optional["GuardEvent"] = None):
+        super().__init__(message)
+        self.event = event
+
+
+@dataclass
+class GuardEvent:
+    """One structured observation from a sentinel or contract check.
+
+    Deliberately wall-clock free: ``step`` is a simulation step or
+    virtual-time marker, never a timestamp, so guard documents are
+    deterministic across workers and byte-identical on resume.
+    """
+
+    #: instrumentation site, e.g. ``"shallowwaters.step"``, ``"blas.gflops"``.
+    site: str
+    #: ``"sentinel"`` | ``"contract"`` | ``"remediation"``.
+    kind: str
+    #: the probe or contract name, e.g. ``"nan_inf"``, ``"energy_bounded"``.
+    name: str
+    severity: str
+    message: str
+    #: simulation step / sweep index the event is anchored to, if any.
+    step: Optional[int] = None
+    #: deterministic numeric/str payload (counts, bounds, values).
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "site": self.site,
+            "kind": self.kind,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.step is not None:
+            doc["step"] = self.step
+        if self.data:
+            doc["data"] = dict(sorted(self.data.items()))
+        return doc
+
+
+@dataclass(frozen=True)
+class Contract:
+    """A declarative invariant with a tolerance.
+
+    ``kind`` selects the comparison:
+
+    * ``"finite"`` — the value must be finite (tolerance unused);
+    * ``"upper_bound"`` — ``value <= reference * (1 + tolerance)``
+      (for non-positive references, an absolute ``tolerance`` band);
+    * ``"non_decreasing"`` — ``value >= reference - tolerance``, for
+      monotone sequences such as per-rank virtual clocks.
+
+    :meth:`evaluate` returns ``None`` when the contract holds, else a
+    human-readable violation message; it never raises and never mutates
+    its inputs, so checks are safe at any cadence.
+    """
+
+    name: str
+    kind: str
+    tolerance: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTRACT_KINDS:
+            raise ValueError(
+                f"unknown contract kind {self.kind!r}; "
+                f"expected one of {CONTRACT_KINDS}"
+            )
+        if self.tolerance < 0.0:
+            raise ValueError("tolerance must be >= 0")
+
+    def evaluate(
+        self, value: float, reference: Optional[float] = None
+    ) -> Optional[str]:
+        v = float(value)
+        if self.kind == "finite":
+            if math.isfinite(v):
+                return None
+            return f"{self.name}: value {v!r} is not finite"
+        if reference is None:
+            raise ValueError(f"contract {self.name!r} needs a reference value")
+        r = float(reference)
+        if self.kind == "upper_bound":
+            bound = r * (1.0 + self.tolerance) if r > 0.0 else r + self.tolerance
+            if not math.isfinite(v) or v > bound:
+                return (
+                    f"{self.name}: value {v:.6g} exceeds bound {bound:.6g} "
+                    f"(reference {r:.6g}, tolerance {self.tolerance:g})"
+                )
+            return None
+        # non_decreasing
+        if not math.isfinite(v) or v < r - self.tolerance:
+            return (
+                f"{self.name}: value {v:.6g} fell below previous "
+                f"{r:.6g} (tolerance {self.tolerance:g})"
+            )
+        return None

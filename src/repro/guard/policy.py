@@ -1,0 +1,151 @@
+"""Graceful degradation: the remediation policy engine.
+
+When a guarded task fails *numerically* (a :class:`FloatingPointError`,
+which includes :class:`GuardViolation`), ``repair`` mode re-runs it
+through the paper's own rescue ladder (§III-B) instead of failing the
+whole figure:
+
+1. ``scale``   — enable the multiplicative power-of-two scaling ``s``
+   (exact in binary floating point) that lifts the state out of the
+   Float16 subnormal range and away from ``floatmax``;
+2. ``compensated`` — switch the time integration to compensated
+   summation, recovering the rounding error of each update;
+3. ``promote`` — give up on Float16 and promote the sweep point to
+   Float32 (scaling no longer needed).
+
+The steps are cumulative and attempted strictly in this order, so the
+remediation chain is a pure function of the task parameters —
+deterministic across ``--jobs`` and byte-identical on ``--resume``.  A
+rescued task's result is annotated as ``degraded`` with the full chain;
+a task that exhausts the ladder fails with a :class:`GuardViolation`
+whose message names every attempt.
+
+Only ShallowWaters field tasks are remediable: the ladder manipulates
+``dtype``/``scaling``/``integration`` parameters that only those tasks
+have.  Everything else fails fast exactly as it would under ``strict``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .contracts import GuardEvent, GuardViolation
+from .monitor import GuardMonitor
+
+__all__ = [
+    "REMEDIABLE_KINDS",
+    "REMEDIATION_ORDER",
+    "escalate",
+    "remediate_params",
+]
+
+#: Task kinds whose parameters the rescue ladder understands.
+REMEDIABLE_KINDS = frozenset({"fig4_field"})
+
+#: The fixed escalation order; see module docstring.
+REMEDIATION_ORDER = ("scale", "compensated", "promote")
+
+#: Scaling applied by the ``scale`` step — the paper's fig. 4 choice
+#: (2^10, exact, centres the turbulence state in Float16's range).
+RESCUE_SCALING = 1024.0
+
+
+def remediate_params(
+    step: str, params: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Parameters after applying one remediation step, or ``None`` when
+    the step is a no-op for this task (already scaled/compensated/wide).
+    """
+    if step == "scale":
+        scaling = float(params.get("scaling") or 1.0)
+        if scaling == RESCUE_SCALING:
+            return None
+        # Covers both failure directions: s=1 drowns in subnormals,
+        # an oversized s overflows; 2^10 centres the turbulence state.
+        return {**params, "scaling": RESCUE_SCALING}
+    if step == "compensated":
+        if params.get("integration") == "compensated":
+            return None
+        return {**params, "integration": "compensated"}
+    if step == "promote":
+        if params.get("dtype") != "float16":
+            return None
+        # Float32 covers the turbulence dynamic range unscaled.
+        return {**params, "dtype": "float32", "scaling": 1.0}
+    raise ValueError(f"unknown remediation step {step!r}")
+
+
+def escalate(
+    label: str,
+    params: Dict[str, Any],
+    call: Callable[[Dict[str, Any]], Any],
+    monitor: GuardMonitor,
+) -> Any:
+    """Run ``call(params)``, escalating through the rescue ladder on
+    numerical failure.  Returns the (possibly degraded) value.
+
+    On rescue, ``monitor.remediation`` records the original error, the
+    full chain (applied and skipped steps alike), and the parameter
+    overrides of the attempt that finally succeeded.  When every rung
+    fails, raises :class:`GuardViolation` naming the whole chain.
+    """
+    try:
+        return call(dict(params))
+    except FloatingPointError as exc:
+        original_error = f"{type(exc).__name__}: {exc}"
+
+    chain = []
+    current = dict(params)
+    for step in REMEDIATION_ORDER:
+        attempt = remediate_params(step, current)
+        if attempt is None:
+            chain.append({"step": step, "applied": False})
+            continue
+        overrides = {
+            k: attempt[k]
+            for k in sorted(attempt)
+            if attempt.get(k) != current.get(k)
+        }
+        entry: Dict[str, Any] = {
+            "step": step, "applied": True, "overrides": overrides,
+        }
+        chain.append(entry)
+        current = attempt
+        monitor.record(GuardEvent(
+            site="guard.policy", kind="remediation", name=step,
+            severity="info",
+            message=f"{label}: retrying with {step} ({overrides})",
+            data=dict(overrides),
+        ))
+        try:
+            value = call(dict(current))
+        except FloatingPointError as exc:
+            entry["error"] = f"{type(exc).__name__}: {exc}"
+            continue
+        monitor.remediation = {
+            "degraded": True,
+            "label": label,
+            "error": original_error,
+            "chain": chain,
+            "final_overrides": {
+                k: current[k]
+                for k in sorted(current)
+                if current.get(k) != params.get(k)
+            },
+        }
+        return value
+
+    monitor.remediation = {
+        "degraded": True,
+        "label": label,
+        "error": original_error,
+        "chain": chain,
+        "exhausted": True,
+    }
+    attempts = ", ".join(
+        e["step"] for e in chain if e.get("applied")
+    ) or "none applicable"
+    raise GuardViolation(
+        f"remediation exhausted for {label} (tried: {attempts}); "
+        f"original failure: {original_error}"
+    )

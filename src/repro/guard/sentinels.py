@@ -1,0 +1,129 @@
+"""Vectorised numerical health probes (sentinels).
+
+A sentinel probe is one read-only pass over an array that answers "is
+this field numerically healthy in its target format?": NaN/Inf counts,
+subnormal census, overflow-risk headroom against ``floatmax``, and the
+sherlog-style exponent-range occupancy.  Everything is built on
+:func:`repro.ftypes.subnormals.classify_exponents` — the same
+``np.frexp`` + ``np.bincount`` binning as
+:class:`~repro.ftypes.sherlog.ExponentHistogram` — so sentinel output
+agrees binade-for-binade with the sherlog development workflow (§III-B)
+and there is exactly one exponent classifier in the codebase.
+
+Probes never modify the array they inspect and record no wall-clock
+data, so guarded runs stay deterministic across ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..ftypes.formats import FloatFormat, lookup_format
+from ..ftypes.sherlog import MAX_EXP
+from ..ftypes.subnormals import classify_exponents
+
+__all__ = ["FieldHealth", "probe", "probe_value"]
+
+#: Binades below ``fmt.max_exponent`` still considered safe headroom; a
+#: value within this band is "at overflow risk" (one squaring or a few
+#: doublings from Inf) even though it has not overflowed yet.
+DEFAULT_HEADROOM_BITS = 2
+
+
+@dataclass(frozen=True)
+class FieldHealth:
+    """Result of one sentinel probe over one field."""
+
+    name: str
+    fmt: str
+    size: int
+    nans: int
+    infs: int
+    #: finite nonzero values in ``fmt``'s subnormal/underflow range.
+    subnormals: int
+    #: finite values within ``headroom_bits`` binades of ``fmt``'s top.
+    overflow_risk: int
+    headroom_bits: int
+    max_abs: float
+    #: (min, max) occupied binade, or None for all-zero/empty fields.
+    exponent_range: Optional[Tuple[int, int]]
+    #: fraction of ``fmt``'s normal binades the data spans (sherlog
+    #: exponent-range occupancy).
+    occupancy: float
+
+    @property
+    def healthy(self) -> bool:
+        """No NaNs and no Infs — the fatal conditions."""
+        return self.nans == 0 and self.infs == 0
+
+    @property
+    def subnormal_fraction(self) -> float:
+        return self.subnormals / self.size if self.size else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "fmt": self.fmt,
+            "size": self.size,
+            "nans": self.nans,
+            "infs": self.infs,
+            "subnormals": self.subnormals,
+            "overflow_risk": self.overflow_risk,
+            "max_abs": self.max_abs,
+            "occupancy": self.occupancy,
+        }
+        if self.exponent_range is not None:
+            doc["exponent_range"] = list(self.exponent_range)
+        return doc
+
+
+def probe(
+    x: np.ndarray,
+    fmt: FloatFormat | str | None = None,
+    name: str = "field",
+    headroom_bits: int = DEFAULT_HEADROOM_BITS,
+) -> FieldHealth:
+    """Probe an array's numerical health against ``fmt`` (read-only).
+
+    ``fmt`` defaults to the array's own format; pass the *target* format
+    explicitly when probing float64 shadows of reduced-precision state.
+    """
+    arr = np.asarray(x)
+    f = lookup_format(fmt) if fmt is not None else lookup_format(arr.dtype)
+    cls = classify_exponents(arr, f)
+    # Overflow risk: occupied binades at or above max_exponent - headroom,
+    # including anything already past the top of the format.
+    risk = cls.count_in(f.max_exponent - headroom_bits, MAX_EXP)
+    finite = arr[np.isfinite(arr)] if cls.nans or cls.infs else arr
+    max_abs = float(np.max(np.abs(finite), initial=0.0))
+    return FieldHealth(
+        name=name,
+        fmt=f.name,
+        size=cls.total,
+        nans=cls.nans,
+        infs=cls.infs,
+        subnormals=cls.subnormal,
+        overflow_risk=risk,
+        headroom_bits=headroom_bits,
+        max_abs=max_abs,
+        exponent_range=cls.exponent_range,
+        occupancy=cls.occupancy,
+    )
+
+
+def probe_value(value: Any, name: str = "value") -> Optional[FieldHealth]:
+    """Probe a scalar/array if it is float-like; ``None`` otherwise.
+
+    The tolerant entry point for sites that see heterogeneous payloads
+    (MPI reductions carry ints, floats, and arrays alike).
+    """
+    if isinstance(value, np.ndarray):
+        if not np.issubdtype(value.dtype, np.floating):
+            return None
+        return probe(value, name=name)
+    if isinstance(value, (float, np.floating)):
+        return probe(np.asarray(value, dtype=np.float64), name=name)
+    return None

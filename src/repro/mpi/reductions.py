@@ -26,6 +26,8 @@ import operator
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
+from ..guard.monitor import get_guard
+from ..guard.sentinels import probe_value
 from .bindings import BindingProfile
 from .collectives import gatherv_linear, reduce_binomial
 
@@ -142,11 +144,12 @@ def reduce_with_fallback(
     Usable inside rank programs: ``r = yield from reduce_with_fallback(...)``.
     """
     if support.supports(op):
-        return (
-            yield from reduce_binomial(
-                comm.rank, comm.size, root, nbytes, value, op
-            )
+        result = yield from reduce_binomial(
+            comm.rank, comm.size, root, nbytes, value, op
         )
+        if comm.rank == root:
+            _probe_reduced(result, op)
+        return result
     gathered = yield from gatherv_linear(
         comm.rank, comm.size, root, nbytes, value
     )
@@ -155,4 +158,20 @@ def reduce_with_fallback(
     acc = gathered[0]
     for item in gathered[1:]:
         acc = op(acc, item)
+    _probe_reduced(acc, op)
     return acc
+
+
+def _probe_reduced(result: Any, op: ReduceOp) -> None:
+    """Sentinel-probe a reduction result at the root.
+
+    A NaN/Inf that survives a tree reduce poisons every rank after the
+    following broadcast, so the root is the one place to catch it.
+    Non-float payloads (and guard-off runs) are ignored.
+    """
+    monitor = get_guard()
+    if monitor is None:
+        return
+    health = probe_value(result, name=f"reduce[{op.name}]")
+    if health is not None:
+        monitor.sentinel("mpi.reduce", health)

@@ -34,6 +34,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
+from ..guard.contracts import Contract
+from ..guard.monitor import get_guard
 from ..obs.trace import get_recorder
 from .bindings import BindingProfile, IMB_C
 from .faults import FaultPlan
@@ -57,6 +59,15 @@ __all__ = [
     "EngineStats",
     "RankProgram",
 ]
+
+#: Per-rank virtual clocks may stall but never run backwards; a
+#: violation means an event handler rewound ``state.time`` — a
+#: scheduling bug that would silently corrupt every derived timing.
+_CLOCK_CONTRACT = Contract(
+    name="rank_clock_monotonic",
+    kind="non_decreasing",
+    description="per-rank virtual clock must never decrease",
+)
 
 
 # ---------------------------------------------------------------------------
@@ -310,6 +321,11 @@ class Engine:
         #: recorder captured at construction; every event guard is a
         #: None check, so untraced runs pay (near) nothing.
         self._trace = get_recorder()
+        #: guard monitor captured the same way; per-rank clock floors
+        #: back the virtual-clock monotonicity contract — simulated time
+        #: can stall but never run backwards for a rank.
+        self._guard = get_guard()
+        self._clock_floor: List[float] = [0.0] * nranks
 
     # ------------------------------------------------------------------
     def binding(self, rank: int) -> BindingProfile:
@@ -459,6 +475,13 @@ class Engine:
         """Resume a rank's generator with ``value`` and act on its yield."""
         state = self._states[rank]
         state.wait_epoch += 1
+        if self._guard is not None:
+            self._guard.check(
+                "mpi.clock", _CLOCK_CONTRACT, state.time,
+                reference=self._clock_floor[rank], rank=rank,
+            )
+            if state.time > self._clock_floor[rank]:
+                self._clock_floor[rank] = state.time
         try:
             op = state.gen.send(value)
         except StopIteration as stop:

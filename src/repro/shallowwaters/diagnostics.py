@@ -42,6 +42,42 @@ def unscale(state: State, p: ShallowWaterParams) -> State:
     )
 
 
+def _finite_or_flag(name: str, *fields: np.ndarray) -> bool:
+    """Explicit finiteness gate for energy diagnostics.
+
+    An Inf velocity used to poison the energy integrals silently
+    (``Inf**2 → Inf``, ``Inf - Inf → NaN``) and the garbage float
+    propagated into figures.  Now the fields are checked first; a
+    non-finite input is reported through the guard event path (a
+    violation, so ``strict``/``repair`` modes escalate) and the caller
+    returns an explicit NaN instead of arithmetic debris.
+    """
+    if all(bool(np.isfinite(f).all()) for f in fields):
+        return True
+    # Local import: diagnostics is imported by the model layer, which
+    # the guard package must stay independent of.
+    from ..guard.contracts import GuardEvent
+    from ..guard.monitor import get_guard
+
+    monitor = get_guard()
+    if monitor is not None:
+        counts = {
+            "nans": int(sum(np.isnan(f).sum() for f in fields)),
+            "infs": int(sum(np.isinf(f).sum() for f in fields)),
+        }
+        monitor.record(GuardEvent(
+            site=f"diagnostics.{name}", kind="sentinel", name="nan_inf",
+            severity="violation",
+            message=(
+                f"{name}: non-finite field(s) "
+                f"({counts['nans']} NaN(s), {counts['infs']} Inf(s)); "
+                f"returning NaN"
+            ),
+            data=counts,
+        ))
+    return False
+
+
 def vorticity(state: State, p: ShallowWaterParams) -> np.ndarray:
     """Relative vorticity [1/s] at corner points, in float64."""
     un = unscale(state, p)
@@ -49,15 +85,27 @@ def vorticity(state: State, p: ShallowWaterParams) -> np.ndarray:
 
 
 def kinetic_energy(state: State, p: ShallowWaterParams) -> float:
-    """Domain-mean kinetic energy per unit area [J/m^2] (rho = 1000)."""
+    """Domain-mean kinetic energy per unit area [J/m^2] (rho = 1000).
+
+    Computed in float64; non-finite velocities yield an explicit NaN
+    (flagged through the guard event path when a guard is active).
+    """
     un = unscale(state, p)
+    if not _finite_or_flag("kinetic_energy", un.u, un.v):
+        return float("nan")
     rho = 1000.0
     return float(0.5 * rho * p.depth * np.mean(un.u**2 + un.v**2))
 
 
 def potential_energy(state: State, p: ShallowWaterParams) -> float:
-    """Available potential energy per unit area [J/m^2]."""
+    """Available potential energy per unit area [J/m^2].
+
+    Computed in float64 with the same finiteness gate as
+    :func:`kinetic_energy`.
+    """
     un = unscale(state, p)
+    if not _finite_or_flag("potential_energy", un.eta):
+        return float("nan")
     rho = 1000.0
     return float(0.5 * rho * p.gravity * np.mean(un.eta**2))
 

@@ -28,6 +28,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..ftypes.sherlog import ExponentHistogram, Sherlog
+from ..guard.contracts import Contract
+from ..guard.monitor import GuardMonitor, get_guard
+from ..guard.sentinels import probe
 from . import diagnostics
 from .forcing import balanced_turbulence, gaussian_vortex
 from .integration import RK4Integrator
@@ -35,6 +38,20 @@ from .params import ShallowWaterParams
 from .rhs import State, tendencies
 
 __all__ = ["SimulationResult", "ShallowWaterModel"]
+
+#: Free-decay turbulence loses energy; a run whose total energy grows
+#: past this factor of the initial budget is numerically unstable long
+#: before the state reaches Inf.
+ENERGY_BOUND_FACTOR = 4.0
+
+_ENERGY_CONTRACT = Contract(
+    "energy_bounded", "upper_bound", tolerance=0.05,
+    description="total energy stays bounded by the initial energy budget",
+)
+_ENSTROPHY_CONTRACT = Contract(
+    "enstrophy_finite", "finite",
+    description="domain-mean enstrophy remains finite",
+)
 
 
 @dataclass
@@ -111,10 +128,16 @@ class ShallowWaterModel:
         p = self.params
         integ = RK4Integrator(p)
         state = integ.bind(initial if initial is not None else self.initial_state(kind))
+        monitor = get_guard()
+        e0 = diagnostics.total_energy(state, p) if monitor is not None else None
         history: List[Dict[str, float]] = []
         t0 = time.perf_counter()
         for step in range(1, nsteps + 1):
             state = integ.step()
+            if monitor is not None and (
+                step % monitor.cadence == 0 or step == nsteps
+            ):
+                self._guard_check(monitor, state, step, e0)
             if diag_every and step % diag_every == 0:
                 d = diagnostics.field_stats(state, p)
                 d["step"] = float(step)
@@ -137,6 +160,38 @@ class ShallowWaterModel:
             nsteps=nsteps,
             wall_seconds=wall,
             history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _guard_check(
+        self,
+        monitor: GuardMonitor,
+        state: State,
+        step: int,
+        e0: Optional[float],
+    ) -> None:
+        """Cadenced sentinel probes + invariant contracts on the state.
+
+        Probes run against the *working* format ``params.dtype`` (in
+        mixed mode the state is stored wider, but the RHS — where
+        overflow and subnormals strike — evaluates narrow).  Under
+        ``strict``/``repair`` a violation raises
+        :class:`~repro.guard.contracts.GuardViolation`, a
+        ``FloatingPointError`` like the model's own blow-up errors.
+        """
+        p = self.params
+        site = "shallowwaters.step"
+        for name, data in (("u", state.u), ("v", state.v), ("eta", state.eta)):
+            monitor.sentinel(site, probe(data, p.dtype, name=name), step=step)
+        energy = diagnostics.total_energy(state, p)
+        if e0 is not None and e0 > 0.0:
+            monitor.check(
+                site, _ENERGY_CONTRACT, energy,
+                e0 * ENERGY_BOUND_FACTOR, step=step, initial_energy=e0,
+            )
+        monitor.check(
+            site, _ENSTROPHY_CONTRACT, diagnostics.enstrophy(state, p),
+            step=step,
         )
 
     # ------------------------------------------------------------------

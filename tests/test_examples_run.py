@@ -72,6 +72,12 @@ class TestExamples:
         assert "Float8_E4M3" in out
         assert "Float16+SR" in out
 
+    def test_rescued_float16(self):
+        out = run_example("rescued_float16.py")
+        assert "GuardViolation" in out
+        assert "remediation chain" in out
+        assert "verdict: rescued" in out
+
     def test_ir_pipeline(self):
         out = run_example("ir_pipeline.py")
         assert "scalar == vectorised (bit-exact): True" in out

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on the guard subsystem's core
+promises: probes never mutate, observe mode never changes output, and
+remediation is a deterministic function of the failing parameters."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ftypes.formats import FLOAT16, FLOAT32, FLOAT64
+from repro.ftypes.subnormals import classify_exponents
+from repro.guard import (
+    GuardConfig,
+    GuardMonitor,
+    REMEDIATION_ORDER,
+    escalate,
+    guarding,
+    probe,
+)
+
+#: Arrays spanning the interesting pathologies: NaN, Inf, subnormals,
+#: zeros, and values near Float16's floatmax.
+arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(max_dims=2, max_side=32),
+    elements=st.floats(
+        allow_nan=True, allow_infinity=True, width=64,
+    ),
+)
+
+formats = st.sampled_from([FLOAT16, FLOAT32, FLOAT64])
+
+
+class TestProbesNeverMutate:
+    @given(arrays, formats)
+    @settings(max_examples=100, deadline=None)
+    def test_probe_leaves_bytes_untouched(self, x, fmt):
+        before = x.tobytes()
+        probe(x, fmt=fmt)
+        assert x.tobytes() == before
+
+    @given(arrays, formats)
+    @settings(max_examples=100, deadline=None)
+    def test_classify_leaves_bytes_untouched(self, x, fmt):
+        before = x.tobytes()
+        cls = classify_exponents(x, fmt=fmt)
+        assert x.tobytes() == before
+        # And the classification partitions the array exactly.
+        assert (
+            cls.zeros + cls.nans + cls.infs + cls.nonzero_finite
+            == x.size
+        )
+
+    @given(arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_sentinel_recording_never_mutates(self, x):
+        m = GuardMonitor(GuardConfig(mode="observe"))
+        before = x.tobytes()
+        m.sentinel("prop.site", probe(x, fmt=FLOAT16))
+        assert x.tobytes() == before
+
+
+class TestObserveIsTransparent:
+    @given(
+        st.sampled_from(["float64", "float32"]),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_observe_output_byte_identical(self, dtype, cadence):
+        from repro.shallowwaters import ShallowWaterModel, ShallowWaterParams
+
+        p = ShallowWaterParams(nx=16, ny=8, dtype=dtype)
+        off = ShallowWaterModel(p).run(nsteps=6)
+        m = GuardMonitor(GuardConfig(mode="observe", cadence=cadence))
+        with guarding(m):
+            on = ShallowWaterModel(p).run(nsteps=6)
+        for name in ("u", "v", "eta"):
+            assert (
+                getattr(off.state, name).tobytes()
+                == getattr(on.state, name).tobytes()
+            )
+
+
+class TestRemediationDeterminism:
+    @given(st.tuples(st.booleans(), st.booleans(), st.booleans()))
+    @settings(max_examples=8, deadline=None)
+    def test_chain_is_pure_function_of_failures(self, rung_fails):
+        """Whatever subset of rungs fail, two escalations over the same
+        parameters record identical chains, and applied steps always
+        appear in REMEDIATION_ORDER order."""
+        params = {
+            "dtype": "float16", "scaling": 16384.0,
+            "integration": "standard",
+        }
+        fail_at = {
+            step for step, fails in zip(REMEDIATION_ORDER, rung_fails)
+            if fails
+        }
+
+        def run_once():
+            m = GuardMonitor(GuardConfig(mode="repair"))
+
+            def call(p):
+                # Identify which rung produced these params.
+                state_step = None
+                if p.get("dtype") != "float16":
+                    state_step = "promote"
+                elif p.get("integration") == "compensated":
+                    state_step = "compensated"
+                elif p.get("scaling") == 1024.0:
+                    state_step = "scale"
+                if state_step is None or state_step in fail_at:
+                    raise FloatingPointError("boom")
+                return state_step
+
+            try:
+                value = escalate("t", dict(params), call, m)
+            except FloatingPointError:
+                value = "exhausted"
+            return value, m.remediation
+
+        v1, r1 = run_once()
+        v2, r2 = run_once()
+        assert v1 == v2
+        assert r1 == r2
+        applied = [e["step"] for e in r1["chain"] if e["applied"]]
+        order = {s: i for i, s in enumerate(REMEDIATION_ORDER)}
+        assert applied == sorted(applied, key=order.__getitem__)

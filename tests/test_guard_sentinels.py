@@ -1,0 +1,341 @@
+"""Unit tests for the guard subsystem: sentinels, contracts, monitor,
+and the instrumentation sites in shallowwaters/blas/mpi."""
+
+import numpy as np
+import pytest
+
+from repro.ftypes.formats import FLOAT16, FLOAT32, FLOAT64
+from repro.ftypes.sherlog import ExponentHistogram
+from repro.ftypes.subnormals import (
+    classify_exponents,
+    count_subnormals,
+    subnormal_fraction,
+    subnormal_mask,
+)
+from repro.guard import (
+    Contract,
+    GuardConfig,
+    GuardMonitor,
+    GuardViolation,
+    get_guard,
+    guarding,
+    parse_guard_mode,
+    probe,
+    probe_value,
+)
+
+
+def _monitor(mode="observe", **kw) -> GuardMonitor:
+    return GuardMonitor(GuardConfig(mode=mode, **kw))
+
+
+# ---------------------------------------------------------------------------
+class TestProbe:
+    def test_counts_nan_inf_subnormal(self):
+        x = np.array(
+            [1.0, np.nan, np.inf, -np.inf, 1e-7, 0.5], dtype=np.float16
+        )
+        h = probe(x, name="x")
+        assert h.size == 6
+        assert h.nans == 1
+        assert h.infs == 2
+        assert h.subnormals == 1  # 1e-7 < 2^-14
+        assert not h.healthy
+        assert h.fmt == "Float16"
+
+    def test_healthy_field(self):
+        h = probe(np.linspace(0.1, 1.0, 64, dtype=np.float32))
+        assert h.healthy
+        assert h.nans == h.infs == h.subnormals == 0
+        assert h.max_abs == pytest.approx(1.0)
+
+    def test_overflow_risk_headroom(self):
+        # 60000 (binade 15) is within 2 binades of Float16's 65504;
+        # 1000 (binade 9) only counts once the headroom reaches 6.
+        x = np.array([1000.0, 60000.0], dtype=np.float16)
+        assert probe(x, headroom_bits=2).overflow_risk == 1
+        assert probe(x, headroom_bits=6).overflow_risk == 2
+
+    def test_format_override(self):
+        # A float64 array judged against Float16's range.
+        x = np.array([1e5, 1.0])
+        h = probe(x, fmt=FLOAT16)
+        assert h.overflow_risk >= 1  # 1e5 > Float16 floatmax's binade
+
+    def test_exponent_range_and_occupancy(self):
+        x = np.array([1.0, 2.0, 4.0], dtype=np.float32)
+        h = probe(x)
+        assert h.exponent_range == (0, 2)
+        assert 0.0 < h.occupancy <= 1.0
+
+    def test_probe_value(self):
+        assert probe_value(float("nan"), name="r").nans == 1
+        assert probe_value(np.float64(1.5)).healthy
+        assert probe_value("not-a-number") is None
+        assert probe_value(7) is None  # ints are not float payloads
+
+
+class TestClassifyExponents:
+    def test_matches_subnormal_mask(self, rng):
+        x = rng.normal(scale=1e-4, size=512).astype(np.float16)
+        cls = classify_exponents(x)
+        assert cls.subnormal == int(subnormal_mask(x).sum())
+        assert count_subnormals(x) == cls.subnormal
+        assert subnormal_fraction(x) == pytest.approx(
+            cls.subnormal / x.size
+        )
+
+    def test_matches_sherlog_histogram(self, rng):
+        from repro.ftypes.sherlog import MIN_EXP
+
+        x = rng.normal(size=256) * 10.0 ** rng.integers(-8, 8, size=256)
+        cls = classify_exponents(x, fmt=FLOAT16)
+        hist = ExponentHistogram()
+        hist.record(x)
+        assert cls.exponent_range == hist.exponent_range()
+        # Same binning: sherlog's subnormal fraction (of nonzero finite
+        # values) equals the classification's over the same bins.
+        assert cls.fraction_in(
+            MIN_EXP, FLOAT16.min_exponent - 1
+        ) == pytest.approx(hist.subnormal_fraction(FLOAT16))
+
+    def test_partition(self):
+        x = np.array([0.0, 1.0, np.nan, np.inf, 1e-300, -2.0])
+        cls = classify_exponents(x, fmt=FLOAT64)
+        assert cls.zeros == 1
+        assert cls.nans == 1
+        assert cls.infs == 1
+        assert cls.nonzero_finite == 3
+        assert (
+            cls.zeros + cls.nans + cls.infs + cls.nonzero_finite
+            == cls.total
+        )
+
+
+# ---------------------------------------------------------------------------
+class TestContracts:
+    def test_finite(self):
+        c = Contract("f", "finite")
+        assert c.evaluate(1.0) is None
+        assert c.evaluate(float("nan")) is not None
+        assert c.evaluate(float("inf")) is not None
+
+    def test_upper_bound_with_tolerance(self):
+        c = Contract("u", "upper_bound", tolerance=0.05)
+        assert c.evaluate(104.0, reference=100.0) is None
+        assert c.evaluate(106.0, reference=100.0) is not None
+        # Non-finite values always violate bound contracts.
+        assert c.evaluate(float("nan"), reference=100.0) is not None
+
+    def test_non_decreasing(self):
+        c = Contract("m", "non_decreasing", tolerance=1e-12)
+        assert c.evaluate(2.0, reference=1.0) is None
+        assert c.evaluate(1.0, reference=1.0) is None
+        assert c.evaluate(0.5, reference=1.0) is not None
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Contract("x", "no_such_kind")
+
+
+# ---------------------------------------------------------------------------
+class TestMonitor:
+    def test_parse_guard_mode(self):
+        assert parse_guard_mode(None) is None
+        assert parse_guard_mode("off") is None
+        assert parse_guard_mode("Observe") == "observe"
+        with pytest.raises(ValueError):
+            parse_guard_mode("bogus")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GuardConfig(mode="off")
+        with pytest.raises(ValueError):
+            GuardConfig(mode="observe", cadence=0)
+
+    def test_observe_records_without_raising(self):
+        m = _monitor("observe")
+        bad = probe(np.array([np.nan], dtype=np.float32))
+        m.sentinel("test.site", bad)
+        assert m.violations == 1
+        assert m.events[0].name == "nan_inf"
+        assert m.as_dict()["mode"] == "observe"
+
+    def test_strict_raises_on_violation(self):
+        m = _monitor("strict")
+        bad = probe(np.array([np.inf], dtype=np.float32))
+        with pytest.raises(GuardViolation) as err:
+            m.sentinel("test.site", bad, step=3)
+        assert isinstance(err.value, FloatingPointError)
+        assert "test.site" in str(err.value)
+        # The event is recorded before the raise.
+        assert m.violations == 1
+
+    def test_warnings_never_raise(self):
+        m = _monitor("strict")
+        x = np.array([60000.0, 1e-7], dtype=np.float16)
+        m.sentinel("test.site", probe(x))
+        names = {e.name for e in m.events}
+        assert names == {"overflow_risk", "subnormal_fraction"}
+        assert m.violations == 0
+
+    def test_event_cap_counts_drops(self):
+        m = _monitor("observe", max_events=2)
+        bad = probe(np.array([np.nan]))
+        for _ in range(5):
+            m.sentinel("s", bad)
+        assert len(m.events) == 2
+        assert m.dropped == 3
+        assert m.as_dict()["dropped"] == 3
+
+    def test_clean_monitor_serialises_to_none(self):
+        assert _monitor().as_dict() is None
+
+    def test_guarding_scopes_and_restores(self):
+        outer, inner = _monitor(), _monitor()
+        assert get_guard() is None
+        with guarding(outer):
+            assert get_guard() is outer
+            with guarding(inner):
+                assert get_guard() is inner
+            assert get_guard() is outer
+        assert get_guard() is None
+
+
+# ---------------------------------------------------------------------------
+def _turbulent_state(p):
+    from repro.shallowwaters import State, balanced_turbulence
+
+    u, v, eta = balanced_turbulence(p)
+    return State(u=u, v=v, eta=eta)
+
+
+class TestDiagnosticsGate:
+    """Satellite: energy diagnostics must not NaN-poison silently."""
+
+    def test_inf_field_yields_nan_and_guard_event(self, small_sw_params):
+        from repro.shallowwaters import diagnostics
+
+        state = _turbulent_state(small_sw_params)
+        state.u[0, 0] = np.inf
+        m = _monitor("observe")
+        with guarding(m):
+            ke = diagnostics.kinetic_energy(state, small_sw_params)
+        assert np.isnan(ke)
+        assert m.violations == 1
+        assert m.events[0].site == "diagnostics.kinetic_energy"
+
+    def test_inf_field_raises_under_strict(self, small_sw_params):
+        from repro.shallowwaters import diagnostics
+
+        state = _turbulent_state(small_sw_params)
+        state.eta[0, 0] = np.nan
+        with guarding(_monitor("strict")):
+            with pytest.raises(GuardViolation):
+                diagnostics.total_energy(state, small_sw_params)
+
+    def test_finite_fields_unaffected(self, small_sw_params):
+        from repro.shallowwaters import diagnostics
+
+        state = _turbulent_state(small_sw_params)
+        e_off = diagnostics.total_energy(state, small_sw_params)
+        with guarding(_monitor("observe")):
+            e_on = diagnostics.total_energy(state, small_sw_params)
+        assert np.isfinite(e_off)
+        assert e_on == e_off
+
+
+# ---------------------------------------------------------------------------
+class TestModelInstrumentation:
+    def test_healthy_run_records_no_violations(self):
+        from repro.shallowwaters import ShallowWaterModel, ShallowWaterParams
+
+        p = ShallowWaterParams(nx=16, ny=8)
+        m = _monitor("observe", cadence=4)
+        with guarding(m):
+            ShallowWaterModel(p).run(nsteps=8)
+        assert m.violations == 0
+
+    def test_guard_does_not_change_fields(self):
+        from repro.shallowwaters import ShallowWaterModel, ShallowWaterParams
+
+        p = ShallowWaterParams(nx=16, ny=8)
+        off = ShallowWaterModel(p).run(nsteps=8)
+        with guarding(_monitor("observe", cadence=2)):
+            on = ShallowWaterModel(p).run(nsteps=8)
+        assert off.state.u.tobytes() == on.state.u.tobytes()
+        assert off.state.v.tobytes() == on.state.v.tobytes()
+        assert off.state.eta.tobytes() == on.state.eta.tobytes()
+
+
+# ---------------------------------------------------------------------------
+class TestBLASRoofline:
+    def test_real_libraries_respect_the_roofline(self):
+        from repro.blas.libraries import ALL_LIBRARIES
+        from repro.blas.kernels import kernel_traffic  # noqa: F401
+
+        m = _monitor("observe")
+        with guarding(m):
+            for lib in ALL_LIBRARIES:
+                for fmt in (FLOAT32, FLOAT64):
+                    for n in (64, 4096, 1 << 20):
+                        lib.gflops("axpy", fmt, n)
+        assert m.violations == 0
+
+    def test_overclaiming_model_trips_the_contract(self, monkeypatch):
+        from repro.blas import libraries
+
+        class _FakeTiming:
+            gflops = 1e9  # absurd: no single core does an exaflop
+
+        monkeypatch.setattr(
+            libraries.BLASLibrary, "timing",
+            lambda self, routine, fmt, n: _FakeTiming(),
+        )
+        m = _monitor("observe")
+        with guarding(m):
+            libraries.JULIA_GENERIC.gflops("axpy", FLOAT32, 1024)
+        assert m.violations == 1
+        ev = m.events[0]
+        assert ev.site == "blas.gflops"
+        assert ev.name == "blas_roofline"
+
+
+# ---------------------------------------------------------------------------
+class TestMPIInstrumentation:
+    def test_clean_benchmark_has_no_guard_events(self):
+        from repro.mpi import PingPong
+        from repro.mpi.bindings import IMB_C
+
+        m = _monitor("observe")
+        with guarding(m):
+            PingPong(repetitions=2).run(IMB_C, sizes=[0, 1024])
+        assert m.violations == 0
+
+    def test_clock_rewind_trips_the_contract(self):
+        from repro.mpi.simulator import _CLOCK_CONTRACT
+
+        m = _monitor("observe")
+        m.check("mpi.clock", _CLOCK_CONTRACT, 1.0, reference=2.0, rank=0)
+        assert m.violations == 1
+        assert m.events[0].name == "rank_clock_monotonic"
+
+    def test_nan_reduction_flagged_at_root(self):
+        from repro.mpi.reductions import SUM, _probe_reduced
+
+        m = _monitor("observe")
+        with guarding(m):
+            _probe_reduced(float("nan"), SUM)
+        assert m.violations == 1
+        ev = m.events[0]
+        assert ev.site == "mpi.reduce"
+        assert "MPI_SUM" in ev.message
+
+    def test_finite_reduction_passes_silently(self):
+        from repro.mpi.reductions import SUM, _probe_reduced
+
+        m = _monitor("observe")
+        with guarding(m):
+            _probe_reduced(42.0, SUM)
+            _probe_reduced([1, 2], SUM)  # non-float payloads are ignored
+        assert m.as_dict() is None
