@@ -8,12 +8,52 @@ Each benchmark regenerates one paper artefact (figure panel or ablation)
 and asserts its qualitative claims; the timed quantity is the
 regeneration itself, and the interesting numbers are attached to
 ``benchmark.extra_info`` so they appear in the report.
+
+The simulator-core comparison (``test_bench_simcore.py``) additionally
+consolidates its measurements into ``BENCH_simcore.json`` in the current
+directory — events/sec and wall-clock per figure for the object vs
+batched event cores, plus ShallowWaters steps/sec for the fused vs
+reference kernels.  CI uploads that file as an artifact and gates on the
+recorded speedups.
 """
 
+import json
 import sys
+from pathlib import Path
 
 import pytest
+
+#: measurements accumulated by the simcore benchmarks, keyed by section
+#: ("figures" / "points" / "stepping") then entry name.
+_SIMCORE_RESULTS: dict = {}
+
+SIMCORE_JSON = Path("BENCH_simcore.json")
 
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "figure: regenerates a paper figure")
+
+
+@pytest.fixture(scope="session")
+def simcore_record():
+    """Recorder for the object-vs-batched measurements.
+
+    Call ``simcore_record(section, name, **fields)``; everything lands
+    in ``BENCH_simcore.json`` when the session ends.
+    """
+
+    def record(section: str, name: str, **fields):
+        _SIMCORE_RESULTS.setdefault(section, {})[name] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _SIMCORE_RESULTS:
+        return
+    doc = {"python": sys.version.split()[0]}
+    doc.update(_SIMCORE_RESULTS)
+    SIMCORE_JSON.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nsimcore benchmark results written to {SIMCORE_JSON}")

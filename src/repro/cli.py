@@ -84,6 +84,7 @@ from .exec import (
     verify_journal,
 )
 from .guard import GUARD_MODES
+from .mpi.simcore import SIM_CORES, set_sim_core
 
 __all__ = ["main", "build_parser"]
 
@@ -260,6 +261,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--watchdog", type=float, default=None, metavar="S",
         help="kill the pool and journal in-flight tasks as interrupted "
         "if no worker heartbeat lands for S seconds (pool mode only)",
+    )
+    run_p.add_argument(
+        "--sim-core", default=None, choices=list(SIM_CORES),
+        dest="sim_core",
+        help="discrete-event core for simulated MPI worlds: 'batched' "
+        "(vectorised, the default) or 'object' (reference engine); "
+        "both produce byte-identical results",
+    )
+    run_p.add_argument(
+        "--profile", type=int, default=None, metavar="N", dest="profile_top",
+        help="profile the run under cProfile and print the top N "
+        "functions by cumulative time to stderr (in-process tasks "
+        "only; pool workers are not profiled)",
     )
 
     journal_p = sub.add_parser(
@@ -611,6 +625,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # a second crash resumes from the union of both segments.
         journal_path = args.resume_path
 
+    if args.profile_top is not None and args.profile_top < 1:
+        print("--profile needs a positive top-N count", file=sys.stderr)
+        return 2
+    if args.sim_core is not None:
+        # Process-wide override for in-process worlds, plus the env var
+        # so pool workers (fresh interpreters) inherit the same core.
+        set_sim_core(args.sim_core)
+        os.environ["REPRO_SIM_CORE"] = args.sim_core
+
     use_cache = args.cache or args.cache_dir != DEFAULT_CACHE_DIR
     shutdown = _GracefulShutdown()
     try:
@@ -657,9 +680,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         engine.journal = writer
 
+    profiler = None
+    if args.profile_top is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     try:
         with shutdown:
-            outcomes = engine.run_many(keys, scale=args.scale)
+            if profiler is not None:
+                profiler.enable()
+            try:
+                outcomes = engine.run_many(keys, scale=args.scale)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
     except KeyboardInterrupt:
         # Second signal (force-quit) escaped the scheduler's drain:
         # still exit with the resumable status, not a traceback — the
@@ -687,6 +721,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         print(f"guard report written to {args.guard_out}", file=sys.stderr)
+
+    if profiler is not None:
+        from .core.report import render_profile
+
+        print(render_profile(profiler, args.profile_top), file=sys.stderr)
 
     if engine.stats.resume is not None:
         r = engine.stats.resume

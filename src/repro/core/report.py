@@ -55,6 +55,42 @@ def render_table(
     return "\n".join(lines)
 
 
+def render_profile(profile, top: int = 20) -> str:
+    """Render a :class:`cProfile.Profile` as a top-``top`` table.
+
+    Rows are ordered by cumulative time (the useful view for "where did
+    the run go"), with per-call totals alongside.
+    """
+    import pstats
+
+    stats = pstats.Stats(profile)
+    stats.sort_stats("cumulative")
+    width, funcs = stats.get_print_list([top])
+    rows = []
+    for func in funcs:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        if filename == "~":
+            where = name  # builtins print as "<...>"
+        else:
+            where = f"{filename.rsplit('/', 1)[-1]}:{lineno}({name})"
+        calls = str(nc) if cc == nc else f"{nc}/{cc}"
+        rows.append(
+            [calls, f"{tt:.3f}", f"{ct:.3f}",
+             f"{ct / nc:.6f}" if nc else "-", where]
+        )
+    total_tt = sum(s[2] for s in stats.stats.values())
+    header = (
+        f"profile: {stats.total_calls} function calls in "
+        f"{total_tt:.3f}s CPU; top {len(rows)} by cumulative time"
+    )
+    table = render_table(
+        ["ncalls", "tottime", "cumtime", "percall", "function"], rows,
+        min_width=6,
+    )
+    return header + "\n" + table
+
+
 def render_run_stats(stats) -> str:
     """Render a :class:`repro.exec.engine.RunStats` as text tables.
 

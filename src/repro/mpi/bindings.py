@@ -29,6 +29,18 @@ from ..machine.specs import A64FX, ChipSpec
 
 __all__ = ["BindingProfile", "IMB_C", "MPI_JL", "MPI_JL_CACHE_AVOIDING"]
 
+#: MemoryHierarchy is immutable per chip; building one per copy_time
+#: call dominated small-message endpoint costs, so share instances.
+_HIERARCHIES: dict = {}
+
+
+def _hierarchy_for(chip: ChipSpec) -> MemoryHierarchy:
+    entry = _HIERARCHIES.get(id(chip))
+    if entry is None:
+        # The chip rides along in the entry so its id stays pinned.
+        entry = _HIERARCHIES[id(chip)] = (chip, MemoryHierarchy(chip))
+    return entry[1]
+
 
 @dataclass(frozen=True)
 class BindingProfile:
@@ -74,7 +86,7 @@ class BindingProfile:
         """
         if nbytes <= 0:
             return 0.0
-        mem = MemoryHierarchy(self.chip)
+        mem = _hierarchy_for(self.chip)
         cold_pool = 64 * 1024 * 1024  # rotation pool >> caches
         working_set = cold_pool if self.cache_avoidance else nbytes
         bw = mem.effective_bandwidth(int(working_set))

@@ -76,8 +76,14 @@ class TofuDNetwork:
             return "shm"
         return "eager" if nbytes <= self.eager_threshold else "rendezvous"
 
-    def wire_time(self, src: int, dst: int, nbytes: int) -> WireTiming:
-        """Time from injection at ``src`` to arrival at ``dst``."""
+    def wire_time(
+        self, src: int, dst: int, nbytes: int, hops: Optional[int] = None
+    ) -> WireTiming:
+        """Time from injection at ``src`` to arrival at ``dst``.
+
+        ``hops`` lets a caller supply a precomputed hop count (the
+        batched engine's dense matrix); the timing formula is unchanged.
+        """
         if src == dst:
             return WireTiming(0.0, 0, "shm")
         protocol = self.protocol_for(src, dst, nbytes)
@@ -85,7 +91,8 @@ class TofuDNetwork:
             lat = self.shm_latency
             ser = nbytes / self.shm_bandwidth
             return WireTiming(lat + ser, 0, "shm", lat, ser)
-        hops = self.topology.hops(src, dst)
+        if hops is None:
+            hops = self.topology.hops(src, dst)
         lat = self.base_latency + hops * self.per_hop_latency
         if protocol == "rendezvous":
             lat += self.rendezvous_overhead

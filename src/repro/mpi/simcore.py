@@ -1,0 +1,74 @@
+"""Simulator-core registry: ``object`` vs ``batched`` event engines.
+
+The discrete-event simulator has two interchangeable cores:
+
+* ``"object"`` — the reference :class:`~repro.mpi.simulator.Engine`:
+  one heap-popped Python closure per event.  Simple, slow, and the
+  semantic ground truth.
+* ``"batched"`` — :class:`~repro.mpi.batched.BatchedEngine`: tuple-coded
+  event queues, memoised wire/endpoint timing tables, and a vectorised
+  "wave" commit for the homogeneous pairwise-exchange and reduction-
+  compute rounds that dominate collectives.  Pinned byte-identical to
+  the object core by ``tests/test_sim_core_equivalence.py``.
+
+Selection, in priority order: an explicit ``sim_core=`` argument to
+:class:`~repro.mpi.comm.MPIWorld`, the process-wide override set with
+:func:`set_sim_core` (the CLI's ``--sim-core`` flag), the
+``REPRO_SIM_CORE`` environment variable, and finally the default
+(``batched``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Type
+
+__all__ = [
+    "SIM_CORES",
+    "DEFAULT_SIM_CORE",
+    "get_sim_core",
+    "set_sim_core",
+    "resolve_engine",
+]
+
+SIM_CORES = ("object", "batched")
+DEFAULT_SIM_CORE = "batched"
+
+#: process-wide override (None = fall back to env / default).
+_active: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in SIM_CORES:
+        raise ValueError(
+            f"unknown sim core {name!r} (expected one of {SIM_CORES})"
+        )
+    return name
+
+
+def set_sim_core(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide core override."""
+    global _active
+    _active = None if name is None else _validate(name)
+
+
+def get_sim_core() -> str:
+    """The core name currently in effect for new worlds."""
+    if _active is not None:
+        return _active
+    env = os.environ.get("REPRO_SIM_CORE")
+    if env:
+        return _validate(env)
+    return DEFAULT_SIM_CORE
+
+
+def resolve_engine(name: Optional[str] = None) -> Type:
+    """The engine class for ``name`` (default: :func:`get_sim_core`)."""
+    core = _validate(name) if name is not None else get_sim_core()
+    if core == "batched":
+        from .batched import BatchedEngine
+
+        return BatchedEngine
+    from .simulator import Engine
+
+    return Engine

@@ -326,6 +326,9 @@ class Engine:
         #: can stall but never run backwards for a rank.
         self._guard = get_guard()
         self._clock_floor: List[float] = [0.0] * nranks
+        #: live (not-done) rank count; lets the loop stop the instant
+        #: the last rank finishes instead of draining stale events.
+        self._active = 0
 
     # ------------------------------------------------------------------
     def binding(self, rank: int) -> BindingProfile:
@@ -426,7 +429,8 @@ class Engine:
                 if self._trace is not None:
                     self._trace.event("rank_failed", r, 0.0)
             else:
-                self._schedule(0.0, lambda r=r: self._advance(r, None))
+                self._active += 1
+                self._sched_initial(r)
         if self.nranks and self.stats.failed_ranks == self.nranks:
             raise RankFailedError(
                 f"all {self.nranks} ranks failed before start", time=0.0
@@ -457,10 +461,24 @@ class Engine:
         if busy:
             m.counter("mpi.ingress_busy_seconds.total").inc(sum(busy))
 
+    def _sched_initial(self, rank: int) -> None:
+        """Queue a rank's first resume (hook for alternate event codings)."""
+        self._schedule(0.0, lambda: self._advance(rank, None))
+
     def _loop(self) -> None:
         while self._events:
+            if self._active == 0:
+                # Every rank is done: whatever remains (stale timeout
+                # probes, in-flight deliveries) can no longer change any
+                # observable state, so stop instead of scanning the full
+                # heap — at 10k+ ranks that drain dominated teardown.
+                break
             _, _, fn = heapq.heappop(self._events)
             fn()
+        self._check_deadlock()
+
+    def _check_deadlock(self) -> None:
+        """Report the first eight blocked ranks if any rank never finished."""
         blocked = [i for i, s in enumerate(self._states) if not s.done]
         if blocked:
             details = []
@@ -487,6 +505,7 @@ class Engine:
         except StopIteration as stop:
             state.done = True
             state.result = stop.value
+            self._active -= 1
             return
         self._dispatch(rank, op)
 
@@ -536,12 +555,14 @@ class Engine:
             key = (op.source, op.tag)
             queue = self._mailbox[rank].get(key)
             if queue:
+                self._note_mailbox_pop()
                 msg = queue.pop(0)
                 if not queue:
                     del self._mailbox[rank][key]
                 self._fill_recv_request(req, msg)
             else:
                 state.irecv_posted.append(req)
+                self._note_irecv_posted()
             post_done = t + self._cpu(rank, self.binding(rank).per_call_overhead)
             state.time = post_done
             self._schedule(post_done, lambda: self._advance(rank, req.req_id))
@@ -575,6 +596,14 @@ class Engine:
             self._schedule(t, lambda: self._advance(rank, None))
         else:
             raise TypeError(f"rank {rank} yielded unknown op {op!r}")
+
+    # -- bookkeeping hooks (no-ops here; the batched core counts these
+    # to know when vectorised wave commits are safe) ---------------------
+    def _note_irecv_posted(self) -> None:
+        pass
+
+    def _note_mailbox_pop(self) -> None:
+        pass
 
     # -- non-blocking plumbing ---------------------------------------------
     def _new_request(

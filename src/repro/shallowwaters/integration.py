@@ -22,6 +22,12 @@ Three modes, selected by ``params.integration``:
 The RK4 stage arithmetic itself always runs in the working dtype: the
 tendencies are already per-step increments (premultiplied by dt), so
 stage combinations are sums of O(1e-3..1) quantities.
+
+For plain ndarray states the stepping is delegated to the fused
+allocation-free kernels of :mod:`repro.shallowwaters.kernels`, which
+replicate this module's arithmetic bit-for-bit (pinned by the
+differential tests); pass ``fused=False`` (or set ``REPRO_FUSED_SW=0``)
+to force the reference path below.
 """
 
 from __future__ import annotations
@@ -42,7 +48,9 @@ __all__ = ["RK4Integrator"]
 class RK4Integrator:
     """Classic 4th-order Runge-Kutta stepping of the scaled state."""
 
-    def __init__(self, params: ShallowWaterParams):
+    def __init__(
+        self, params: ShallowWaterParams, fused: Optional[bool] = None
+    ):
         self.params = params
         self.dtype = params.np_dtype
         self.mode = params.integration
@@ -56,6 +64,9 @@ class RK4Integrator:
                 raise ValueError("mixed integration targets narrow formats")
         else:
             self.state_dtype = self.dtype
+        #: None = auto (fused for plain ndarrays unless disabled).
+        self._fused_opt = fused
+        self._fused = None
         self._acc_u: Optional[CompensatedAccumulator] = None
         self._acc_v: Optional[CompensatedAccumulator] = None
         self._acc_eta: Optional[CompensatedAccumulator] = None
@@ -71,6 +82,20 @@ class RK4Integrator:
                 f"state dtype {state.dtype} != integrator state dtype "
                 f"{self.state_dtype}"
             )
+        if self._fused_opt is not False:
+            from . import kernels
+
+            self._fused = kernels.make_fused(
+                self.params, self.coeffs, self.state_dtype, state
+            )
+            if self._fused is None and self._fused_opt is True:
+                raise ValueError(
+                    "fused stepping requested but unsupported for this "
+                    "state/configuration"
+                )
+        if self._fused is not None:
+            self._fused.bind(state)
+            return self.current_state()
         comp = self.mode == "compensated"
         self._acc_u = CompensatedAccumulator(state.u, compensated=comp)
         self._acc_v = CompensatedAccumulator(state.v, compensated=comp)
@@ -78,6 +103,8 @@ class RK4Integrator:
         return self.current_state()
 
     def current_state(self) -> State:
+        if self._fused is not None:
+            return self._fused.current_state()
         assert self._acc_u is not None
         return State(
             self._acc_u.value, self._acc_v.value, self._acc_eta.value
@@ -109,6 +136,8 @@ class RK4Integrator:
 
     def step(self) -> State:
         """Advance one RK4 step; returns the (live) updated state."""
+        if self._fused is not None:
+            return self._fused.step()
         if self._acc_u is None:
             raise RuntimeError("call bind(initial_state) before step()")
         u = self._acc_u.value
