@@ -19,6 +19,12 @@ Usage::
     python -m repro run fig4 --guard repair --guard-inject overflow16
     python -m repro guard report guard.json   # inspect a guard report
     python -m repro faults --seed 42          # fault-severity drift sweep
+    python -m repro faults --list-presets     # built-in fault presets
+    python -m repro campaign list             # built-in scenario packs
+    python -m repro campaign run mixed-chaos  # chaos campaign + scoreboard
+    python -m repro campaign autopilot --seed 7 --budget 20 \
+        --freeze-dir tests/golden/scenarios   # search + freeze regressions
+    python -m repro campaign replay           # frozen scenarios still bite?
     python -m repro claims fig5               # show the checked claims
     python -m repro cache clear               # drop cached outcomes
 
@@ -348,6 +354,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the sweep's observability trace to FILE "
         "(Chrome trace JSON, or JSONL with a .jsonl suffix)",
     )
+    faults_p.add_argument(
+        "--list-presets", action="store_true", dest="list_presets",
+        help="list the built-in fault presets (knobs, severity knob, "
+        "summary) and exit without running a sweep",
+    )
+
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="run declarative chaos-scenario packs and the coverage "
+        "autopilot",
+    )
+    campaign_sub = campaign_p.add_subparsers(dest="campaign_command",
+                                             required=True)
+    campaign_sub.add_parser(
+        "list", help="list built-in scenario packs and their scenarios"
+    ).add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the pack catalogue as JSON on stdout",
+    )
+    crun_p = campaign_sub.add_parser(
+        "run",
+        help="run a scenario pack (or a scenario spec file) and print "
+        "the drift/remediation scoreboard",
+    )
+    crun_p.add_argument(
+        "selector",
+        help="pack name (see 'repro campaign list') or a path to a "
+        "JSON/YAML scenario document",
+    )
+    crun_p.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="cap the campaign at N scenario runs, baselines included "
+        "(default: no cap)",
+    )
+    crun_p.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="worker processes for scenario runs (default: 1; the "
+        "scoreboard is identical at any value)",
+    )
+    cjournal_group = crun_p.add_mutually_exclusive_group()
+    cjournal_group.add_argument(
+        "--journal", default=None, metavar="FILE", dest="journal_path",
+        help="crash-safe write-ahead log of every scenario run",
+    )
+    cjournal_group.add_argument(
+        "--resume", default=None, metavar="FILE", dest="resume_path",
+        help="resume an interrupted campaign from its journal "
+        "(completed scenarios restored byte-identically)",
+    )
+    crun_p.add_argument(
+        "--out", default=None, metavar="FILE", dest="out_path",
+        help="write the campaign document to FILE as JSON (atomic)",
+    )
+    crun_p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-scenario wall-clock bound in seconds (pool mode)",
+    )
+    crun_p.add_argument(
+        "--grace", type=float, default=2.0, metavar="S",
+        help="drain grace period after SIGINT/SIGTERM (default: 2)",
+    )
+    crun_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the campaign document as JSON on stdout",
+    )
+    auto_p = campaign_sub.add_parser(
+        "autopilot",
+        help="seeded mutation search for worst-drift scenarios; freezes "
+        "the top offenders as replayable regressions",
+    )
+    auto_p.add_argument(
+        "--pack", default="mixed-chaos", metavar="NAME",
+        help="seed population pack (default: mixed-chaos)",
+    )
+    auto_p.add_argument(
+        "--budget", type=int, default=20, metavar="N",
+        help="total scenario-evaluation budget, baselines included "
+        "(default: 20)",
+    )
+    auto_p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="search seed; same seed + budget + pack => identical "
+        "scoreboard and frozen files at any --jobs (default: 0)",
+    )
+    auto_p.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N",
+        help="worker processes per evaluation batch (default: 1)",
+    )
+    auto_p.add_argument(
+        "--freeze", type=int, default=1, metavar="K",
+        help="freeze the K worst scenarios as regressions (default: 1)",
+    )
+    auto_p.add_argument(
+        "--freeze-dir", default=None, metavar="DIR", dest="freeze_dir",
+        help="directory for frozen regression files (e.g. "
+        "tests/golden/scenarios); omitted = report only, write nothing",
+    )
+    auto_p.add_argument(
+        "--out", default=None, metavar="FILE", dest="out_path",
+        help="write the autopilot document to FILE as JSON (atomic)",
+    )
+    auto_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the autopilot document as JSON on stdout",
+    )
+    replay_p = campaign_sub.add_parser(
+        "replay",
+        help="re-run frozen scenario regressions and check result "
+        "digests; exit 1 on any drift",
+    )
+    replay_p.add_argument(
+        "target", nargs="?", default="tests/golden/scenarios",
+        help="frozen scenario file or directory "
+        "(default: tests/golden/scenarios)",
+    )
+    replay_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit replay results as JSON on stdout",
+    )
 
     trace_p = sub.add_parser(
         "trace", help="inspect recorded observability traces"
@@ -452,16 +577,46 @@ def _write_trace_file(recorder, path: str) -> int:
     return 0
 
 
+def _fault_spec_error(exc: Exception) -> None:
+    """One consistent stderr line for a malformed --faults value (the
+    FaultSpecError message already carries the 'bad fault spec' prefix
+    and the valid-name list)."""
+    msg = str(exc)
+    if not msg.startswith("bad fault spec"):
+        msg = f"bad fault spec: {msg}"
+    print(msg, file=sys.stderr)
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .core.report import render_fault_sweep
-    from .mpi.faults import fault_drift_report, parse_fault_spec
+    from .core.report import render_fault_sweep, render_table
+    from .mpi.faults import (
+        fault_drift_report,
+        list_presets,
+        parse_fault_spec,
+    )
+
+    if args.list_presets:
+        presets = list_presets()
+        if args.json_doc:
+            print(json.dumps(presets, indent=2, sort_keys=True))
+            return 0
+        rows = [
+            [name, entry["severity_knob"] or "-", entry["summary"]]
+            for name, entry in presets.items()
+        ]
+        print(render_table(["preset", "severity knob", "summary"], rows))
+        print(
+            "\nuse with: repro run KEY --faults PRESET[:severity]"
+            "[,knob=value,...] --seed N"
+        )
+        return 0
 
     severities = [s.strip() for s in args.severities.split(",") if s.strip()]
     try:
         for spec in severities:
             parse_fault_spec(spec, seed=args.seed)
     except ValueError as exc:
-        print(f"bad fault spec: {exc}", file=sys.stderr)
+        _fault_spec_error(exc)
         return 2
     recorder = None
     with _GracefulShutdown() as shutdown:
@@ -511,6 +666,146 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         1 for entry in doc["severities"].values() if entry.get("error")
     )
     return 1 if errors == len(severities) else 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .core.report import (
+        render_autopilot,
+        render_campaign,
+        render_replay,
+        render_scenario_packs,
+    )
+    from .scenarios import ScenarioError, list_packs
+    from .scenarios.campaign import (
+        CampaignError,
+        plan_campaign,
+        replay_frozen,
+        replay_paths,
+        resolve_selector,
+        run_campaign,
+    )
+
+    if args.campaign_command == "list":
+        doc = list_packs()
+        if args.json_doc:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_scenario_packs(doc))
+        return 0
+
+    if args.campaign_command == "replay":
+        try:
+            paths = replay_paths(args.target)
+        except CampaignError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        rows = []
+        with _GracefulShutdown() as shutdown:
+            for path in paths:
+                if shutdown.event.is_set():
+                    break
+                try:
+                    rows.append(replay_frozen(path))
+                except (CampaignError, ScenarioError) as exc:
+                    print(str(exc), file=sys.stderr)
+                    return 2
+        interrupted = len(rows) < len(paths)
+        if args.json_doc:
+            print(json.dumps(
+                {"replays": rows, "interrupted": interrupted},
+                indent=2, sort_keys=True,
+            ))
+        elif rows:
+            print(render_replay(rows))
+        if interrupted:
+            print(f"replay interrupted: {len(rows)}/{len(paths)} checked",
+                  file=sys.stderr)
+            return RESUMABLE_EXIT_CODE
+        return 1 if any(not r["ok"] for r in rows) else 0
+
+    if args.campaign_command == "autopilot":
+        from .scenarios.autopilot import run_autopilot
+
+        if args.out_path is not None:
+            status = _probe_output_path(args.out_path, "autopilot document")
+            if status:
+                return status
+        try:
+            with _GracefulShutdown() as shutdown:
+                doc = run_autopilot(
+                    pack=args.pack,
+                    budget=args.budget,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    freeze=args.freeze,
+                    freeze_dir=args.freeze_dir,
+                    out_path=args.out_path,
+                    cancel=shutdown.event,
+                    on_progress=lambda msg: print(msg, file=sys.stderr),
+                )
+        except (ScenarioError, CampaignError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json_doc:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_autopilot(doc))
+        return RESUMABLE_EXIT_CODE if doc["interrupted"] else 0
+
+    # campaign run
+    if args.budget is not None and args.budget < 1:
+        print("--budget must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        name, specs = resolve_selector(args.selector)
+        plan = plan_campaign(name, specs, budget=args.budget)
+    except (ScenarioError, CampaignError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.journal_path is not None:
+        status = _probe_output_path(args.journal_path, "journal")
+        if status:
+            return status
+    if args.resume_path is not None:
+        status = _probe_output_path(args.resume_path, "journal",
+                                    must_exist=True)
+        if status:
+            return status
+    if args.out_path is not None:
+        status = _probe_output_path(args.out_path, "campaign document")
+        if status:
+            return status
+    try:
+        with _GracefulShutdown() as shutdown:
+            doc = run_campaign(
+                plan,
+                jobs=args.jobs,
+                journal_path=args.journal_path,
+                resume_path=args.resume_path,
+                cancel=shutdown.event,
+                grace=args.grace,
+                task_timeout=args.task_timeout,
+                out_path=args.out_path,
+                on_progress=lambda msg: print(msg, file=sys.stderr),
+            )
+    except (CampaignError, JournalError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json_doc:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_campaign(doc))
+    if doc["interrupted"]:
+        if args.journal_path or args.resume_path:
+            journal = args.journal_path or args.resume_path
+            print(
+                f"campaign interrupted; resume with: repro campaign run "
+                f"{args.selector} --resume {journal}",
+                file=sys.stderr,
+            )
+        return RESUMABLE_EXIT_CODE
+    errors = sum(1 for e in doc["scenarios"] if e.get("status") == "error")
+    return 1 if errors else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -654,7 +949,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             guard_inject=args.guard_inject,
         )
     except ValueError as exc:
-        print(f"bad fault spec: {exc}", file=sys.stderr)
+        _fault_spec_error(exc)
         return 2
 
     if resume_state is not None:
@@ -856,6 +1151,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_cache(args.action, args.cache_dir)
         if args.command == "faults":
             return _cmd_faults(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "journal":

@@ -20,6 +20,10 @@ __all__ = [
     "render_trace_summary",
     "render_journal",
     "render_guard_report",
+    "render_scenario_packs",
+    "render_campaign",
+    "render_autopilot",
+    "render_replay",
     "format_si",
 ]
 
@@ -343,6 +347,121 @@ def render_journal(doc) -> str:
         lines.append(render_table(["task", "status", "seconds", "detail"],
                                   rows))
     return "\n".join(lines)
+
+
+def _drift_cell(value) -> str:
+    return f"{value:.4f}" if isinstance(value, (int, float)) else "-"
+
+
+def _scoreboard_table(scoreboard) -> str:
+    rows = [
+        [
+            e["name"],
+            f"{e['badness']:.3f}",
+            _drift_cell(e.get("drift_max")),
+            e.get("claims_failed", 0),
+            e.get("failures", 0),
+            e.get("remediations", 0),
+            e.get("fault_events", 0),
+        ]
+        for e in scoreboard
+    ]
+    return render_table(
+        ["scenario", "badness", "drift", "claims!", "failures",
+         "repairs", "faults"],
+        rows,
+    )
+
+
+def render_scenario_packs(doc) -> str:
+    """Render the :func:`repro.scenarios.list_packs` catalogue."""
+    lines = []
+    for name, pack in doc.items():
+        lines.append(f"{name}: {pack['description']}")
+        for s in pack["scenarios"]:
+            lines.append(f"  {s['name']:<22} {s['describe']}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_campaign(doc) -> str:
+    """Render a campaign document: run header, per-scenario status, and
+    the badness-sorted scoreboard."""
+    header = (
+        f"campaign {doc['campaign']} [{doc['fingerprint']}]: "
+        f"{doc['total']} scenario run(s), "
+        f"{len(doc.get('baselines', []))} baseline(s)"
+    )
+    if doc.get("interrupted"):
+        header += " (interrupted: partial results)"
+    lines = [header]
+    if doc.get("truncated"):
+        lines.append(
+            "budget truncated: " + ", ".join(doc["truncated"])
+        )
+    status_rows = []
+    for e in doc["scenarios"]:
+        status_rows.append([
+            e["name"],
+            "baseline" if e.get("baseline") else "scenario",
+            e.get("status", "-"),
+            f"{e['seconds']:.2f}" if e.get("seconds") is not None else "-",
+            e.get("digest", e.get("error", "-"))[:40],
+        ])
+    lines.append(render_table(
+        ["name", "role", "status", "seconds", "digest"], status_rows
+    ))
+    if doc.get("scoreboard"):
+        lines.append("")
+        lines.append("scoreboard (worst first):")
+        lines.append(_scoreboard_table(doc["scoreboard"]))
+    return "\n".join(lines)
+
+
+def render_autopilot(doc) -> str:
+    """Render an autopilot document: search header, scoreboard, and the
+    frozen worst offenders."""
+    a = doc["autopilot"]
+    header = (
+        f"autopilot pack={a['pack']} seed={a['seed']}: "
+        f"spent {doc['spent']}/{a['budget']} evaluation(s) over "
+        f"{doc['rounds']} mutation round(s), "
+        f"{doc['evaluated']} scenario(s) scored"
+    )
+    if doc.get("interrupted"):
+        header += " (interrupted)"
+    lines = [header]
+    if doc.get("errors"):
+        for err in doc["errors"]:
+            lines.append(f"error: {err['name']}: {err['error']}")
+    if doc.get("scoreboard"):
+        lines.append(_scoreboard_table(doc["scoreboard"]))
+    for item in doc.get("frozen", []):
+        where = f" -> {item['path']}" if "path" in item else ""
+        lines.append(
+            f"frozen: {item['name']} (badness {item['badness']:.3f}, "
+            f"digest {item['digest']}){where}"
+        )
+    return "\n".join(lines)
+
+
+def render_replay(rows) -> str:
+    """Render frozen-scenario replay results (one row per file)."""
+    table = render_table(
+        ["scenario", "expected", "actual", "verdict"],
+        [
+            [r["name"], r["expected"], r["actual"],
+             "ok" if r["ok"] else "DRIFTED"]
+            for r in rows
+        ],
+    )
+    bad = sum(1 for r in rows if not r["ok"])
+    verdict = (
+        f"{len(rows)} frozen scenario(s): all replay byte-identical"
+        if not bad else
+        f"{len(rows)} frozen scenario(s): {bad} DRIFTED from frozen digest"
+    )
+    return table + "\n" + verdict
 
 
 def render_trace_summary(doc) -> str:

@@ -79,7 +79,7 @@ class Task:
     def label(self) -> str:
         """Short human-readable identity for metrics tables."""
         args = ",".join(f"{k}={v}" for k, v in self.params.items() if not
-                        isinstance(v, (list, tuple)))
+                        isinstance(v, (list, tuple, dict)))
         return f"{self.experiment}[{args}]" if args else self.experiment
 
     def identity(self) -> Dict[str, Any]:
@@ -240,7 +240,14 @@ def execute_task(task: Task) -> Any:
     try:
         fn = _EXECUTORS[task.kind]
     except KeyError:
-        raise KeyError(f"unknown task kind {task.kind!r}") from None
+        if task.kind == "scenario_run":
+            # Resolved lazily so pool workers (which import only this
+            # module) find it without a tasks <-> scenarios import cycle.
+            from ..scenarios.score import run_scenario_task
+
+            fn = _EXECUTORS[task.kind] = run_scenario_task
+        else:
+            raise KeyError(f"unknown task kind {task.kind!r}") from None
 
     def call(params: Dict[str, Any]) -> Any:
         if task.fault_spec:

@@ -29,6 +29,7 @@ Allreduce latencies drift from the fault-free baseline.
 from __future__ import annotations
 
 import hashlib
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 from typing import (
@@ -37,13 +38,25 @@ from typing import (
 
 __all__ = [
     "FaultPlan",
+    "FaultSpecError",
     "FAULT_PRESETS",
     "parse_fault_spec",
+    "list_presets",
     "get_active_plan",
     "set_active_plan",
     "active_plan",
     "fault_drift_report",
 ]
+
+
+class FaultSpecError(ValueError):
+    """A malformed ``--faults`` spec string.
+
+    One consistent, typed error for every way a spec can be wrong —
+    empty segments, duplicate keys, unknown presets/parameters, bad
+    severities or values — so callers (CLI, scenario specs) can catch
+    a single exception type and print its message verbatim.
+    """
 
 
 def _hash01(seed: int, *parts: Any) -> float:
@@ -92,10 +105,18 @@ class FaultPlan:
     #: virtual-clock timeout for blocked receives; ``None`` leaves the
     #: engine's deadlock detection as the only backstop.
     recv_timeout: Optional[float] = None
+    #: fraction of ranks cut off from the rest of the world during the
+    #: partition window (partition + rejoin: the cut *heals*).
+    partition_fraction: float = 0.0
+    #: virtual second the network partition opens.
+    partition_start: float = 0.0
+    #: virtual seconds the partition lasts before the cut heals.
+    partition_duration: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("link_degrade_fraction", "loss_rate",
-                     "straggler_fraction", "failure_fraction"):
+                     "straggler_fraction", "failure_fraction",
+                     "partition_fraction"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {v}")
@@ -110,6 +131,10 @@ class FaultPlan:
             raise ValueError("max_retransmits must be >= 1")
         if self.recv_timeout is not None and self.recv_timeout <= 0:
             raise ValueError("recv_timeout must be positive or None")
+        if self.partition_start < 0:
+            raise ValueError("partition_start must be >= 0")
+        if self.partition_duration < 0:
+            raise ValueError("partition_duration must be >= 0")
         object.__setattr__(self, "failed_ranks",
                            tuple(sorted(set(self.failed_ranks))))
 
@@ -159,9 +184,64 @@ class FaultPlan:
     def straggler_ranks_in(self, nranks: int) -> List[int]:
         return [r for r in range(nranks) if self.is_straggler(r)]
 
+    # -- partition + rejoin -----------------------------------------------
+    @property
+    def partition_active(self) -> bool:
+        """Whether this plan ever opens a network partition."""
+        return self.partition_fraction > 0.0 and self.partition_duration > 0.0
+
+    def in_partition(self, rank: int) -> bool:
+        """Whether a rank sits on the isolated side of the cut."""
+        if self.partition_fraction <= 0.0:
+            return False
+        return _hash01(
+            self.seed, "partition", rank
+        ) < self.partition_fraction
+
+    def partition_ranks_in(self, nranks: int) -> List[int]:
+        """All isolated ranks of an ``nranks``-rank world."""
+        if not self.partition_active:
+            return []
+        return [r for r in range(nranks) if self.in_partition(r)]
+
+    def partition_delay(
+        self, src: int, dst: int, time: float
+    ) -> Tuple[float, int]:
+        """(blocked seconds, lost attempts) for a message injected at
+        virtual ``time``.
+
+        A message crossing the cut during the partition window is lost
+        on every transmission attempt until the cut heals; the transport
+        keeps retrying on its retransmit timeout (a partition is a
+        *transient* condition — unlike random loss there is no give-up
+        cap, the window itself bounds the charge), so the message lands
+        on the first attempt after ``partition_start +
+        partition_duration``.  Pure closed-form arithmetic: no loop, no
+        state, identical at any ``--jobs``.
+        """
+        if not self.partition_active:
+            return 0.0, 0
+        heal = self.partition_start + self.partition_duration
+        if time < self.partition_start or time >= heal:
+            return 0.0, 0
+        if self.in_partition(src) == self.in_partition(dst):
+            return 0.0, 0
+        attempts = max(1, math.ceil((heal - time) / self.retransmit_timeout))
+        delay = attempts * self.retransmit_timeout
+        if time + delay < heal:  # float-roundoff guard on the ceil
+            attempts += 1
+            delay += self.retransmit_timeout
+        return delay, attempts
+
     @property
     def any_link_faults(self) -> bool:
         return self.link_degrade_fraction > 0.0
+
+    @property
+    def any_message_faults(self) -> bool:
+        """Whether per-message injection-time faults (loss, partition)
+        need consulting — the simulator's retransmit-delay gate."""
+        return self.loss_rate > 0.0 or self.partition_active
 
     def describe(self) -> str:
         """One-line summary of the active fault classes."""
@@ -183,7 +263,39 @@ class FaultPlan:
             failed = ",".join(map(str, self.failed_ranks)) or \
                 f"p={self.failure_fraction:g}"
             bits.append(f"failed:{failed}")
+        if self.partition_active:
+            bits.append(
+                f"partition:{self.partition_fraction:g}"
+                f"(@{self.partition_start:g}s"
+                f" for {self.partition_duration:g}s)"
+            )
         return " ".join(bits) if len(bits) > 1 else f"{bits[0]} (no faults)"
+
+    def to_spec(self) -> str:
+        """Serialise back to a ``parse_fault_spec`` string.
+
+        Round-trips: ``parse_fault_spec(plan.to_spec(), seed=plan.seed)
+        == plan``.  The seed is *not* part of the spec (it travels
+        separately, like ``--seed``); a fault-free plan serialises to
+        ``"off"``.
+        """
+        default = FaultPlan(seed=self.seed)
+        parts = []
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            value = getattr(self, f.name)
+            if value == getattr(default, f.name):
+                continue
+            if f.name == "failed_ranks":
+                parts.append(f"failed_ranks={'+'.join(map(str, value))}")
+            elif f.name == "max_retransmits":
+                parts.append(f"max_retransmits={value}")
+            elif value is None:
+                parts.append(f"{f.name}=none")
+            else:
+                parts.append(f"{f.name}={value!r}")
+        return ",".join(parts) if parts else "off"
 
 
 # ---------------------------------------------------------------------------
@@ -209,6 +321,11 @@ FAULT_PRESETS: Dict[str, Dict[str, Any]] = {
         "failure_fraction": 0.05,
         "recv_timeout": 500e-6,
     },
+    "partition": {
+        "partition_fraction": 0.25,
+        "partition_start": 5e-6,
+        "partition_duration": 60e-6,
+    },
 }
 
 #: the knob a ``preset:severity`` suffix overrides.
@@ -217,9 +334,43 @@ _PRIMARY_KNOB = {
     "lossy": "loss_rate",
     "straggler": "straggler_fraction",
     "failstop": "failure_fraction",
+    "partition": "partition_fraction",
+}
+
+_PRESET_SUMMARY = {
+    "off": "fault-free baseline (parses to no plan)",
+    "degraded": "a fraction of TofuD links run at higher latency and "
+                "lower bandwidth",
+    "lossy": "transmission attempts are lost and retransmitted on a "
+             "timeout charged to the virtual clock",
+    "straggler": "a fraction of ranks run their compute and MPI "
+                 "software time slower",
+    "failstop": "ranks fail at start of run; blocked receives time out "
+                "with RankFailedError",
+    "partition": "a rank subset is cut off for a window of virtual "
+                 "time, then the cut heals and traffic resumes",
 }
 
 _FIELD_TYPES = {f.name: f.type for f in fields(FaultPlan)}
+
+
+def list_presets() -> Dict[str, Dict[str, Any]]:
+    """Catalogue of fault presets for ``repro faults --list-presets``.
+
+    Maps preset name to its knob overrides, the knob a ``:severity``
+    suffix tunes, a one-line summary, and the plan description the
+    preset expands to (``off`` expands to no plan at all).
+    """
+    doc: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(FAULT_PRESETS):
+        knobs = FAULT_PRESETS[name]
+        doc[name] = {
+            "knobs": dict(knobs),
+            "severity_knob": _PRIMARY_KNOB.get(name),
+            "summary": _PRESET_SUMMARY[name],
+            "plan": FaultPlan(**knobs).describe() if knobs else None,
+        }
+    return doc
 
 
 def _parse_value(key: str, raw: str) -> Any:
@@ -242,50 +393,81 @@ def parse_fault_spec(spec: Optional[str], seed: int = 0) -> Optional[FaultPlan]:
     ``severity`` overrides the preset's primary knob (e.g.
     ``lossy:0.1`` = 10% loss); ``failed_ranks`` values join ranks with
     ``+`` (``failed_ranks=0+3``).  Returns None for ``off``/empty.
+
+    Every malformed spec — empty segments from doubled or trailing
+    commas, duplicate explicit keys, unknown presets/parameters, bad
+    severities or values, out-of-range knobs — raises
+    :class:`FaultSpecError` with a message naming the offending piece.
     """
     if spec is None:
         return None
     spec = spec.strip()
     if spec in ("", "off", "none"):
         return None
+
+    def fail(reason: str) -> "FaultSpecError":
+        return FaultSpecError(f"bad fault spec {spec!r}: {reason}")
+
     params: Dict[str, Any] = {}
-    tokens = [t.strip() for t in spec.split(",") if t.strip()]
+    explicit: set = set()
+    tokens = [t.strip() for t in spec.split(",")]
     for i, token in enumerate(tokens):
+        if not token:
+            raise fail(
+                "empty segment (leading, trailing, or doubled comma)"
+            )
         if "=" in token:
             key, _, raw = token.partition("=")
             key = key.strip()
             if key not in _FIELD_TYPES or key == "seed":
-                raise ValueError(
+                raise fail(
                     f"unknown fault parameter {key!r}; valid: "
                     + ", ".join(sorted(k for k in _FIELD_TYPES if k != "seed"))
                 )
+            if key in explicit:
+                raise fail(f"duplicate fault parameter {key!r}")
+            explicit.add(key)
             try:
                 params[key] = _parse_value(key, raw.strip())
             except (TypeError, ValueError) as exc:
-                raise ValueError(f"bad value for {key!r}: {raw!r}") from exc
+                raise fail(f"bad value for {key!r}: {raw!r}") from exc
         elif i == 0:
             name, _, severity = token.partition(":")
             if name not in FAULT_PRESETS:
-                raise ValueError(
+                raise fail(
                     f"unknown fault preset {name!r}; valid: "
                     + ", ".join(sorted(FAULT_PRESETS))
                 )
             params.update(FAULT_PRESETS[name])
             if severity:
+                knob = _PRIMARY_KNOB.get(name)
+                if knob is None:
+                    raise fail(
+                        f"bad severity {severity!r} for preset {name!r}"
+                        " (it has no severity knob)"
+                    )
                 try:
-                    params[_PRIMARY_KNOB[name]] = float(severity)
-                except (KeyError, ValueError) as exc:
-                    raise ValueError(
+                    params[knob] = float(severity)
+                except ValueError as exc:
+                    raise fail(
                         f"bad severity {severity!r} for preset {name!r}"
                     ) from exc
+                # A later key=value for the same knob is a duplicate
+                # setting, not an override of a preset default.
+                explicit.add(knob)
         else:
-            raise ValueError(
-                f"fault spec token {token!r} must be key=value "
+            raise fail(
+                f"token {token!r} must be key=value "
                 "(presets only lead the spec)"
             )
     if not params:
         return None
-    return FaultPlan(seed=seed, **params)
+    try:
+        return FaultPlan(seed=seed, **params)
+    except ValueError as exc:
+        if isinstance(exc, FaultSpecError):
+            raise
+        raise fail(str(exc)) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -328,7 +510,7 @@ def _safe_ratio(value: Optional[float], base: Optional[float]) -> Optional[float
 def fault_drift_report(
     seed: int = 0,
     severities: Sequence[str] = ("off", "degraded", "lossy",
-                                 "straggler", "failstop"),
+                                 "straggler", "failstop", "partition"),
     nranks: int = 16,
     sizes: Sequence[int] = (1024, 65536),
     repetitions: int = 2,

@@ -350,27 +350,46 @@ class Engine:
     def _retransmit_delay(self, src: int, dest: int, t: float) -> float:
         """Virtual time lost to dropped transmissions before one lands.
 
+        A message crossing an open network partition is blocked (every
+        attempt lost, charged to the clock) until the cut heals; random
+        loss then applies to the attempt that finally reaches the wire.
         Each lost attempt charges the transport's retransmit timeout;
-        attempts are capped so a run stays finite even at loss_rate 1.
+        random-loss attempts are capped so a run stays finite even at
+        loss_rate 1, while a partition is bounded by its own window.
         """
         plan = self.faults
-        if plan is None or plan.loss_rate <= 0.0:
+        if plan is None or not plan.any_message_faults:
             return 0.0
         delay = 0.0
+        if plan.partition_active:
+            blocked, lost = plan.partition_delay(src, dest, t)
+            if lost:
+                delay += blocked
+                self.stats.messages_lost += lost
+                self.stats.retransmits += lost
+                if self._trace is not None:
+                    self._trace.event(
+                        "partition", src, t,
+                        dest=dest, attempts=lost, seconds=blocked,
+                    )
+        if plan.loss_rate <= 0.0:
+            return delay
+        base = t + delay
+        loss_delay = 0.0
         attempts = 0
         for attempt in range(plan.max_retransmits):
-            if not plan.is_lost(src, dest, t, attempt):
+            if not plan.is_lost(src, dest, base, attempt):
                 break
-            delay += plan.retransmit_timeout
+            loss_delay += plan.retransmit_timeout
             attempts += 1
             self.stats.messages_lost += 1
             self.stats.retransmits += 1
-        if delay > 0.0 and self._trace is not None:
+        if loss_delay > 0.0 and self._trace is not None:
             self._trace.event(
-                "retransmit", src, t,
-                dest=dest, attempts=attempts, seconds=delay,
+                "retransmit", src, base,
+                dest=dest, attempts=attempts, seconds=loss_delay,
             )
-        return delay
+        return delay + loss_delay
 
     def _arm_timeout(self, rank: int, t: float) -> None:
         """Bound a blocked wait: if the rank is still blocked (same wait

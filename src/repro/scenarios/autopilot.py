@@ -1,0 +1,356 @@
+"""Coverage-driven chaos autopilot: seeded search over scenario knobs.
+
+The autopilot turns the scenario machinery into a closed loop: evaluate
+a seed pack, then repeatedly *mutate* the worst-scoring scenarios'
+knobs (loss rate, straggler fraction/factor, link degradation,
+partition window, fault seed, guard policy, target experiment) and
+evaluate the mutants, climbing toward maximal figure drift / guard
+remediation under a hard task budget.  When the budget is spent (or
+the search goes dry) the top offenders are frozen into replayable
+regression files (:func:`~repro.scenarios.campaign.freeze_scenario`)
+that ``repro campaign replay`` re-runs and digest-checks.
+
+Determinism is the whole point: all randomness comes from one
+``random.Random(seed)`` consumed in a fixed order in the parent
+process, parents are picked from a sorted scoreboard (ties broken by
+spec hash), and evaluation results are consumed in submission order —
+so ``repro campaign autopilot --seed S --budget N`` produces the same
+scoreboard and the same frozen files at any ``--jobs``, every time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exec.scheduler import Scheduler
+from ..exec.tasks import Task
+from ..mpi.faults import FaultPlan, parse_fault_spec
+from .campaign import freeze_scenario
+from .library import get_pack
+from .score import score_scenario
+from .spec import ScenarioError, ScenarioSpec, scenario
+
+__all__ = ["run_autopilot"]
+
+#: experiments the mutation operators may retarget to.
+_MUTABLE_EXPERIMENTS = ("fig2", "fig3", "fig4")
+
+#: knob mutation caps — keep mutants expensive for the figures, cheap
+#: for the wall clock (runs stay CI-sized, retransmit storms bounded).
+_CAPS = {
+    "loss_rate": 0.3,
+    "link_degrade_fraction": 0.9,
+    "degrade_latency_factor": 64.0,
+    "degrade_bandwidth_factor": 16.0,
+    "straggler_fraction": 0.9,
+    "straggler_factor": 16.0,
+    "partition_fraction": 0.9,
+    "partition_duration": 5e-4,
+}
+
+
+def _bump(value: float, factor: float, cap: float, floor: float) -> float:
+    return round(min(cap, max(floor, value) * factor), 9)
+
+
+def _mutate(
+    spec: ScenarioSpec, rng: random.Random, name: str
+) -> Optional[ScenarioSpec]:
+    """One knob mutation of a scenario (None = produced an invalid or
+    no-op spec).  Deterministic given the rng state."""
+    plan = parse_fault_spec(spec.faults, seed=spec.fault_seed)
+    if plan is None:
+        plan = FaultPlan(seed=spec.fault_seed)
+    op = rng.choice((
+        "loss", "degrade", "straggler", "partition",
+        "reseed", "guard", "experiment",
+    ))
+    faults: Optional[str] = spec.faults
+    fault_seed = spec.fault_seed
+    experiment = spec.experiment
+    guard, inject = spec.guard, spec.guard_inject
+    if op == "loss":
+        factor = rng.choice((2.0, 4.0))
+        plan = dc_replace(plan, loss_rate=_bump(
+            plan.loss_rate, factor, _CAPS["loss_rate"], 0.01))
+        faults = plan.to_spec()
+    elif op == "degrade":
+        factor = rng.choice((1.5, 2.0))
+        plan = dc_replace(
+            plan,
+            link_degrade_fraction=_bump(
+                plan.link_degrade_fraction, factor,
+                _CAPS["link_degrade_fraction"], 0.125),
+            degrade_latency_factor=_bump(
+                plan.degrade_latency_factor, factor,
+                _CAPS["degrade_latency_factor"], 2.0),
+            degrade_bandwidth_factor=_bump(
+                plan.degrade_bandwidth_factor, factor,
+                _CAPS["degrade_bandwidth_factor"], 2.0),
+        )
+        faults = plan.to_spec()
+    elif op == "straggler":
+        factor = rng.choice((2.0, 3.0))
+        plan = dc_replace(
+            plan,
+            straggler_fraction=_bump(
+                plan.straggler_fraction, factor,
+                _CAPS["straggler_fraction"], 0.125),
+            straggler_factor=_bump(
+                plan.straggler_factor, factor,
+                _CAPS["straggler_factor"], 2.0),
+        )
+        faults = plan.to_spec()
+    elif op == "partition":
+        which = rng.choice(("wider", "longer"))
+        if which == "wider":
+            plan = dc_replace(plan, partition_fraction=_bump(
+                plan.partition_fraction, 2.0,
+                _CAPS["partition_fraction"], 0.25))
+        else:
+            plan = dc_replace(plan, partition_duration=_bump(
+                plan.partition_duration, 2.0,
+                _CAPS["partition_duration"], 30e-6))
+        if plan.partition_duration <= 0.0:
+            plan = dc_replace(plan, partition_duration=60e-6)
+        if plan.partition_start <= 0.0:
+            plan = dc_replace(plan, partition_start=5e-6)
+        faults = plan.to_spec()
+    elif op == "reseed":
+        fault_seed = rng.randrange(1, 10_000)
+    elif op == "guard":
+        guard, inject = rng.choice((
+            ("observe", None),
+            ("repair", "overflow16"),
+            ("observe", "overflow16"),
+        ))
+        if inject is not None and experiment != "fig4":
+            # injections are a fig4 (Float16 ShallowWaters) drill.
+            experiment = "fig4"
+    else:  # experiment retarget
+        experiment = rng.choice(_MUTABLE_EXPERIMENTS)
+        if experiment != "fig4":
+            inject = None
+    if faults == "off":
+        faults = None
+    try:
+        return spec.with_(
+            name=name,
+            experiment=experiment,
+            faults=faults,
+            fault_seed=fault_seed,
+            guard=guard,
+            guard_inject=inject,
+            description=f"autopilot mutant of {spec.name} ({op})",
+            tags=tuple(sorted(set(spec.tags) | {"autopilot"})),
+        )
+    except ScenarioError:
+        return None
+
+
+def _scenario_task(spec: ScenarioSpec, index: int) -> Task:
+    return Task(
+        experiment=f"scenario:{spec.name}",
+        scale=spec.scale,
+        index=index,
+        kind="scenario_run",
+        params={"spec": spec.as_dict()},
+    )
+
+
+def run_autopilot(
+    *,
+    pack: str = "mixed-chaos",
+    budget: int = 20,
+    seed: int = 0,
+    jobs: int = 1,
+    freeze: int = 1,
+    freeze_dir: Optional[str] = None,
+    out_path: Optional[str] = None,
+    cancel: Optional[Any] = None,
+    grace: float = 2.0,
+    max_rounds: int = 12,
+    mutants_per_round: int = 4,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the seeded mutation search; returns the autopilot document.
+
+    ``budget`` caps total scenario evaluations (implicit fault-free
+    baselines included).  The ``freeze`` worst offenders are written to
+    ``freeze_dir`` when it is given (the document lists them either
+    way).  Fully deterministic in (pack, budget, seed) at any ``jobs``.
+    """
+    if budget < 1:
+        raise ScenarioError(f"autopilot budget must be >= 1, got {budget}")
+    rng = random.Random(seed)
+    say = on_progress or (lambda msg: None)
+
+    #: spec_hash -> scored row (non-baselines only).
+    evaluated: Dict[str, Dict[str, Any]] = {}
+    #: (experiment, scale) -> fault-free baseline payload.
+    baseline_done: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    errors: List[Dict[str, str]] = []
+    spent = 0
+    rounds = 0
+    interrupted = False
+    mutant_counter = 0
+
+    def cancelled() -> bool:
+        return cancel is not None and cancel.is_set()
+
+    def evaluate(specs: List[ScenarioSpec], origin: str) -> None:
+        """Evaluate as many of ``specs`` as the budget allows (plus the
+        baselines they need), one Scheduler batch, submission order."""
+        nonlocal spent, interrupted
+        remaining = budget - spent
+        if remaining <= 0:
+            return
+        base_batch: List[ScenarioSpec] = []
+        base_keys: set = set()
+        chosen: List[ScenarioSpec] = []
+        for s in specs:
+            key = (s.experiment, s.scale)
+            need_base = key not in baseline_done and key not in base_keys
+            cost = 1 + (1 if need_base else 0)
+            if cost > remaining:
+                continue
+            if need_base:
+                base_keys.add(key)
+                base_batch.append(scenario(
+                    f"baseline-{s.experiment}-{s.scale}",
+                    experiment=s.experiment, scale=s.scale,
+                    description="autopilot drift reference",
+                ))
+            chosen.append(s)
+            remaining -= cost
+        if not chosen:
+            return
+        batch = base_batch + chosen
+        tasks = [_scenario_task(s, i) for i, s in enumerate(batch)]
+        scheduler = Scheduler(jobs=jobs, cancel_event=cancel, grace=grace)
+        for r in scheduler.map(tasks):
+            s = batch[r.task.index]
+            if r.interrupted:
+                interrupted = True
+                continue
+            spent += 1
+            if r.failed:
+                errors.append({"name": s.name, "error": r.error or "failed"})
+                continue
+            payload = r.value
+            key = (s.experiment, s.scale)
+            if r.task.index < len(base_batch):
+                baseline_done[key] = payload
+                continue
+            score = score_scenario(payload, baseline_done.get(key))
+            drift = score["drift"] or {}
+            evaluated[s.spec_hash] = {
+                "name": s.name,
+                "hash": s.spec_hash,
+                "describe": s.describe(),
+                "spec": s.as_dict(),
+                "origin": origin,
+                "round": rounds,
+                "badness": score["badness"],
+                "drift_max": drift.get("max"),
+                "claims_failed": score["claims_failed"],
+                "failures": score["failures"],
+                "remediations": score["remediations"],
+                "fault_events": score["fault_events"],
+                "digest": payload["digest"],
+                "passed": payload["passed"],
+                "score": score,
+            }
+        say(f"{origin}: spent {spent}/{budget}, "
+            f"{len(evaluated)} scenario(s) scored")
+
+    # Seed population: the pack, deduped by behaviour.
+    seeds: List[ScenarioSpec] = []
+    seen: set = set()
+    for s in get_pack(pack).scenarios:
+        if s.spec_hash not in seen:
+            seen.add(s.spec_hash)
+            seeds.append(s)
+    evaluate(seeds, "seed")
+
+    while (spent < budget and rounds < max_rounds
+           and not interrupted and not cancelled()):
+        rounds += 1
+        parents = sorted(
+            evaluated.values(), key=lambda e: (-e["badness"], e["hash"]),
+        )[:3]
+        if not parents:
+            break
+        mutants: List[ScenarioSpec] = []
+        batch_hashes: set = set()
+        for attempt in range(16):
+            if len(mutants) >= mutants_per_round:
+                break
+            parent = ScenarioSpec.from_dict(
+                parents[attempt % len(parents)]["spec"])
+            mutant_counter += 1
+            mutant = _mutate(parent, rng, f"mutant-{mutant_counter:03d}")
+            if mutant is None:
+                continue
+            h = mutant.spec_hash
+            if h in evaluated or h in batch_hashes:
+                continue
+            batch_hashes.add(h)
+            mutants.append(mutant)
+        if not mutants:
+            break  # search went dry: every mutation is a known point
+        evaluate(mutants, f"round-{rounds}")
+
+    scoreboard = sorted(
+        evaluated.values(), key=lambda e: (-e["badness"], e["name"]),
+    )
+    board_rows = [
+        {k: v for k, v in row.items() if k not in ("spec", "score")}
+        for row in scoreboard
+    ]
+    worst = scoreboard[:max(0, freeze)]
+    frozen: List[Dict[str, Any]] = []
+    for row in worst:
+        item = {
+            "name": row["name"],
+            "digest": row["digest"],
+            "badness": row["badness"],
+        }
+        if freeze_dir is not None:
+            path = freeze_scenario(
+                {
+                    "name": row["name"],
+                    "spec": row["spec"],
+                    "digest": row["digest"],
+                    "passed": row["passed"],
+                    "score": row["score"],
+                },
+                freeze_dir,
+                provenance={"autopilot": {
+                    "pack": pack, "seed": seed, "budget": budget,
+                }},
+            )
+            item["path"] = str(path)
+        frozen.append(item)
+
+    doc = {
+        "autopilot": {"pack": pack, "seed": seed, "budget": budget},
+        "spent": spent,
+        "rounds": rounds,
+        "evaluated": len(evaluated),
+        "errors": errors,
+        "interrupted": interrupted,
+        "scoreboard": board_rows,
+        "frozen": frozen,
+    }
+    if out_path:
+        import json
+
+        from ..core.atomicio import atomic_write_text
+
+        atomic_write_text(
+            out_path, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+    return doc

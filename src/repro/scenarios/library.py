@@ -1,0 +1,190 @@
+"""Built-in scenario packs: the adversity library.
+
+Each pack is a curated tuple of :class:`~repro.scenarios.spec.
+ScenarioSpec` s covering one robustness theme.  The campaign runner
+expands a pack name into its scenarios (prepending the fault-free
+baselines it scores drift against), and the autopilot uses packs as the
+seed population for its mutation search.
+
+The packs lean on the deterministic fault presets in
+:mod:`repro.mpi.faults` (including the partition + rejoin mode) and the
+guard machinery in :mod:`repro.guard`:
+
+* ``baseline`` — fault-free reference runs of the MPI figures;
+* ``degraded-tofud`` — TofuD links at rising degradation severity;
+* ``straggler-storm`` — slow-rank fractions/factors on the collectives;
+* ``partition-rejoin`` — a rank subset cut off mid-run, then healed;
+* ``overflow-drill`` — Float16 overflow injections against each guard
+  policy (observe the damage, strict-fail it, repair it);
+* ``mixed-chaos`` — composed fault classes plus guarded overflow, the
+  default autopilot seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .spec import ScenarioError, ScenarioSpec, scenario
+
+__all__ = [
+    "ScenarioPack",
+    "PACKS",
+    "get_pack",
+    "list_packs",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """A named, ordered collection of scenarios."""
+
+    name: str
+    description: str
+    scenarios: Tuple[ScenarioSpec, ...]
+
+
+def _pack(name: str, description: str,
+          scenarios: Sequence[ScenarioSpec]) -> ScenarioPack:
+    return ScenarioPack(name, description, tuple(scenarios))
+
+
+PACKS: Dict[str, ScenarioPack] = {}
+
+PACKS["baseline"] = _pack(
+    "baseline",
+    "fault-free reference runs of the simulated-MPI and precision "
+    "figures (what every other pack's drift is measured against)",
+    [
+        scenario("baseline-fig2", experiment="fig2",
+                 description="PingPong latency, pristine TofuD"),
+        scenario("baseline-fig3", experiment="fig3",
+                 description="collectives at 96 ranks, pristine TofuD"),
+        scenario("baseline-fig4", experiment="fig4",
+                 description="Float16 vs Float64 ShallowWaters, unguarded"),
+    ],
+)
+
+PACKS["degraded-tofud"] = _pack(
+    "degraded-tofud",
+    "rising fractions of TofuD links running at 4x latency / half "
+    "bandwidth (the paper's Fig. 2/3 curves under sick links)",
+    [
+        scenario("degraded-quarter", experiment="fig2",
+                 faults="degraded:0.25", fault_seed=1,
+                 tags=("links",)),
+        scenario("degraded-half", experiment="fig2",
+                 faults="degraded:0.5", fault_seed=1,
+                 tags=("links",)),
+        scenario("degraded-collectives", experiment="fig3",
+                 faults="degraded:0.25", fault_seed=1,
+                 tags=("links",)),
+        scenario("degraded-severe", experiment="fig3",
+                 faults="degraded:0.5,degrade_latency_factor=8",
+                 fault_seed=1, tags=("links",)),
+    ],
+)
+
+PACKS["straggler-storm"] = _pack(
+    "straggler-storm",
+    "slow ranks dragging the collectives: rising straggler fractions "
+    "and slowdown factors at 96 ranks",
+    [
+        scenario("storm-eighth", experiment="fig3",
+                 faults="straggler:0.125", fault_seed=1,
+                 tags=("stragglers",)),
+        scenario("storm-quarter", experiment="fig3",
+                 faults="straggler:0.25,straggler_factor=6",
+                 fault_seed=1, tags=("stragglers",)),
+        scenario("storm-pingpong", experiment="fig2",
+                 faults="straggler:0.5,straggler_factor=3",
+                 fault_seed=1, tags=("stragglers",)),
+    ],
+)
+
+PACKS["partition-rejoin"] = _pack(
+    "partition-rejoin",
+    "a seeded rank subset is cut off from the network for a window of "
+    "virtual time, then the cut heals and blocked traffic lands",
+    [
+        scenario("partition-quarter", experiment="fig2",
+                 faults="partition", fault_seed=1,
+                 tags=("partition",)),
+        scenario("partition-half", experiment="fig3",
+                 faults="partition:0.5", fault_seed=1,
+                 tags=("partition",)),
+        scenario("partition-long", experiment="fig3",
+                 faults="partition,partition_duration=0.00012",
+                 fault_seed=1, tags=("partition",)),
+    ],
+)
+
+PACKS["overflow-drill"] = _pack(
+    "overflow-drill",
+    "the synthetic Float16 overflow (--guard-inject overflow16) thrown "
+    "at each guard policy: observe the damage, fail it typed, repair it",
+    [
+        scenario("overflow-unguarded", experiment="fig4",
+                 guard="observe", guard_inject="overflow16",
+                 tags=("overflow",)),
+        scenario("overflow-strict", experiment="fig4",
+                 guard="strict", guard_inject="overflow16",
+                 tags=("overflow",)),
+        scenario("overflow-rescued", experiment="fig4",
+                 guard="repair", guard_inject="overflow16",
+                 tags=("overflow",)),
+    ],
+)
+
+PACKS["mixed-chaos"] = _pack(
+    "mixed-chaos",
+    "composed fault classes (links+loss, loss+stragglers, "
+    "partition+loss) plus a guarded overflow — the autopilot's default "
+    "seed population",
+    [
+        scenario("chaos-sick-links", experiment="fig2",
+                 faults="degraded:0.25,loss_rate=0.02", fault_seed=1,
+                 tags=("mixed",)),
+        scenario("chaos-lossy-storm", experiment="fig3",
+                 faults="lossy:0.05,straggler_fraction=0.25,"
+                        "straggler_factor=3",
+                 fault_seed=1, tags=("mixed",)),
+        scenario("chaos-split-brain", experiment="fig3",
+                 faults="partition:0.25,loss_rate=0.01", fault_seed=1,
+                 tags=("mixed",)),
+        scenario("chaos-overflow", experiment="fig4",
+                 guard="repair", guard_inject="overflow16",
+                 tags=("mixed", "overflow")),
+    ],
+)
+
+
+def get_pack(name: str) -> ScenarioPack:
+    """Look up a built-in pack; unknown names raise ScenarioError
+    listing the valid ones (the CLI turns that into exit 2)."""
+    try:
+        return PACKS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario pack {name!r}; valid: "
+            + ", ".join(sorted(PACKS))
+        ) from None
+
+
+def list_packs() -> Dict[str, Dict[str, Any]]:
+    """Catalogue document for ``repro campaign list``."""
+    doc: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(PACKS):
+        pack = PACKS[name]
+        doc[name] = {
+            "description": pack.description,
+            "scenarios": [
+                {
+                    "name": s.name,
+                    "hash": s.spec_hash,
+                    "describe": s.describe(),
+                }
+                for s in pack.scenarios
+            ],
+        }
+    return doc

@@ -78,6 +78,12 @@ class TestExamples:
         assert "remediation chain" in out
         assert "verdict: rescued" in out
 
+    def test_chaos_campaign(self):
+        out = run_example("chaos_campaign.py")
+        assert "scoreboard" in out
+        assert "byte-identical" in out
+        assert "worst offender" in out
+
     def test_ir_pipeline(self):
         out = run_example("ir_pipeline.py")
         assert "scalar == vectorised (bit-exact): True" in out

@@ -1,0 +1,60 @@
+"""Matrix test: faults x guard modes stay deterministic across --jobs
+and byte-identical under --resume.
+
+The contract: a faulted, guarded run is a pure function of
+(experiment, scale, fault spec, seed, guard settings) — worker count
+and journal restoration must never change a byte of the rendered
+output.  This pins the interaction of three subsystems (fault plans,
+guard monitors, the scheduler/journal) in one place.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+def _run_stdout(capsys, argv):
+    status = main(argv)
+    out = capsys.readouterr().out
+    return status, out
+
+
+MATRIX = [
+    ("fig2", "lossy:0.1", "observe"),
+    ("fig2", "partition", "observe"),
+    ("fig3", "straggler:0.25,straggler_factor=4", "strict"),
+    ("fig4", "off", "repair"),
+]
+
+
+class TestFaultGuardMatrix:
+    @pytest.mark.parametrize("key,faults,guard", MATRIX)
+    def test_jobs_invariant(self, capsys, key, faults, guard):
+        argv = ["run", key, "--faults", faults, "--seed", "3",
+                "--guard", guard]
+        s1, out1 = _run_stdout(capsys, argv + ["--jobs", "1"])
+        s4, out4 = _run_stdout(capsys, argv + ["--jobs", "4"])
+        assert s1 == s4 == 0
+        assert out1 == out4
+
+    def test_repair_with_injection_jobs_invariant(self, capsys):
+        argv = ["run", "fig4", "--faults", "off", "--guard", "repair",
+                "--guard-inject", "overflow16"]
+        s1, out1 = _run_stdout(capsys, argv + ["--jobs", "1"])
+        s4, out4 = _run_stdout(capsys, argv + ["--jobs", "4"])
+        assert s1 == s4 == 0
+        assert out1 == out4
+        assert "[PASS] fig4" in out1  # the rescue ladder saved the run
+
+    def test_resume_is_byte_identical(self, capsys, tmp_path):
+        jnl = tmp_path / "run.jnl"
+        argv = ["run", "fig2", "--faults", "lossy:0.1,partition_fraction="
+                "0.25,partition_start=5e-6,partition_duration=6e-5",
+                "--seed", "3", "--guard", "repair"]
+        s1, out1 = _run_stdout(capsys, argv + ["--journal", str(jnl)])
+        assert s1 == 0
+        # Resuming from the completed journal restores every point and
+        # renders the identical report.
+        s2, out2 = _run_stdout(capsys, argv + ["--resume", str(jnl)])
+        assert s2 == 0
+        assert out1 == out2

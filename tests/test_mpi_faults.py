@@ -24,6 +24,7 @@ from repro.mpi import (
     get_active_plan,
     parse_fault_spec,
 )
+from repro.mpi.faults import FaultSpecError, list_presets
 from repro.mpi.bindings import IMB_C
 from repro.mpi.network import TofuDNetwork
 from repro.mpi.topology import TofuDTopology
@@ -124,6 +125,159 @@ class TestParseFaultSpec:
         a = parse_fault_spec("straggler", seed=0)
         b = parse_fault_spec("straggler", seed=1)
         assert dataclasses.replace(a, seed=1) == b
+
+    def test_errors_are_one_typed_exception(self):
+        bad = [
+            "bogus",                      # unknown preset
+            "nonsense_knob=1",            # unknown parameter
+            "lossy:not-a-number",         # bad severity
+            "lossy,,loss_rate=0.1",       # doubled comma
+            "lossy,loss_rate=0.1,",       # trailing comma
+            ",lossy",                     # leading comma
+            "loss_rate=0.1,loss_rate=0.2",  # duplicate key
+            "loss_rate=0.1,lossy",        # non-leading preset
+            "straggler:2,straggler_fraction=0.5",  # dup: severity + key
+            "loss_rate=5",                # out-of-range value
+            "loss_rate=abc",              # unparseable float
+        ]
+        for spec in bad:
+            with pytest.raises(FaultSpecError, match="bad fault spec"):
+                parse_fault_spec(spec)
+
+    def test_empty_segment_message(self):
+        with pytest.raises(FaultSpecError, match="empty segment"):
+            parse_fault_spec("lossy,,loss_rate=0.1")
+
+    def test_duplicate_key_message(self):
+        with pytest.raises(FaultSpecError, match="duplicate fault parameter"):
+            parse_fault_spec("loss_rate=0.1,loss_rate=0.2")
+
+    def test_severity_then_same_knob_is_duplicate(self):
+        with pytest.raises(FaultSpecError, match="duplicate fault parameter"):
+            parse_fault_spec("lossy:0.1,loss_rate=0.3")
+        # Overriding a preset *default* (no severity given) stays legal.
+        assert parse_fault_spec("lossy,loss_rate=0.3").loss_rate == 0.3
+
+    def test_fault_spec_error_is_value_error(self):
+        # Callers that guard with `except ValueError` keep working.
+        assert issubclass(FaultSpecError, ValueError)
+
+    @pytest.mark.parametrize("spec,seed", [
+        ("lossy", 0),
+        ("degraded:0.5,degrade_latency_factor=8", 1),
+        ("straggler:0.25,straggler_factor=6", 2),
+        ("partition,partition_duration=1.2e-4", 3),
+        ("failed_ranks=0+3,recv_timeout=1e-3", 4),
+        ("off", 5),
+    ])
+    def test_to_spec_round_trips(self, spec, seed):
+        plan = parse_fault_spec(spec, seed=seed)
+        if plan is None:
+            assert spec == "off"
+            return
+        assert parse_fault_spec(plan.to_spec(), seed=seed) == plan
+
+    def test_list_presets_catalogue(self):
+        presets = list_presets()
+        assert set(presets) == set(FAULT_PRESETS) | {"off"}
+        entry = presets["partition"]
+        assert entry["severity_knob"] == "partition_fraction"
+        assert entry["summary"]
+        assert entry["plan"] is not None
+        assert presets["off"]["plan"] is None
+
+
+class TestPartition:
+    def test_membership_is_pure_and_seeded(self):
+        plan = FaultPlan(seed=4, partition_fraction=0.5,
+                         partition_start=1e-6, partition_duration=1e-5)
+        assert plan.partition_active
+        for r in range(16):
+            assert plan.in_partition(r) == plan.in_partition(r)
+        other = dataclasses.replace(plan, seed=5)
+        assert [plan.in_partition(r) for r in range(64)] != \
+            [other.in_partition(r) for r in range(64)]
+
+    def test_no_delay_outside_window_or_same_side(self):
+        plan = FaultPlan(seed=0, partition_fraction=0.5,
+                         partition_start=1e-5, partition_duration=1e-5)
+        inside = plan.partition_ranks_in(16)
+        outside = [r for r in range(16) if r not in inside]
+        assert inside and outside
+        src, dst = inside[0], outside[0]
+        # Before the cut and at/after the heal: traffic flows.
+        assert plan.partition_delay(src, dst, 0.0) == (0.0, 0)
+        assert plan.partition_delay(src, dst, 2e-5) == (0.0, 0)
+        # Same side of the cut: unaffected even mid-window.
+        if len(inside) > 1:
+            assert plan.partition_delay(inside[0], inside[1], 1.5e-5) == \
+                (0.0, 0)
+
+    def test_delay_lands_at_or_after_heal(self):
+        plan = FaultPlan(seed=0, partition_fraction=0.5,
+                         partition_start=0.0, partition_duration=1e-4,
+                         retransmit_timeout=3e-5)
+        inside = plan.partition_ranks_in(16)
+        outside = [r for r in range(16) if r not in inside]
+        src, dst = inside[0], outside[0]
+        for t in (0.0, 1e-5, 9.9e-5):
+            delay, attempts = plan.partition_delay(src, dst, t)
+            assert attempts >= 1
+            assert t + delay >= 1e-4  # heal time
+            assert delay == pytest.approx(attempts * 3e-5)
+
+    def test_partition_inflates_pingpong(self):
+        base = PingPong(repetitions=2).run(
+            IMB_C, sizes=(1024,), faults=None).latency_us
+        plan = FaultPlan(seed=1, partition_fraction=0.5,
+                         partition_start=0.0, partition_duration=6e-5)
+        cut = PingPong(repetitions=2).run(
+            IMB_C, sizes=(1024,), faults=plan).latency_us
+        assert cut[0] > base[0]
+
+    def test_partition_charges_stats(self):
+        plan = FaultPlan(seed=1, partition_fraction=0.5,
+                         partition_start=0.0, partition_duration=1e-4)
+        world = MPIWorld(nranks=8, faults=plan)
+
+        def prog(comm: Comm):
+            for _ in range(4):
+                if comm.rank == 0:
+                    for peer in range(1, 8):
+                        yield comm.send(peer, nbytes=1024)
+                else:
+                    yield comm.recv(0)
+
+        world.run(prog)
+        assert world.last_stats.messages_lost > 0
+        assert world.last_stats.retransmits > 0
+
+    def test_same_seed_byte_identical_results(self):
+        plan = FaultPlan(seed=2, partition_fraction=0.25,
+                         partition_start=5e-6, partition_duration=6e-5)
+        a = PingPong(repetitions=2).run(IMB_C, sizes=(1024, 16384),
+                                        faults=plan).latency_us
+        b = PingPong(repetitions=2).run(IMB_C, sizes=(1024, 16384),
+                                        faults=plan).latency_us
+        assert a == b
+
+    def test_inactive_partition_is_byte_identical_to_off(self):
+        # partition_duration=0 => no partition; loss hashing must be
+        # unchanged so prior faulted runs stay byte-identical.
+        lossy = FaultPlan(seed=3, loss_rate=0.2)
+        lossy_with_noop = dataclasses.replace(
+            lossy, partition_fraction=0.5, partition_duration=0.0)
+        a = PingPong(repetitions=2).run(IMB_C, sizes=(1024,),
+                                        faults=lossy).latency_us
+        b = PingPong(repetitions=2).run(IMB_C, sizes=(1024,),
+                                        faults=lossy_with_noop).latency_us
+        assert a == b
+
+    def test_preset_parses(self):
+        plan = parse_fault_spec("partition:0.5", seed=1)
+        assert plan.partition_fraction == 0.5
+        assert plan.partition_active
+        assert "partition" in plan.describe()
 
 
 class TestActivePlan:

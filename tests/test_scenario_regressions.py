@@ -1,0 +1,42 @@
+"""Replay the frozen scenario regressions committed under
+tests/golden/scenarios/.
+
+These files were produced by the chaos autopilot (``repro campaign
+autopilot --freeze-dir tests/golden/scenarios``): the worst drift /
+remediation offenders it found, pinned with the digest of everything
+the scenario produced (figures, claims, guard records, fault
+counters).  Replaying one re-runs the scenario from its spec and
+checks the digest — any change to fault injection, guard policy,
+scheduling, or the figure pipeline that shifts a byte of scenario
+output fails here with the scenario named.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.campaign import FROZEN_VERSION, replay_frozen
+
+FROZEN_DIR = Path(__file__).parent / "golden" / "scenarios"
+FROZEN = sorted(FROZEN_DIR.glob("*.json"))
+
+
+def test_regression_corpus_is_committed():
+    assert FROZEN, (
+        f"no frozen scenarios under {FROZEN_DIR}; regenerate with: "
+        "repro campaign autopilot --freeze-dir tests/golden/scenarios"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", FROZEN, ids=[p.stem for p in FROZEN]
+)
+def test_frozen_scenario_replays_byte_identically(path):
+    result = replay_frozen(path)
+    assert result["ok"], (
+        f"{result['name']} drifted: expected digest "
+        f"{result['expected']}, got {result['actual']} — scenario "
+        "behaviour changed since it was frozen (version "
+        f"{FROZEN_VERSION}); if intentional, re-freeze with "
+        "repro campaign autopilot/freeze and commit the new file"
+    )
