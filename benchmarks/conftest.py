@@ -15,9 +15,19 @@ directory — events/sec and wall-clock per figure for the object vs
 batched event cores, plus ShallowWaters steps/sec for the fused vs
 reference kernels.  CI uploads that file as an artifact and gates on the
 recorded speedups.
+
+Each session also snapshots the same measurements into a per-run metric
+document in the ``$REPRO_METRICS_DIR`` store (default ``.repro-metrics``;
+set it to the empty string to disable), which is what ``repro bench
+trend`` and the CI ``bench-trend`` job diff across sessions.  Timings are
+recorded as :class:`repro.core.benchmark.Timing` dicts so the measurement
+protocol (repeat/warmup/min_time/iters) stays recoverable from the
+document; bare-float timings from older ``BENCH_*.json`` files are still
+readable via ``Timing.from_value``.
 """
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -57,3 +67,16 @@ def pytest_sessionfinish(session, exitstatus):
         json.dumps(doc, indent=2, sort_keys=True) + "\n"
     )
     print(f"\nsimcore benchmark results written to {SIMCORE_JSON}")
+    store_dir = os.environ.get("REPRO_METRICS_DIR", ".repro-metrics")
+    if not store_dir:
+        return
+    try:
+        from repro.obs.collector import MetricsStore, collect_bench
+
+        path = MetricsStore(store_dir).write(
+            collect_bench(_SIMCORE_RESULTS, python=doc["python"])
+        )
+    except Exception as exc:  # never fail a bench session on bookkeeping
+        print(f"metric document not written ({store_dir}): {exc}")
+        return
+    print(f"metric document written to {path}")

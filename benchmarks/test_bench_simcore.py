@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.core import figures
+from repro.core.benchmark import Timing
 from repro.mpi import simcore
 from repro.mpi.bindings import IMB_C
 from repro.mpi.comm import MPIWorld
@@ -43,6 +44,12 @@ def _canon(result):
     return json.dumps(result, sort_keys=True, default=repr)
 
 
+def _timing(seconds, **protocol):
+    """A timing with its measurement protocol, as recorded in the json
+    (see :class:`repro.core.benchmark.Timing`)."""
+    return Timing(seconds=round(seconds, 4), **protocol).as_dict()
+
+
 @pytest.mark.figure
 def test_fig2_pingpong_cores(simcore_record):
     to, ro = _timed("object", figures.fig2_pingpong)
@@ -50,7 +57,7 @@ def test_fig2_pingpong_cores(simcore_record):
     assert _canon(ro) == _canon(rb), "cores disagree on Fig. 2"
     simcore_record(
         "figures", "fig2_pingpong",
-        object_seconds=round(to, 4), batched_seconds=round(tb, 4),
+        object_seconds=_timing(to), batched_seconds=_timing(tb),
         speedup=round(to / tb, 3), identical=True,
     )
 
@@ -65,7 +72,7 @@ def test_fig3_collectives_cores(simcore_record):
     assert tb < to, "batched core slower than the object core on Fig. 3"
     simcore_record(
         "figures", "fig3_collectives",
-        object_seconds=round(to, 4), batched_seconds=round(tb, 4),
+        object_seconds=_timing(to), batched_seconds=_timing(tb),
         speedup=round(to / tb, 3), identical=True,
         sizes=FIG3_SIZES, nranks=1536,
     )
@@ -95,8 +102,8 @@ def test_allreduce_events_per_sec(simcore_record):
     assert results["object"] == results["batched"]
     simcore_record(
         "points", "allreduce_1024B_1536r_reps5",
-        object_seconds=round(entry["object"]["seconds"], 4),
-        batched_seconds=round(entry["batched"]["seconds"], 4),
+        object_seconds=_timing(entry["object"]["seconds"]),
+        batched_seconds=_timing(entry["batched"]["seconds"]),
         speedup=round(entry["object"]["seconds"]
                       / entry["batched"]["seconds"], 3),
         messages=entry["object"]["messages"],
@@ -134,8 +141,10 @@ def test_shallowwaters_steps_per_sec(simcore_record):
     assert entry["fused"]["seconds"] < entry["reference"]["seconds"]
     simcore_record(
         "stepping", "sw_float16_128x64_100steps",
-        reference_seconds=round(entry["reference"]["seconds"], 4),
-        fused_seconds=round(entry["fused"]["seconds"], 4),
+        reference_seconds=_timing(entry["reference"]["seconds"],
+                                  warmup=1, iters=steps),
+        fused_seconds=_timing(entry["fused"]["seconds"],
+                              warmup=1, iters=steps),
         speedup=round(entry["reference"]["seconds"]
                       / entry["fused"]["seconds"], 3),
         reference_steps_per_sec=entry["reference"]["steps_per_sec"],

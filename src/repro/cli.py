@@ -281,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
         "functions by cumulative time to stderr (in-process tasks "
         "only; pool workers are not profiled)",
     )
+    run_p.add_argument(
+        "--metrics-dir", default=None, metavar="DIR", dest="metrics_dir",
+        help="snapshot this run into a per-run metric document in DIR "
+        "(see 'repro bench trend')",
+    )
 
     journal_p = sub.add_parser(
         "journal", help="inspect or verify crash-safe run journals"
@@ -359,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the built-in fault presets (knobs, severity knob, "
         "summary) and exit without running a sweep",
     )
+    faults_p.add_argument(
+        "--metrics-dir", default=None, metavar="DIR", dest="metrics_dir",
+        help="snapshot the sweep into a per-run metric document in DIR "
+        "(see 'repro bench trend')",
+    )
 
     campaign_p = sub.add_parser(
         "campaign",
@@ -419,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="json_doc",
         help="emit the campaign document as JSON on stdout",
     )
+    crun_p.add_argument(
+        "--metrics-dir", default=None, metavar="DIR", dest="metrics_dir",
+        help="snapshot the campaign scoreboard into a per-run metric "
+        "document in DIR (see 'repro bench trend')",
+    )
     auto_p = campaign_sub.add_parser(
         "autopilot",
         help="seeded mutation search for worst-drift scenarios; freezes "
@@ -459,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="json_doc",
         help="emit the autopilot document as JSON on stdout",
     )
+    auto_p.add_argument(
+        "--metrics-dir", default=None, metavar="DIR", dest="metrics_dir",
+        help="snapshot the autopilot scoreboard into a per-run metric "
+        "document in DIR (see 'repro bench trend')",
+    )
     replay_p = campaign_sub.add_parser(
         "replay",
         help="re-run frozen scenario regressions and check result "
@@ -489,6 +509,55 @@ def build_parser() -> argparse.ArgumentParser:
     summ_p.add_argument(
         "--json", action="store_true", dest="json_doc",
         help="emit the summary as JSON on stdout",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="inspect the per-run metric-document store and gate on "
+        "performance trends",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    trend_p = bench_sub.add_parser(
+        "trend",
+        help="compare the newest metric document of each kind against "
+        "its predecessors; exit 1 when a metric regresses beyond "
+        "tolerance",
+    )
+    trend_p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="metric-document store (default: $REPRO_METRICS_DIR or "
+        ".repro-metrics)",
+    )
+    trend_p.add_argument(
+        "--last", type=int, default=10, metavar="N",
+        help="trend window: newest N documents (default: 10)",
+    )
+    trend_p.add_argument(
+        "--kind", default=None,
+        choices=["run", "faults", "campaign", "autopilot", "bench"],
+        help="restrict the window to one document kind",
+    )
+    trend_p.add_argument(
+        "--tolerance", type=float, default=None, metavar="T",
+        help="relative tolerance for higher/lower-is-better metrics "
+        "(default: 0.10, the paper's ~10%% bar; per-metric tolerances "
+        "in documents win)",
+    )
+    trend_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the machine-readable verdict as JSON on stdout",
+    )
+    blist_p = bench_sub.add_parser(
+        "list", help="list the documents in a metric store"
+    )
+    blist_p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="metric-document store (default: $REPRO_METRICS_DIR or "
+        ".repro-metrics)",
+    )
+    blist_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the document listing as JSON on stdout",
     )
 
     claims_p = sub.add_parser("claims", help="show an experiment's claims")
@@ -587,6 +656,102 @@ def _fault_spec_error(exc: Exception) -> None:
     print(msg, file=sys.stderr)
 
 
+def _resolve_store_dir(arg: Optional[str]) -> str:
+    """Metric-store directory: explicit flag beats $REPRO_METRICS_DIR
+    beats the default ``.repro-metrics``."""
+    from .obs.collector import DEFAULT_STORE_DIR
+
+    return arg or os.environ.get("REPRO_METRICS_DIR") or DEFAULT_STORE_DIR
+
+
+def _probe_metrics_dir(metrics_dir: str) -> int:
+    """Fail fast (2) when the metric store cannot be created — checked
+    before any experiment work, like every other output destination."""
+    from .obs.collector import MetricsStore
+
+    try:
+        MetricsStore(metrics_dir)
+    except OSError as exc:
+        print(f"cannot open metric store at {metrics_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def _write_metric_document(metrics_dir: str, doc: dict) -> int:
+    """Persist one metric document; 0 on success, 2 on an unwritable
+    store (stderr only — stdout is never touched)."""
+    from .obs.collector import MetricsStore
+
+    try:
+        path = MetricsStore(metrics_dir).write(doc)
+    except OSError as exc:
+        print(
+            f"cannot write metric document to {metrics_dir!r}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"metric document written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .core.report import render_bench_trend, render_metric_store
+    from .obs.collector import DEFAULT_TOLERANCE, MetricsStore, bench_trend
+
+    store_dir = _resolve_store_dir(args.store)
+    if not os.path.isdir(store_dir):
+        print(
+            f"no metric store at {store_dir!r}; runs write documents "
+            "with --metrics-dir (or set REPRO_METRICS_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    store = MetricsStore(store_dir)
+    if len(store) == 0:
+        print(f"metric store {store_dir!r} has no documents",
+              file=sys.stderr)
+        return 2
+
+    if args.bench_command == "list":
+        docs = store.load_last()
+        listing = {
+            "store": store_dir,
+            "documents": [
+                {
+                    "file": path.name,
+                    "kind": doc["kind"],
+                    "metrics": len(doc.get("metrics", {})),
+                    "digest": doc.get("digest"),
+                    "git_sha": doc.get("meta", {}).get("git_sha"),
+                }
+                for path, doc in docs
+            ],
+        }
+        if args.json_doc:
+            print(json.dumps(listing, indent=2, sort_keys=True))
+        else:
+            print(render_metric_store(listing))
+        return 0
+
+    # bench trend
+    if args.last < 1:
+        print("--last must be >= 1", file=sys.stderr)
+        return 2
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if tolerance < 0:
+        print("--tolerance must be >= 0", file=sys.stderr)
+        return 2
+    verdict = bench_trend(
+        store, last=args.last, kind=args.kind, tolerance=tolerance,
+    )
+    if args.json_doc:
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+    else:
+        print(render_bench_trend(verdict))
+    return 0 if verdict["ok"] else 1
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .core.report import render_fault_sweep, render_table
     from .mpi.faults import (
@@ -618,6 +783,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     except ValueError as exc:
         _fault_spec_error(exc)
         return 2
+    if args.metrics_dir is not None:
+        status = _probe_metrics_dir(args.metrics_dir)
+        if status:
+            return status
     recorder = None
     with _GracefulShutdown() as shutdown:
         if args.trace_path is not None:
@@ -653,6 +822,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(render_fault_sweep(doc))
     if recorder is not None:
         status = _write_trace_file(recorder, args.trace_path)
+        if status:
+            return status
+    if args.metrics_dir is not None and not doc.get("interrupted"):
+        from .obs.collector import collect_faults
+
+        status = _write_metric_document(args.metrics_dir,
+                                        collect_faults(doc))
         if status:
             return status
     if doc.get("interrupted"):
@@ -730,6 +906,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             status = _probe_output_path(args.out_path, "autopilot document")
             if status:
                 return status
+        if args.metrics_dir is not None:
+            status = _probe_metrics_dir(args.metrics_dir)
+            if status:
+                return status
         try:
             with _GracefulShutdown() as shutdown:
                 doc = run_autopilot(
@@ -750,6 +930,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(json.dumps(doc, indent=2, sort_keys=True))
         else:
             print(render_autopilot(doc))
+        if args.metrics_dir is not None and not doc["interrupted"]:
+            from .obs.collector import collect_autopilot
+
+            status = _write_metric_document(args.metrics_dir,
+                                            collect_autopilot(doc))
+            if status:
+                return status
         return RESUMABLE_EXIT_CODE if doc["interrupted"] else 0
 
     # campaign run
@@ -775,6 +962,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         status = _probe_output_path(args.out_path, "campaign document")
         if status:
             return status
+    if args.metrics_dir is not None:
+        status = _probe_metrics_dir(args.metrics_dir)
+        if status:
+            return status
     try:
         with _GracefulShutdown() as shutdown:
             doc = run_campaign(
@@ -795,6 +986,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(json.dumps(doc, indent=2, sort_keys=True))
     else:
         print(render_campaign(doc))
+    if args.metrics_dir is not None and not doc["interrupted"]:
+        from .obs.collector import collect_campaign
+
+        status = _write_metric_document(args.metrics_dir,
+                                        collect_campaign(doc))
+        if status:
+            return status
     if doc["interrupted"]:
         if args.journal_path or args.resume_path:
             journal = args.journal_path or args.resume_path
@@ -904,6 +1102,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         status = _probe_output_path(args.guard_out, "guard report")
+        if status:
+            return status
+    if args.metrics_dir is not None:
+        status = _probe_metrics_dir(args.metrics_dir)
         if status:
             return status
 
@@ -1021,6 +1223,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .core.report import render_profile
 
         print(render_profile(profiler, args.profile_top), file=sys.stderr)
+
+    if args.metrics_dir is not None and not interrupted:
+        from .obs.collector import collect_run
+
+        status = _write_metric_document(
+            args.metrics_dir,
+            collect_run(engine.stats, outcomes, keys=keys,
+                        scale=args.scale),
+        )
+        if status:
+            return status
 
     if engine.stats.resume is not None:
         r = engine.stats.resume
@@ -1159,6 +1372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_journal(args)
         if args.command == "guard":
             return _cmd_guard(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "run":
             return _cmd_run(args)
     except BrokenPipeError:

@@ -20,12 +20,71 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "Timing",
     "measure_seconds",
+    "measure_seconds_detail",
     "measure_gflops",
     "Series",
     "SweepResult",
     "WallTimer",
 ]
+
+
+@dataclass(frozen=True)
+class Timing:
+    """A measured time plus the provenance that produced it.
+
+    ``BENCH_*.json`` used to record bare best-of-k floats, which made
+    the measurement protocol (how many repetitions? was it autoranged?)
+    unrecoverable from the document.  A :class:`Timing` keeps the number
+    *and* the protocol: ``seconds`` is the recorded value, ``repeat``
+    how many timed batches competed for the best, ``warmup`` how many
+    untimed calls preceded them, ``min_time`` the autorange floor, and
+    ``iters`` the calibrated batch size (1 when not autoranged; for
+    hand-rolled loops, the loop count the wall time covers).
+    """
+
+    seconds: float
+    repeat: int = 1
+    warmup: int = 0
+    min_time: float = 0.0
+    iters: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seconds": self.seconds,
+            "repeat": self.repeat,
+            "warmup": self.warmup,
+            "min_time": self.min_time,
+            "iters": self.iters,
+        }
+
+    @classmethod
+    def from_value(cls, value: Any) -> "Timing":
+        """Read a timing in either shape: a bare float (the legacy
+        ``BENCH_*.json`` records, provenance unknown → defaults) or an
+        :meth:`as_dict` mapping."""
+        if isinstance(value, Timing):
+            return value
+        if isinstance(value, dict):
+            return cls(
+                seconds=float(value["seconds"]),
+                repeat=int(value.get("repeat", 1)),
+                warmup=int(value.get("warmup", 0)),
+                min_time=float(value.get("min_time", 0.0)),
+                iters=int(value.get("iters", 1)),
+            )
+        return cls(seconds=float(value))
+
+    def provenance(self) -> Dict[str, Any]:
+        """The protocol fields alone (no value) — what a metric entry
+        attaches as its ``timing`` block."""
+        return {
+            "repeat": self.repeat,
+            "warmup": self.warmup,
+            "min_time": self.min_time,
+            "iters": self.iters,
+        }
 
 
 def _autorange(func: Callable[[], Any], min_time: float) -> int:
@@ -45,13 +104,14 @@ def _autorange(func: Callable[[], Any], min_time: float) -> int:
         iters *= 2
 
 
-def measure_seconds(
+def measure_seconds_detail(
     func: Callable[[], Any],
     repeat: int = 5,
     warmup: int = 1,
     min_time: float = 0.0,
-) -> float:
-    """Best-of-``repeat`` per-iteration wall-clock seconds for ``func()``.
+) -> Timing:
+    """Best-of-``repeat`` per-iteration wall-clock time for ``func()``,
+    returned as a :class:`Timing` carrying the measurement protocol.
 
     With ``min_time > 0`` the body is first autoranged once: the batch
     size is calibrated so a timed batch spans at least ``min_time``
@@ -72,7 +132,23 @@ def measure_seconds(
         for _ in range(iters):
             func()
         best = min(best, (time.perf_counter() - t0) / iters)
-    return best
+    return Timing(
+        seconds=best, repeat=repeat, warmup=warmup,
+        min_time=min_time, iters=iters,
+    )
+
+
+def measure_seconds(
+    func: Callable[[], Any],
+    repeat: int = 5,
+    warmup: int = 1,
+    min_time: float = 0.0,
+) -> float:
+    """Best-of-``repeat`` per-iteration wall-clock seconds for ``func()``
+    (:func:`measure_seconds_detail` without the provenance)."""
+    return measure_seconds_detail(
+        func, repeat=repeat, warmup=warmup, min_time=min_time
+    ).seconds
 
 
 def measure_gflops(

@@ -24,6 +24,8 @@ __all__ = [
     "render_campaign",
     "render_autopilot",
     "render_replay",
+    "render_bench_trend",
+    "render_metric_store",
     "format_si",
 ]
 
@@ -541,3 +543,78 @@ def render_sweep(result: SweepResult, digits: int = 3) -> str:
         rows.append(row)
     header = f"{result.title}   [{result.ylabel}]"
     return header + "\n" + render_table(headers, rows)
+
+
+def _trend_value(value) -> str:
+    return format_si(value, 4) if isinstance(value, (int, float)) else "-"
+
+
+def render_bench_trend(doc) -> str:
+    """Render a :func:`repro.obs.collector.bench_trend` verdict: the
+    document window, one row per metric (regressions first), the latest
+    scenario aggregate view when a campaign/autopilot document is in
+    the window, and the gate verdict line."""
+    kinds = sorted({d["kind"] for d in doc["documents"]})
+    header = (
+        f"bench trend: {len(doc['documents'])} document(s) "
+        f"[{', '.join(kinds)}], window {doc['last']}, "
+        f"tolerance {doc['tolerance'] * 100:g}%"
+    )
+    lines = [header]
+    order = {"regression": 0, "improved": 1, "ok": 2, "new": 3, "info": 4}
+    names = sorted(
+        doc["metrics"],
+        key=lambda n: (order.get(doc["metrics"][n]["status"], 9), n),
+    )
+    rows = []
+    for name in names:
+        m = doc["metrics"][name]
+        delta = m.get("delta")
+        rows.append([
+            name,
+            m["direction"],
+            _trend_value(m.get("baseline")),
+            _trend_value(m["latest"]),
+            f"{delta * 100:+.1f}%" if delta is not None else "-",
+            "REGRESSED" if m["status"] == "regression" else m["status"],
+        ])
+    lines.append(render_table(
+        ["metric", "direction", "baseline", "latest", "delta", "verdict"],
+        rows,
+    ))
+    if doc.get("scenarios"):
+        lines.append("")
+        lines.append("latest scenario aggregates:")
+        lines.append(_scoreboard_table(doc["scenarios"]))
+    lines.append("")
+    if doc["regressions"]:
+        lines.append(
+            f"REGRESSED: {len(doc['regressions'])} metric(s) beyond "
+            "tolerance: " + ", ".join(doc["regressions"])
+        )
+    else:
+        gated = sum(
+            1 for m in doc["metrics"].values()
+            if m["status"] in ("ok", "improved")
+        )
+        lines.append(
+            f"OK: no regression beyond tolerance ({gated} gated "
+            f"metric(s), {len(doc['metrics'])} total)"
+        )
+    return "\n".join(lines)
+
+
+def render_metric_store(listing) -> str:
+    """Render a metric-store document listing (``repro bench list``)."""
+    rows = [
+        [d["file"], d["kind"], d["metrics"], d.get("digest") or "-",
+         d.get("git_sha") or "-"]
+        for d in listing["documents"]
+    ]
+    table = render_table(
+        ["document", "kind", "metrics", "digest", "git sha"], rows
+    )
+    return (
+        f"metric store {listing['store']}: "
+        f"{len(listing['documents'])} document(s)\n" + table
+    )

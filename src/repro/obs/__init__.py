@@ -14,6 +14,10 @@ is a cheap None check and the repo's output stays byte-identical.
   engine/cache/simulator counter bags behind one API.
 * :mod:`repro.obs.export` — Chrome ``chrome://tracing`` JSON, flat
   JSONL, and the text summary behind ``repro trace summarize``.
+* :mod:`repro.obs.collector` — per-run metric documents: every run
+  snapshots into a versioned JSON document in a ``.repro-metrics/``
+  store (atomic writes, lock-sequenced filenames), and ``repro bench
+  trend`` diffs the last N with direction-aware tolerances.
 
 Usage::
 
@@ -26,6 +30,19 @@ Usage::
     write_trace(rec, "out.json")          # open in chrome://tracing
 """
 
+from .collector import (
+    DEFAULT_TOLERANCE,
+    SCHEMA_VERSION,
+    MetricsStore,
+    bench_trend,
+    collect_autopilot,
+    collect_bench,
+    collect_campaign,
+    collect_faults,
+    collect_run,
+    document_digest,
+    strip_volatile,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .trace import (
     Span,
@@ -48,6 +65,17 @@ from .export import (
 )
 
 __all__ = [
+    "DEFAULT_TOLERANCE",
+    "SCHEMA_VERSION",
+    "MetricsStore",
+    "bench_trend",
+    "collect_autopilot",
+    "collect_bench",
+    "collect_campaign",
+    "collect_faults",
+    "collect_run",
+    "document_digest",
+    "strip_volatile",
     "Counter",
     "Gauge",
     "Histogram",

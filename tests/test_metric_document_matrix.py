@@ -1,0 +1,141 @@
+"""Matrix test: metric documents are byte-identical across --jobs and
+after --resume, for every entry point that writes them.
+
+The contract (the acceptance criterion of the metrics pipeline): a
+metric document's deterministic view — everything outside the declared
+``volatile`` envelope — is a pure function of the logical run.  Worker
+count, wall-clock, cache state and journal restoration may only ever
+touch ``volatile``, so ``strip_volatile`` + ``canonical_json`` yields
+the same bytes (and therefore the same stamped digest) at any ``--jobs``
+and after ``--resume``.  This extends the ``test_fault_guard_matrix``
+pattern from rendered stdout to the stored documents themselves.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.atomicio import canonical_json
+from repro.obs.collector import MetricsStore, strip_volatile
+
+
+def _run(capsys, argv):
+    status = main(argv)
+    capsys.readouterr()  # drain; the documents are the assertion target
+    return status
+
+
+def _document_bytes(store_dir):
+    """Canonical bytes of every document's deterministic view, in
+    store order."""
+    return [
+        canonical_json(strip_volatile(doc))
+        for _, doc in MetricsStore(store_dir).load_last()
+    ]
+
+
+MATRIX = [
+    ("fig2", "off", "off"),
+    ("fig2", "lossy:0.1", "observe"),
+    ("fig4", "off", "repair"),
+]
+
+
+class TestRunDocuments:
+    @pytest.mark.parametrize("key,faults,guard", MATRIX)
+    def test_jobs_invariant(self, capsys, tmp_path, key, faults, guard):
+        stores = {}
+        for jobs in ("1", "4"):
+            store = str(tmp_path / f"jobs{jobs}")
+            argv = ["run", key, "--quiet", "--faults", faults, "--seed",
+                    "3", "--guard", guard, "--jobs", jobs,
+                    "--metrics-dir", store]
+            assert _run(capsys, argv) == 0
+            stores[jobs] = _document_bytes(store)
+        assert stores["1"] == stores["4"]
+        assert len(stores["1"]) == 1
+
+    def test_volatile_jobs_differ_but_digest_does_not(
+        self, capsys, tmp_path,
+    ):
+        store = str(tmp_path / "m")
+        for jobs in ("1", "4"):
+            assert _run(capsys, ["run", "fig2", "--quiet", "--jobs", jobs,
+                                 "--metrics-dir", store]) == 0
+        docs = [d for _, d in MetricsStore(store).load_last()]
+        assert [d["volatile"]["jobs"] for d in docs] == [1, 4]
+        assert docs[0]["digest"] == docs[1]["digest"]
+
+    def test_resume_is_byte_identical(self, capsys, tmp_path):
+        jnl = tmp_path / "run.jnl"
+        base = ["run", "fig2", "--quiet", "--faults", "lossy:0.1",
+                "--seed", "3"]
+        fresh = str(tmp_path / "fresh")
+        resumed = str(tmp_path / "resumed")
+        assert _run(capsys, base + ["--journal", str(jnl),
+                                    "--metrics-dir", fresh]) == 0
+        # Resuming the completed journal restores every task from the
+        # WAL — and must snapshot the identical document.
+        assert _run(capsys, base + ["--resume", str(jnl),
+                                    "--metrics-dir", resumed]) == 0
+        assert _document_bytes(fresh) == _document_bytes(resumed)
+
+
+class TestFaultsDocuments:
+    def test_repeat_invocations_identical(self, capsys, tmp_path):
+        stores = []
+        for tag in ("a", "b"):
+            store = str(tmp_path / tag)
+            argv = ["faults", "--seed", "3", "--nranks", "4",
+                    "--repetitions", "1", "--metrics-dir", store]
+            assert _run(capsys, argv) == 0
+            stores.append(_document_bytes(store))
+        assert stores[0] == stores[1]
+        assert len(stores[0]) == 1
+
+
+class TestCampaignDocuments:
+    def test_jobs_invariant(self, capsys, tmp_path):
+        stores = {}
+        for jobs in ("1", "4"):
+            store = str(tmp_path / f"jobs{jobs}")
+            argv = ["campaign", "run", "mixed-chaos", "--budget", "3",
+                    "--jobs", jobs, "--metrics-dir", store]
+            assert _run(capsys, argv) == 0
+            stores[jobs] = _document_bytes(store)
+        assert stores["1"] == stores["4"]
+        assert len(stores["1"]) == 1
+
+    def test_resume_is_byte_identical(self, capsys, tmp_path):
+        jnl = tmp_path / "campaign.jnl"
+        fresh = str(tmp_path / "fresh")
+        resumed = str(tmp_path / "resumed")
+        base = ["campaign", "run", "mixed-chaos", "--budget", "3"]
+        assert _run(capsys, base + ["--journal", str(jnl),
+                                    "--metrics-dir", fresh]) == 0
+        assert _run(capsys, base + ["--resume", str(jnl),
+                                    "--metrics-dir", resumed]) == 0
+        assert _document_bytes(fresh) == _document_bytes(resumed)
+
+
+class TestTrendVerdictIdentity:
+    def test_verdict_identical_over_jobs_1_and_4_documents(
+        self, capsys, tmp_path,
+    ):
+        """The acceptance criterion end-to-end: documents written at
+        --jobs 1 and --jobs 4 produce byte-identical `bench trend
+        --json` verdicts."""
+        import json
+
+        verdicts = []
+        for jobs in ("1", "4"):
+            store = str(tmp_path / f"jobs{jobs}")
+            for seed in ("3", "3"):  # two runs → latest has history
+                assert _run(capsys, ["run", "fig2", "--quiet", "--seed",
+                                     seed, "--jobs", jobs,
+                                     "--metrics-dir", store]) == 0
+            status = main(["bench", "trend", "--store", store, "--json"])
+            out = capsys.readouterr().out
+            assert status == 0
+            verdicts.append(out)
+            assert json.loads(out)["ok"] is True
+        assert verdicts[0] == verdicts[1]
