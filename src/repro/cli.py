@@ -544,6 +544,12 @@ def build_parser() -> argparse.ArgumentParser:
         "in documents win)",
     )
     trend_p.add_argument(
+        "--since", default=None, metavar="SHA",
+        help="window the history on the recorded git sha: drop documents "
+        "older than the first one whose meta.git_sha matches this "
+        "(prefix) sha",
+    )
+    trend_p.add_argument(
         "--json", action="store_true", dest="json_doc",
         help="emit the machine-readable verdict as JSON on stdout",
     )
@@ -559,6 +565,144 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="json_doc",
         help="emit the document listing as JSON on stdout",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run (or talk to) the crash-tolerant sweep daemon with a "
+        "durable job queue and HTTP API",
+    )
+    serve_sub = serve_p.add_subparsers(dest="serve_command", required=True)
+    sstart_p = serve_sub.add_parser(
+        "start",
+        help="start the daemon on a state directory (restarting on an "
+        "existing one resumes every unfinished job)",
+    )
+    sstart_p.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="durable state directory (job log, per-job journals, "
+        "results, metric store)",
+    )
+    sstart_p.add_argument(
+        "--host", default="127.0.0.1", help="HTTP bind host",
+    )
+    sstart_p.add_argument(
+        "--port", type=int, default=8750, help="HTTP port (0 = ephemeral)",
+    )
+    sstart_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent job leases (default: 2)",
+    )
+    sstart_p.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="S",
+        help="seconds without a heartbeat before a lease expires and "
+        "the job is re-dispatched (default: 30)",
+    )
+    sstart_p.add_argument(
+        "--heartbeat", type=float, default=1.0, metavar="S",
+        help="worker heartbeat interval (default: 1.0)",
+    )
+    sstart_p.add_argument(
+        "--poll", type=float, default=0.5, metavar="S",
+        help="daemon control-loop interval (default: 0.5)",
+    )
+    sstart_p.add_argument(
+        "--max-attempts", type=int, default=3, metavar="K",
+        help="expired leases before a job fails terminally (default: 3)",
+    )
+    sstart_p.add_argument(
+        "--grace", type=float, default=5.0, metavar="S",
+        help="drain grace period for in-flight workers (default: 5)",
+    )
+    ssubmit_p = serve_sub.add_parser(
+        "submit", help="submit a job to a running daemon",
+    )
+    ssubmit_p.add_argument(
+        "kind", choices=["run", "faults", "campaign", "autopilot"],
+        help="what to run",
+    )
+    ssubmit_p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="daemon address (default: $REPRO_SERVE_URL or "
+        "http://127.0.0.1:8750)",
+    )
+    ssubmit_p.add_argument(
+        "--key", default=None, help="experiment key for run jobs",
+    )
+    ssubmit_p.add_argument(
+        "--scale", default=None, choices=["ci", "paper"],
+        help="sweep scale for run jobs",
+    )
+    ssubmit_p.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault spec for run jobs",
+    )
+    ssubmit_p.add_argument(
+        "--seed", type=int, default=None, help="fault/sweep seed",
+    )
+    ssubmit_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="in-job parallelism (the engine's --jobs)",
+    )
+    ssubmit_p.add_argument(
+        "--selector", default=None, metavar="PACK",
+        help="scenario selector for campaign jobs",
+    )
+    ssubmit_p.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="scenario budget for campaign/autopilot jobs",
+    )
+    ssubmit_p.add_argument(
+        "--pack", default=None, metavar="PACK",
+        help="scenario pack for autopilot jobs",
+    )
+    ssubmit_p.add_argument(
+        "--spec", default=None, metavar="FILE",
+        help="JSON file with the full job spec (merged under the flags)",
+    )
+    ssubmit_p.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    ssubmit_p.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="give up waiting after S seconds (with --wait)",
+    )
+    ssubmit_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the job document as JSON on stdout",
+    )
+    sstatus_p = serve_sub.add_parser(
+        "status", help="show one job's status (and journal tail)",
+    )
+    sstatus_p.add_argument("job_id")
+    sstatus_p.add_argument("--url", default=None, metavar="URL")
+    sstatus_p.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="also print the last N lines of the job's run journal",
+    )
+    sstatus_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the status document as JSON on stdout",
+    )
+    sjobs_p = serve_sub.add_parser(
+        "jobs", help="list all jobs the daemon knows about",
+    )
+    sjobs_p.add_argument("--url", default=None, metavar="URL")
+    sjobs_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the listing as JSON on stdout",
+    )
+    scancel_p = serve_sub.add_parser(
+        "cancel", help="cancel a queued or running job",
+    )
+    scancel_p.add_argument("job_id")
+    scancel_p.add_argument("--url", default=None, metavar="URL")
+    sdrain_p = serve_sub.add_parser(
+        "drain",
+        help="ask the daemon to drain: stop leasing, checkpoint "
+        "in-flight jobs, exit 75",
+    )
+    sdrain_p.add_argument("--url", default=None, metavar="URL")
 
     claims_p = sub.add_parser("claims", help="show an experiment's claims")
     claims_p.add_argument("key")
@@ -742,9 +886,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if tolerance < 0:
         print("--tolerance must be >= 0", file=sys.stderr)
         return 2
-    verdict = bench_trend(
-        store, last=args.last, kind=args.kind, tolerance=tolerance,
-    )
+    try:
+        verdict = bench_trend(
+            store, last=args.last, kind=args.kind, tolerance=tolerance,
+            since=args.since,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.json_doc:
         print(json.dumps(verdict, indent=2, sort_keys=True))
     else:
@@ -1352,6 +1501,146 @@ def _cmd_journal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_url(arg: Optional[str]) -> str:
+    """Daemon address: explicit flag beats $REPRO_SERVE_URL beats the
+    default localhost port."""
+    from .serve.client import DEFAULT_URL
+
+    return arg or os.environ.get("REPRO_SERVE_URL") or DEFAULT_URL
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import client as serve_client
+    from .serve.client import ServeClientError
+
+    if args.serve_command == "start":
+        from .serve.api import start_api
+        from .serve.daemon import DaemonConfig, ServeDaemon
+
+        config = DaemonConfig(
+            state_dir=args.state_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            lease_timeout=args.lease_timeout,
+            heartbeat=args.heartbeat,
+            poll=args.poll,
+            max_attempts=args.max_attempts,
+            grace=args.grace,
+        )
+        try:
+            daemon = ServeDaemon(config)
+        except (ValueError, OSError) as exc:
+            print(f"cannot start serve daemon: {exc}", file=sys.stderr)
+            return 2
+        with _GracefulShutdown() as shutdown:
+            try:
+                server = start_api(daemon, shutdown.event)
+            except OSError as exc:
+                print(
+                    f"cannot bind {args.host}:{args.port}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            host, port = server.server_address[:2]
+            print(
+                f"serve daemon on http://{host}:{port} "
+                f"(state: {daemon.store.state_dir})",
+                file=sys.stderr,
+            )
+            try:
+                status = daemon.run_forever(shutdown.event)
+            except KeyboardInterrupt:
+                # Second signal (force-quit): leases stay in the log;
+                # the next start on this state dir recovers them.
+                status = RESUMABLE_EXIT_CODE
+            finally:
+                server.shutdown()
+                server.server_close()  # joins in-flight request threads
+        return status
+
+    url = _serve_url(args.url)
+    try:
+        if args.serve_command == "submit":
+            spec: dict = {}
+            if args.spec is not None:
+                try:
+                    with open(args.spec) as f:
+                        loaded = json.load(f)
+                except (OSError, ValueError) as exc:
+                    print(f"cannot read spec {args.spec!r}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                if not isinstance(loaded, dict):
+                    print(f"spec {args.spec!r} must be a JSON object",
+                          file=sys.stderr)
+                    return 2
+                spec.update(loaded)
+            for flag in ("key", "scale", "faults", "seed", "jobs",
+                         "selector", "budget", "pack"):
+                value = getattr(args, flag)
+                if value is not None:
+                    spec[flag] = value
+            doc = serve_client.submit_job(args.kind, spec, url=url)
+            job_id = doc["job_id"]
+            if not args.wait:
+                if args.json_doc:
+                    print(json.dumps(doc, indent=2, sort_keys=True))
+                else:
+                    print(f"submitted {job_id} ({args.kind})")
+                return 0
+            print(f"submitted {job_id} ({args.kind}); waiting...",
+                  file=sys.stderr)
+            final = serve_client.wait_for_job(
+                job_id, url=url, timeout=args.timeout,
+            )
+            if args.json_doc:
+                print(json.dumps(final, indent=2, sort_keys=True))
+            else:
+                from .core.report import render_serve_status
+
+                print(render_serve_status(final))
+            return 0 if final.get("status") == "done" else 1
+
+        if args.serve_command == "status":
+            doc = serve_client.get_job(args.job_id, url=url)
+            if args.tail is not None:
+                doc["journal_tail"] = serve_client.job_journal(
+                    args.job_id, tail=args.tail, url=url,
+                )["lines"]
+            if args.json_doc:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                from .core.report import render_serve_status
+
+                print(render_serve_status(doc))
+            return 0
+
+        if args.serve_command == "jobs":
+            doc = serve_client.list_jobs(url=url)
+            if args.json_doc:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                from .core.report import render_serve_jobs
+
+                print(render_serve_jobs(doc))
+            return 0
+
+        if args.serve_command == "cancel":
+            doc = serve_client.cancel_job(args.job_id, url=url)
+            print(f"{doc['job_id']} cancelled")
+            return 0
+
+        # drain
+        serve_client.drain(url=url)
+        print("daemon draining (it exits 75 once in-flight jobs "
+              "checkpoint)")
+        return 0
+    except ServeClientError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -1374,6 +1663,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_guard(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "run":
             return _cmd_run(args)
     except BrokenPipeError:

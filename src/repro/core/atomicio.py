@@ -21,8 +21,10 @@ segments, golden snapshots — funnels through these helpers so a crash
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -37,7 +39,14 @@ __all__ = [
     "durable_append",
     "fsync_dir",
     "FileLock",
+    "FileLockTimeout",
 ]
+
+
+class FileLockTimeout(TimeoutError):
+    """A bounded :meth:`FileLock.acquire` expired while another process
+    held the lock.  The message names the holder ("held by pid N since
+    T") so a stuck queue is diagnosable from the exception alone."""
 
 
 def fsync_dir(directory: Union[str, os.PathLike]) -> None:
@@ -105,29 +114,47 @@ class FileLock:
             ... read-modify-write the shared directory ...
 
     ``shared=True`` takes a read (LOCK_SH) lock; the default is an
-    exclusive (LOCK_EX) lock.  Blocks until granted.  Reentrant use in
-    one process is not supported (don't nest).  Platforms without
-    ``fcntl`` get a no-op lock — atomic renames remain the last line of
-    defence there.
+    exclusive (LOCK_EX) lock.  Blocks until granted, or — with
+    ``acquire(timeout=...)`` — for at most that many seconds before
+    raising :class:`FileLockTimeout` naming the current holder.
+    Reentrant use in one process is not supported (don't nest).
+    Platforms without ``fcntl`` get a no-op lock — atomic renames
+    remain the last line of defence there.
+
+    An exclusive holder stamps ``"<pid> <iso-utc-time>"`` into the lock
+    file.  The stamp is *diagnostic only* — the flock, not the file
+    contents, is the lock — but it turns a silent contention stall into
+    an actionable "held by pid N since T" message.
     """
+
+    #: How often a bounded acquire re-polls the lock.
+    _POLL_S = 0.05
 
     def __init__(self, path: Union[str, os.PathLike], shared: bool = False) -> None:
         self.path = Path(path)
         self.shared = shared
         self._fd: Optional[int] = None
 
-    def acquire(self, blocking: bool = True) -> bool:
-        """Take the lock; with ``blocking=False`` return False instead
-        of waiting when another process (or fd) already holds it."""
-        if fcntl is None:  # pragma: no cover - non-POSIX platform
-            return True
+    def _holder(self) -> str:
+        """Best-effort description of who holds the lock, from the
+        holder stamp; falls back to the bare path when unreadable."""
+        try:
+            pid, _, since = self.path.read_text().strip().partition(" ")
+            if pid:
+                return f"held by pid {pid}" + (
+                    f" since {since}" if since else ""
+                )
+        except OSError:
+            pass
+        return "holder unknown"
+
+    def _try_acquire(self) -> bool:
+        """One non-blocking-or-blocking flock attempt; never polls."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
         op = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
-        if not blocking:
-            op |= fcntl.LOCK_NB
         try:
-            fcntl.flock(fd, op)
+            fcntl.flock(fd, op | fcntl.LOCK_NB)
         except BlockingIOError:
             os.close(fd)
             return False
@@ -135,7 +162,62 @@ class FileLock:
             os.close(fd)
             raise
         self._fd = fd
+        if not self.shared:
+            self._stamp(fd)
         return True
+
+    def _stamp(self, fd: int) -> None:
+        """Record ``pid since-time`` for :meth:`_holder` diagnostics."""
+        now = datetime.datetime.now(datetime.timezone.utc)
+        stamp = f"{os.getpid()} {now.isoformat(timespec='seconds')}\n"
+        try:
+            os.ftruncate(fd, 0)
+            os.pwrite(fd, stamp.encode(), 0)
+        except OSError:  # pragma: no cover - diagnostic only
+            pass
+
+    def acquire(
+        self, blocking: bool = True, timeout: Optional[float] = None
+    ) -> bool:
+        """Take the lock.
+
+        ``blocking=False`` returns False immediately when another
+        process (or fd) already holds it.  ``timeout=T`` waits up to
+        ``T`` seconds and then raises :class:`FileLockTimeout` with a
+        "held by pid N since T" diagnostic; ``timeout=None`` (the
+        default) waits indefinitely.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return True
+        if timeout is not None and timeout < 0:
+            raise ValueError("timeout must be >= 0 or None")
+        if not blocking:
+            return self._try_acquire()
+        if timeout is None:
+            # Unbounded wait: let the kernel block us (no poll churn).
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+            op = fcntl.LOCK_SH if self.shared else fcntl.LOCK_EX
+            try:
+                fcntl.flock(fd, op)
+            except BaseException:  # pragma: no cover - interrupted
+                os.close(fd)
+                raise
+            self._fd = fd
+            if not self.shared:
+                self._stamp(fd)
+            return True
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                raise FileLockTimeout(
+                    f"could not acquire {self.path} within "
+                    f"{timeout:g}s ({self._holder()})"
+                )
+            time.sleep(min(self._POLL_S,
+                           max(0.0, deadline - time.monotonic())))
 
     def release(self) -> None:
         if self._fd is None:

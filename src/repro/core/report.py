@@ -560,6 +560,8 @@ def render_bench_trend(doc) -> str:
         f"[{', '.join(kinds)}], window {doc['last']}, "
         f"tolerance {doc['tolerance'] * 100:g}%"
     )
+    if doc.get("since"):
+        header += f", since {doc['since']}"
     lines = [header]
     order = {"regression": 0, "improved": 1, "ok": 2, "new": 3, "info": 4}
     names = sorted(
@@ -618,3 +620,53 @@ def render_metric_store(listing) -> str:
         f"metric store {listing['store']}: "
         f"{len(listing['documents'])} document(s)\n" + table
     )
+
+
+def render_serve_jobs(doc) -> str:
+    """Render the ``repro serve jobs`` listing."""
+    jobs = doc.get("jobs", [])
+    if not jobs:
+        return "no jobs submitted"
+    rows = [
+        [
+            j["job_id"], j["kind"], j["status"], j["attempt"],
+            j.get("requeues", 0),
+            next(iter(j.get("digests", {}).values()), None)
+            or j.get("error", "-")[:40] or "-",
+        ]
+        for j in jobs
+    ]
+    table = render_table(
+        ["job", "kind", "status", "attempt", "requeues", "digest/error"],
+        rows,
+    )
+    return f"{len(jobs)} job(s)\n" + table
+
+
+def render_serve_status(doc) -> str:
+    """Render one job's status document (``repro serve status``)."""
+    lines = [
+        f"{doc['job_id']}: {doc['status']} "
+        f"(kind {doc['kind']}, attempt {doc['attempt']}, "
+        f"{doc.get('requeues', 0)} requeue(s))"
+    ]
+    if doc.get("last_requeue_reason"):
+        lines.append(f"  last requeue: {doc['last_requeue_reason']}")
+    if doc.get("worker_pid"):
+        lines.append(f"  worker pid: {doc['worker_pid']}")
+    if doc.get("error"):
+        lines.append(f"  error: {doc['error']}")
+    for kind, digest in sorted(doc.get("digests", {}).items()):
+        lines.append(f"  metric digest ({kind}): {digest}")
+    result = doc.get("result")
+    if result:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(result.items()) if k != "kind"
+        )
+        if detail:
+            lines.append(f"  result: {detail}")
+    tail = doc.get("journal_tail")
+    if tail:
+        lines.append(f"  journal tail ({len(tail)} record(s)):")
+        lines.extend(f"    {line}" for line in tail)
+    return "\n".join(lines)

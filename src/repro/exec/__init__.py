@@ -25,6 +25,7 @@ Usage::
 """
 
 from .tasks import GUARD_INJECTIONS, Task, decompose, execute_task, merge_results
+from .backoff import backoff_delay, backoff_schedule
 from .scheduler import Scheduler, TaskResult, effective_jobs
 from .cache import (
     DEFAULT_CACHE_DIR,
@@ -68,6 +69,8 @@ __all__ = [
     "merge_results",
     "Scheduler",
     "TaskResult",
+    "backoff_delay",
+    "backoff_schedule",
     "effective_jobs",
     "CacheStats",
     "ResultCache",

@@ -1,0 +1,89 @@
+"""Deterministic exponential backoff with seeded decorrelated jitter.
+
+Retry storms are the classic way a recovering system knocks itself
+back over: every failed worker re-dispatches at the same instant, the
+shared resource (here: the process pool, the job log, the CPU) takes
+the whole herd at once, and the retry fails again.  The textbook fix
+is exponential backoff with jitter — but naive ``random()`` jitter
+makes retry schedules unreproducible, which this repo cannot afford:
+the serve daemon's lease re-dispatch and the scheduler's fresh-pool
+retries must behave byte-identically across runs so crash-recovery
+tests (and postmortems) can replay them.
+
+:func:`backoff_delay` is therefore a **pure function** of
+``(key, attempt)`` plus explicit knobs: the jitter comes from a SHA-256
+hash of ``(seed, key, attempt)``, not a PRNG stream, so any party —
+scheduler, daemon, test — computes the identical delay without shared
+state.  Distinct keys (job ids, task labels) decorrelate from each
+other, repeated attempts of one key spread across a doubling window,
+and ``cap`` bounds the worst case::
+
+    delay(attempt) ∈ [window/2, window),  window = min(cap, base·2^attempt)
+
+so attempt 0 retries quickly (sub-``base``), attempt k waits roughly
+``base·2^k`` with ±50% decorrelation, and nothing ever waits longer
+than ``cap`` seconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = ["DEFAULT_BASE", "DEFAULT_CAP", "backoff_delay", "backoff_schedule"]
+
+#: default first-retry window in seconds (attempt 0 waits < this).
+DEFAULT_BASE = 0.25
+
+#: default ceiling: no single wait exceeds this many seconds.
+DEFAULT_CAP = 30.0
+
+
+def _unit_hash(seed: int, key: str, attempt: int) -> float:
+    """Deterministic jitter in ``[0, 1)`` from ``(seed, key, attempt)``."""
+    digest = hashlib.sha256(
+        f"backoff:{seed}:{key}:{attempt}".encode()
+    ).digest()
+    (word,) = struct.unpack(">Q", digest[:8])
+    return word / 2**64
+
+
+def backoff_delay(
+    key: str,
+    attempt: int,
+    base: float = DEFAULT_BASE,
+    cap: float = DEFAULT_CAP,
+    seed: int = 0,
+) -> float:
+    """Seconds to wait before retry number ``attempt`` of ``key``.
+
+    Pure in its arguments: the same ``(key, attempt, base, cap, seed)``
+    always yields the same delay, different keys land at decorrelated
+    points of the same exponential window, and the result is always in
+    ``[base/2 · min(2^attempt, cap/base), min(base·2^attempt, cap))``.
+    ``attempt`` counts completed failures: 0 = first retry.
+    """
+    if attempt < 0:
+        raise ValueError(f"attempt must be >= 0, got {attempt}")
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base}")
+    if cap < base:
+        raise ValueError(f"cap must be >= base, got cap={cap} base={base}")
+    window = min(cap, base * (2.0 ** attempt))
+    return (window / 2.0) * (1.0 + _unit_hash(seed, key, attempt))
+
+
+def backoff_schedule(
+    key: str,
+    attempts: int,
+    base: float = DEFAULT_BASE,
+    cap: float = DEFAULT_CAP,
+    seed: int = 0,
+) -> list:
+    """The full retry schedule ``[delay(0), ..., delay(attempts-1)]`` —
+    what a postmortem (or a test) prints to see exactly when a job was,
+    or will be, re-dispatched."""
+    return [
+        backoff_delay(key, a, base=base, cap=cap, seed=seed)
+        for a in range(attempts)
+    ]

@@ -44,6 +44,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from ..guard.monitor import GuardConfig, GuardMonitor, guarding
 from ..obs import TraceRecorder, recording
+from .backoff import DEFAULT_CAP, backoff_delay
 from .tasks import Task, execute_task
 
 __all__ = ["Scheduler", "TaskResult", "effective_jobs"]
@@ -180,8 +181,11 @@ class Scheduler:
     inline (or gave up on the pool), if it did — surfaced in
     ``--stats`` so a silent fallback is still observable.
     ``task_timeout`` is the per-task wall-clock bound (pool mode only);
-    ``retries`` bounds fresh-pool retries after a broken pool, with
-    ``backoff * 2**attempt`` seconds between them.
+    ``retries`` bounds fresh-pool retries after a broken pool, with a
+    deterministic jittered exponential delay between them
+    (:func:`~repro.exec.backoff.backoff_delay` keyed on the first
+    pending task — ``backoff`` is the base window, ``backoff_cap`` the
+    ceiling, so the retry schedule replays identically run-to-run).
 
     Graceful shutdown: when ``cancel_event`` (a :class:`threading.Event`,
     typically set by a SIGINT/SIGTERM handler) fires mid-map, the
@@ -201,6 +205,7 @@ class Scheduler:
         task_timeout: Optional[float] = None,
         retries: int = 1,
         backoff: float = 0.25,
+        backoff_cap: float = DEFAULT_CAP,
         cancel_event: Optional[threading.Event] = None,
         grace: float = 5.0,
         heartbeat_timeout: Optional[float] = None,
@@ -214,9 +219,12 @@ class Scheduler:
             raise ValueError("grace must be >= 0")
         if heartbeat_timeout is not None and heartbeat_timeout <= 0:
             raise ValueError("heartbeat_timeout must be positive or None")
+        if backoff <= 0:
+            raise ValueError("backoff must be positive")
         self.task_timeout = task_timeout
         self.retries = retries
         self.backoff = backoff
+        self.backoff_cap = max(backoff, backoff_cap)
         self.cancel_event = cancel_event
         self.grace = grace
         self.heartbeat_timeout = heartbeat_timeout
@@ -574,6 +582,11 @@ class Scheduler:
                         "exhausted",
                     ))
                 break
-            time.sleep(self.backoff * (2 ** attempt))
+            # Deterministic jittered delay keyed on the first pending
+            # task: the same run replays the same retry schedule.
+            time.sleep(backoff_delay(
+                tasks[pending[0]].label, attempt,
+                base=self.backoff, cap=self.backoff_cap,
+            ))
             attempt += 1
         return results  # type: ignore[return-value]

@@ -623,6 +623,7 @@ def bench_trend(
     last: int = 10,
     kind: Optional[str] = None,
     tolerance: float = DEFAULT_TOLERANCE,
+    since: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Direction-aware trend verdict over the store's last documents.
 
@@ -633,12 +634,37 @@ def bench_trend(
     preceding value for ``exact`` metrics.  A metric with no history is
     ``new``; ``info`` metrics are listed but never gate.  The verdict is
     deterministic in the store contents alone.
+
+    ``since`` windows the history on provenance instead of count: every
+    document *older* than the first whose recorded ``meta.git_sha``
+    matches the given (prefix) sha is dropped before the ``last``
+    window applies.  An old accepted regression stops tripping the
+    gate once you rebaseline with ``--since`` at the sha that landed
+    it.  A sha no document carries is an error, never a silent
+    full-history pass.
     """
     if last < 1:
         raise ValueError(f"last must be >= 1, got {last}")
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
-    loaded = store.load_last(last, kind=kind)
+    if since is not None:
+        if not since:
+            raise ValueError("since must be a non-empty sha (prefix)")
+        everything = store.load_last(None, kind=kind)
+        start = next(
+            (i for i, (_, d) in enumerate(everything)
+             if str(d.get("meta", {}).get("git_sha") or "")
+             .startswith(since)),
+            None,
+        )
+        if start is None:
+            raise ValueError(
+                f"--since {since!r}: no document in the store records "
+                "that git sha"
+            )
+        loaded = everything[start:][-last:]
+    else:
+        loaded = store.load_last(last, kind=kind)
     by_kind: Dict[str, List[Tuple[Path, Dict[str, Any]]]] = {}
     for path, doc in loaded:
         by_kind.setdefault(doc["kind"], []).append((path, doc))
@@ -713,6 +739,8 @@ def bench_trend(
     }
     if kind is not None:
         verdict["kind"] = kind
+    if since is not None:
+        verdict["since"] = since
     if scenarios is not None:
         verdict["scenarios"] = scenarios
     return verdict

@@ -1,0 +1,136 @@
+"""urllib client for the serve daemon's HTTP API.
+
+What ``repro serve submit|status|jobs|drain`` talk through — thin,
+stdlib-only, and symmetric with :mod:`repro.serve.api`: every function
+is one endpoint, returns the decoded JSON document, and raises
+:class:`ServeClientError` with the server's own error message on a
+non-2xx status (or a connection failure, which carries a "is the
+daemon running?" hint).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "ServeClientError",
+    "cancel_job",
+    "drain",
+    "get_job",
+    "healthz",
+    "job_journal",
+    "job_metrics",
+    "job_result",
+    "list_jobs",
+    "submit_job",
+    "wait_for_job",
+]
+
+DEFAULT_URL = "http://127.0.0.1:8750"
+
+
+class ServeClientError(RuntimeError):
+    """A serve API call that failed (HTTP error or unreachable daemon)."""
+
+
+def _request(
+    url: str,
+    path: str,
+    method: str = "GET",
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = 30.0,
+) -> Dict[str, Any]:
+    full = url.rstrip("/") + path
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(
+        full, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            doc = json.loads(exc.read())
+            message = doc.get("error", str(exc))
+        except ValueError:
+            message = str(exc)
+        raise ServeClientError(message) from None
+    except urllib.error.URLError as exc:
+        raise ServeClientError(
+            f"cannot reach serve daemon at {url!r}: {exc.reason} "
+            "(is it running? start with: repro serve start)"
+        ) from None
+
+
+def healthz(url: str = DEFAULT_URL) -> Dict[str, Any]:
+    return _request(url, "/healthz")
+
+
+def list_jobs(url: str = DEFAULT_URL) -> Dict[str, Any]:
+    return _request(url, "/api/jobs")
+
+
+def submit_job(
+    kind: str, spec: Dict[str, Any], url: str = DEFAULT_URL
+) -> Dict[str, Any]:
+    return _request(url, "/api/jobs", method="POST",
+                    body={"kind": kind, "spec": spec})
+
+
+def get_job(job_id: str, url: str = DEFAULT_URL) -> Dict[str, Any]:
+    return _request(url, f"/api/jobs/{job_id}")
+
+
+def job_journal(
+    job_id: str, tail: Optional[int] = None, url: str = DEFAULT_URL
+) -> Dict[str, Any]:
+    suffix = f"?tail={tail}" if tail is not None else ""
+    return _request(url, f"/api/jobs/{job_id}/journal{suffix}")
+
+
+def job_result(job_id: str, url: str = DEFAULT_URL) -> Dict[str, Any]:
+    return _request(url, f"/api/jobs/{job_id}/result")
+
+
+def job_metrics(job_id: str, url: str = DEFAULT_URL) -> Dict[str, Any]:
+    return _request(url, f"/api/jobs/{job_id}/metrics")
+
+
+def cancel_job(job_id: str, url: str = DEFAULT_URL) -> Dict[str, Any]:
+    return _request(url, f"/api/jobs/{job_id}/cancel", method="POST")
+
+
+def drain(url: str = DEFAULT_URL) -> Dict[str, Any]:
+    try:
+        return _request(url, "/api/drain", method="POST")
+    except (http.client.IncompleteRead, ConnectionResetError):
+        # The daemon honoured the drain so promptly it exited before
+        # the response finished — that IS success.
+        return {"draining": True}
+
+
+def wait_for_job(
+    job_id: str,
+    url: str = DEFAULT_URL,
+    timeout: Optional[float] = None,
+    poll: float = 0.5,
+) -> Dict[str, Any]:
+    """Poll until the job reaches a terminal state; returns its final
+    status document.  Raises :class:`ServeClientError` on timeout."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        doc = get_job(job_id, url=url)
+        if doc.get("status") in ("done", "failed", "cancelled"):
+            return doc
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ServeClientError(
+                f"timed out after {timeout:g}s waiting for {job_id} "
+                f"(status: {doc.get('status')})"
+            )
+        time.sleep(poll)

@@ -1,0 +1,369 @@
+"""The serve daemon's durable job database.
+
+One append-only, fsync'd, checksummed JSONL file (``jobs.log``) is the
+single source of truth for the queue.  It reuses the exact record
+discipline of :mod:`repro.exec.journal` — each line is
+``encode_record``-framed (canonical JSON + sha256[:16] ``check``), a
+torn final line is dropped silently, a corrupt interior line is
+skipped and counted — so the recovery guarantees proven for run
+journals carry over to the job queue verbatim.
+
+State-dir layout::
+
+    STATE_DIR/
+      serve.lock          advisory FileLock serialising appends + ids
+      jobs.log            the job WAL (this module)
+      journals/JOB.jsonl  per-job run journal (repro.exec.journal)
+      results/JOB.json    final result document (atomic_write_text)
+      metrics/            MetricsStore of per-job metric documents
+
+Record vocabulary (``type`` field):
+
+* ``job_submitted`` — id, kind (run/faults/campaign/autopilot), spec
+* ``job_leased``    — id, attempt, worker pid, lease timeout
+* ``job_heartbeat`` — id, worker pid (refreshes lease freshness)
+* ``job_requeued``  — id, next attempt, reason
+  (``lease-expired`` / ``drain`` / ``daemon-restart``), backoff delay
+* ``job_done``      — id, metric-document digest(s), result summary
+* ``job_failed``    — id, typed terminal error
+* ``job_cancelled`` — id (sticky: wins over a racing ``job_done``)
+
+Replay is last-record-wins per job, with one exception: a cancel is
+*sticky-terminal* — once a job is cancelled, no later record revives
+it, so a worker that finishes after the cancel cannot resurrect the
+job.  Every record carries a wall-clock ``t``; time drives *lease
+expiry and backoff gating only*, never results or digests, so the
+queue's outputs stay deterministic while its scheduling is temporal.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.atomicio import FileLock, fsync_dir
+from ..exec.backoff import backoff_delay
+from ..exec.journal import JournalError, decode_record, encode_record
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_TERMINAL_STATUSES",
+    "JobRecord",
+    "JobStore",
+    "ServeState",
+    "ServeStoreError",
+    "job_backoff",
+]
+
+#: Job kinds a worker knows how to execute.
+JOB_KINDS = ("run", "faults", "campaign", "autopilot")
+
+#: Statuses from which a job never leaves.
+JOB_TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+#: Backoff knobs for lease re-dispatch (shared helper with the
+#: scheduler's fresh-pool retries; see :mod:`repro.exec.backoff`).
+REDISPATCH_BASE_S = 0.25
+REDISPATCH_CAP_S = 30.0
+
+
+class ServeStoreError(ValueError):
+    """A job-store operation that cannot be honoured (unknown job,
+    unknown kind, malformed state dir)."""
+
+
+def job_backoff(job_id: str, attempt: int) -> float:
+    """Seconds a re-dispatched job waits before becoming leasable —
+    the pure deterministic function of ``(job_id, attempt)`` the
+    acceptance contract demands."""
+    return backoff_delay(
+        job_id, attempt, base=REDISPATCH_BASE_S, cap=REDISPATCH_CAP_S
+    )
+
+
+@dataclass
+class JobRecord:
+    """One job's replayed view: the fold of its log records."""
+
+    job_id: str
+    kind: str
+    spec: Dict[str, Any]
+    submitted_at: float
+    status: str = "queued"  # queued | leased | done | failed | cancelled
+    attempt: int = 0  # completed lease attempts (0 = never leased)
+    worker_pid: Optional[int] = None
+    lease_timeout: Optional[float] = None
+    leased_at: Optional[float] = None
+    heartbeat_at: Optional[float] = None
+    not_before: float = 0.0  # backoff gate: leasable once now >= this
+    requeues: int = 0
+    last_requeue_reason: Optional[str] = None
+    error: Optional[str] = None
+    digests: Dict[str, str] = field(default_factory=dict)
+    result_summary: Optional[Dict[str, Any]] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in JOB_TERMINAL_STATUSES
+
+    def leasable(self, now: float) -> bool:
+        return self.status == "queued" and now >= self.not_before
+
+    def lease_stale(self, now: float) -> bool:
+        """True when the job is leased but its worker has gone silent
+        longer than the lease timeout — the re-dispatch trigger."""
+        if self.status != "leased" or self.lease_timeout is None:
+            return False
+        freshest = max(self.heartbeat_at or 0.0, self.leased_at or 0.0)
+        return now - freshest > self.lease_timeout
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The status document the API and CLI render."""
+        doc: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "attempt": self.attempt,
+            "requeues": self.requeues,
+            "submitted_at": self.submitted_at,
+            "spec": self.spec,
+        }
+        if self.worker_pid is not None and self.status == "leased":
+            doc["worker_pid"] = self.worker_pid
+        if self.last_requeue_reason:
+            doc["last_requeue_reason"] = self.last_requeue_reason
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.digests:
+            doc["digests"] = dict(self.digests)
+        if self.result_summary is not None:
+            doc["result"] = self.result_summary
+        if self.finished_at is not None:
+            doc["finished_at"] = self.finished_at
+        return doc
+
+
+@dataclass
+class ServeState:
+    """The whole queue, replayed from ``jobs.log``."""
+
+    jobs: Dict[str, JobRecord] = field(default_factory=dict)
+    records: int = 0
+    corrupt_records: int = 0
+    torn_tail: bool = False
+
+    def by_status(self) -> Dict[str, int]:
+        depths = {s: 0 for s in
+                  ("queued", "leased", "done", "failed", "cancelled")}
+        for job in self.jobs.values():
+            depths[job.status] = depths.get(job.status, 0) + 1
+        return depths
+
+    def unfinished(self) -> List[JobRecord]:
+        return [j for j in self.jobs.values() if not j.terminal]
+
+
+def _apply(state: ServeState, rec: Dict[str, Any]) -> None:
+    """Fold one decoded record into the replayed state."""
+    kind = rec.get("type")
+    t = float(rec.get("t", 0.0))
+    if kind == "job_submitted":
+        state.jobs[rec["job"]] = JobRecord(
+            job_id=rec["job"],
+            kind=rec["kind"],
+            spec=rec.get("spec") or {},
+            submitted_at=t,
+            not_before=t,
+        )
+        return
+    job = state.jobs.get(rec.get("job", ""))
+    if job is None:
+        return  # orphan record (its submit was corrupt): ignore
+    if job.status == "cancelled":
+        return  # sticky-terminal: nothing revives a cancelled job
+    if kind == "job_leased":
+        job.status = "leased"
+        job.attempt = int(rec.get("attempt", job.attempt + 1))
+        job.worker_pid = rec.get("pid")
+        job.lease_timeout = rec.get("timeout")
+        job.leased_at = t
+        job.heartbeat_at = t
+    elif kind == "job_heartbeat":
+        if job.status == "leased":
+            job.heartbeat_at = t
+    elif kind == "job_requeued":
+        job.status = "queued"
+        job.attempt = int(rec.get("attempt", job.attempt))
+        job.worker_pid = None
+        job.requeues += 1
+        job.last_requeue_reason = rec.get("reason")
+        job.not_before = t + float(rec.get("delay", 0.0))
+    elif kind == "job_done":
+        job.status = "done"
+        job.digests = dict(rec.get("digests") or {})
+        job.result_summary = rec.get("result")
+        job.error = None
+        job.finished_at = t
+    elif kind == "job_failed":
+        job.status = "failed"
+        job.error = rec.get("error")
+        job.finished_at = t
+    elif kind == "job_cancelled":
+        job.status = "cancelled"
+        job.worker_pid = None
+        job.finished_at = t
+    # unknown record types are ignored (forward compatibility)
+
+
+class JobStore:
+    """Filesystem handle on one serve state directory.
+
+    All appends and id assignment happen under the ``serve.lock``
+    FileLock so the daemon, its workers, and any CLI client can share
+    the log safely; reads replay the log without locking (the WAL
+    framing makes a mid-append read safe — the unfinished line fails
+    its checksum and is dropped as a torn tail).
+    """
+
+    LOCK_NAME = "serve.lock"
+    LOG_NAME = "jobs.log"
+
+    def __init__(self, state_dir: Union[str, os.PathLike]) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.state_dir / self.LOG_NAME
+        self.journals_dir = self.state_dir / "journals"
+        self.results_dir = self.state_dir / "results"
+        self.metrics_dir = self.state_dir / "metrics"
+
+    def _lock(self) -> FileLock:
+        return FileLock(self.state_dir / self.LOCK_NAME)
+
+    # -- append side -------------------------------------------------------
+    def append(self, doc: Dict[str, Any], t: Optional[float] = None) -> None:
+        """Durably append one record (lock → write → fsync → unlock)."""
+        doc = {**doc, "t": time.time() if t is None else t}
+        with self._lock():
+            existed = self.log_path.exists()
+            with open(self.log_path, "a") as f:
+                f.write(encode_record(doc))
+                f.flush()
+                os.fsync(f.fileno())
+            if not existed:
+                fsync_dir(self.state_dir)
+
+    def submit(self, kind: str, spec: Dict[str, Any]) -> str:
+        """Assign the next ``job-NNNNNN`` id and journal the submit."""
+        if kind not in JOB_KINDS:
+            raise ServeStoreError(
+                f"unknown job kind {kind!r} (expected one of "
+                f"{', '.join(JOB_KINDS)})"
+            )
+        if not isinstance(spec, dict):
+            raise ServeStoreError("job spec must be a JSON object")
+        with self._lock():
+            state = self.load()
+            seq = 1 + max(
+                (int(j.split("-")[-1]) for j in state.jobs
+                 if j.startswith("job-")), default=0,
+            )
+            job_id = f"job-{seq:06d}"
+            doc = {
+                "type": "job_submitted",
+                "job": job_id,
+                "kind": kind,
+                "spec": spec,
+                "t": time.time(),
+            }
+            existed = self.log_path.exists()
+            with open(self.log_path, "a") as f:
+                f.write(encode_record(doc))
+                f.flush()
+                os.fsync(f.fileno())
+            if not existed:
+                fsync_dir(self.state_dir)
+        return job_id
+
+    # -- record vocabulary -------------------------------------------------
+    def job_leased(
+        self, job_id: str, attempt: int, pid: int, timeout: float
+    ) -> None:
+        self.append({
+            "type": "job_leased", "job": job_id, "attempt": attempt,
+            "pid": pid, "timeout": timeout,
+        })
+
+    def job_heartbeat(self, job_id: str, pid: int) -> None:
+        self.append({"type": "job_heartbeat", "job": job_id, "pid": pid})
+
+    def job_requeued(
+        self, job_id: str, attempt: int, reason: str, delay: float
+    ) -> None:
+        self.append({
+            "type": "job_requeued", "job": job_id, "attempt": attempt,
+            "reason": reason, "delay": delay,
+        })
+
+    def job_done(
+        self,
+        job_id: str,
+        digests: Dict[str, str],
+        result: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        doc: Dict[str, Any] = {
+            "type": "job_done", "job": job_id, "digests": digests,
+        }
+        if result is not None:
+            doc["result"] = result
+        self.append(doc)
+
+    def job_failed(self, job_id: str, error: str) -> None:
+        self.append({"type": "job_failed", "job": job_id, "error": error})
+
+    def job_cancelled(self, job_id: str) -> None:
+        self.append({"type": "job_cancelled", "job": job_id})
+
+    # -- read side ---------------------------------------------------------
+    def load(self) -> ServeState:
+        """Replay ``jobs.log`` with the WAL recovery rules: torn tail
+        dropped, corrupt interior skipped and counted."""
+        state = ServeState()
+        if not self.log_path.exists():
+            return state
+        raw = self.log_path.read_text()
+        lines = raw.split("\n")
+        ends_clean = raw.endswith("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            last = i == len(lines) - 1
+            try:
+                rec = decode_record(line)
+            except JournalError:
+                if last and not ends_clean:
+                    state.torn_tail = True
+                else:
+                    state.corrupt_records += 1
+                continue
+            state.records += 1
+            _apply(state, rec)
+        return state
+
+    def get(self, job_id: str) -> JobRecord:
+        job = self.load().jobs.get(job_id)
+        if job is None:
+            raise ServeStoreError(f"unknown job {job_id!r}")
+        return job
+
+    # -- per-job artifacts -------------------------------------------------
+    def journal_path(self, job_id: str) -> Path:
+        self.journals_dir.mkdir(parents=True, exist_ok=True)
+        return self.journals_dir / f"{job_id}.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        return self.results_dir / f"{job_id}.json"

@@ -26,12 +26,12 @@ def _run(capsys, argv):
     return status, captured.out, captured.err
 
 
-def _bench_doc(events_per_sec, seconds, speedup):
+def _bench_doc(events_per_sec, seconds, speedup, sha="cafe"):
     """A bench document shaped like the simcore suite's fig3 entry."""
     return {
         "schema": SCHEMA_VERSION,
         "kind": "bench",
-        "meta": {"git_sha": "cafe", "sim_core": "batched",
+        "meta": {"git_sha": sha, "sim_core": "batched",
                  "suite": "simcore"},
         "metrics": {
             "bench.figures.fig3_collectives.batched_events_per_sec":
@@ -195,6 +195,76 @@ class TestUsageErrors:
         status, out, _ = _run(capsys, ["bench", "trend"])
         assert status == 0
         assert "bench trend:" in out
+
+
+class TestSinceWindow:
+    """``--since SHA`` re-baselines the gate at a recorded commit, so
+    an old (already-acknowledged) regression stops tripping it."""
+
+    def _seed_rebaselined_history(self, store_dir):
+        # Two fast runs at the old commit, then an intentional slowdown
+        # shipped at commit bbbb2222 — the new, accepted baseline.
+        _seed_store(
+            store_dir,
+            _bench_doc(1_000_000, 4.0, 2.4, sha="aaaa1111"),
+            _bench_doc(1_010_000, 4.0, 2.4, sha="aaaa1111"),
+            _bench_doc(700_000, 4.0, 2.4, sha="bbbb2222"),
+            _bench_doc(705_000, 4.0, 2.4, sha="bbbb2222"),
+        )
+
+    def test_old_regression_trips_the_unwindowed_gate(
+        self, capsys, store_dir,
+    ):
+        self._seed_rebaselined_history(store_dir)
+        status, out, _ = _run(capsys, ["bench", "trend", "--store",
+                                       store_dir])
+        assert status == 1
+        assert "REGRESSED" in out
+
+    def test_since_rebaseline_stops_the_gate_tripping(
+        self, capsys, store_dir,
+    ):
+        self._seed_rebaselined_history(store_dir)
+        status, out, _ = _run(capsys, ["bench", "trend", "--store",
+                                       store_dir, "--since", "bbbb2222"])
+        assert status == 0
+        assert "OK: no regression beyond tolerance" in out
+        assert "since bbbb2222" in out
+
+    def test_since_accepts_a_sha_prefix(self, capsys, store_dir):
+        self._seed_rebaselined_history(store_dir)
+        status, _, _ = _run(capsys, ["bench", "trend", "--store",
+                                     store_dir, "--since", "bbbb"])
+        assert status == 0
+
+    def test_since_window_composes_with_last(self, capsys, store_dir):
+        self._seed_rebaselined_history(store_dir)
+        # --last 1 inside the since-window: a single document, trivially
+        # no regression.
+        status, out, _ = _run(capsys, ["bench", "trend", "--store",
+                                       store_dir, "--since", "aaaa1111",
+                                       "--last", "1"])
+        assert status == 0
+
+    def test_since_verdict_is_recorded_in_json(self, capsys, store_dir):
+        self._seed_rebaselined_history(store_dir)
+        status, out, _ = _run(capsys, ["bench", "trend", "--store",
+                                       store_dir, "--since", "bbbb2222",
+                                       "--json"])
+        assert status == 0
+        verdict = json.loads(out)
+        assert verdict["ok"] is True
+        assert verdict["since"] == "bbbb2222"
+        assert len(verdict["documents"]) == 2
+
+    def test_unknown_sha_is_a_usage_error(self, capsys, store_dir):
+        self._seed_rebaselined_history(store_dir)
+        status, out, err = _run(capsys, ["bench", "trend", "--store",
+                                         store_dir, "--since", "deadbeef"])
+        assert status == 2
+        assert out == ""
+        assert "deadbeef" in err
+        assert "no document" in err
 
 
 class TestBenchList:

@@ -1,0 +1,270 @@
+"""Crash-tolerance acceptance tests: SIGKILL the daemon and its
+workers mid-campaign, restart, and the final metric-document digest is
+byte-identical to the direct CLI invocation.
+
+These drive the *real* ``repro serve start`` subprocess over its HTTP
+API (ephemeral port, parsed from the daemon's announce line), so what
+is under test is the full production stack: CLI wiring, durable job
+log, per-job run journal, orphan workers, lease expiry, re-dispatch.
+
+The headline guarantees:
+
+* ``kill -9`` of the daemon loses nothing — a restart on the same
+  state directory resumes every in-flight job (killing the worker too
+  forces a genuine journal resume, not a lucky orphan finish);
+* ``kill -9`` of a leased worker mid-campaign re-dispatches the job
+  and the resumed run's digest matches an uninterrupted one;
+* SIGTERM drains: the daemon stops leasing, checkpoints, exits 75
+  with a resume hint — and the resumed daemon still converges to the
+  identical digest.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import client as sc
+
+pytestmark = pytest.mark.slow
+
+_REPO = Path(__file__).resolve().parent.parent
+_ENV = dict(os.environ, PYTHONPATH=str(_REPO / "src"))
+
+#: A campaign spec small enough to finish in seconds but with enough
+#: scenario tasks that a kill lands mid-run.
+_CAMPAIGN_SPEC = {"selector": "mixed-chaos", "budget": 6}
+
+
+def _cli_campaign_digest(tmp_path, budget=_CAMPAIGN_SPEC["budget"]):
+    """The digest the equivalent direct CLI invocation stamps."""
+    metrics_dir = tmp_path / "cli-metrics"
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "run", "mixed-chaos",
+         "--budget", str(budget),
+         "--metrics-dir", str(metrics_dir)],
+        capture_output=True, text=True, env=_ENV, cwd=str(_REPO),
+        timeout=600,
+    )
+    assert out.returncode == 0, out.stderr
+    paths = sorted(metrics_dir.glob("metrics-*.json"))
+    assert len(paths) == 1
+    return json.loads(paths[0].read_text())["digest"]
+
+
+class _Daemon:
+    """A real ``repro serve start`` subprocess on an ephemeral port."""
+
+    _ANNOUNCE = re.compile(r"serve daemon on (http://[^ ]+) ")
+
+    def __init__(self, state_dir, **flags):
+        argv = [
+            sys.executable, "-m", "repro", "serve", "start",
+            "--state-dir", str(state_dir), "--port", "0",
+            "--workers", "1", "--lease-timeout", "3",
+            "--heartbeat", "0.2", "--poll", "0.1", "--grace", "10",
+        ]
+        for flag, value in flags.items():
+            argv += [f"--{flag.replace('_', '-')}", str(value)]
+        self.proc = subprocess.Popen(
+            argv, env=_ENV, cwd=str(_REPO),
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        )
+        self.url = self._parse_announce()
+
+    def _parse_announce(self, timeout=60.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                break
+            match = self._ANNOUNCE.search(line)
+            if match:
+                return match.group(1)
+        raise AssertionError("daemon never announced its address")
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait()
+
+    def sigterm(self):
+        self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout=120.0):
+        try:
+            return self.proc.wait(timeout=timeout)
+        finally:
+            self.proc.stderr.close()
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        self.proc.stderr.close()
+
+
+def _wait_journal_progress(state_dir, job_id, timeout=120.0):
+    """Block until the job's per-job run journal holds records — the
+    kill lands after durable progress, so the resume is a real one."""
+    path = Path(state_dir) / "journals" / f"{job_id}.jsonl"
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if path.exists() and path.stat().st_size > 0:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"no journal progress for {job_id} in {timeout}s")
+
+
+def _worker_pid(url, job_id, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        doc = sc.get_job(job_id, url=url)
+        if doc.get("worker_pid"):
+            return doc["worker_pid"]
+        time.sleep(0.05)
+    raise AssertionError(f"{job_id} never leased within {timeout}s")
+
+
+def _kill_pid(pid):
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+
+
+class TestSigkillDaemon:
+    def test_restart_completes_campaign_with_identical_digest(
+        self, tmp_path,
+    ):
+        state_dir = tmp_path / "state"
+        daemon = _Daemon(state_dir)
+        try:
+            job_id = sc.submit_job(
+                "campaign", _CAMPAIGN_SPEC, url=daemon.url,
+            )["job_id"]
+            pid = _worker_pid(daemon.url, job_id)
+            _wait_journal_progress(state_dir, job_id)
+        finally:
+            daemon.sigkill()  # no drain, no checkpoint courtesy
+        # Kill the orphan worker too: the restart must resume from the
+        # journal, not ride an orphan that finished on its own.
+        _kill_pid(pid)
+
+        daemon = _Daemon(state_dir)
+        try:
+            final = sc.wait_for_job(job_id, url=daemon.url,
+                                    timeout=300.0, poll=0.2)
+            assert final["status"] == "done", final
+            assert final["digests"]["campaign"] == \
+                _cli_campaign_digest(tmp_path)
+            result = sc.job_result(job_id, url=daemon.url)
+            assert result["digest"] == final["digests"]["campaign"]
+        finally:
+            daemon.stop()
+
+    def test_restart_leaves_fresh_orphan_workers_alone(self, tmp_path):
+        # A daemon SIGKILL'd while its worker is healthy must NOT
+        # double-run the job: the restarted daemon sees the orphan's
+        # fresh heartbeats and waits for it.
+        state_dir = tmp_path / "state"
+        daemon = _Daemon(state_dir, lease_timeout=30)
+        try:
+            job_id = sc.submit_job(
+                "campaign", _CAMPAIGN_SPEC, url=daemon.url,
+            )["job_id"]
+            _worker_pid(daemon.url, job_id)
+            _wait_journal_progress(state_dir, job_id)
+        finally:
+            daemon.sigkill()
+
+        daemon = _Daemon(state_dir, lease_timeout=30)
+        try:
+            final = sc.wait_for_job(job_id, url=daemon.url,
+                                    timeout=300.0, poll=0.2)
+            assert final["status"] == "done", final
+            # The orphan finished attempt 1; no requeue ever happened.
+            assert final["attempt"] == 1
+            assert final["requeues"] == 0
+            assert final["digests"]["campaign"] == \
+                _cli_campaign_digest(tmp_path)
+        finally:
+            daemon.stop()
+
+
+class TestSigkillWorker:
+    def test_redispatch_resumes_journal_to_identical_digest(
+        self, tmp_path,
+    ):
+        state_dir = tmp_path / "state"
+        daemon = _Daemon(state_dir)
+        try:
+            job_id = sc.submit_job(
+                "campaign", _CAMPAIGN_SPEC, url=daemon.url,
+            )["job_id"]
+            pid = _worker_pid(daemon.url, job_id)
+            _wait_journal_progress(state_dir, job_id)
+            _kill_pid(pid)
+            final = sc.wait_for_job(job_id, url=daemon.url,
+                                    timeout=300.0, poll=0.2)
+            assert final["status"] == "done", final
+            # If the kill raced completion, requeues may be 0; either
+            # way the digest must match the uninterrupted CLI run.
+            assert final["requeues"] in (0, 1)
+            assert final["digests"]["campaign"] == \
+                _cli_campaign_digest(tmp_path)
+        finally:
+            daemon.stop()
+
+
+class TestSigtermDrain:
+    def test_drain_exits_75_then_resume_converges(self, tmp_path):
+        state_dir = tmp_path / "state"
+        daemon = _Daemon(state_dir, grace=30)
+        try:
+            # A bigger budget than the other tests: the SIGTERM must
+            # land while the campaign is genuinely in flight.
+            job_id = sc.submit_job(
+                "campaign", {"selector": "mixed-chaos", "budget": 40},
+                url=daemon.url,
+            )["job_id"]
+            _worker_pid(daemon.url, job_id)
+            _wait_journal_progress(state_dir, job_id)
+            daemon.sigterm()
+            code = daemon.wait(timeout=120.0)
+        except BaseException:
+            daemon.stop()
+            raise
+        assert code == 75, f"drain exited {code}, wanted 75"
+        # Daemon gone; read the store directly.
+        from repro.serve.store import JobStore
+
+        job = JobStore(state_dir).get(job_id)
+        assert not job.terminal  # checkpointed, not finished
+        assert job.status == "queued"
+        assert job.last_requeue_reason == "drain"
+
+        daemon = _Daemon(state_dir)
+        try:
+            final = sc.wait_for_job(job_id, url=daemon.url,
+                                    timeout=300.0, poll=0.2)
+            assert final["status"] == "done", final
+            assert final["digests"]["campaign"] == \
+                _cli_campaign_digest(tmp_path, budget=40)
+        finally:
+            daemon.stop()
+
+    def test_drain_with_empty_queue_exits_0(self, tmp_path):
+        daemon = _Daemon(tmp_path / "state")
+        try:
+            sc.drain(url=daemon.url)
+            code = daemon.wait(timeout=60.0)
+        except BaseException:
+            daemon.stop()
+            raise
+        assert code == 0

@@ -1,0 +1,228 @@
+"""Unit tests for the serve job store, the shared deterministic
+backoff helper, and the FileLock timeout diagnostic.
+
+The durability claims under test:
+
+* the job log replays with the WAL recovery rules — last record wins,
+  a torn tail is dropped silently, a corrupt interior record is
+  skipped and counted, a cancel is sticky-terminal;
+* re-dispatch backoff is a pure function of ``(job_id, attempt)`` —
+  the acceptance criterion — bounded by the cap and decorrelated
+  across jobs;
+* ``FileLock.acquire(timeout=...)`` raises a :class:`FileLockTimeout`
+  naming the holding pid instead of blocking forever, proven against
+  a real second process.
+"""
+
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.atomicio import FileLock, FileLockTimeout
+from repro.exec.backoff import backoff_delay, backoff_schedule
+from repro.exec.journal import encode_record
+from repro.serve.store import (
+    JobStore,
+    ServeStoreError,
+    job_backoff,
+)
+
+
+class TestBackoffDeterminism:
+    def test_pure_function_of_key_and_attempt(self):
+        for attempt in range(8):
+            assert backoff_delay("job-000001", attempt) == \
+                backoff_delay("job-000001", attempt)
+        assert job_backoff("job-000042", 3) == job_backoff("job-000042", 3)
+
+    def test_distinct_keys_decorrelate(self):
+        delays = {backoff_delay(f"job-{i:06d}", 2) for i in range(20)}
+        assert len(delays) == 20  # no two jobs share a retry instant
+
+    def test_exponential_window_with_jitter_bounds(self):
+        base, cap = 0.25, 30.0
+        for attempt in range(12):
+            window = min(cap, base * 2 ** attempt)
+            d = backoff_delay("k", attempt, base=base, cap=cap)
+            assert window / 2 <= d < window
+
+    def test_cap_bounds_the_worst_case(self):
+        assert backoff_delay("k", 1000, cap=5.0) < 5.0
+
+    def test_schedule_matches_pointwise(self):
+        sched = backoff_schedule("job-000007", 5)
+        assert sched == [backoff_delay("job-000007", a) for a in range(5)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="attempt"):
+            backoff_delay("k", -1)
+        with pytest.raises(ValueError, match="base"):
+            backoff_delay("k", 0, base=0.0)
+        with pytest.raises(ValueError, match="cap"):
+            backoff_delay("k", 0, base=1.0, cap=0.5)
+
+    def test_seed_changes_the_schedule(self):
+        assert backoff_delay("k", 3, seed=0) != backoff_delay("k", 3, seed=1)
+
+
+class TestJobLogReplay:
+    def test_submit_assigns_sequential_ids(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.submit("run", {"key": "lst1"}) == "job-000001"
+        assert store.submit("campaign", {"selector": "smoke"}) == "job-000002"
+        state = store.load()
+        assert state.jobs["job-000001"].kind == "run"
+        assert state.jobs["job-000002"].status == "queued"
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ServeStoreError, match="unknown job kind"):
+            JobStore(tmp_path).submit("dance", {})
+
+    def test_lease_heartbeat_done_lifecycle(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        store.job_leased(job, 1, pid=1234, timeout=30.0)
+        assert store.get(job).status == "leased"
+        assert store.get(job).attempt == 1
+        store.job_heartbeat(job, pid=1234)
+        store.job_done(job, {"run": "abcd"}, result={"kind": "run"})
+        final = store.get(job)
+        assert final.status == "done"
+        assert final.digests == {"run": "abcd"}
+        assert final.terminal
+
+    def test_requeue_applies_backoff_gate(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        store.job_leased(job, 1, pid=1, timeout=0.1)
+        store.job_requeued(job, 2, "lease-expired", delay=3600.0)
+        rec = store.get(job)
+        assert rec.status == "queued"
+        assert rec.attempt == 2
+        assert rec.requeues == 1
+        assert not rec.leasable(time.time())  # still inside the backoff
+        assert rec.leasable(time.time() + 3601.0)
+
+    def test_last_record_wins(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        store.job_leased(job, 1, pid=1, timeout=30.0)
+        store.job_failed(job, "BrokenThing: nope")
+        assert store.get(job).status == "failed"
+        assert "BrokenThing" in store.get(job).error
+
+    def test_cancel_is_sticky_terminal(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        store.job_leased(job, 1, pid=1, timeout=30.0)
+        store.job_cancelled(job)
+        # A worker that finished after the cancel cannot revive the job.
+        store.job_done(job, {"run": "abcd"})
+        assert store.get(job).status == "cancelled"
+
+    def test_lease_staleness_uses_heartbeat_freshness(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        now = time.time()
+        store.append({"type": "job_leased", "job": job, "attempt": 1,
+                      "pid": 1, "timeout": 1.0}, t=now - 10.0)
+        assert store.get(job).lease_stale(now)
+        store.append({"type": "job_heartbeat", "job": job, "pid": 1},
+                     t=now - 0.2)
+        assert not store.get(job).lease_stale(now)
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        with open(store.log_path, "a") as f:
+            f.write('{"type": "job_done", "job": "' + job)  # torn append
+        state = store.load()
+        assert state.torn_tail
+        assert state.corrupt_records == 0
+        assert state.jobs[job].status == "queued"  # the tear never counted
+
+    def test_corrupt_interior_is_skipped_and_counted(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        with open(store.log_path, "a") as f:
+            f.write("garbage not json\n")
+            f.write(encode_record({
+                "type": "job_done", "job": job, "digests": {"run": "ff"},
+                "t": time.time(),
+            }))
+        state = store.load()
+        assert state.corrupt_records == 1
+        assert state.jobs[job].status == "done"  # later records still load
+
+    def test_unknown_record_types_are_ignored(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("run", {})
+        store.append({"type": "job_promoted", "job": job})
+        assert store.get(job).status == "queued"
+
+    def test_queue_depths(self, tmp_path):
+        store = JobStore(tmp_path)
+        a = store.submit("run", {})
+        b = store.submit("run", {})
+        store.submit("run", {})
+        store.job_leased(a, 1, pid=1, timeout=30.0)
+        store.job_cancelled(b)
+        depths = store.load().by_status()
+        assert depths == {"queued": 1, "leased": 1, "done": 0,
+                          "failed": 0, "cancelled": 1}
+
+
+class TestFileLockTimeout:
+    def test_timeout_names_the_holder(self, tmp_path):
+        lock_path = tmp_path / "contended.lock"
+        holder = subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(f"""
+                import sys, time
+                sys.path.insert(0, {str(Path(__file__).resolve().parent.parent / 'src')!r})
+                from repro.core.atomicio import FileLock
+                lock = FileLock({str(lock_path)!r})
+                lock.acquire()
+                print("held", flush=True)
+                time.sleep(60)
+            """)],
+            stdout=subprocess.PIPE, text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "held"
+            contender = FileLock(lock_path)
+            with pytest.raises(FileLockTimeout) as err:
+                contender.acquire(timeout=0.3)
+            assert f"held by pid {holder.pid}" in str(err.value)
+            assert "since" in str(err.value)
+        finally:
+            holder.kill()
+            holder.wait()
+        # The holder is dead: the lock is acquirable again.
+        assert contender.acquire(timeout=5.0)
+        contender.release()
+
+    def test_zero_timeout_fails_fast_under_contention(self, tmp_path):
+        first = FileLock(tmp_path / "l")
+        assert first.acquire()
+        second = FileLock(tmp_path / "l")
+        t0 = time.monotonic()
+        with pytest.raises(FileLockTimeout):
+            second.acquire(timeout=0.0)
+        assert time.monotonic() - t0 < 1.0
+        first.release()
+
+    def test_negative_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="timeout"):
+            FileLock(tmp_path / "l").acquire(timeout=-1.0)
+
+    def test_unbounded_and_nonblocking_paths_still_work(self, tmp_path):
+        lock = FileLock(tmp_path / "l")
+        assert lock.acquire()  # blocking default
+        assert lock.held
+        lock.release()
+        assert lock.acquire(blocking=False)
+        lock.release()
