@@ -1,0 +1,51 @@
+"""Deterministic storage-chaos harness.
+
+Seeded, pure-hash I/O fault injection threaded through the
+:mod:`repro.core.atomicio` checkpoints, plus the crashpoint campaign
+runner behind ``repro chaos crashpoints``: enumerate every durability
+point a workload performs, re-execute crashing at each point, and
+assert that recovery converges — same digests, no orphans, no fused
+records, quarantine instead of corruption.  See ``docs/CHAOS.md``.
+"""
+
+from .crashpoints import (
+    CHAOS_SCHEMA_VERSION,
+    enumerate_points,
+    freeze_crashpoint,
+    replay_crashpoint,
+    run_crashpoint,
+    run_crashpoints,
+    select_points,
+)
+from .faultio import (
+    APPEND_MODES,
+    COUNTED_OPS,
+    WRITE_MODES,
+    CountingIO,
+    CrashpointIO,
+    InjectError,
+    IOPoint,
+    mode_for,
+)
+from .workloads import WORKLOADS, Workload, make_workload
+
+__all__ = [
+    "APPEND_MODES",
+    "CHAOS_SCHEMA_VERSION",
+    "COUNTED_OPS",
+    "WORKLOADS",
+    "WRITE_MODES",
+    "CountingIO",
+    "CrashpointIO",
+    "InjectError",
+    "IOPoint",
+    "Workload",
+    "enumerate_points",
+    "freeze_crashpoint",
+    "make_workload",
+    "mode_for",
+    "replay_crashpoint",
+    "run_crashpoint",
+    "run_crashpoints",
+    "select_points",
+]

@@ -1,0 +1,333 @@
+"""Seeded, pure-hash I/O fault policies for the atomicio checkpoints.
+
+The chaos layer never patches or wraps store code: every durable write
+in the repo already funnels through :func:`repro.core.atomicio.
+atomic_write_text` / :func:`~repro.core.atomicio.durable_append`, and
+those primitives expose named *checkpoints* to an installed I/O policy
+(:func:`~repro.core.atomicio.io_policy`).  The policies here decide —
+as a pure function of ``(seed, workload, k)``, the same discipline as
+:mod:`repro.exec.backoff` and the scenario autopilot — what happens at
+durability point ``k``:
+
+* ``cut-before``     power cut before any byte lands;
+* ``torn``           a deterministic prefix of the payload lands, then
+  the power cut (the policy writes the prefix *itself*, so Python's
+  file buffering can never resurrect the rest on close);
+* ``cut-after-write``  (atomic writes) the temp file is complete but
+  the rename never happens — the classic orphan ``.tmp``;
+* ``enospc-fsync``   ``fsync`` fails with ENOSPC, process survives;
+* ``eio-replace``    (atomic writes) ``os.replace`` fails with EIO;
+* ``bitflip``        the record/file is committed with one flipped
+  byte, then the power cut — simulated media corruption, the path
+  that must end in a checksum skip or a quarantine, never a crash.
+
+A fired power cut (:class:`~repro.core.atomicio.PowerCut`) marks the
+policy *dead*: every later checkpoint raises again, so nothing in the
+same simulated process can write after the lights went out.
+
+:class:`CountingIO` is the enumeration pass — it observes the same
+checkpoints without interfering and records one :class:`IOPoint` per
+primitive invocation; :class:`CrashpointIO` replays the workload and
+injects at point ``k``; :class:`InjectError` is the small one-shot
+errno injector the store fault tests use directly.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..core.atomicio import PowerCut
+
+__all__ = [
+    "APPEND_MODES",
+    "COUNTED_OPS",
+    "WRITE_MODES",
+    "CountingIO",
+    "CrashpointIO",
+    "InjectError",
+    "IOPoint",
+    "mode_for",
+    "unit_hash",
+]
+
+#: The checkpoints that open a primitive invocation — one durability
+#: point each.  (Later checkpoints of the same invocation — ``fsync``,
+#: ``replace``, ``commit``, ``append_fsync`` — refine *where* inside
+#: the point an armed fault fires; they are not points of their own.)
+COUNTED_OPS = ("append", "write")
+
+#: Fault modes applicable to a WAL append.
+APPEND_MODES = ("cut-before", "torn", "enospc-fsync", "bitflip")
+
+#: Fault modes applicable to an atomic write.
+WRITE_MODES = (
+    "cut-before", "torn", "cut-after-write",
+    "enospc-fsync", "eio-replace", "bitflip",
+)
+
+
+def unit_hash(tag: str) -> float:
+    """Deterministic float in ``[0, 1)`` from a string tag — the same
+    sha256-first-8-bytes construction as :mod:`repro.exec.backoff`."""
+    digest = hashlib.sha256(tag.encode()).digest()
+    (word,) = struct.unpack(">Q", digest[:8])
+    return word / 2**64
+
+
+def mode_for(seed: int, workload: str, k: int, op: str) -> str:
+    """The fault mode injected at point ``k`` — pure in its arguments."""
+    modes = APPEND_MODES if op == "append" else WRITE_MODES
+    u = unit_hash(f"chaos-mode:{seed}:{workload}:{k}")
+    return modes[min(int(u * len(modes)), len(modes) - 1)]
+
+
+def _tear_length(seed: int, workload: str, k: int, payload: str) -> int:
+    """How many bytes of the payload land before a torn crash: at
+    least 1, never the whole payload (that would be a clean write)."""
+    if len(payload) <= 1:
+        return 0
+    u = unit_hash(f"chaos-tear:{seed}:{workload}:{k}")
+    return 1 + min(int(u * (len(payload) - 1)), len(payload) - 2)
+
+
+def _flip(payload: str, seed: int, workload: str, k: int) -> str:
+    """One deterministically-chosen character XOR'd with 0x01.  The
+    flip stays inside ASCII (so decoding survives — the *checksum* is
+    what must catch it), and flipping any canonical-JSON byte breaks
+    the record's ``check``."""
+    if not payload:
+        return payload
+    u = unit_hash(f"chaos-flip:{seed}:{workload}:{k}")
+    # Skip a trailing newline: flipping the framing would turn a
+    # complete record into a torn tail, which is mode "torn"'s job.
+    span = len(payload) - 1 if payload.endswith("\n") else len(payload)
+    if span <= 0:
+        return payload
+    i = min(int(u * span), span - 1)
+    return payload[:i] + chr(ord(payload[i]) ^ 0x01) + payload[i + 1:]
+
+
+@dataclass(frozen=True)
+class IOPoint:
+    """One enumerated durability point of a workload execution."""
+
+    k: int          # 1-based position in execution order
+    op: str         # "append" | "write"
+    label: str      # root-relative path of the file being written
+
+    def as_dict(self) -> dict:
+        return {"k": self.k, "op": self.op, "label": self.label}
+
+
+class _LabelMixin:
+    root: Path
+
+    def _label(self, path: Union[str, os.PathLike]) -> str:
+        p = Path(path)
+        try:
+            return p.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return p.name
+
+
+class CountingIO(_LabelMixin):
+    """The enumeration pass: record every durability point, touch
+    nothing.  Executing a workload under this policy *is* the
+    uninterrupted baseline run."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.points: list = []
+
+    def checkpoint(
+        self,
+        op: str,
+        path: Union[str, os.PathLike],
+        payload: Optional[str] = None,
+        fileobj: Any = None,
+    ) -> None:
+        if op in COUNTED_OPS:
+            self.points.append(
+                IOPoint(len(self.points) + 1, op, self._label(path))
+            )
+
+
+class CrashpointIO(_LabelMixin):
+    """Replay a workload and inject the planned fault at point ``k``.
+
+    Pure in ``(seed, workload, k)``: the mode, the tear length, and
+    the flipped byte all come from sha256 hashes of those inputs, so
+    the same crashpoint is exactly reproducible anywhere — that is
+    what makes a frozen crashpoint a *replayable* regression test.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        workload: str,
+        k: int,
+        root: Union[str, os.PathLike],
+    ) -> None:
+        self.seed = seed
+        self.workload = workload
+        self.k = k
+        self.root = Path(root)
+        self.count = 0
+        self.mode: Optional[str] = None  # resolved on reaching point k
+        self.point: Optional[IOPoint] = None
+        self.fired: Optional[str] = None  # checkpoint the fault fired at
+        self.dead = False
+        self._armed = False
+
+    # -- firing helpers ----------------------------------------------------
+    def _crash(self, at: str) -> None:
+        self.dead = True
+        self.fired = at
+        raise PowerCut(
+            f"simulated power cut at point {self.k} "
+            f"({self.mode} during {at})"
+        )
+
+    def _errno(self, at: str, err: int) -> None:
+        self._armed = False  # one-shot: the process survives an errno
+        self.fired = at
+        raise OSError(err, f"{os.strerror(err)} (injected at point {self.k})")
+
+    # -- the checkpoint hook -----------------------------------------------
+    def checkpoint(
+        self,
+        op: str,
+        path: Union[str, os.PathLike],
+        payload: Optional[str] = None,
+        fileobj: Any = None,
+    ) -> None:
+        if self.dead:
+            # Power is out: nothing else gets to touch the disk.
+            raise PowerCut("simulated power cut (process is down)")
+        if op in COUNTED_OPS:
+            self.count += 1
+            if self.count == self.k:
+                self._armed = True
+                self.mode = mode_for(self.seed, self.workload, self.k, op)
+                self.point = IOPoint(self.k, op, self._label(path))
+                self._fire_entry(op, payload, fileobj)
+            return
+        if self._armed:
+            self._fire_late(op, path)
+
+    def _fire_entry(
+        self, op: str, payload: Optional[str], fileobj: Any
+    ) -> None:
+        """Faults that fire at the opening checkpoint, before the
+        primitive writes anything itself."""
+        mode, payload = self.mode, payload or ""
+        if mode == "cut-before":
+            self._crash(op)
+        if op == "append":
+            if mode == "torn":
+                cut = _tear_length(self.seed, self.workload, self.k, payload)
+                fileobj.write(payload[:cut])
+                fileobj.flush()
+                os.fsync(fileobj.fileno())
+                self._crash(op)
+            if mode == "bitflip":
+                fileobj.write(
+                    _flip(payload, self.seed, self.workload, self.k)
+                )
+                fileobj.flush()
+                os.fsync(fileobj.fileno())
+                self._crash(op)
+            # enospc-fsync arms and waits for append_fsync.
+        elif op == "write":
+            if mode == "torn":
+                cut = _tear_length(self.seed, self.workload, self.k, payload)
+                fileobj.write(payload[:cut])
+                self._crash(op)
+            # cut-after-write / enospc-fsync / eio-replace / bitflip
+            # arm and wait for their later checkpoint.
+
+    def _fire_late(self, op: str, path: Union[str, os.PathLike]) -> None:
+        """Faults that fire at a later checkpoint of the armed
+        invocation."""
+        mode = self.mode
+        if op == "append_fsync":
+            if mode == "enospc-fsync":
+                self._errno(op, errno.ENOSPC)
+        elif op == "fsync":
+            if mode == "enospc-fsync":
+                self._errno(op, errno.ENOSPC)
+        elif op == "replace":
+            if mode == "cut-after-write":
+                self._crash(op)
+            if mode == "eio-replace":
+                self._errno(op, errno.EIO)
+            if mode == "enospc-fsync":
+                # durable=False writes never reach the fsync
+                # checkpoint; the rename hits the full disk instead.
+                self._errno(op, errno.ENOSPC)
+        elif op == "commit":
+            if mode == "bitflip":
+                self._corrupt_file(Path(path))
+                self._crash(op)
+
+    def _corrupt_file(self, path: Path) -> None:
+        """Flip one byte of the *committed* file in place — simulated
+        media corruption of an atomically-written artifact."""
+        try:
+            text = path.read_text()
+        except OSError:  # pragma: no cover - nothing landed to corrupt
+            return
+        flipped = _flip(text, self.seed, self.workload, self.k)
+        if flipped != text:
+            with open(path, "w") as f:
+                f.write(flipped)
+
+
+class InjectError:
+    """Fail the first matching checkpoint with an errno, then pass.
+
+    The direct-injection helper for store fault tests::
+
+        with io_policy(InjectError("fsync", errno.ENOSPC)):
+            store.write(doc)      # raises OSError(ENOSPC)
+
+    ``path_contains`` narrows the target to paths containing the
+    substring (so a test can fail the metrics write but not the lock
+    stamp).  ``count`` injects that many times before passing.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        err: int,
+        path_contains: str = "",
+        count: int = 1,
+    ) -> None:
+        self.op = op
+        self.err = err
+        self.path_contains = path_contains
+        self.remaining = count
+        self.injected: list = []
+
+    def checkpoint(
+        self,
+        op: str,
+        path: Union[str, os.PathLike],
+        payload: Optional[str] = None,
+        fileobj: Any = None,
+    ) -> None:
+        if self.remaining <= 0 or op != self.op:
+            return
+        if self.path_contains and self.path_contains not in str(path):
+            return
+        self.remaining -= 1
+        self.injected.append((op, str(path)))
+        raise OSError(
+            self.err, f"{os.strerror(self.err)} (injected at {op})"
+        )

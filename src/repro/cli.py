@@ -27,6 +27,8 @@ Usage::
     python -m repro campaign replay           # frozen scenarios still bite?
     python -m repro claims fig5               # show the checked claims
     python -m repro cache clear               # drop cached outcomes
+    python -m repro chaos crashpoints --seed 7  # storage-chaos sweep
+    python -m repro chaos replay              # frozen crashpoints safe?
 
 Every ``run`` goes through the execution engine in :mod:`repro.exec`;
 with the defaults (``--jobs 1``, no cache, ``--faults off``) its output
@@ -89,6 +91,7 @@ from .exec import (
     load_journal,
     verify_journal,
 )
+from .chaos.workloads import WORKLOADS as CHAOS_WORKLOADS
 from .guard import GUARD_MODES
 from .mpi.simcore import SIM_CORES, set_sim_core
 
@@ -714,6 +717,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory",
     )
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="deterministic storage-chaos harness: crashpoint sweeps "
+        "and injected I/O faults across every durable store",
+    )
+    chaos_sub = chaos_p.add_subparsers(dest="chaos_command", required=True)
+    ccrash_p = chaos_sub.add_parser(
+        "crashpoints",
+        help="enumerate every durability point of each workload, crash "
+        "at each point in the budget, and assert recovery converges",
+    )
+    ccrash_p.add_argument(
+        "--seed", type=int, default=0,
+        help="chaos plan seed (default: 0)",
+    )
+    ccrash_p.add_argument(
+        "--budget", type=int, default=16, metavar="N",
+        help="crashpoints per workload; a seeded subset is selected "
+        "when a workload has more points (default: 16)",
+    )
+    ccrash_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="crashpoints to run in parallel worker processes "
+        "(default: 1; the verdict is identical at any value)",
+    )
+    ccrash_p.add_argument(
+        "--workloads", default=None, metavar="W1,W2",
+        help="comma-separated workload subset "
+        f"(default: all of {','.join(CHAOS_WORKLOADS)})",
+    )
+    ccrash_p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the verdict document to FILE as JSON",
+    )
+    ccrash_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the verdict document as JSON on stdout",
+    )
+    creplay_p = chaos_sub.add_parser(
+        "replay",
+        help="re-run frozen crashpoint regressions (files written by "
+        "repro.chaos.freeze_crashpoint); exit 1 if any bites again",
+    )
+    creplay_p.add_argument(
+        "paths", nargs="*", default=None, metavar="FILE",
+        help="frozen crashpoint files or directories "
+        "(default: tests/golden/chaos)",
+    )
+    creplay_p.add_argument(
+        "--json", action="store_true", dest="json_doc",
+        help="emit the replay verdicts as JSON on stdout",
+    )
+
     return ap
 
 
@@ -861,6 +917,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         docs = store.load_last()
         listing = {
             "store": store_dir,
+            "corrupt_documents": len(store.corrupt_documents()),
             "documents": [
                 {
                     "file": path.name,
@@ -1641,6 +1698,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .chaos import replay_crashpoint, run_crashpoints
+    from .core.atomicio import atomic_write_text
+    from .core.report import render_chaos_replay, render_chaos_verdict
+
+    if args.chaos_command == "crashpoints":
+        if args.budget < 0:
+            print("--budget must be >= 0", file=sys.stderr)
+            return 2
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        workloads = None
+        if args.workloads:
+            workloads = [w.strip() for w in args.workloads.split(",")
+                         if w.strip()]
+            unknown = [w for w in workloads if w not in CHAOS_WORKLOADS]
+            if unknown:
+                print(
+                    f"unknown workload(s): {', '.join(unknown)} "
+                    f"(choose from {', '.join(CHAOS_WORKLOADS)})",
+                    file=sys.stderr,
+                )
+                return 2
+        doc = run_crashpoints(
+            workloads=workloads, seed=args.seed, budget=args.budget,
+            jobs=args.jobs,
+        )
+        if args.out:
+            atomic_write_text(
+                Path(args.out),
+                json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                durable=False,
+            )
+        if args.json_doc:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_chaos_verdict(doc))
+        return 0 if doc["ok"] else 1
+
+    # chaos replay
+    paths: List[Path] = []
+    for raw in args.paths or ["tests/golden/chaos"]:
+        p = Path(raw)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("*.json")))
+        else:
+            paths.append(p)
+    if not paths:
+        print("no frozen crashpoints found (freeze some with "
+              "repro.chaos.freeze_crashpoint)", file=sys.stderr)
+        return 2
+    verdicts = []
+    for p in paths:
+        try:
+            verdicts.append(replay_crashpoint(p))
+        except (OSError, ValueError) as exc:
+            print(f"cannot replay {p}: {exc}", file=sys.stderr)
+            return 2
+    ok = all(v["ok"] for v in verdicts)
+    if args.json_doc:
+        print(json.dumps(
+            {"verdicts": verdicts, "ok": ok}, indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_chaos_replay(verdicts))
+    return 0 if ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
@@ -1665,6 +1793,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "run":
             return _cmd_run(args)
     except BrokenPipeError:

@@ -17,16 +17,32 @@ segments, golden snapshots — funnels through these helpers so a crash
   directory serialise their metadata operations.  On platforms without
   ``fcntl`` it degrades to a no-op (the atomic renames above still keep
   individual files consistent).
+
+Both write primitives pass through named *checkpoints* that an
+installed I/O policy (:func:`set_io_policy` / :func:`io_policy`) can
+observe or sabotage — short writes, failed ``fsync``/``replace``,
+simulated power cuts (:class:`PowerCut`).  With no policy installed
+(the default, and the only production configuration) the checkpoints
+are a single ``None`` test per call.  :mod:`repro.chaos` builds its
+deterministic crashpoint sweeps on this hook.
+
+Crash cleanup tools live here too: :func:`repair_torn_tail` truncates
+a line-oriented log back to its last complete record before a writer
+appends (so a torn tail can never fuse with the next record), and
+:func:`sweep_orphan_tmp` removes ``.<name>.<pid>.tmp`` files whose
+writing process died between temp-write and rename.
 """
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import json
 import os
+import re
 import time
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterator, List, Optional, Union
 
 try:  # POSIX only; Windows falls back to lock-free atomic renames.
     import fcntl
@@ -40,7 +56,71 @@ __all__ = [
     "fsync_dir",
     "FileLock",
     "FileLockTimeout",
+    "PowerCut",
+    "get_io_policy",
+    "io_policy",
+    "orphan_tmp_files",
+    "repair_torn_tail",
+    "set_io_policy",
+    "sweep_orphan_tmp",
 ]
+
+
+class PowerCut(BaseException):
+    """A simulated power failure injected by an I/O fault policy.
+
+    Deliberately a ``BaseException``: workload code that catches
+    ``Exception`` to record a task failure must *not* absorb a
+    simulated power cut — a real one stops the process everywhere at
+    once.  Cleanup handlers treat it the same way: the torn temp file
+    or half-written tail survives, exactly as it would on real
+    hardware, and recovery code has to cope with it.
+    """
+
+
+#: The process-global I/O fault policy.  ``None`` (always, outside
+#: chaos tooling) makes every checkpoint a no-op.
+_io_policy: Optional[Any] = None
+
+
+def set_io_policy(policy: Optional[Any]) -> Optional[Any]:
+    """Install ``policy`` as the process-global I/O fault policy and
+    return the previous one.  A policy is any object with a
+    ``checkpoint(op, path, payload=None, fileobj=None)`` method; it may
+    return normally (pass through), raise :class:`OSError` (injected
+    EIO/ENOSPC on the exercised syscall), or write a partial payload
+    itself and raise :class:`PowerCut`.  Pass ``None`` to uninstall."""
+    global _io_policy
+    previous, _io_policy = _io_policy, policy
+    return previous
+
+
+def get_io_policy() -> Optional[Any]:
+    """The currently installed I/O fault policy, or ``None``."""
+    return _io_policy
+
+
+@contextlib.contextmanager
+def io_policy(policy: Optional[Any]) -> Iterator[Optional[Any]]:
+    """Context manager: install ``policy`` for the block, then restore
+    whatever was installed before — even on :class:`PowerCut`."""
+    previous = set_io_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_io_policy(previous)
+
+
+def _chk(
+    op: str,
+    path: Union[str, os.PathLike],
+    payload: Optional[str] = None,
+    fileobj: Any = None,
+) -> None:
+    """One named checkpoint inside a write primitive.  Free when no
+    policy is installed; otherwise the policy decides what happens."""
+    if _io_policy is not None:
+        _io_policy.checkpoint(op, path, payload=payload, fileobj=fileobj)
 
 
 class FileLockTimeout(TimeoutError):
@@ -81,11 +161,19 @@ def atomic_write_text(
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     try:
         with open(tmp, "w") as f:
+            _chk("write", path, payload=text, fileobj=f)
             f.write(text)
             if durable:
                 f.flush()
+                _chk("fsync", path)
                 os.fsync(f.fileno())
+        _chk("replace", path)
         os.replace(tmp, path)
+    except PowerCut:
+        # A simulated power cut skips cleanup on purpose: the real
+        # thing leaves the orphan temp file behind, so the simulation
+        # must too (that's what sweep_orphan_tmp exists to find).
+        raise
     except BaseException:
         try:
             tmp.unlink()
@@ -94,15 +182,106 @@ def atomic_write_text(
         raise
     if durable:
         fsync_dir(path.parent)
+    _chk("commit", path, payload=text)
     return path
 
 
 def durable_append(fileobj, text: str) -> None:
     """Append ``text`` to an open file and force it to stable storage
     (flush + ``fsync``) before returning — the WAL append primitive."""
+    name = getattr(fileobj, "name", "<stream>")
+    _chk("append", name, payload=text, fileobj=fileobj)
     fileobj.write(text)
     fileobj.flush()
+    _chk("append_fsync", name)
     os.fsync(fileobj.fileno())
+
+
+#: Temp files created by :func:`atomic_write_text`: ``.<name>.<pid>.tmp``.
+_TMP_NAME_RE = re.compile(r"^\.(?P<name>.+)\.(?P<pid>\d+)\.tmp$")
+
+
+def _pid_alive(pid: int) -> bool:
+    """True if ``pid`` is a live process (EPERM counts as alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    except OSError:  # pragma: no cover - exotic failure: assume alive
+        return True
+    return True
+
+
+def orphan_tmp_files(
+    directory: Union[str, os.PathLike], force: bool = False
+) -> List[Path]:
+    """Temp files in ``directory`` left by :func:`atomic_write_text`
+    whose writing process is gone (crashed between temp-write and
+    rename).  A temp file whose embedded pid is still alive belongs to
+    an in-flight write and is *not* an orphan — unless ``force=True``,
+    which a recoverer uses when it knows the crash happened in its own
+    process (in-process chaos simulation)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out: List[Path] = []
+    for entry in sorted(directory.iterdir()):
+        m = _TMP_NAME_RE.match(entry.name)
+        if m is None or not entry.is_file():
+            continue
+        if force or not _pid_alive(int(m.group("pid"))):
+            out.append(entry)
+    return out
+
+
+def sweep_orphan_tmp(
+    directory: Union[str, os.PathLike], force: bool = False
+) -> List[Path]:
+    """Remove orphaned atomic-write temp files from ``directory`` and
+    return the paths removed.  Safe to run at any time: in-flight
+    writes (live pid) are left alone unless ``force=True``."""
+    removed: List[Path] = []
+    for path in orphan_tmp_files(directory, force=force):
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced with another sweeper
+            continue
+        removed.append(path)
+    return removed
+
+
+def repair_torn_tail(path: Union[str, os.PathLike]) -> int:
+    """Truncate a line-oriented log back to its last complete record.
+
+    Every append to a journal/job log writes one complete
+    ``\\n``-terminated line, so a file that does not end in ``\\n`` was
+    torn by a crash mid-append.  A writer that blindly appends after
+    such a tail would fuse its first record onto the partial line,
+    corrupting *both* — so writers call this before appending.  Returns
+    the number of bytes dropped (0 when the file is absent or clean).
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    with open(path, "r+b") as f:
+        f.seek(-1, os.SEEK_END)
+        if f.read(1) == b"\n":
+            return 0
+        # Walk back to the last newline (file positions are small here:
+        # one torn record's worth in practice, whole file at worst).
+        f.seek(0)
+        data = f.read()
+        keep = data.rfind(b"\n") + 1
+        f.truncate(keep)
+        f.flush()
+        os.fsync(f.fileno())
+        return size - keep
 
 
 class FileLock:

@@ -26,6 +26,8 @@ __all__ = [
     "render_replay",
     "render_bench_trend",
     "render_metric_store",
+    "render_chaos_verdict",
+    "render_chaos_replay",
     "format_si",
 ]
 
@@ -331,6 +333,9 @@ def render_journal(doc) -> str:
                          "skipped")
     if doc.get("torn_tail"):
         integrity.append("torn tail dropped (crash mid-append)")
+    if doc.get("orphan_tmp"):
+        integrity.append(f"{doc['orphan_tmp']} orphaned .tmp file(s) "
+                         "beside the journal")
     lines.append(
         "integrity: " + ("; ".join(integrity) if integrity else "ok")
     )
@@ -616,10 +621,14 @@ def render_metric_store(listing) -> str:
     table = render_table(
         ["document", "kind", "metrics", "digest", "git sha"], rows
     )
-    return (
+    head = (
         f"metric store {listing['store']}: "
-        f"{len(listing['documents'])} document(s)\n" + table
+        f"{len(listing['documents'])} document(s)"
     )
+    if listing.get("corrupt_documents"):
+        head += (f", {listing['corrupt_documents']} quarantined "
+                 "corrupt document(s)")
+    return head + "\n" + table
 
 
 def render_serve_jobs(doc) -> str:
@@ -665,8 +674,93 @@ def render_serve_status(doc) -> str:
         )
         if detail:
             lines.append(f"  result: {detail}")
+    store = doc.get("store")
+    if store:
+        health = []
+        if store.get("corrupt_records"):
+            health.append(f"{store['corrupt_records']} corrupt "
+                          "record(s) skipped")
+        if store.get("torn_tail"):
+            health.append("torn tail repaired")
+        if store.get("orphan_tmp"):
+            health.append(f"{store['orphan_tmp']} orphaned .tmp "
+                          "file(s)")
+        lines.append(
+            "  store: " + ("; ".join(health) if health else "healthy")
+        )
     tail = doc.get("journal_tail")
     if tail:
         lines.append(f"  journal tail ({len(tail)} record(s)):")
         lines.extend(f"    {line}" for line in tail)
     return "\n".join(lines)
+
+
+def render_chaos_verdict(doc) -> str:
+    """Render the ``repro chaos crashpoints`` verdict document."""
+    lines = [
+        f"chaos crashpoints: seed {doc['seed']}, "
+        f"budget {doc['budget']} per workload"
+    ]
+    for name, wl in sorted(doc.get("workloads", {}).items()):
+        lines.append(
+            f"  {name}: {wl['points_run']}/{wl['points_total']} "
+            "durability point(s) swept"
+        )
+    rows = []
+    for p in doc.get("points", []):
+        bad = sorted(
+            n for n, s in p.get("invariants", {}).items()
+            if s == "violated"
+        )
+        rows.append([
+            p["workload"], p["k"], p["op"], p["label"], p["mode"],
+            p["outcome"], "ok" if p["ok"] else ", ".join(bad),
+        ])
+    if rows:
+        lines.append(render_table(
+            ["workload", "k", "op", "file", "mode", "outcome",
+             "recovery"],
+            rows,
+        ))
+    if doc.get("violations"):
+        lines.append(
+            f"VIOLATED: {len(doc['violations'])} invariant check(s) — "
+            + ", ".join(doc["violations"])
+        )
+        for p in doc.get("points", []):
+            for name, detail in sorted(p.get("details", {}).items()):
+                lines.append(
+                    f"  {p['workload']}:k={p['k']}:{name}: {detail}"
+                )
+    else:
+        lines.append(
+            "all recoveries converged: digests match the "
+            "uninterrupted run, no orphans, no fused records"
+        )
+    return "\n".join(lines)
+
+
+def render_chaos_replay(verdicts) -> str:
+    """Render ``repro chaos replay`` results, one frozen file a row."""
+    if not verdicts:
+        return "no frozen crashpoints replayed"
+    rows = [
+        [
+            v.get("frozen", {}).get("path", "-"),
+            v["workload"], v["k"], v["mode"], v["outcome"],
+            "ok" if v["ok"] else ", ".join(sorted(
+                n for n, s in v.get("invariants", {}).items()
+                if s == "violated"
+            )),
+        ]
+        for v in verdicts
+    ]
+    table = render_table(
+        ["frozen", "workload", "k", "mode", "outcome", "recovery"], rows
+    )
+    bad = sum(1 for v in verdicts if not v["ok"])
+    tail = (
+        f"{bad} frozen crashpoint(s) bite again" if bad
+        else f"all {len(verdicts)} frozen crashpoint(s) still recover"
+    )
+    return table + "\n" + tail

@@ -49,7 +49,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..core.atomicio import canonical_json, durable_append, fsync_dir
+from ..core.atomicio import (
+    canonical_json,
+    durable_append,
+    fsync_dir,
+    orphan_tmp_files,
+    repair_torn_tail,
+)
 from .tasks import Task
 
 __all__ = [
@@ -138,13 +144,21 @@ def _decode_payload(text: str, digest: Optional[str] = None) -> Any:
 
 class JournalWriter:
     """Append-only journal: every record is fsync'd before the engine
-    moves on, so anything the journal claims happened, happened."""
+    moves on, so anything the journal claims happened, happened.
+
+    Opening an existing journal first truncates any torn tail left by
+    a crash mid-append (``repaired_bytes``).  Without that repair the
+    first new record would be appended straight onto the partial line,
+    fusing both into one undecodable record — the old record was
+    already lost, but the *new* one would be silently lost too.
+    """
 
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.is_dir():
             self.path.parent.mkdir(parents=True, exist_ok=True)
         existed = self.path.exists()
+        self.repaired_bytes = repair_torn_tail(self.path) if existed else 0
         self._f = open(self.path, "a")
         if not existed:
             fsync_dir(self.path.parent)  # the file's creation is durable
@@ -301,7 +315,10 @@ def load_journal(path: Union[str, os.PathLike]) -> JournalState:
     """
     path = Path(path)
     state = JournalState(path=path)
-    raw = path.read_text()
+    # errors="replace": a bit-flipped byte that is no longer valid
+    # UTF-8 must degrade to one corrupt (checksum-failing) record, not
+    # abort the whole replay with UnicodeDecodeError.
+    raw = path.read_text(errors="replace")
     lines = raw.split("\n")
     ends_clean = raw.endswith("\n")
     if lines and lines[-1] == "":
@@ -354,7 +371,8 @@ def load_journal(path: Union[str, os.PathLike]) -> JournalState:
 
 def verify_journal(path: Union[str, os.PathLike]) -> Dict[str, Any]:
     """Integrity report: record counts, checksum failures, torn tail,
-    completion status.  ``ok`` is True iff no interior corruption."""
+    orphaned atomic-write temp files next to the journal, completion
+    status.  ``ok`` is True iff no interior corruption."""
     state = load_journal(path)
     pending = [
         k for k in state.dispatched
@@ -367,6 +385,7 @@ def verify_journal(path: Union[str, os.PathLike]) -> Dict[str, Any]:
         "records": state.records,
         "corrupt_records": state.corrupt_records,
         "torn_tail": state.torn_tail,
+        "orphan_tmp": len(orphan_tmp_files(state.path.parent)),
         "runs": state.runs,
         "complete": state.complete,
         "fingerprint": (state.meta or {}).get("fingerprint"),

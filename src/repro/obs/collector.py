@@ -42,6 +42,7 @@ store contents — byte-identical however the documents were produced.
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 from statistics import median
@@ -521,11 +522,24 @@ class MetricsStore:
     tear a document.  Ordering is by sequence number — no wall clock
     involved, which keeps store listings (and therefore trend verdicts)
     deterministic.
+
+    A document that no longer parses as JSON (bit-flipped on disk, or
+    torn by a pre-atomic-write tool) is *quarantined* on read — renamed
+    to ``<name>.corrupt``, skipped, and counted — instead of aborting
+    every listing and trend verdict with a traceback.  Schema-version
+    mismatches still raise: that's a deliberate refusal, not damage.
+    Quarantined sequence numbers are never reused.
     """
+
+    #: Suffix appended to documents that failed to decode.
+    CORRUPT_SUFFIX = ".corrupt"
 
     def __init__(self, directory: Union[str, Path, None] = None) -> None:
         self.directory = Path(directory or DEFAULT_STORE_DIR)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Paths this instance quarantined (see also
+        #: :meth:`corrupt_documents` for the directory-wide view).
+        self.quarantined: List[Path] = []
 
     def _lock(self) -> Any:
         from ..core.atomicio import FileLock
@@ -547,6 +561,37 @@ class MetricsStore:
     def __len__(self) -> int:
         return len(self.paths())
 
+    def corrupt_documents(self) -> List[Path]:
+        """Quarantined documents (``*.json.corrupt``), oldest first."""
+        return sorted(
+            self.directory.glob("metrics-*.json" + self.CORRUPT_SUFFIX)
+        )
+
+    def _quarantine(self, path: Path) -> Path:
+        """Rename an undecodable document out of the store's namespace
+        so later listings skip it; the bytes are preserved for a
+        post-mortem."""
+        target = path.with_name(path.name + self.CORRUPT_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced with another reader
+            pass
+        self.quarantined.append(target)
+        return target
+
+    def _last_seq(self) -> int:
+        """Highest sequence number ever assigned — quarantined files
+        included, so their numbers are not silently reused."""
+        last = 0
+        for p in self.directory.iterdir():
+            name = p.name
+            if name.endswith(self.CORRUPT_SUFFIX):
+                name = name[: -len(self.CORRUPT_SUFFIX)]
+            m = _FILE_RE.match(name)
+            if m is not None:
+                last = max(last, int(m.group(1)))
+        return last
+
     def write(self, doc: Dict[str, Any]) -> Path:
         """Persist one document; returns its path.  The document gains
         a ``digest`` field (deterministic-view hash) on the way out."""
@@ -560,10 +605,7 @@ class MetricsStore:
         doc = dict(doc)
         doc["digest"] = document_digest(doc)
         with self._lock():
-            existing = self.paths()
-            seq = 1
-            if existing:
-                seq = int(_FILE_RE.match(existing[-1].name).group(1)) + 1
+            seq = self._last_seq() + 1
             path = self.directory / f"metrics-{seq:06d}-{kind}.json"
             atomic_write_text(
                 path, canonical_json(doc) + "\n", durable=False
@@ -584,11 +626,21 @@ class MetricsStore:
     def load_last(
         self, n: Optional[int] = None, kind: Optional[str] = None,
     ) -> List[Tuple[Path, Dict[str, Any]]]:
-        """The last ``n`` documents (all when None), oldest first."""
-        paths = self.paths(kind)
+        """The last ``n`` decodable documents (all when None), oldest
+        first.  Undecodable files are quarantined and skipped, so one
+        corrupt document cannot take down every listing and trend
+        verdict built on the store."""
+        import json
+
+        out: List[Tuple[Path, Dict[str, Any]]] = []
+        for p in self.paths(kind):
+            try:
+                out.append((p, self.load(p)))
+            except json.JSONDecodeError:
+                self._quarantine(p)
         if n is not None:
-            paths = paths[-n:]
-        return [(p, self.load(p)) for p in paths]
+            out = out[-n:]
+        return out
 
 
 # ---------------------------------------------------------------------------

@@ -42,11 +42,13 @@ def _routes(daemon: ServeDaemon, shutdown: threading.Event):
         return 200, {
             "ok": True,
             "state_dir": str(store.state_dir),
+            "daemon_id": daemon.daemon_id,
             "draining": daemon.draining,
             "workers": daemon.config.workers,
             "queue": state.by_status(),
             "records": state.records,
             "corrupt_records": state.corrupt_records,
+            "store": store.health(state),
         }
 
     def list_jobs() -> Tuple[int, Dict[str, Any]]:
@@ -70,9 +72,11 @@ def _routes(daemon: ServeDaemon, shutdown: threading.Event):
 
     def get_job(job_id: str) -> Tuple[int, Dict[str, Any]]:
         try:
-            return 200, store.get(job_id).as_dict()
+            doc = store.get(job_id).as_dict()
         except ServeStoreError as exc:
             return 404, {"error": str(exc)}
+        doc["store"] = store.health()
+        return 200, doc
 
     def journal_tail(
         job_id: str, tail: Optional[int]

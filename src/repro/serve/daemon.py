@@ -38,6 +38,7 @@ import subprocess
 import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Set, Union
@@ -92,6 +93,11 @@ class ServeDaemon:
         self.config = config
         self.store = JobStore(config.state_dir)
         self.draining = False
+        #: This daemon instance's identity, stamped (digest-neutrally)
+        #: onto every lease record it writes.  Unique across restarts
+        #: even under pid reuse — the arbitration hook multi-daemon
+        #: state-dir sharing builds on.
+        self.daemon_id = f"d-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         #: Worker processes this daemon spawned, by job id.
         self._procs: Dict[str, subprocess.Popen] = {}
         #: Jobs leased by *this* process — distinguishes a lease we
@@ -99,6 +105,11 @@ class ServeDaemon:
         #: predecessor daemon (``daemon-restart``).
         self._mine: Set[str] = set()
         self._log = lambda msg: print(msg, file=sys.stderr, flush=True)
+        # A predecessor may have died between temp-write and rename;
+        # its orphaned temp files are dead weight, sweep them now.
+        swept = self.store.sweep_orphans()
+        if swept:
+            self._log(f"swept {len(swept)} orphaned temp file(s)")
 
     # -- helpers -----------------------------------------------------------
     def _spawn(self, job_id: str, attempt: int) -> subprocess.Popen:
@@ -199,8 +210,13 @@ class ServeDaemon:
                     os.kill(job.worker_pid, signal.SIGKILL)  # type: ignore[arg-type]
                 except OSError:  # pragma: no cover - raced its exit
                     pass
+            # The lease record's daemon stamp is the durable arbiter
+            # of whose lease this was; ``_mine`` covers logs written
+            # before the stamp existed.
             reason = (
-                "lease-expired" if job.job_id in self._mine
+                "lease-expired"
+                if job.daemon_id == self.daemon_id
+                or job.job_id in self._mine
                 else "daemon-restart"
             )
             self._requeue(job.job_id, job.attempt, reason)
@@ -221,7 +237,8 @@ class ServeDaemon:
                 attempt = job.attempt + 1
                 proc = self._spawn(job.job_id, attempt)
                 self.store.job_leased(
-                    job.job_id, attempt, proc.pid, self.config.lease_timeout
+                    job.job_id, attempt, proc.pid,
+                    self.config.lease_timeout, daemon_id=self.daemon_id,
                 )
                 self._procs[job.job_id] = proc
                 self._mine.add(job.job_id)

@@ -20,7 +20,9 @@ State-dir layout::
 Record vocabulary (``type`` field):
 
 * ``job_submitted`` — id, kind (run/faults/campaign/autopilot), spec
-* ``job_leased``    — id, attempt, worker pid, lease timeout
+* ``job_leased``    — id, attempt, worker pid, lease timeout, and the
+  leasing daemon's ``daemon_id`` (digest-neutral scheduling metadata:
+  the arbitration hook multi-daemon sharing of one state dir needs)
 * ``job_heartbeat`` — id, worker pid (refreshes lease freshness)
 * ``job_requeued``  — id, next attempt, reason
   (``lease-expired`` / ``drain`` / ``daemon-restart``), backoff delay
@@ -44,7 +46,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from ..core.atomicio import FileLock, fsync_dir
+from ..core.atomicio import (
+    FileLock,
+    durable_append,
+    fsync_dir,
+    orphan_tmp_files,
+    repair_torn_tail,
+)
 from ..exec.backoff import backoff_delay
 from ..exec.journal import JournalError, decode_record, encode_record
 
@@ -95,6 +103,7 @@ class JobRecord:
     status: str = "queued"  # queued | leased | done | failed | cancelled
     attempt: int = 0  # completed lease attempts (0 = never leased)
     worker_pid: Optional[int] = None
+    daemon_id: Optional[str] = None  # daemon that took the live lease
     lease_timeout: Optional[float] = None
     leased_at: Optional[float] = None
     heartbeat_at: Optional[float] = None
@@ -134,6 +143,8 @@ class JobRecord:
         }
         if self.worker_pid is not None and self.status == "leased":
             doc["worker_pid"] = self.worker_pid
+        if self.daemon_id is not None and self.status == "leased":
+            doc["daemon_id"] = self.daemon_id
         if self.last_requeue_reason:
             doc["last_requeue_reason"] = self.last_requeue_reason
         if self.error is not None:
@@ -189,6 +200,7 @@ def _apply(state: ServeState, rec: Dict[str, Any]) -> None:
         job.status = "leased"
         job.attempt = int(rec.get("attempt", job.attempt + 1))
         job.worker_pid = rec.get("pid")
+        job.daemon_id = rec.get("daemon")
         job.lease_timeout = rec.get("timeout")
         job.leased_at = t
         job.heartbeat_at = t
@@ -199,6 +211,7 @@ def _apply(state: ServeState, rec: Dict[str, Any]) -> None:
         job.status = "queued"
         job.attempt = int(rec.get("attempt", job.attempt))
         job.worker_pid = None
+        job.daemon_id = None
         job.requeues += 1
         job.last_requeue_reason = rec.get("reason")
         job.not_before = t + float(rec.get("delay", 0.0))
@@ -207,14 +220,17 @@ def _apply(state: ServeState, rec: Dict[str, Any]) -> None:
         job.digests = dict(rec.get("digests") or {})
         job.result_summary = rec.get("result")
         job.error = None
+        job.daemon_id = None  # the lease (and its daemon) is over
         job.finished_at = t
     elif kind == "job_failed":
         job.status = "failed"
         job.error = rec.get("error")
+        job.daemon_id = None
         job.finished_at = t
     elif kind == "job_cancelled":
         job.status = "cancelled"
         job.worker_pid = None
+        job.daemon_id = None
         job.finished_at = t
     # unknown record types are ignored (forward compatibility)
 
@@ -244,17 +260,27 @@ class JobStore:
         return FileLock(self.state_dir / self.LOCK_NAME)
 
     # -- append side -------------------------------------------------------
+    def _append_locked(self, doc: Dict[str, Any]) -> None:
+        """One durable record append; caller holds ``serve.lock``.
+
+        Repairs a torn tail (a previous writer crashed mid-append)
+        before appending — otherwise the new record would fuse onto the
+        partial line and both would be lost as one corrupt record.
+        """
+        existed = self.log_path.exists()
+        if existed:
+            repair_torn_tail(self.log_path)
+        with open(self.log_path, "a") as f:
+            durable_append(f, encode_record(doc))
+        if not existed:
+            fsync_dir(self.state_dir)
+
     def append(self, doc: Dict[str, Any], t: Optional[float] = None) -> None:
-        """Durably append one record (lock → write → fsync → unlock)."""
+        """Durably append one record (lock → repair → write → fsync →
+        unlock)."""
         doc = {**doc, "t": time.time() if t is None else t}
         with self._lock():
-            existed = self.log_path.exists()
-            with open(self.log_path, "a") as f:
-                f.write(encode_record(doc))
-                f.flush()
-                os.fsync(f.fileno())
-            if not existed:
-                fsync_dir(self.state_dir)
+            self._append_locked(doc)
 
     def submit(self, kind: str, spec: Dict[str, Any]) -> str:
         """Assign the next ``job-NNNNNN`` id and journal the submit."""
@@ -272,30 +298,31 @@ class JobStore:
                  if j.startswith("job-")), default=0,
             )
             job_id = f"job-{seq:06d}"
-            doc = {
+            self._append_locked({
                 "type": "job_submitted",
                 "job": job_id,
                 "kind": kind,
                 "spec": spec,
                 "t": time.time(),
-            }
-            existed = self.log_path.exists()
-            with open(self.log_path, "a") as f:
-                f.write(encode_record(doc))
-                f.flush()
-                os.fsync(f.fileno())
-            if not existed:
-                fsync_dir(self.state_dir)
+            })
         return job_id
 
     # -- record vocabulary -------------------------------------------------
     def job_leased(
-        self, job_id: str, attempt: int, pid: int, timeout: float
+        self,
+        job_id: str,
+        attempt: int,
+        pid: int,
+        timeout: float,
+        daemon_id: Optional[str] = None,
     ) -> None:
-        self.append({
+        doc: Dict[str, Any] = {
             "type": "job_leased", "job": job_id, "attempt": attempt,
             "pid": pid, "timeout": timeout,
-        })
+        }
+        if daemon_id is not None:
+            doc["daemon"] = daemon_id
+        self.append(doc)
 
     def job_heartbeat(self, job_id: str, pid: int) -> None:
         self.append({"type": "job_heartbeat", "job": job_id, "pid": pid})
@@ -334,7 +361,9 @@ class JobStore:
         state = ServeState()
         if not self.log_path.exists():
             return state
-        raw = self.log_path.read_text()
+        # errors="replace": on-disk byte rot degrades to one corrupt
+        # record, never an undecodable store.
+        raw = self.log_path.read_text(errors="replace")
         lines = raw.split("\n")
         ends_clean = raw.endswith("\n")
         if lines and lines[-1] == "":
@@ -358,6 +387,38 @@ class JobStore:
         if job is None:
             raise ServeStoreError(f"unknown job {job_id!r}")
         return job
+
+    # -- store health ------------------------------------------------------
+    def _artifact_dirs(self) -> List[Path]:
+        return [self.state_dir, self.journals_dir, self.results_dir,
+                self.metrics_dir]
+
+    def health(self, state: Optional[ServeState] = None) -> Dict[str, Any]:
+        """Durability health of the state dir: record counts, corrupt
+        interior records, torn tail, and orphaned atomic-write temp
+        files across every artifact directory.  The block ``repro
+        serve status`` and ``/healthz`` surface."""
+        if state is None:
+            state = self.load()
+        orphans = sum(
+            len(orphan_tmp_files(d)) for d in self._artifact_dirs()
+        )
+        return {
+            "records": state.records,
+            "corrupt_records": state.corrupt_records,
+            "torn_tail": state.torn_tail,
+            "orphan_tmp": orphans,
+        }
+
+    def sweep_orphans(self, force: bool = False) -> List[Path]:
+        """Remove orphaned atomic-write temp files (dead writer pid)
+        from every artifact directory; returns the paths removed.  The
+        daemon runs this on startup."""
+        from ..core.atomicio import sweep_orphan_tmp
+        removed: List[Path] = []
+        for d in self._artifact_dirs():
+            removed.extend(sweep_orphan_tmp(d, force=force))
+        return removed
 
     # -- per-job artifacts -------------------------------------------------
     def journal_path(self, job_id: str) -> Path:

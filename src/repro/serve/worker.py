@@ -46,7 +46,7 @@ from ..core.atomicio import atomic_write_text, canonical_json
 from ..exec.journal import RESUMABLE_EXIT_CODE, JournalError, load_journal
 from .store import JobStore
 
-__all__ = ["execute_job", "main"]
+__all__ = ["execute_job", "finalize_job", "main"]
 
 #: Default seconds between worker heartbeats into the job log.
 DEFAULT_HEARTBEAT_S = 1.0
@@ -233,6 +233,31 @@ def execute_job(
     raise ValueError(f"unknown job kind {kind!r}")
 
 
+def finalize_job(
+    store: JobStore, job_id: str, kind: str, doc: Dict[str, Any]
+) -> str:
+    """Persist a finished job's document — metric store, ``results/``,
+    ``job_done`` — and return the metric-document digest.  Shared by
+    the worker and the chaos serve workload so both finalize jobs with
+    byte-identical artifacts."""
+    from ..obs.collector import MetricsStore, document_digest
+
+    digest = document_digest(doc)
+    MetricsStore(store.metrics_dir).write(doc)
+    summary = _job_summary(kind, doc)
+    atomic_write_text(
+        store.result_path(job_id),
+        canonical_json({
+            "job_id": job_id,
+            "kind": kind,
+            "digest": digest,
+            "document": doc,
+        }) + "\n",
+    )
+    store.job_done(job_id, {kind: digest}, result=summary)
+    return digest
+
+
 def _wedge() -> None:  # pragma: no cover - killed, never returns
     """Test lever: simulate a worker whose process lives but whose
     progress (and heartbeat) stopped — the lease-expiry trigger."""
@@ -289,21 +314,18 @@ def main(argv: Optional[list] = None) -> int:
         print(f"{args.job_id} drained (checkpointed)", file=sys.stderr)
         return RESUMABLE_EXIT_CODE
 
-    from ..obs.collector import MetricsStore, document_digest
-
-    digest = document_digest(doc)
-    MetricsStore(store.metrics_dir).write(doc)
-    summary = _job_summary(job.kind, doc)
-    atomic_write_text(
-        store.result_path(args.job_id),
-        canonical_json({
-            "job_id": args.job_id,
-            "kind": job.kind,
-            "digest": digest,
-            "document": doc,
-        }) + "\n",
-    )
-    store.job_done(args.job_id, {job.kind: digest}, result=summary)
+    try:
+        finalize_job(store, args.job_id, job.kind, doc)
+    except OSError as exc:
+        # A result write that hits a full/sick disk must degrade to a
+        # typed terminal record, not an unexplained traceback that
+        # leaves the lease to expire (found by the chaos sweep).
+        store.job_failed(
+            args.job_id, f"ResultWriteError: {type(exc).__name__}: {exc}"
+        )
+        print(f"{args.job_id} failed writing result: {exc}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
